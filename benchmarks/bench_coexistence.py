@@ -1,0 +1,72 @@
+"""EXP-B1 benchmark: RT + saturating best-effort coexistence."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.coexistence import run_coexistence
+
+
+def test_exp_b1_coexistence(benchmark, capsys):
+    report = benchmark.pedantic(
+        run_coexistence,
+        kwargs=dict(n_masters=4, n_slaves=12, n_requests=40, messages=8),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["RT channels admitted", report.channels_admitted],
+        ["RT misses (clean run)", report.clean_misses],
+        ["RT misses (BE-saturated run)", report.loaded_misses],
+        ["worst RT delay clean (us)",
+         round(report.clean_worst_delay_ns / 1000, 1)],
+        ["worst RT delay loaded (us)",
+         round(report.loaded_worst_delay_ns / 1000, 1)],
+        ["BE frames delivered", report.be_frames_delivered],
+        ["BE goodput (frac. of injecting uplinks)",
+         round(report.be_goodput_fraction, 3)],
+        ["RT reserved per uplink (frac.)",
+         round(report.rt_reserved_fraction, 3)],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["quantity", "value"], rows,
+            title="EXP-B1 -- coexistence: RT guarantees under saturating "
+                  "best-effort load (Section 18.2.1)",
+        ))
+    # The paper's claim: RT is unharmed, best-effort gets the residue.
+    assert report.rt_unharmed
+    assert report.be_frames_delivered > 0
+    # BE fills a meaningful share of the residual bandwidth.
+    assert report.be_goodput_fraction > 0.3
+    # Delay inflation stays within the blocking already in T_latency:
+    inflation = report.loaded_worst_delay_ns - report.clean_worst_delay_ns
+    assert inflation <= 2 * 123_040 + 1_000  # two frames of blocking + eps
+
+
+def test_exp_b2_be_latency_vs_rt_load(benchmark, capsys):
+    """EXP-B2: best-effort pays linearly for RT reservations."""
+    from repro.experiments.coexistence import be_latency_vs_rt_load
+
+    points = benchmark.pedantic(
+        be_latency_vs_rt_load, rounds=1, iterations=1
+    )
+    rows = [
+        [p.rt_channels, round(p.rt_reserved_fraction, 3), p.rt_misses,
+         round(p.be_goodput_bps / 1e6, 1),
+         round(p.be_mean_delay_ns / 1000, 1)]
+        for p in points
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["RT channels", "reserved U/uplink", "RT misses",
+             "BE goodput (Mbps)", "BE mean delay (us)"],
+            rows,
+            title="EXP-B2 -- best-effort service vs RT load "
+                  "(saturating injectors)",
+        ))
+    # RT is never harmed at any load level.
+    assert all(p.rt_misses == 0 for p in points)
+    # BE goodput decreases as RT reservations grow.
+    goodputs = [p.be_goodput_bps for p in points]
+    assert all(a >= b for a, b in zip(goodputs, goodputs[1:]))

@@ -1,0 +1,61 @@
+"""EXP-D1 benchmark: the full DPS design space on the paper workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.dps_comparison import run_dps_comparison
+from repro.traffic.spec import UniformSpecSampler
+
+
+def test_exp_d1_dps_comparison(benchmark, trials, capsys):
+    curve = benchmark.pedantic(
+        run_dps_comparison,
+        kwargs=dict(
+            requested_counts=tuple(range(20, 201, 20)), trials=trials
+        ),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(curve.to_table(
+            "EXP-D1 -- all DPS schemes on the Figure 18.5 workload "
+            "(sdps/adps = paper; udps/ldps/search = extensions)"
+        ))
+    means = {c.scheme: c.means[-1] for c in curve.curves}
+    # the paper's ordering, plus our upper bound:
+    assert means["adps"] > means["sdps"] * 1.5
+    assert means["search"] >= means["adps"] - 3.0
+    # on identical channels, count- and utilization-proportional coincide
+    assert means["udps"] == pytest.approx(means["adps"], abs=2.0)
+
+
+def test_exp_d1_mixed_sizes_separate_udps_from_adps(benchmark, trials,
+                                                    capsys):
+    """On mixed-size channels, channel count is a poor congestion proxy;
+    utilization-weighting (UDPS) can differ from ADPS."""
+    sampler = UniformSpecSampler(
+        period_range=(50, 200),
+        capacity_range=(1, 8),
+        deadline_range=(20, 80),
+    )
+    curve = benchmark.pedantic(
+        run_dps_comparison,
+        kwargs=dict(
+            requested_counts=(100, 200),
+            trials=trials,
+            sampler=sampler,
+        ),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(curve.to_table(
+            "EXP-D1b -- DPS schemes on mixed-size channels"
+        ))
+    means = {c.scheme: c.means[-1] for c in curve.curves}
+    # ADPS still beats SDPS; search still upper-bounds fixed schemes.
+    assert means["adps"] > means["sdps"]
+    assert means["search"] >= max(
+        means["sdps"], means["adps"], means["udps"], means["ldps"]
+    ) - 3.0

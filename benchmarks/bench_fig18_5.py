@@ -1,0 +1,70 @@
+"""EXP-F5 benchmark: regenerate the paper's Figure 18.5.
+
+Prints the accepted-vs-requested series for SDPS and ADPS (the figure's
+two curves) and benchmarks the full experiment run. The assertions
+encode the published shape: SDPS saturates near 60, ADPS near 110, about
+a 2x advantage, ADPS never worse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig18_5 import Fig185Config, run_fig18_5
+
+
+def test_fig18_5_series(benchmark, trials, capsys):
+    """Regenerate, print and verify the Figure 18.5 series."""
+    fig_result = benchmark.pedantic(
+        run_fig18_5, args=(Fig185Config(trials=trials),), rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(fig_result.to_table())
+        print(
+            f"\nADPS/SDPS advantage at 200 requested: "
+            f"{fig_result.adps_advantage:.2f}x "
+            "(paper: ~1.8x; SDPS ~60, ADPS ~110)"
+        )
+    assert fig_result.sdps_final_mean == pytest.approx(60.0, abs=2.0)
+    assert 100.0 <= fig_result.adps_final_mean <= 125.0
+    assert 1.6 <= fig_result.adps_advantage <= 2.2
+    assert fig_result.adps_dominates_everywhere()
+
+
+def test_bench_fig18_5_single_trial(benchmark):
+    """Wall-clock of one full Figure 18.5 trial pair (SDPS + ADPS)."""
+    config = Fig185Config(trials=1)
+    result = benchmark(run_fig18_5, config)
+    assert result.curve.requested[-1] == 200
+
+
+def test_bench_admission_throughput(benchmark):
+    """Admission decisions per second on the paper workload (ADPS)."""
+    from repro.core.admission import AdmissionController, SystemState
+    from repro.core.partitioning import AsymmetricDPS
+    from repro.sim.rng import RngRegistry
+    from repro.traffic.patterns import (
+        master_slave_names,
+        master_slave_requests,
+    )
+    from repro.traffic.spec import FixedSpecSampler
+
+    masters, slaves = master_slave_names(10, 50)
+    rng = RngRegistry(7).stream("bench")
+    requests = master_slave_requests(
+        masters, slaves, 200, FixedSpecSampler.paper_default(), rng
+    )
+
+    def run():
+        controller = AdmissionController(
+            SystemState(masters + slaves), AsymmetricDPS()
+        )
+        for request in requests:
+            controller.request(request.source, request.destination,
+                               request.spec)
+        return controller.accept_count
+
+    accepted = benchmark(run)
+    assert accepted > 80

@@ -1,0 +1,94 @@
+"""EXP-X1 benchmark: acceptance on switch trees (future-work extension)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.multiswitch_exp import run_multiswitch_comparison
+
+
+def test_exp_x1_multiswitch_comparison(benchmark, trials, capsys):
+    points = benchmark.pedantic(
+        run_multiswitch_comparison,
+        kwargs=dict(
+            n_switches=3,
+            n_masters=10,
+            n_slaves=50,
+            requested_counts=tuple(range(20, 201, 20)),
+            trials=trials,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [p.requested, round(p.symmetric_mean, 1),
+         round(p.proportional_mean, 1), round(p.advantage, 2)]
+        for p in points
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["requested", "k-way SDPS", "k-way ADPS", "ratio"],
+            rows,
+            title="EXP-X1 -- 3-switch chain, masters on sw0 "
+                  "(extension: no published reference)",
+        ))
+    final = points[-1]
+    # The load-proportional scheme retains its advantage on trees.
+    assert final.proportional_mean > final.symmetric_mean
+    # Low-load region: both accept nearly everything that fits hops.
+    assert points[0].proportional_mean >= points[0].symmetric_mean
+
+
+def test_bench_multihop_admission(benchmark, paper_like_spec=None):
+    """Admission throughput on a 3-switch fabric."""
+    from repro.core.channel import ChannelSpec
+    from repro.experiments.multiswitch_exp import build_master_slave_fabric
+    from repro.multiswitch.admission import MultiSwitchAdmission
+    from repro.multiswitch.partitioning import MultiHopProportional
+
+    spec = ChannelSpec(period=100, capacity=3, deadline=60)
+
+    def run():
+        fabric, masters, slaves = build_master_slave_fabric(3, 10, 50)
+        admission = MultiSwitchAdmission(
+            fabric=fabric, dps=MultiHopProportional()
+        )
+        for i in range(100):
+            admission.request(
+                masters[i % len(masters)], slaves[i % len(slaves)], spec
+            )
+        return admission.accept_count
+
+    accepted = benchmark(run)
+    assert accepted > 0
+
+
+def test_exp_x2_fabric_guarantee_validation(benchmark, capsys):
+    """EXP-X2: the generalized Eq. 18.1 holds on the simulated fabric."""
+    from repro.experiments.multiswitch_exp import run_fabric_validation
+
+    report = benchmark.pedantic(
+        run_fabric_validation,
+        kwargs=dict(n_switches=3, n_masters=4, n_slaves=12,
+                    n_requests=40, messages=3),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["switches", report.n_switches],
+        ["channels admitted", f"{report.channels_admitted}/"
+                              f"{report.channels_requested}"],
+        ["max hop count", report.max_hop_count],
+        ["messages completed", report.messages_completed],
+        ["end-to-end misses", report.end_to_end_misses],
+        ["per-link misses", report.per_link_misses],
+        ["worst delay / bound",
+         round(report.worst_delay_fraction, 3)],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["quantity", "value"], rows,
+            title="EXP-X2 -- multi-hop EDF guarantee under simulation "
+                  "(extension)",
+        ))
+    assert report.holds
+    assert report.max_hop_count >= 3  # cross-fabric paths exercised

@@ -1,0 +1,96 @@
+"""EXP-P1 benchmarks: cost of the feasibility test and its reductions.
+
+Quantifies the two Section 18.3.2 optimizations (busy-period horizon,
+Eq. 18.5 control points) against the naive every-integer scan, plus the
+utilization-only fast path, using pytest-benchmark for honest timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.feasibility import (
+    is_feasible,
+    is_feasible_naive,
+    utilization,
+)
+from repro.experiments.perf import feasibility_cost_sweep, make_link_tasks
+from repro.sim.rng import RngRegistry
+from repro.traffic.spec import FixedSpecSampler, UniformSpecSampler
+
+
+def _heterogeneous_tasks(n):
+    sampler = UniformSpecSampler(
+        period_range=(40, 400),
+        capacity_range=(1, 6),
+        deadline_range=(10, 200),
+    )
+    rng = RngRegistry(99).stream("bench-perf")
+    return make_link_tasks(n, sampler, rng)
+
+
+def _paper_tasks(n):
+    rng = RngRegistry(99).stream("bench-perf-paper")
+    return make_link_tasks(n, FixedSpecSampler.paper_default(), rng)
+
+
+def test_exp_p1_point_reduction_table(benchmark, capsys):
+    """Demand evaluations: control points vs every integer instant."""
+    points = benchmark.pedantic(
+        feasibility_cost_sweep,
+        kwargs=dict(sizes=(4, 8, 12, 16, 20)),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [p.n_tasks, p.fast_points_checked, p.naive_points_checked,
+         "yes" if p.feasible else "no"]
+        for p in points
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["tasks", "control points (Eq 18.5)", "naive instants",
+             "feasible"],
+            rows,
+            title="EXP-P1 -- feasibility-test work: the paper's "
+                  "control-point reduction",
+        ))
+    for p in points:
+        if p.naive_points_checked:
+            assert p.fast_points_checked <= p.naive_points_checked
+
+
+def test_bench_fast_test_heterogeneous(benchmark):
+    tasks = _heterogeneous_tasks(16)
+    report = benchmark(is_feasible, tasks)
+    assert report is not None
+
+
+def test_bench_naive_test_heterogeneous(benchmark):
+    tasks = _heterogeneous_tasks(16)
+    report = benchmark(is_feasible_naive, tasks)
+    assert report is not None
+
+
+def test_bench_fast_test_paper_workload(benchmark):
+    tasks = _paper_tasks(12)
+    benchmark(is_feasible, tasks)
+
+
+def test_bench_utilization_only(benchmark):
+    """The Liu & Layland fast path the switch takes when d == P."""
+    tasks = _paper_tasks(12)
+    result = benchmark(utilization, tasks)
+    assert result is not None
+
+
+def test_fast_is_actually_faster_at_scale():
+    """Sanity outside the timing harness: on long-hyperperiod sets the
+    control-point test does strictly less work."""
+    tasks = _heterogeneous_tasks(20)
+    fast = is_feasible(tasks)
+    naive = is_feasible_naive(tasks)
+    assert fast.feasible == naive.feasible
+    if naive.points_checked > 50:
+        assert fast.points_checked < naive.points_checked

@@ -1,0 +1,70 @@
+"""EXP-R1 benchmark: fault injection outside the paper's model."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.robustness import (
+    run_loss_robustness,
+    run_phase_robustness,
+)
+
+
+def test_exp_r1_phase_robustness(benchmark, capsys):
+    report = benchmark.pedantic(
+        run_phase_robustness,
+        kwargs=dict(n_masters=4, n_slaves=12, n_requests=40, messages=6),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["channels admitted", report.channels_admitted],
+        ["misses (critical instant)", report.synchronous_misses],
+        ["misses (random phases)", report.random_misses],
+        ["worst delay sync (us)",
+         round(report.synchronous_worst_delay_ns / 1000, 1)],
+        ["worst delay random (us)",
+         round(report.random_worst_delay_ns / 1000, 1)],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["quantity", "value"], rows,
+            title="EXP-R1a -- critical instant vs random release phases",
+        ))
+    assert report.holds
+    assert report.critical_instant_is_worst
+
+
+def test_exp_r1_loss_sweep(benchmark, capsys):
+    rates = (0.0, 0.01, 0.05, 0.10)
+
+    def sweep():
+        return [
+            run_loss_robustness(
+                loss_rate=rate, n_masters=4, n_slaves=12,
+                n_requests=40, messages=10,
+            )
+            for rate in rates
+        ]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{r.loss_rate:.0%}", r.frames_sent, r.frames_delivered,
+         round(r.delivery_ratio, 3),
+         f"{r.messages_completed}/{r.messages_expected}",
+         r.deadline_misses]
+        for r in reports
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["loss", "sent", "delivered", "ratio", "messages", "late"],
+            rows,
+            title="EXP-R1b -- Bernoulli frame loss: completeness degrades "
+                  "in proportion, timeliness never",
+        ))
+    for report in reports:
+        assert report.timeliness_preserved
+    # delivery ratio decreases monotonically with the loss rate
+    ratios = [r.delivery_ratio for r in reports]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+    assert reports[0].delivery_ratio == 1.0

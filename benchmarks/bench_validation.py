@@ -1,0 +1,118 @@
+"""EXP-V1 benchmark: simulate the admitted set, verify Eq. 18.1.
+
+Also benchmarks raw simulator throughput on the RT data plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.partitioning import SymmetricDPS
+from repro.experiments.validation import run_validation
+
+
+def test_exp_v1_guarantee_validation(benchmark, capsys):
+    """Run both schemes' admitted sets through the full simulator."""
+
+    def run_both():
+        adps = run_validation(
+            n_masters=6, n_slaves=18, n_requests=80, hyperperiods=3,
+            use_wire_handshake=False,
+        )
+        sdps = run_validation(
+            n_masters=6, n_slaves=18, n_requests=80, hyperperiods=3,
+            dps=SymmetricDPS(), use_wire_handshake=False,
+        )
+        return adps, sdps
+
+    adps, sdps = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        ["adps", adps.channels_admitted, adps.messages_completed,
+         adps.end_to_end_misses, adps.per_link_misses,
+         round(adps.worst_delay_fraction, 3)],
+        ["sdps", sdps.channels_admitted, sdps.messages_completed,
+         sdps.end_to_end_misses, sdps.per_link_misses,
+         round(sdps.worst_delay_fraction, 3)],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["scheme", "admitted", "messages", "e2e miss", "link miss",
+             "worst/bound"],
+            rows,
+            title="EXP-V1 -- Eq. 18.1 guarantee under simulation "
+                  "(critical-instant release, 3 hyperperiods)",
+        ))
+    for report in (adps, sdps):
+        assert report.holds, report.summary()
+        assert report.messages_completed > 0
+    # ADPS admits more channels from the same request stream.
+    assert adps.channels_admitted >= sdps.channels_admitted
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Frame-events per second: one saturated uplink, 200 messages."""
+    from repro.core.channel import ChannelSpec
+    from repro.network.topology import build_star
+
+    def run():
+        net = build_star(["m", "s0", "s1"], dps=SymmetricDPS())
+        spec = ChannelSpec(period=100, capacity=3, deadline=40)
+        for dest in ("s0", "s1") * 3:
+            net.establish_analytically("m", dest, spec)
+        net.start_all_sources(stop_after_messages=20)
+        net.sim.run()
+        return net.sim.dispatched_events
+
+    events = benchmark(run)
+    assert events > 1000
+
+
+def test_bench_wire_handshake(benchmark):
+    """Latency of one full Request/Response establishment on the wire."""
+    from repro.core.channel import ChannelSpec
+    from repro.network.topology import build_star
+
+    spec = ChannelSpec(period=1000, capacity=1, deadline=500)
+
+    def run():
+        net = build_star(["a", "b"], dps=SymmetricDPS())
+        grant = net.establish("a", "b", spec)
+        assert grant is not None
+        return net
+
+    benchmark(run)
+
+
+def test_exp_v2_delay_decomposition(benchmark, capsys):
+    """EXP-V2: per-channel per-hop budget vs observed worst case."""
+    from repro.experiments.validation import run_decomposition
+
+    rows = benchmark.pedantic(
+        run_decomposition,
+        kwargs=dict(n_masters=4, n_slaves=12, n_requests=40, messages=4),
+        rounds=1, iterations=1,
+    )
+    # print the five tightest uplinks -- the interesting rows
+    tightest = sorted(
+        rows,
+        key=lambda r: -(r.uplink_worst_slots / r.uplink_budget_slots),
+    )[:5]
+    table_rows = [
+        [r.channel_id, r.uplink_budget_slots,
+         round(r.uplink_worst_slots, 1), r.total_budget_slots,
+         round(r.total_worst_slots, 1)]
+        for r in tightest
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["channel", "d_iu budget", "uplink worst", "d budget",
+             "e2e worst"],
+            table_rows,
+            title="EXP-V2 -- per-hop delay decomposition "
+                  "(five tightest uplinks of the ADPS set)",
+        ))
+    assert all(r.uplink_within_budget and r.total_within_budget
+               for r in rows)

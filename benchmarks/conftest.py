@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Every benchmark prints the rows it regenerates (the figure-as-a-table
+format) so a ``pytest benchmarks/ --benchmark-only -s`` run leaves the
+full reproduced evaluation in the terminal, and asserts the paper-shape
+checks so a drifted implementation fails loudly rather than silently
+producing a different figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-paper-scale",
+        action="store_true",
+        default=False,
+        help=(
+            "run the benchmarks at the paper's full trial counts "
+            "(slower; default uses reduced trials with identical shape)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trials(request) -> int:
+    """Trials per randomized experiment (20 at full paper scale)."""
+    return 20 if request.config.getoption("--full-paper-scale") else 8

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Factory cell: the paper's master-slave scenario at full scale.
+
+Reproduces the *situation* behind Figure 18.5 interactively: 10 masters
+(cell controllers) and 50 slaves (drives/IO stations) on one switch.
+Channel requests arrive one by one; we show how SDPS starves once the
+master uplinks saturate while ADPS keeps accepting, then stream traffic
+over the ADPS-admitted set with saturating best-effort background load
+and verify that not a single RT deadline is missed.
+
+Run:  python examples/factory_master_slave.py
+"""
+
+import numpy as np
+
+from repro import AsymmetricDPS, ChannelSpec, SymmetricDPS, build_star
+from repro.core.admission import AdmissionController, SystemState
+from repro.traffic.besteffort import BestEffortInjector
+from repro.traffic.patterns import master_slave_names, master_slave_requests
+from repro.traffic.spec import FixedSpecSampler
+
+SPEC = ChannelSpec(period=100, capacity=3, deadline=40)
+N_REQUESTS = 150
+SEED = 42
+
+
+def admission_phase() -> list:
+    """Feed the same request sequence to SDPS and ADPS side by side."""
+    masters, slaves = master_slave_names(10, 50)
+    rng = np.random.default_rng(SEED)
+    requests = master_slave_requests(
+        masters, slaves, N_REQUESTS, FixedSpecSampler(SPEC), rng
+    )
+    controllers = {
+        "SDPS": AdmissionController(
+            SystemState(masters + slaves), SymmetricDPS()
+        ),
+        "ADPS": AdmissionController(
+            SystemState(masters + slaves), AsymmetricDPS()
+        ),
+    }
+    print(f"offering {N_REQUESTS} identical channel requests "
+          f"(C={SPEC.capacity}, P={SPEC.period}, d={SPEC.deadline})\n")
+    print("offered   SDPS accepted   ADPS accepted")
+    for i, request in enumerate(requests, start=1):
+        for controller in controllers.values():
+            controller.request(request.source, request.destination, request.spec)
+        if i % 25 == 0:
+            print(
+                f"{i:7d}   {controllers['SDPS'].accept_count:13d}   "
+                f"{controllers['ADPS'].accept_count:13d}"
+            )
+    print(
+        f"\nADPS admitted "
+        f"{controllers['ADPS'].accept_count - controllers['SDPS'].accept_count}"
+        " more channels from the identical request stream."
+    )
+    return requests
+
+
+def traffic_phase(requests) -> None:
+    """Re-admit with ADPS on the simulated network and stream traffic."""
+    masters, slaves = master_slave_names(10, 50)
+    net = build_star(masters + slaves, dps=AsymmetricDPS())
+    for request in requests:
+        net.establish_analytically(
+            request.source, request.destination, request.spec
+        )
+    print(f"\nsimulating {len(net.grants)} admitted channels "
+          "plus saturating best-effort background from every master...")
+    injectors = []
+    for master in masters:
+        injector = BestEffortInjector(
+            sim=net.sim, node=net.nodes[master], destinations=slaves
+        )
+        injector.start()
+        injectors.append(injector)
+    net.start_all_sources(stop_after_messages=5)
+    horizon = net.sim.now + 6 * SPEC.period * net.phy.slot_ns
+    net.sim.run(until=horizon)
+    for injector in injectors:
+        injector.stop()
+    net.sim.run(until=horizon + net.phy.slot_ns)
+
+    print("\n--- after 5 messages per channel under background load ---")
+    print(net.metrics.summary())
+    assert net.metrics.total_deadline_misses == 0
+    elapsed = net.sim.now
+    print(
+        f"best-effort goodput: "
+        f"{net.metrics.be_goodput_bps(elapsed) / 1e6:.1f} Mbps aggregate "
+        "(residual bandwidth, RT untouched)"
+    )
+
+
+def main() -> None:
+    requests = admission_phase()
+    traffic_phase(requests)
+
+
+if __name__ == "__main__":
+    main()

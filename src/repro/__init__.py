@@ -1,0 +1,147 @@
+"""repro: Real-Time Communication over Switched Ethernet (Hoang & Jonsson, 2004).
+
+A full reproduction of the paper's system: EDF-scheduled RT channels
+over full-duplex switched Ethernet with switch-based admission control
+and deadline partitioning (SDPS / ADPS), plus the discrete-event
+simulation substrate needed to validate the guarantees and regenerate
+the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     AsymmetricDPS, ChannelSpec, SymmetricDPS, build_star,
+... )
+>>> net = build_star([f"m{i}" for i in range(2)] + [f"s{i}" for i in range(4)],
+...                  dps=AsymmetricDPS())
+>>> grant = net.establish("m0", "s1", ChannelSpec(period=100, capacity=3,
+...                                               deadline=40))
+>>> grant is not None
+True
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: channels, feasibility analysis,
+    partitioning schemes, admission control, RT layer, channel manager.
+``repro.protocol``
+    Wire formats: Request/Response frames, RT header mangling.
+``repro.sim``
+    Deterministic discrete-event kernel.
+``repro.network``
+    Ethernet substrate: links, ports, nodes, switch, topology builder.
+``repro.traffic``
+    Workload generators (master-slave pattern of Figure 18.1, etc.).
+``repro.analysis``
+    Metrics, statistics, report tables.
+``repro.experiments``
+    One module per reproduced figure/table and per extension study.
+``repro.multiswitch``
+    Future-work extension: per-hop partitioning on switch trees.
+"""
+
+from .errors import (
+    AdmissionError,
+    ChannelParameterError,
+    CodecError,
+    ConfigurationError,
+    FieldRangeError,
+    InfeasibleChannelError,
+    PartitioningError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+    UnknownChannelError,
+)
+from .units import TimeBase
+from .core import (
+    AdmissionController,
+    AdmissionDecision,
+    AsymmetricDPS,
+    ChannelGrant,
+    ChannelSpec,
+    ChannelState,
+    DeadlinePartition,
+    DeadlinePartitioningScheme,
+    EDFQueue,
+    FCFSQueue,
+    FeasibilityReport,
+    LaxityDPS,
+    LinkDirection,
+    LinkRef,
+    LinkTask,
+    RejectionReason,
+    RTChannel,
+    RTLayer,
+    SearchDPS,
+    SymmetricDPS,
+    SystemState,
+    UtilizationDPS,
+    busy_period,
+    control_points,
+    demand,
+    hyperperiod,
+    is_feasible,
+    utilization,
+)
+from .network import PhyProfile, StarNetwork, build_star
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ChannelParameterError",
+    "PartitioningError",
+    "AdmissionError",
+    "InfeasibleChannelError",
+    "UnknownChannelError",
+    "ProtocolError",
+    "CodecError",
+    "FieldRangeError",
+    "SimulationError",
+    "SchedulingError",
+    "TopologyError",
+    "RoutingError",
+    # units
+    "TimeBase",
+    # core
+    "ChannelSpec",
+    "DeadlinePartition",
+    "RTChannel",
+    "ChannelState",
+    "LinkTask",
+    "LinkRef",
+    "LinkDirection",
+    "EDFQueue",
+    "FCFSQueue",
+    "FeasibilityReport",
+    "utilization",
+    "hyperperiod",
+    "demand",
+    "busy_period",
+    "control_points",
+    "is_feasible",
+    "DeadlinePartitioningScheme",
+    "SymmetricDPS",
+    "AsymmetricDPS",
+    "UtilizationDPS",
+    "LaxityDPS",
+    "SearchDPS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "RejectionReason",
+    "SystemState",
+    "RTLayer",
+    "ChannelGrant",
+    # network / sim
+    "PhyProfile",
+    "StarNetwork",
+    "build_star",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Measurement and reporting utilities.
+
+* :mod:`~repro.analysis.metrics` -- per-channel delay statistics,
+  deadline-miss accounting, best-effort throughput.
+* :mod:`~repro.analysis.stats` -- summary statistics (means, confidence
+  intervals) over repeated trials.
+* :mod:`~repro.analysis.report` -- plain-text tables and series
+  printers used by the benchmark harness to emit the paper's
+  figure/table rows.
+"""
+
+from .metrics import ChannelDeliveryStats, MetricsCollector
+from .stats import SeriesSummary, mean_confidence, summarize
+from .report import format_series_table, format_table
+from .export import series_to_csv, series_to_json, write_csv, write_json
+from .timeline import LinkTimeline, build_timelines, render_timeline
+from .audit import admission_report, link_report, system_summary
+
+__all__ = [
+    "ChannelDeliveryStats",
+    "MetricsCollector",
+    "SeriesSummary",
+    "mean_confidence",
+    "summarize",
+    "format_series_table",
+    "format_table",
+    "series_to_csv",
+    "series_to_json",
+    "write_csv",
+    "write_json",
+    "LinkTimeline",
+    "build_timelines",
+    "render_timeline",
+    "admission_report",
+    "link_report",
+    "system_summary",
+]

@@ -1,0 +1,90 @@
+"""Operational reports over the system state and admission history.
+
+A network operator running the paper's switch wants to answer, at a
+glance: *how full is my network, which links are the bottlenecks, why
+are requests being rejected, and how much headroom remains?* These
+helpers render exactly that from the live objects:
+
+* :func:`link_report` -- one row per occupied link direction: LinkLoad,
+  reserved utilization, feasibility horizon, remaining headroom for a
+  reference channel (via :func:`repro.core.feasibility.max_additional_tasks`).
+* :func:`admission_report` -- acceptance/rejection totals with the
+  per-reason breakdown the controller tracks.
+* :func:`system_summary` -- both, as one printable block.
+"""
+
+from __future__ import annotations
+
+from ..core.admission import AdmissionController, SystemState
+from ..core.channel import ChannelSpec
+from ..core.feasibility import is_feasible, max_additional_tasks
+from ..core.task import LinkTask
+from .report import format_table
+
+__all__ = ["link_report", "admission_report", "system_summary"]
+
+
+def link_report(
+    state: SystemState, reference: ChannelSpec | None = None
+) -> str:
+    """Per-link occupancy table.
+
+    ``reference`` adds a headroom column: how many more channels with
+    that spec (split evenly) would still fit on the link. Links with no
+    channels are omitted (every idle link trivially has full headroom).
+    """
+    rows = []
+    for link in state.occupied_links():
+        tasks = list(state.tasks_on(link))
+        report = is_feasible(tasks)
+        row = [
+            str(link),
+            state.link_load(link),
+            f"{float(state.link_utilization(link)):.3f}",
+            report.horizon,
+        ]
+        if reference is not None:
+            probe = LinkTask(
+                link=link,
+                period=reference.period,
+                capacity=reference.capacity,
+                deadline=max(reference.capacity, reference.deadline // 2),
+            )
+            row.append(max_additional_tasks(tasks, probe))
+        rows.append(row)
+    headers = ["link", "LL", "reserved U", "horizon"]
+    if reference is not None:
+        headers.append(
+            f"headroom (C={reference.capacity}, "
+            f"d_link={max(reference.capacity, reference.deadline // 2)})"
+        )
+    return format_table(headers, rows, title="link occupancy")
+
+
+def admission_report(controller: AdmissionController) -> str:
+    """Acceptance/rejection totals with the per-reason breakdown."""
+    rows = [
+        ["accepted", controller.accept_count],
+        ["rejected", controller.reject_count],
+    ]
+    for reason, count in sorted(
+        controller.rejections_by_reason.items(), key=lambda kv: kv[0].value
+    ):
+        rows.append([f"  - {reason.value}", count])
+    rows.append(["active channels", len(controller.state)])
+    rows.append(["DPS", controller.dps.name])
+    return format_table(
+        ["quantity", "value"], rows, title="admission history"
+    )
+
+
+def system_summary(
+    controller: AdmissionController,
+    reference: ChannelSpec | None = None,
+) -> str:
+    """Admission history plus per-link occupancy, one printable block."""
+    return (
+        admission_report(controller)
+        + "\n\n"
+        + link_report(controller.state, reference=reference)
+    )

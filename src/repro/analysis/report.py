@@ -1,0 +1,84 @@
+"""Plain-text tables for the benchmark harness.
+
+The benchmarks regenerate the paper's figure as *rows of numbers* (we
+have no plotting dependency and a figure's scientific content is its
+series). These helpers render aligned ASCII tables so ``pytest -s`` and
+the example scripts produce readable output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["format_table", "format_series_table"]
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Every row must have exactly ``len(headers)`` cells; floats are
+    rendered with two decimals, everything else with ``str``.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append([_render(cell) for cell in row])
+    widths = [
+        max(len(header), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render several named y-series against one shared x-axis.
+
+    This is the "figure as a table" format the benches print: one row
+    per x value, one column per series (e.g. ``sdps`` and ``adps``
+    acceptance counts against requested channels, reproducing
+    Figure 18.5).
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points, x-axis has "
+                f"{len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

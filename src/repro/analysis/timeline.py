@@ -1,0 +1,126 @@
+"""ASCII timelines of link schedules, reconstructed from traces.
+
+Debugging an EDF schedule from raw trace lines is miserable; this module
+renders what actually happened on a link as a slot-granularity strip::
+
+    m0->switch   |111222111...333|
+                  ^t=0                ^t=15 slots
+
+where each column is one timeslot and the glyph identifies the channel
+whose frame occupied (started in) that slot (``.`` = idle, ``#`` = a
+best-effort frame, ``+`` = more than one frame started in the slot --
+possible for sub-slot signalling frames).
+
+Built entirely from the :class:`~repro.sim.trace.TraceRecorder` records
+the links already emit (``link.start``), so it costs nothing unless
+tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.trace import TraceRecorder
+
+__all__ = ["LinkTimeline", "build_timelines", "render_timeline"]
+
+_CHANNEL_RE = re.compile(r" ch=(\d+) ")
+_KIND_RE = re.compile(r"frame#\d+ (\w+) ")
+
+
+@dataclass(slots=True)
+class LinkTimeline:
+    """Per-slot occupancy of one link direction.
+
+    ``slots[i]`` lists the channel IDs of RT frames whose transmission
+    *started* in slot ``i`` (-1 marks a best-effort or signalling
+    frame).
+    """
+
+    link: str
+    slots: list[list[int]]
+
+    @property
+    def busy_slots(self) -> int:
+        return sum(1 for entries in self.slots if entries)
+
+    @property
+    def idle_slots(self) -> int:
+        return len(self.slots) - self.busy_slots
+
+    def channel_slot_count(self, channel_id: int) -> int:
+        """Slots in which a frame of ``channel_id`` started."""
+        return sum(
+            1 for entries in self.slots if channel_id in entries
+        )
+
+
+def _glyph(entries: list[int]) -> str:
+    if not entries:
+        return "."
+    if len(entries) > 1:
+        return "+"
+    channel = entries[0]
+    if channel < 0:
+        return "#"
+    if channel < 10:
+        return str(channel)
+    # letters for channels 10..35, '*' beyond
+    if channel < 36:
+        return chr(ord("a") + channel - 10)
+    return "*"
+
+
+def build_timelines(
+    trace: TraceRecorder, slot_ns: int, horizon_slots: int
+) -> dict[str, LinkTimeline]:
+    """Reconstruct per-link timelines from ``link.start`` trace records.
+
+    Parameters
+    ----------
+    trace:
+        A recorder that was enabled during the simulation.
+    slot_ns:
+        Timeslot duration used to bucket start times.
+    horizon_slots:
+        Length of the strip; later records are ignored.
+    """
+    if slot_ns <= 0:
+        raise ConfigurationError(f"slot_ns must be positive, got {slot_ns}")
+    if horizon_slots <= 0:
+        raise ConfigurationError(
+            f"horizon_slots must be positive, got {horizon_slots}"
+        )
+    timelines: dict[str, LinkTimeline] = {}
+    for record in trace.by_category("link.start"):
+        slot = record.time // slot_ns
+        if slot >= horizon_slots:
+            continue
+        timeline = timelines.get(record.subject)
+        if timeline is None:
+            timeline = LinkTimeline(
+                link=record.subject,
+                slots=[[] for _ in range(horizon_slots)],
+            )
+            timelines[record.subject] = timeline
+        match = _CHANNEL_RE.search(record.detail)
+        kind = _KIND_RE.search(record.detail)
+        is_rt = bool(kind and kind.group(1) == "rt")
+        channel = int(match.group(1)) if (match and is_rt) else -1
+        timeline.slots[slot].append(channel)
+    return timelines
+
+
+def render_timeline(timeline: LinkTimeline, width: int = 80) -> str:
+    """Render one link's strip, wrapping at ``width`` slots per line."""
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    glyphs = "".join(_glyph(entries) for entries in timeline.slots)
+    lines = [f"{timeline.link}  ({timeline.busy_slots} busy / "
+             f"{len(timeline.slots)} slots)"]
+    for start in range(0, len(glyphs), width):
+        chunk = glyphs[start : start + width]
+        lines.append(f"  [{start:5d}] |{chunk}|")
+    return "\n".join(lines)

@@ -1,0 +1,384 @@
+"""Command-line interface: regenerate any experiment from a terminal.
+
+``python -m repro <command>`` runs one reproduced artifact and prints
+its table; ``--csv``/``--json`` additionally export the series for
+external plotting. Every command is seeded and deterministic.
+
+Commands
+--------
+``fig18-5``      the paper's Figure 18.5 (EXP-F5)
+``validate``     Eq. 18.1 guarantee under simulation (EXP-V1)
+``coexist``      best-effort coexistence (EXP-B1)
+``perf``         feasibility-test cost (EXP-P1)
+``ablation``     parameter sweeps (EXP-A1/A3/A4) and the symmetric
+                 control (EXP-A2)
+``dps``          all five partitioning schemes (EXP-D1)
+``multiswitch``  switch-tree extension (EXP-X1)
+``robustness``   phase / loss fault injection (EXP-R1)
+
+Exit status: 0 on success, 1 when a checked guarantee is violated
+(``validate``, ``coexist``, ``robustness``), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.export import write_csv, write_json
+from .analysis.report import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Real-Time Communication for Industrial "
+            "Embedded Systems Using Switched Ethernet' (Hoang & Jonsson, "
+            "2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--trials", type=int, default=10,
+                       help="trials per randomized point (default 10)")
+        p.add_argument("--seed", type=int, default=2004)
+        p.add_argument("--csv", metavar="PATH",
+                       help="export the series as CSV")
+        p.add_argument("--json", metavar="PATH",
+                       help="export the series as JSON")
+        return p
+
+    common(sub.add_parser("fig18-5", help="reproduce Figure 18.5"))
+
+    validate = sub.add_parser(
+        "validate", help="check the Eq. 18.1 guarantee by simulation"
+    )
+    validate.add_argument("--masters", type=int, default=6)
+    validate.add_argument("--slaves", type=int, default=18)
+    validate.add_argument("--requests", type=int, default=80)
+    validate.add_argument("--hyperperiods", type=int, default=3)
+    validate.add_argument("--seed", type=int, default=55)
+    validate.add_argument(
+        "--scheme", choices=["sdps", "adps"], default="adps"
+    )
+    validate.add_argument(
+        "--decompose", action="store_true",
+        help="additionally print the per-channel per-hop budget table "
+             "(EXP-V2)",
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="admit a master-slave workload and print the operator's "
+             "view: admission history + per-link occupancy/headroom",
+    )
+    audit.add_argument("--masters", type=int, default=10)
+    audit.add_argument("--slaves", type=int, default=50)
+    audit.add_argument("--requests", type=int, default=120)
+    audit.add_argument("--seed", type=int, default=2004)
+    audit.add_argument(
+        "--scheme", choices=["sdps", "adps"], default="adps"
+    )
+
+    coexist = sub.add_parser(
+        "coexist", help="RT + saturating best-effort coexistence"
+    )
+    coexist.add_argument("--masters", type=int, default=4)
+    coexist.add_argument("--slaves", type=int, default=12)
+    coexist.add_argument("--requests", type=int, default=40)
+    coexist.add_argument("--messages", type=int, default=8)
+    coexist.add_argument("--seed", type=int, default=77)
+
+    perf = sub.add_parser("perf", help="feasibility-test cost sweep")
+    perf.add_argument("--sizes", type=int, nargs="+",
+                      default=[4, 8, 12, 16, 20])
+    perf.add_argument("--homogeneous", action="store_true",
+                      help="use the paper's fixed channel parameters")
+    perf.add_argument("--seed", type=int, default=99)
+
+    ablation = common(sub.add_parser("ablation", help="parameter sweeps"))
+    ablation.add_argument(
+        "axis", choices=["deadline", "capacity", "masters", "symmetric"]
+    )
+
+    common(sub.add_parser("dps", help="compare all five DPS schemes"))
+
+    multiswitch = common(
+        sub.add_parser("multiswitch", help="switch-tree extension")
+    )
+    multiswitch.add_argument("--switches", type=int, default=3)
+
+    robustness = sub.add_parser(
+        "robustness", help="fault injection outside the paper's model"
+    )
+    robustness.add_argument("mode", choices=["phase", "loss"])
+    robustness.add_argument("--loss-rate", type=float, default=0.01)
+    robustness.add_argument("--seed", type=int, default=808)
+
+    return parser
+
+
+def _export(args, x_label, x_values, series, metadata):
+    if getattr(args, "csv", None):
+        path = write_csv(args.csv, x_label, x_values, series)
+        print(f"wrote {path}")
+    if getattr(args, "json", None):
+        path = write_json(
+            args.json, x_label, x_values, series, metadata
+        )
+        print(f"wrote {path}")
+
+
+def _cmd_fig18_5(args) -> int:
+    from .experiments.fig18_5 import Fig185Config, run_fig18_5
+
+    result = run_fig18_5(
+        Fig185Config(trials=args.trials, seed=args.seed)
+    )
+    print(result.to_table())
+    print(f"\nADPS/SDPS advantage at saturation: "
+          f"{result.adps_advantage:.2f}x")
+    series = {
+        curve.scheme: curve.means for curve in result.curve.curves
+    }
+    _export(
+        args, "requested", list(result.curve.requested), series,
+        {"trials": args.trials, "seed": args.seed,
+         "experiment": "fig18_5"},
+    )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .core.partitioning import AsymmetricDPS, SymmetricDPS
+    from .experiments.validation import run_validation
+
+    scheme = SymmetricDPS() if args.scheme == "sdps" else AsymmetricDPS()
+    report = run_validation(
+        n_masters=args.masters,
+        n_slaves=args.slaves,
+        n_requests=args.requests,
+        hyperperiods=args.hyperperiods,
+        dps=scheme,
+        seed=args.seed,
+        use_wire_handshake=False,
+    )
+    print(report.summary())
+    if args.decompose:
+        from .experiments.validation import run_decomposition
+
+        rows = run_decomposition(
+            n_masters=args.masters,
+            n_slaves=args.slaves,
+            n_requests=args.requests,
+            dps=scheme,
+            seed=args.seed,
+        )
+        table = [
+            [r.channel_id, r.uplink_budget_slots,
+             round(r.uplink_worst_slots, 1), r.total_budget_slots,
+             round(r.total_worst_slots, 1)]
+            for r in sorted(
+                rows,
+                key=lambda r: -(r.uplink_worst_slots / r.uplink_budget_slots),
+            )
+        ]
+        print()
+        print(format_table(
+            ["channel", "d_iu budget", "uplink worst", "d budget",
+             "e2e worst"],
+            table,
+            title="per-hop delay decomposition (slots, worst first)",
+        ))
+    return 0 if report.holds else 1
+
+
+def _cmd_audit(args) -> int:
+    from .analysis.audit import system_summary
+    from .core.admission import AdmissionController, SystemState
+    from .core.channel import ChannelSpec
+    from .core.partitioning import AsymmetricDPS, SymmetricDPS
+    from .sim.rng import RngRegistry
+    from .traffic.patterns import (
+        master_slave_names,
+        master_slave_requests,
+    )
+    from .traffic.spec import FixedSpecSampler
+
+    masters, slaves = master_slave_names(args.masters, args.slaves)
+    scheme = SymmetricDPS() if args.scheme == "sdps" else AsymmetricDPS()
+    controller = AdmissionController(
+        SystemState(masters + slaves), scheme
+    )
+    spec = ChannelSpec(period=100, capacity=3, deadline=40)
+    rng = RngRegistry(args.seed).stream("audit-requests")
+    for request in master_slave_requests(
+        masters, slaves, args.requests, FixedSpecSampler(spec), rng
+    ):
+        controller.request(request.source, request.destination, request.spec)
+    print(system_summary(controller, reference=spec))
+    return 0
+
+
+def _cmd_coexist(args) -> int:
+    from .experiments.coexistence import run_coexistence
+
+    report = run_coexistence(
+        n_masters=args.masters,
+        n_slaves=args.slaves,
+        n_requests=args.requests,
+        messages=args.messages,
+        seed=args.seed,
+    )
+    print(report.summary())
+    return 0 if report.rt_unharmed else 1
+
+
+def _cmd_perf(args) -> int:
+    from .experiments.perf import feasibility_cost_sweep
+
+    points = feasibility_cost_sweep(
+        sizes=tuple(args.sizes),
+        heterogeneous=not args.homogeneous,
+        seed=args.seed,
+    )
+    rows = [
+        [p.n_tasks, p.fast_points_checked, p.naive_points_checked,
+         "yes" if p.feasible else "no"]
+        for p in points
+    ]
+    print(format_table(
+        ["tasks", "control points", "naive instants", "feasible"],
+        rows,
+        title="EXP-P1 -- feasibility-test work",
+    ))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from .experiments.ablations import (
+        capacity_sweep,
+        deadline_sweep,
+        master_ratio_sweep,
+        symmetric_traffic_curve,
+    )
+
+    if args.axis == "symmetric":
+        curve = symmetric_traffic_curve(trials=args.trials, seed=args.seed)
+        print(curve.to_table("EXP-A2 -- uniform all-to-all traffic"))
+        series = {c.scheme: c.means for c in curve.curves}
+        _export(args, "requested", list(curve.requested), series,
+                {"experiment": "ablation-symmetric"})
+        return 0
+    sweep = {
+        "deadline": deadline_sweep,
+        "capacity": capacity_sweep,
+        "masters": master_ratio_sweep,
+    }[args.axis]
+    points = sweep(trials=args.trials, seed=args.seed)
+    rows = [
+        [p.value, round(p.sdps_mean, 1), round(p.adps_mean, 1),
+         round(p.advantage, 2)]
+        for p in points
+    ]
+    print(format_table(
+        [args.axis, "sdps", "adps", "adps/sdps"], rows,
+        title=f"ablation sweep over {args.axis}",
+    ))
+    _export(
+        args, args.axis, [p.value for p in points],
+        {"sdps": [p.sdps_mean for p in points],
+         "adps": [p.adps_mean for p in points]},
+        {"experiment": f"ablation-{args.axis}"},
+    )
+    return 0
+
+
+def _cmd_dps(args) -> int:
+    from .experiments.dps_comparison import run_dps_comparison
+
+    curve = run_dps_comparison(trials=args.trials, seed=args.seed)
+    print(curve.to_table("EXP-D1 -- DPS design space"))
+    series = {c.scheme: c.means for c in curve.curves}
+    _export(args, "requested", list(curve.requested), series,
+            {"experiment": "dps-comparison"})
+    return 0
+
+
+def _cmd_multiswitch(args) -> int:
+    from .experiments.multiswitch_exp import run_multiswitch_comparison
+
+    points = run_multiswitch_comparison(
+        n_switches=args.switches, trials=args.trials, seed=args.seed
+    )
+    rows = [
+        [p.requested, round(p.symmetric_mean, 1),
+         round(p.proportional_mean, 1), round(p.advantage, 2)]
+        for p in points
+    ]
+    print(format_table(
+        ["requested", "k-way SDPS", "k-way ADPS", "ratio"], rows,
+        title=f"EXP-X1 -- {args.switches}-switch chain",
+    ))
+    _export(
+        args, "requested", [p.requested for p in points],
+        {"sym": [p.symmetric_mean for p in points],
+         "prop": [p.proportional_mean for p in points]},
+        {"experiment": "multiswitch", "switches": args.switches},
+    )
+    return 0
+
+
+def _cmd_robustness(args) -> int:
+    from .experiments.robustness import (
+        run_loss_robustness,
+        run_phase_robustness,
+    )
+
+    if args.mode == "phase":
+        report = run_phase_robustness(seed=args.seed)
+        print(
+            f"phase robustness: {report.channels_admitted} channels, "
+            f"misses sync={report.synchronous_misses} "
+            f"random={report.random_misses}; worst delay "
+            f"{report.synchronous_worst_delay_ns} ns (sync) vs "
+            f"{report.random_worst_delay_ns} ns (random)"
+        )
+        return 0 if (report.holds and report.critical_instant_is_worst) else 1
+    report = run_loss_robustness(loss_rate=args.loss_rate, seed=args.seed)
+    print(
+        f"loss robustness at {report.loss_rate:.1%}: "
+        f"{report.frames_delivered}/{report.frames_sent} frames delivered "
+        f"({report.delivery_ratio:.1%}), "
+        f"{report.messages_completed}/{report.messages_expected} messages "
+        f"complete, late frames: {report.deadline_misses}"
+    )
+    return 0 if report.timeliness_preserved else 1
+
+
+_COMMANDS = {
+    "fig18-5": _cmd_fig18_5,
+    "validate": _cmd_validate,
+    "audit": _cmd_audit,
+    "coexist": _cmd_coexist,
+    "perf": _cmd_perf,
+    "ablation": _cmd_ablation,
+    "dps": _cmd_dps,
+    "multiswitch": _cmd_multiswitch,
+    "robustness": _cmd_robustness,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,504 @@
+"""Admission control over the system state (Sections 18.3 and 18.4).
+
+The paper defines the **system state** ``SS = {N, K}`` -- the set of
+connected nodes and the set of active RT channels -- and defines a
+*feasible system* as one where every link is feasible. Adding a channel
+is allowed exactly when the new state would still be feasible, which the
+switch decides with per-link EDF analysis (:mod:`repro.core.feasibility`)
+after the deadline-partitioning scheme
+(:mod:`repro.core.partitioning`) has split the candidate's deadline.
+
+:class:`SystemState` is the bookkeeping half: it tracks nodes, channels
+and the per-link task sets, and implements the
+:class:`~repro.core.partitioning.LoadView` protocol that partitioning
+schemes consult. :class:`AdmissionController` is the decision half: it
+runs the paper's two-step test (utilization, then processor demand) on
+both links a candidate would traverse and either installs the channel or
+reports a typed rejection.
+
+Only the uplink of the source and the downlink of the destination are
+affected by a candidate, so only those two links are re-tested -- all
+other links keep their verdicts (feasibility of a link depends only on
+the tasks assigned to it).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import (
+    AdmissionError,
+    ChannelParameterError,
+    InfeasibleChannelError,
+    PartitioningError,
+    UnknownChannelError,
+)
+from .channel import ChannelSpec, ChannelState, DeadlinePartition, RTChannel
+from .feasibility import FeasibilityReport, is_feasible
+from .partitioning import DeadlinePartitioningScheme, LoadView
+from .task import LinkRef, LinkTask
+
+__all__ = [
+    "SystemState",
+    "RejectionReason",
+    "AdmissionDecision",
+    "LinkSchedule",
+    "AdmissionController",
+]
+
+
+@dataclass(slots=True)
+class LinkSchedule:
+    """The task set currently reserved on one link direction.
+
+    A thin mutable container so that adding/removing a channel is O(1)
+    amortized and the feasibility test can be handed a stable tuple.
+    """
+
+    link: LinkRef
+    tasks: list[LinkTask] = field(default_factory=list)
+
+    @property
+    def load(self) -> int:
+        """The paper's LinkLoad ``LL``: number of channels on this link."""
+        return len(self.tasks)
+
+    @property
+    def reserved_utilization(self) -> Fraction:
+        """Exact total utilization reserved on this link direction."""
+        total = Fraction(0)
+        for task in self.tasks:
+            total += Fraction(task.capacity, task.period)
+        return total
+
+    def add(self, task: LinkTask) -> None:
+        self.tasks.append(task)
+
+    def remove_channel(self, channel_id: int) -> None:
+        """Drop the task belonging to ``channel_id`` (exactly one exists)."""
+        for index, task in enumerate(self.tasks):
+            if task.channel_id == channel_id:
+                del self.tasks[index]
+                return
+        raise UnknownChannelError(
+            f"channel {channel_id} has no task on link {self.link}"
+        )
+
+
+class _CandidateLoadView:
+    """LoadView overlay that counts a not-yet-admitted candidate channel.
+
+    ADPS and friends must see the system *as if* the candidate were
+    already present on its two links (Section 18.4.2's ratio is otherwise
+    undefined for the first channel in an empty system).
+    """
+
+    def __init__(
+        self,
+        base: "SystemState",
+        uplink: LinkRef,
+        downlink: LinkRef,
+        spec: ChannelSpec,
+    ) -> None:
+        self._base = base
+        self._uplink = uplink
+        self._downlink = downlink
+        self._spec = spec
+
+    def link_load(self, link: LinkRef) -> int:
+        bonus = 1 if link in (self._uplink, self._downlink) else 0
+        return self._base.link_load(link) + bonus
+
+    def link_utilization(self, link: LinkRef) -> Fraction:
+        util = self._base.link_utilization(link)
+        if link in (self._uplink, self._downlink):
+            util += Fraction(self._spec.capacity, self._spec.period)
+        return util
+
+
+class SystemState:
+    """The paper's ``SS = {N, K}`` plus derived per-link schedules.
+
+    Parameters
+    ----------
+    nodes:
+        Names of the end nodes connected to the switch. Channel requests
+        between unknown nodes are rejected. Nodes can be added later with
+        :meth:`add_node` (the paper allows dynamic systems).
+    """
+
+    def __init__(self, nodes: Iterable[str] = ()) -> None:
+        self._nodes: set[str] = set()
+        self._channels: dict[int, RTChannel] = {}
+        self._schedules: dict[LinkRef, LinkSchedule] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # -- node management ------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """The node set ``N``."""
+        return frozenset(self._nodes)
+
+    def add_node(self, name: str) -> None:
+        """Connect a node; idempotent."""
+        if not name:
+            raise ChannelParameterError("node name must be non-empty")
+        self._nodes.add(name)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- channel bookkeeping ---------------------------------------------
+
+    @property
+    def channels(self) -> Mapping[int, RTChannel]:
+        """The active channel set ``K``, keyed by channel ID (read-only)."""
+        return dict(self._channels)
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[RTChannel]:
+        return iter(list(self._channels.values()))
+
+    def channel(self, channel_id: int) -> RTChannel:
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise UnknownChannelError(
+                f"no active RT channel with ID {channel_id}"
+            ) from None
+
+    def install(self, channel: RTChannel) -> None:
+        """Add an admitted channel and its two supposed tasks.
+
+        The channel must already carry a network-unique ID and a valid
+        partition; :class:`AdmissionController` is the normal caller.
+        """
+        if channel.channel_id < 0:
+            raise AdmissionError("cannot install a channel without an ID")
+        if channel.channel_id in self._channels:
+            raise AdmissionError(
+                f"channel ID {channel.channel_id} is already active"
+            )
+        up, down = LinkTask.pair_for_channel(channel)
+        self._schedule_for(up.link).add(up)
+        self._schedule_for(down.link).add(down)
+        self._channels[channel.channel_id] = channel
+
+    def release(self, channel_id: int) -> RTChannel:
+        """Tear down a channel and return its reservation to the links."""
+        channel = self.channel(channel_id)
+        self._schedule_for(LinkRef.uplink(channel.source)).remove_channel(
+            channel_id
+        )
+        self._schedule_for(
+            LinkRef.downlink(channel.destination)
+        ).remove_channel(channel_id)
+        del self._channels[channel_id]
+        channel.state = ChannelState.TORN_DOWN
+        return channel
+
+    # -- per-link views (LoadView protocol) --------------------------------
+
+    def _schedule_for(self, link: LinkRef) -> LinkSchedule:
+        schedule = self._schedules.get(link)
+        if schedule is None:
+            schedule = LinkSchedule(link=link)
+            self._schedules[link] = schedule
+        return schedule
+
+    def tasks_on(self, link: LinkRef) -> tuple[LinkTask, ...]:
+        """Immutable snapshot of the tasks reserved on ``link``."""
+        schedule = self._schedules.get(link)
+        return tuple(schedule.tasks) if schedule is not None else ()
+
+    def link_load(self, link: LinkRef) -> int:
+        """LinkLoad ``LL``: number of channels traversing ``link``."""
+        schedule = self._schedules.get(link)
+        return schedule.load if schedule is not None else 0
+
+    def link_utilization(self, link: LinkRef) -> Fraction:
+        schedule = self._schedules.get(link)
+        return (
+            schedule.reserved_utilization
+            if schedule is not None
+            else Fraction(0)
+        )
+
+    def occupied_links(self) -> tuple[LinkRef, ...]:
+        """Links that currently carry at least one channel."""
+        return tuple(
+            link
+            for link, schedule in sorted(self._schedules.items())
+            if schedule.load > 0
+        )
+
+    def with_candidate(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> LoadView:
+        """A LoadView that pretends the candidate is already installed."""
+        return _CandidateLoadView(
+            self,
+            LinkRef.uplink(source),
+            LinkRef.downlink(destination),
+            spec,
+        )
+
+
+class RejectionReason(enum.Enum):
+    """Why admission control refused a channel request."""
+
+    #: Source or destination is not a connected node.
+    UNKNOWN_NODE = "unknown-node"
+    #: ``d < 2C``: no deadline partition can exist (Eq. 18.9).
+    NOT_PARTITIONABLE = "not-partitionable"
+    #: The uplink (source -> switch) failed the feasibility test.
+    UPLINK_INFEASIBLE = "uplink-infeasible"
+    #: The downlink (switch -> destination) failed the feasibility test.
+    DOWNLINK_INFEASIBLE = "downlink-infeasible"
+    #: The destination node declined the offered channel (signalling).
+    DESTINATION_DECLINED = "destination-declined"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Complete record of one admission-control decision.
+
+    Attributes
+    ----------
+    accepted:
+        The verdict.
+    channel:
+        The installed channel on acceptance (with ID, partition and
+        ``ACTIVE`` state); on rejection, the rejected candidate (terminal
+        ``REJECTED`` state, no ID).
+    reason:
+        ``None`` on acceptance, a :class:`RejectionReason` otherwise.
+    partition:
+        The partition that was tested (``None`` when rejection happened
+        before partitioning).
+    uplink_report, downlink_report:
+        Per-link feasibility evidence, when those tests ran.
+    """
+
+    accepted: bool
+    channel: RTChannel
+    reason: RejectionReason | None = None
+    partition: DeadlinePartition | None = None
+    uplink_report: FeasibilityReport | None = None
+    downlink_report: FeasibilityReport | None = None
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class AdmissionController:
+    """The switch's admit-or-reject logic over a :class:`SystemState`.
+
+    Parameters
+    ----------
+    state:
+        The system state to manage (shared with e.g. the simulator).
+    dps:
+        The deadline-partitioning scheme (SDPS, ADPS, ...). The scheme is
+        consulted once per request with loads that include the candidate.
+
+    Notes
+    -----
+    Channel IDs are assigned from a monotone counter starting at 1 (the
+    wire value 0 means "not yet valid" in the RequestFrame) and never
+    reused within one controller's lifetime, mirroring the 16-bit
+    network-unique *RT channel ID* of the signalling frames. The
+    controller raises :class:`AdmissionError` once the 16-bit space is
+    exhausted, making the paper's field-width limit explicit instead of
+    silently aliasing IDs.
+    """
+
+    MAX_CHANNEL_ID = 0xFFFF  # 16-bit field in Figures 18.3/18.4
+
+    def __init__(
+        self, state: SystemState, dps: DeadlinePartitioningScheme
+    ) -> None:
+        self._state = state
+        self._dps = dps
+        self._next_id = itertools.count(1)
+        self.accept_count = 0
+        self.reject_count = 0
+        #: rejection histogram keyed by :class:`RejectionReason`.
+        self.rejections_by_reason: dict[RejectionReason, int] = {}
+
+    @property
+    def state(self) -> SystemState:
+        return self._state
+
+    @property
+    def dps(self) -> DeadlinePartitioningScheme:
+        return self._dps
+
+    def _count_rejection(self, reason: RejectionReason) -> None:
+        self.reject_count += 1
+        self.rejections_by_reason[reason] = (
+            self.rejections_by_reason.get(reason, 0) + 1
+        )
+
+    # -- core decision -----------------------------------------------------
+
+    def _feasible_with(
+        self,
+        source: str,
+        destination: str,
+        spec: ChannelSpec,
+        partition: DeadlinePartition,
+    ) -> tuple[FeasibilityReport, FeasibilityReport]:
+        """Test both affected links with the candidate's tasks added."""
+        up_link = LinkRef.uplink(source)
+        down_link = LinkRef.downlink(destination)
+        up_task = LinkTask(
+            link=up_link,
+            period=spec.period,
+            capacity=spec.capacity,
+            deadline=partition.uplink,
+        )
+        down_task = LinkTask(
+            link=down_link,
+            period=spec.period,
+            capacity=spec.capacity,
+            deadline=partition.downlink,
+        )
+        up_report = is_feasible(list(self._state.tasks_on(up_link)) + [up_task])
+        down_report = is_feasible(
+            list(self._state.tasks_on(down_link)) + [down_task]
+        )
+        return up_report, down_report
+
+    def request(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> AdmissionDecision:
+        """Decide a channel request; install the channel on acceptance.
+
+        Implements Section 18.2.2's switch-side behaviour minus the
+        signalling (for the full handshake, including the destination's
+        veto, see :mod:`repro.core.channel_manager`).
+        """
+        candidate = RTChannel(source=source, destination=destination, spec=spec)
+
+        if not (
+            self._state.has_node(source) and self._state.has_node(destination)
+        ):
+            candidate.state = ChannelState.REJECTED
+            self._count_rejection(RejectionReason.UNKNOWN_NODE)
+            return AdmissionDecision(
+                accepted=False,
+                channel=candidate,
+                reason=RejectionReason.UNKNOWN_NODE,
+            )
+
+        if not spec.is_partitionable():
+            candidate.state = ChannelState.REJECTED
+            self._count_rejection(RejectionReason.NOT_PARTITIONABLE)
+            return AdmissionDecision(
+                accepted=False,
+                channel=candidate,
+                reason=RejectionReason.NOT_PARTITIONABLE,
+            )
+
+        loads = self._state.with_candidate(source, destination, spec)
+
+        def probe(partition: DeadlinePartition) -> bool:
+            up, down = self._feasible_with(source, destination, spec, partition)
+            return up.feasible and down.feasible
+
+        try:
+            partition = self._dps.partition_with_probe(
+                source, destination, spec, loads, probe
+            )
+            partition.validate_for(spec)
+        except PartitioningError:
+            candidate.state = ChannelState.REJECTED
+            self._count_rejection(RejectionReason.NOT_PARTITIONABLE)
+            return AdmissionDecision(
+                accepted=False,
+                channel=candidate,
+                reason=RejectionReason.NOT_PARTITIONABLE,
+            )
+
+        up_report, down_report = self._feasible_with(
+            source, destination, spec, partition
+        )
+        if not up_report.feasible or not down_report.feasible:
+            candidate.state = ChannelState.REJECTED
+            reason = (
+                RejectionReason.UPLINK_INFEASIBLE
+                if not up_report.feasible
+                else RejectionReason.DOWNLINK_INFEASIBLE
+            )
+            self._count_rejection(reason)
+            return AdmissionDecision(
+                accepted=False,
+                channel=candidate,
+                reason=reason,
+                partition=partition,
+                uplink_report=up_report,
+                downlink_report=down_report,
+            )
+
+        channel_id = next(self._next_id)
+        if channel_id > self.MAX_CHANNEL_ID:
+            raise AdmissionError(
+                "exhausted the 16-bit RT channel ID space "
+                f"(> {self.MAX_CHANNEL_ID} channels created)"
+            )
+        candidate.channel_id = channel_id
+        candidate.assign_partition(partition)
+        candidate.state = ChannelState.ACTIVE
+        self._state.install(candidate)
+        self.accept_count += 1
+        return AdmissionDecision(
+            accepted=True,
+            channel=candidate,
+            partition=partition,
+            uplink_report=up_report,
+            downlink_report=down_report,
+        )
+
+    def admit_or_raise(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> RTChannel:
+        """Like :meth:`request` but raises on rejection (convenience API)."""
+        decision = self.request(source, destination, spec)
+        if not decision.accepted:
+            raise InfeasibleChannelError(
+                f"channel {source}->{destination} {spec} rejected: "
+                f"{decision.reason.value if decision.reason else 'unknown'}",
+                decision=decision,
+            )
+        return decision.channel
+
+    def would_accept(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> bool:
+        """Non-mutating feasibility preview of a request.
+
+        Runs the identical decision procedure but rolls back the
+        installation, leaving state and counters untouched.
+        """
+        decision = self.request(source, destination, spec)
+        if decision.accepted:
+            self._state.release(decision.channel.channel_id)
+            self.accept_count -= 1
+        else:
+            self.reject_count -= 1
+            if decision.reason is not None:
+                self.rejections_by_reason[decision.reason] -= 1
+        return decision.accepted
+
+    def release(self, channel_id: int) -> RTChannel:
+        """Tear down an active channel, freeing its reservations."""
+        return self._state.release(channel_id)

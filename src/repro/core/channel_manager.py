@@ -1,0 +1,220 @@
+"""Switch-side RT channel management (Section 18.2.2, Figure 18.2).
+
+The *RT channel management software* in the switch mediates every
+channel establishment:
+
+1. receive a RequestFrame from a source node;
+2. run admission control (feasibility on uplink and downlink with the
+   DPS-chosen deadline partition);
+3. on failure, answer the source directly with a negative ResponseFrame
+   ("the RequestFrame is not forwarded to the destination node");
+4. on success, reserve the channel, stamp the network-unique RT channel
+   ID into the request and forward it to the destination;
+5. receive the destination's ResponseFrame; if the destination declines,
+   release the reservation; either way forward the verdict to the
+   source, attaching the :class:`~repro.core.rt_layer.ChannelGrant` on
+   acceptance so the source learns its ``d_iu``.
+
+This class is pure protocol logic: it consumes decoded frames and
+returns :class:`SignalAction` records naming which node should receive
+which frame. The network-layer :class:`~repro.network.switch.Switch`
+turns the actions into Ethernet frames on the right output ports, and
+unit tests drive the manager directly with no simulator at all.
+
+The reservation is taken *before* the destination answers (step 4), so
+two racing requests can never both pass feasibility into the same
+capacity; a declined offer releases it (step 5). This resolves a race
+the paper does not discuss but any implementation must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from ..protocol.frames import RequestFrame, ResponseFrame, TeardownFrame
+from .admission import AdmissionController, AdmissionDecision
+from .channel import ChannelSpec, ChannelState, RTChannel
+from .rt_layer import ChannelGrant
+
+__all__ = ["NodeDirectory", "SignalAction", "SwitchChannelManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeAddress:
+    """MAC/IP pair registered for one end node."""
+
+    name: str
+    mac: int
+    ip: int
+
+
+class NodeDirectory:
+    """Name <-> address resolution for the switch.
+
+    The signalling frames carry MAC and IP addresses (Figure 18.3); the
+    admission machinery works with node names. Registration happens when
+    the topology is built -- the paper's system state ``{N, K}`` lists
+    connected nodes explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, NodeAddress] = {}
+        self._by_mac: dict[int, NodeAddress] = {}
+
+    def register(self, name: str, mac: int, ip: int) -> None:
+        if name in self._by_name:
+            raise ProtocolError(f"node {name!r} is already registered")
+        if mac in self._by_mac:
+            raise ProtocolError(
+                f"MAC {mac:#014x} is already registered to "
+                f"{self._by_mac[mac].name!r}"
+            )
+        address = NodeAddress(name=name, mac=mac, ip=ip)
+        self._by_name[name] = address
+        self._by_mac[mac] = address
+
+    def by_name(self, name: str) -> NodeAddress:
+        address = self._by_name.get(name)
+        if address is None:
+            raise ProtocolError(f"unknown node name {name!r}")
+        return address
+
+    def by_mac(self, mac: int) -> NodeAddress:
+        address = self._by_mac.get(mac)
+        if address is None:
+            raise ProtocolError(f"unknown MAC address {mac:#014x}")
+        return address
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_name))
+
+
+@dataclass(frozen=True, slots=True)
+class SignalAction:
+    """One frame the switch should emit toward one node.
+
+    ``grant`` is attached on the final positive response to the source
+    (management metadata riding in the response's padding; see
+    :mod:`repro.core.rt_layer`).
+    """
+
+    target: str
+    frame: RequestFrame | ResponseFrame | TeardownFrame
+    grant: ChannelGrant | None = None
+
+
+class SwitchChannelManager:
+    """The establishment/teardown state machine around admission control.
+
+    Parameters
+    ----------
+    admission:
+        The switch's admission controller (owns the system state).
+    directory:
+        Address resolution for the connected nodes.
+    switch_mac:
+        The switch's own MAC, written into every ResponseFrame it
+        originates (Figure 18.4's source field).
+    """
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        directory: NodeDirectory,
+        switch_mac: int,
+    ) -> None:
+        self._admission = admission
+        self._directory = directory
+        self._switch_mac = switch_mac
+        #: channels reserved but awaiting the destination's verdict,
+        #: keyed by channel ID; values remember the requesting source.
+        self._awaiting_destination: dict[int, tuple[RTChannel, RequestFrame]] = {}
+        self.decisions: list[AdmissionDecision] = []
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    @property
+    def pending_offers(self) -> int:
+        """Channels reserved but not yet confirmed by their destination."""
+        return len(self._awaiting_destination)
+
+    # -- request path -----------------------------------------------------
+
+    def handle_request(self, request: RequestFrame) -> list[SignalAction]:
+        """Process a source node's RequestFrame (steps 2-4 above)."""
+        source = self._directory.by_mac(request.source_mac)
+        destination = self._directory.by_mac(request.destination_mac)
+        spec = ChannelSpec(
+            period=request.period,
+            capacity=request.capacity,
+            deadline=request.deadline,
+        )
+        decision = self._admission.request(source.name, destination.name, spec)
+        self.decisions.append(decision)
+        if not decision.accepted:
+            reject = ResponseFrame(
+                connect_request_id=request.connect_request_id,
+                rt_channel_id=0,
+                switch_mac=self._switch_mac,
+                ok=False,
+            )
+            return [SignalAction(target=source.name, frame=reject)]
+        channel = decision.channel
+        stamped = request.with_channel_id(channel.channel_id)
+        self._awaiting_destination[channel.channel_id] = (channel, stamped)
+        channel.state = ChannelState.OFFERED
+        return [SignalAction(target=destination.name, frame=stamped)]
+
+    # -- response path ------------------------------------------------------
+
+    def handle_response(self, response: ResponseFrame) -> list[SignalAction]:
+        """Process the destination's ResponseFrame (step 5 above)."""
+        pending = self._awaiting_destination.pop(response.rt_channel_id, None)
+        if pending is None:
+            raise ProtocolError(
+                f"response for channel {response.rt_channel_id}, which is "
+                "not awaiting a destination verdict"
+            )
+        channel, request = pending
+        source = self._directory.by_mac(request.source_mac)
+        forwarded = ResponseFrame(
+            connect_request_id=request.connect_request_id,
+            rt_channel_id=channel.channel_id,
+            switch_mac=self._switch_mac,
+            ok=response.ok,
+        )
+        if not response.ok:
+            self._admission.release(channel.channel_id)
+            channel.state = ChannelState.REJECTED
+            return [SignalAction(target=source.name, frame=forwarded)]
+        channel.state = ChannelState.ACTIVE
+        grant = ChannelGrant(
+            channel_id=channel.channel_id,
+            source=channel.source,
+            destination=channel.destination,
+            spec=channel.spec,
+            uplink_deadline_slots=channel.uplink_deadline,
+        )
+        return [SignalAction(target=source.name, frame=forwarded, grant=grant)]
+
+    # -- teardown path --------------------------------------------------------
+
+    def handle_teardown(self, teardown: TeardownFrame) -> list[SignalAction]:
+        """Release an active channel (extension; see frames module).
+
+        Fire-and-forget: the source already dropped its grant before
+        sending the teardown, so no confirmation flows back (a stray
+        confirmation would collide with the connect-request ID space --
+        the paper defines no release handshake at all).
+        """
+        self._admission.release(teardown.rt_channel_id)
+        return []
+
+    # -- forwarding-plane lookups -----------------------------------------------
+
+    def destination_of(self, channel_id: int) -> str:
+        """Where the forwarding plane should send frames of ``channel_id``."""
+        return self._admission.state.channel(channel_id).destination

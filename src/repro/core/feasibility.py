@@ -1,0 +1,389 @@
+"""EDF feasibility analysis for one link direction (Section 18.3.2).
+
+The switch's admission control reduces "can this set of RT channels be
+scheduled?" to a per-link question: treat each link direction as a
+uniprocessor, each channel part as a periodic task with WCET ``C_i``,
+period ``P_i`` and relative deadline ``d`` (``d_iu`` or ``d_id``), and
+apply classical EDF theory:
+
+**First constraint** (Eq. 18.2)
+    total utilization ``U = sum C_i / P_i`` must not exceed 1.
+
+**Second constraint** (Eq. 18.3)
+    the *workload function* (processor-demand function)
+
+    .. math:: h(n, t) = \\sum_{i : d_i \\le t} \\Big(1 + \\big\\lfloor \\tfrac{t - d_i}{P_i} \\big\\rfloor\\Big) C_i
+
+    must satisfy ``h(n, t) <= t`` for all ``t``.
+
+The paper applies two standard reductions from Stankovic et al. [6]:
+
+* it suffices to check ``t`` inside the **first busy period** of the
+  synchronous schedule (Eq. 18.4), and
+* within that range, only the **control points**
+  ``t = m * P_i + d_i`` (Eq. 18.5) need to be tested, because ``h`` is a
+  step function that only increases at those instants.
+
+Additionally, Liu & Layland [2] showed that when every task has
+``d_i == P_i`` the utilization test alone is exact, which lets the
+switch skip the demand test entirely in that common case.
+
+All functions here take a sequence of :class:`~repro.core.task.LinkTask`
+(they ignore the ``link`` field -- callers group tasks per link first)
+and use exact integer / :class:`fractions.Fraction` arithmetic so the
+test never suffers floating-point misclassification at ``U == 1``.
+
+A deliberately naive reference implementation
+(:func:`is_feasible_naive`) that scans *every* integer ``t`` is kept for
+differential testing and for the EXP-P1 performance experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .task import LinkTask
+
+__all__ = [
+    "utilization",
+    "hyperperiod",
+    "demand",
+    "demand_many",
+    "busy_period",
+    "control_points",
+    "FeasibilityReport",
+    "is_feasible",
+    "is_feasible_naive",
+    "max_additional_tasks",
+    "max_busy_period_iterations",
+]
+
+#: Safety cap on busy-period fixpoint iterations. The iteration is
+#: guaranteed to converge within ``hyperperiod`` steps when U <= 1; this
+#: cap only guards against misuse (it is far above any practical value).
+max_busy_period_iterations = 1_000_000
+
+
+def _check_tasks(tasks: Sequence[LinkTask]) -> None:
+    if not isinstance(tasks, Sequence):
+        raise ConfigurationError(
+            f"tasks must be a sequence of LinkTask, got {type(tasks).__name__}"
+        )
+
+
+def utilization(tasks: Sequence[LinkTask]) -> Fraction:
+    """Exact utilization ``U = sum C_i / P_i`` of a task set (Eq. 18.2).
+
+    Returned as a :class:`fractions.Fraction` so the boundary case
+    ``U == 1`` is decided exactly.
+    """
+    _check_tasks(tasks)
+    total = Fraction(0)
+    for task in tasks:
+        total += Fraction(task.capacity, task.period)
+    return total
+
+
+def hyperperiod(tasks: Sequence[LinkTask]) -> int:
+    """Least common multiple of all task periods.
+
+    The schedule of a synchronous periodic task set repeats with this
+    period; it upper-bounds every analysis horizon used here. The empty
+    task set has hyperperiod 1 (any positive value would do; 1 keeps the
+    invariant ``hyperperiod >= 1``).
+    """
+    _check_tasks(tasks)
+    result = 1
+    for task in tasks:
+        result = math.lcm(result, task.period)
+    return result
+
+
+def demand(tasks: Sequence[LinkTask], t: int) -> int:
+    """The workload function ``h(n, t)`` of Eq. 18.3 at a single instant.
+
+    ``h(n, t)`` sums, over every task whose relative deadline is at most
+    ``t``, the capacities of all its jobs with absolute deadline within
+    ``[0, t]`` when all tasks are released synchronously at time 0.
+    """
+    _check_tasks(tasks)
+    if t < 0:
+        raise ConfigurationError(f"demand instant must be non-negative, got {t}")
+    total = 0
+    for task in tasks:
+        if task.deadline <= t:
+            total += (1 + (t - task.deadline) // task.period) * task.capacity
+    return total
+
+
+def demand_many(tasks: Sequence[LinkTask], instants: np.ndarray) -> np.ndarray:
+    """Vectorized ``h(n, t)`` over an array of instants.
+
+    Equivalent to ``[demand(tasks, t) for t in instants]`` but computed
+    with NumPy broadcasting; used on the hot admission-control path where
+    one feasibility test may probe thousands of control points.
+    """
+    _check_tasks(tasks)
+    instants = np.asarray(instants, dtype=np.int64)
+    if instants.size == 0 or not tasks:
+        return np.zeros(instants.shape, dtype=np.int64)
+    if np.any(instants < 0):
+        raise ConfigurationError("demand instants must be non-negative")
+    periods = np.array([task.period for task in tasks], dtype=np.int64)
+    capacities = np.array([task.capacity for task in tasks], dtype=np.int64)
+    deadlines = np.array([task.deadline for task in tasks], dtype=np.int64)
+    # shape: (n_instants, n_tasks)
+    delta = instants[:, None] - deadlines[None, :]
+    eligible = delta >= 0
+    jobs = np.where(eligible, 1 + np.floor_divide(delta, periods[None, :]), 0)
+    return (jobs * capacities[None, :]).sum(axis=1)
+
+
+def busy_period(tasks: Sequence[LinkTask]) -> int:
+    """Length of the first busy period of the synchronous schedule (Eq. 18.4).
+
+    Computed by the standard fixpoint iteration::
+
+        L_0     = sum C_i
+        L_{k+1} = sum ceil(L_k / P_i) * C_i
+
+    which converges to the smallest ``L > 0`` with ``W(L) == L`` whenever
+    the utilization does not exceed 1. For an empty task set the busy
+    period is 0 (the link is always idle -- no demand to check).
+
+    Raises
+    ------
+    ConfigurationError
+        if the task set over-utilizes the link (``U > 1``); the fixpoint
+        does not exist in that case. Admission control always performs
+        the utilization test first, so this indicates caller error.
+    """
+    _check_tasks(tasks)
+    if not tasks:
+        return 0
+    if utilization(tasks) > 1:
+        raise ConfigurationError(
+            "busy_period is undefined for an over-utilized link (U > 1); "
+            "run the utilization test first"
+        )
+    length = sum(task.capacity for task in tasks)
+    for _ in range(max_busy_period_iterations):
+        nxt = sum(
+            -(-length // task.period) * task.capacity  # ceil division
+            for task in tasks
+        )
+        if nxt == length:
+            return length
+        length = nxt
+    raise ConfigurationError(
+        "busy-period iteration failed to converge within "
+        f"{max_busy_period_iterations} steps; task set: {len(tasks)} tasks"
+    )  # pragma: no cover - unreachable for U <= 1
+
+
+def control_points(tasks: Sequence[LinkTask], horizon: int) -> np.ndarray:
+    """Sorted, de-duplicated control points ``m*P_i + d_i <= horizon`` (Eq. 18.5).
+
+    ``h(n, t)`` is a right-continuous step function that jumps exactly at
+    absolute job deadlines, i.e. at ``t = m * P_i + d_i`` for integer
+    ``m >= 0``. Between jumps ``h`` is constant while ``t`` grows, so the
+    constraint ``h(n, t) <= t`` can only be violated *at* a jump.
+    """
+    _check_tasks(tasks)
+    if horizon < 0:
+        raise ConfigurationError(f"horizon must be non-negative, got {horizon}")
+    pieces: list[np.ndarray] = []
+    for task in tasks:
+        if task.deadline > horizon:
+            continue
+        count = (horizon - task.deadline) // task.period + 1
+        pieces.append(
+            task.deadline + task.period * np.arange(count, dtype=np.int64)
+        )
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(pieces))
+
+
+@dataclass(frozen=True, slots=True)
+class FeasibilityReport:
+    """Outcome of one per-link feasibility test, with full provenance.
+
+    Attributes
+    ----------
+    feasible:
+        The verdict.
+    link_utilization:
+        Exact utilization of the task set.
+    horizon:
+        The analysis horizon actually used (``min(busy period,
+        hyperperiod)``); 0 when the verdict came from the utilization
+        test alone.
+    points_checked:
+        Number of control points at which ``h`` was evaluated.
+    used_liu_layland:
+        True when every task had deadline equal to its period, so the
+        utilization test alone was exact (Liu & Layland [2]) and the
+        demand test was skipped.
+    violation:
+        ``(t, h(n, t))`` for the first control point where the demand
+        exceeded ``t``; ``None`` when feasible.
+    """
+
+    feasible: bool
+    link_utilization: Fraction
+    horizon: int
+    points_checked: int
+    used_liu_layland: bool
+    violation: tuple[int, int] | None
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def is_feasible(tasks: Sequence[LinkTask]) -> FeasibilityReport:
+    """Full per-link EDF feasibility test (Section 18.3.2).
+
+    Runs the utilization test first; when it passes and some task has
+    ``d != P``, runs the processor-demand test at the control points of
+    Eq. 18.5 within the first busy period (Eq. 18.4), additionally capped
+    by the hyperperiod.
+
+    The empty task set is trivially feasible.
+    """
+    _check_tasks(tasks)
+    util = utilization(tasks)
+    if util > 1:
+        return FeasibilityReport(
+            feasible=False,
+            link_utilization=util,
+            horizon=0,
+            points_checked=0,
+            used_liu_layland=False,
+            violation=None,
+        )
+    if all(task.deadline == task.period for task in tasks):
+        # Liu & Layland: utilization test is exact for implicit deadlines.
+        return FeasibilityReport(
+            feasible=True,
+            link_utilization=util,
+            horizon=0,
+            points_checked=0,
+            used_liu_layland=True,
+            violation=None,
+        )
+    horizon = min(busy_period(tasks), hyperperiod(tasks))
+    points = control_points(tasks, horizon)
+    demands = demand_many(tasks, points)
+    bad = np.nonzero(demands > points)[0]
+    if bad.size:
+        first = int(bad[0])
+        return FeasibilityReport(
+            feasible=False,
+            link_utilization=util,
+            horizon=horizon,
+            points_checked=int(points.size),
+            used_liu_layland=False,
+            violation=(int(points[first]), int(demands[first])),
+        )
+    return FeasibilityReport(
+        feasible=True,
+        link_utilization=util,
+        horizon=horizon,
+        points_checked=int(points.size),
+        used_liu_layland=False,
+        violation=None,
+    )
+
+
+def is_feasible_naive(tasks: Sequence[LinkTask]) -> FeasibilityReport:
+    """Reference implementation scanning *every* integer instant.
+
+    Checks ``h(n, t) <= t`` for every ``t`` in ``1..min(busy period,
+    hyperperiod)`` with no control-point reduction. Exponentially slower
+    than :func:`is_feasible` on long horizons but trivially correct; used
+    for differential testing and the EXP-P1 benchmark.
+    """
+    _check_tasks(tasks)
+    util = utilization(tasks)
+    if util > 1:
+        return FeasibilityReport(
+            feasible=False,
+            link_utilization=util,
+            horizon=0,
+            points_checked=0,
+            used_liu_layland=False,
+            violation=None,
+        )
+    horizon = min(busy_period(tasks), hyperperiod(tasks))
+    checked = 0
+    for t in range(1, horizon + 1):
+        checked += 1
+        h = demand(tasks, t)
+        if h > t:
+            return FeasibilityReport(
+                feasible=False,
+                link_utilization=util,
+                horizon=horizon,
+                points_checked=checked,
+                used_liu_layland=False,
+                violation=(t, h),
+            )
+    return FeasibilityReport(
+        feasible=True,
+        link_utilization=util,
+        horizon=horizon,
+        points_checked=checked,
+        used_liu_layland=False,
+        violation=None,
+    )
+
+
+def max_additional_tasks(
+    existing: Sequence[LinkTask],
+    candidate: LinkTask,
+    upper_bound: int = 4096,
+) -> int:
+    """Capacity planning: how many copies of ``candidate`` still fit?
+
+    Returns the largest ``q`` such that ``existing`` plus ``q`` copies of
+    ``candidate`` remains feasible on the link. Feasibility is monotone
+    in ``q`` (adding identical work never helps), so a binary search on
+    the exact test gives the answer in ``O(log upper_bound)`` tests.
+
+    Useful for provisioning questions like the paper's Figure 18.5
+    saturation points: with ``d_iu = 20``, ``C = 3``, ``P = 100`` an
+    empty uplink fits exactly 6 channels.
+    """
+    _check_tasks(existing)
+    if upper_bound < 0:
+        raise ConfigurationError(
+            f"upper_bound must be >= 0, got {upper_bound}"
+        )
+
+    def fits(q: int) -> bool:
+        return is_feasible(list(existing) + [candidate] * q).feasible
+
+    if not fits(0):
+        raise ConfigurationError(
+            "the existing task set is already infeasible; capacity "
+            "planning over it is meaningless"
+        )
+    lo, hi = 0, 1
+    while hi <= upper_bound and fits(hi):
+        lo, hi = hi, hi * 2
+    hi = min(hi, upper_bound + 1)
+    # invariant: fits(lo), not fits(hi) (or hi > upper_bound)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,189 @@
+"""Offline slot-level EDF schedule construction for one link.
+
+The feasibility test (:mod:`repro.core.feasibility`) answers *whether*
+a task set is schedulable; this module constructs the actual synchronous
+EDF schedule, slot by slot, over the first hyperperiod, yielding:
+
+* the exact **worst-case response time** of every task (the quantity
+  ``d_iu``/``d_id`` budget against),
+* the per-slot **schedule table** (which channel transmits when),
+* detected **deadline overruns**, if the set is infeasible.
+
+This gives a third, independent implementation of EDF semantics to
+check the other two against:
+
+1. the *analytical* demand criterion (``is_feasible``),
+2. the *event-driven* simulator (ports/links),
+3. this *tabular* scheduler.
+
+A task set is feasible iff the tabular scheduler completes every job by
+its deadline iff the demand criterion passes -- the differential tests
+in ``tests/core/test_schedule.py`` and the property suite assert exactly
+that equivalence.
+
+The scheduler is integer-exact and deliberately simple: synchronous
+release at t=0, one slot of work per time unit, ties broken by task
+index (matching the FIFO tie-break of the runtime EDF queue for equal
+deadlines and stable input order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .feasibility import hyperperiod, utilization
+from .task import LinkTask
+
+__all__ = ["TaskResponse", "LinkSchedule", "build_schedule"]
+
+#: Safety cap on schedule length (slots); hyperperiods beyond this are
+#: refused rather than silently truncated.
+MAX_SCHEDULE_SLOTS = 2_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class TaskResponse:
+    """Exact response-time record for one task over the hyperperiod."""
+
+    task_index: int
+    channel_id: int
+    deadline: int
+    #: worst completion time relative to release, over all jobs.
+    worst_response: int
+    #: number of jobs released within the analyzed horizon.
+    jobs: int
+    #: jobs that completed after their absolute deadline.
+    overruns: int
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.overruns == 0
+
+    @property
+    def slack(self) -> int:
+        """Deadline minus worst response (negative when overrunning)."""
+        return self.deadline - self.worst_response
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSchedule:
+    """The constructed schedule plus per-task response statistics."""
+
+    horizon: int
+    #: slot -> task index transmitting in that slot (-1 = idle).
+    table: tuple[int, ...]
+    responses: tuple[TaskResponse, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """True when every job met its deadline."""
+        return all(response.meets_deadline for response in self.responses)
+
+    @property
+    def idle_slots(self) -> int:
+        return sum(1 for entry in self.table if entry < 0)
+
+    def worst_response_of(self, task_index: int) -> int:
+        return self.responses[task_index].worst_response
+
+    def render(self, width: int = 60) -> str:
+        """ASCII strip of the schedule (task index mod 10 as glyph)."""
+        glyphs = "".join(
+            "." if entry < 0 else str(entry % 10) for entry in self.table
+        )
+        lines = []
+        for start in range(0, len(glyphs), width):
+            lines.append(f"[{start:5d}] |{glyphs[start:start + width]}|")
+        return "\n".join(lines)
+
+
+def build_schedule(
+    tasks: Sequence[LinkTask], horizon: int | None = None
+) -> LinkSchedule:
+    """Construct the synchronous EDF schedule of ``tasks`` on one link.
+
+    Parameters
+    ----------
+    tasks:
+        The per-link task set (order defines tie-breaking and indexing).
+    horizon:
+        Slots to schedule; default is one hyperperiod. Jobs released
+        before the horizon are followed to completion even slightly past
+        it, so response times at the boundary are exact.
+
+    Raises
+    ------
+    ConfigurationError
+        for an over-utilized set (the backlog would grow without bound)
+        or an unreasonably long horizon (> ``MAX_SCHEDULE_SLOTS``).
+    """
+    if not tasks:
+        return LinkSchedule(horizon=0, table=(), responses=())
+    if utilization(tasks) > 1:
+        raise ConfigurationError(
+            "cannot build a schedule for an over-utilized link (U > 1)"
+        )
+    if horizon is None:
+        horizon = hyperperiod(tasks)
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    if horizon > MAX_SCHEDULE_SLOTS:
+        raise ConfigurationError(
+            f"horizon {horizon} slots exceeds the safety cap "
+            f"{MAX_SCHEDULE_SLOTS}; pass an explicit smaller horizon"
+        )
+
+    # ready: heap of (absolute_deadline, task_index, release, remaining)
+    ready: list[list[int]] = []
+    table: list[int] = []
+    worst = [0] * len(tasks)
+    jobs = [0] * len(tasks)
+    overruns = [0] * len(tasks)
+
+    time = 0
+    # schedule until the horizon AND the backlog is drained
+    while time < horizon or ready:
+        for index, task in enumerate(tasks):
+            if time < horizon and time % task.period == 0:
+                heapq.heappush(
+                    ready,
+                    [time + task.deadline, index, time, task.capacity],
+                )
+                jobs[index] += 1
+        if ready:
+            job = ready[0]
+            job[3] -= 1
+            if time < horizon:
+                table.append(job[1])
+            if job[3] == 0:
+                heapq.heappop(ready)
+                deadline_abs, index, release, _ = job
+                response = time + 1 - release
+                if response > worst[index]:
+                    worst[index] = response
+                if time + 1 > deadline_abs:
+                    overruns[index] += 1
+        else:
+            if time < horizon:
+                table.append(-1)
+        time += 1
+        if time > horizon + MAX_SCHEDULE_SLOTS:  # pragma: no cover
+            raise ConfigurationError("schedule drain failed to terminate")
+
+    responses = tuple(
+        TaskResponse(
+            task_index=index,
+            channel_id=task.channel_id,
+            deadline=task.deadline,
+            worst_response=worst[index],
+            jobs=jobs[index],
+            overruns=overruns[index],
+        )
+        for index, task in enumerate(tasks)
+    )
+    return LinkSchedule(
+        horizon=horizon, table=tuple(table), responses=responses
+    )

@@ -1,0 +1,174 @@
+"""Per-link "supposed tasks" derived from RT channels.
+
+Section 18.4 of the paper reduces the end-to-end feasibility question to
+independent per-link questions by deriving, from every channel ``i``, a
+pair of periodic tasks (Eq. 18.6/18.7)::
+
+    T_iu = {Source_i,      P_i, C_i, d_iu}   (runs on the uplink)
+    T_id = {Destination_i, P_i, C_i, d_id}   (runs on the downlink)
+
+Each full-duplex link is then treated, from a scheduling point of view,
+as *two* independent processors: one executing the uplink parts of all
+channels entering the switch through it, and one executing the downlink
+parts of all channels leaving the switch through it. The capacity
+``C_i`` plays the role of the task's worst-case execution time.
+
+:class:`LinkRef` names one such "processor" -- the ordered pair of an end
+node and a direction relative to the switch -- and :class:`LinkTask` is
+one supposed task assigned to it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ChannelParameterError
+from .channel import ChannelSpec, RTChannel
+
+__all__ = ["LinkDirection", "LinkRef", "LinkTask"]
+
+
+class LinkDirection(enum.Enum):
+    """Direction of one half of a full-duplex link, relative to the switch.
+
+    ``UPLINK`` carries frames from an end node toward the switch and is
+    scheduled by the end node's RT layer; ``DOWNLINK`` carries frames from
+    the switch toward an end node and is scheduled by the switch.
+    """
+
+    UPLINK = "uplink"
+    DOWNLINK = "downlink"
+
+    @property
+    def opposite(self) -> "LinkDirection":
+        return (
+            LinkDirection.DOWNLINK
+            if self is LinkDirection.UPLINK
+            else LinkDirection.UPLINK
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRef:
+    """One direction of one physical link: the unit of feasibility analysis.
+
+    In the star topology every physical link connects exactly one end
+    node to the switch, so naming the end node plus a direction uniquely
+    identifies one of the two independent "processors" of that link.
+
+    Attributes
+    ----------
+    node:
+        Name of the end node at the non-switch end of the physical link.
+    direction:
+        Which half of the duplex pair this reference denotes.
+    """
+
+    node: str
+    direction: LinkDirection
+
+    @classmethod
+    def uplink(cls, node: str) -> "LinkRef":
+        """The node→switch direction of ``node``'s link."""
+        return cls(node=node, direction=LinkDirection.UPLINK)
+
+    @classmethod
+    def downlink(cls, node: str) -> "LinkRef":
+        """The switch→node direction of ``node``'s link."""
+        return cls(node=node, direction=LinkDirection.DOWNLINK)
+
+    def __lt__(self, other: "LinkRef") -> bool:
+        """Sort by (node, direction name) for stable report ordering."""
+        if not isinstance(other, LinkRef):
+            return NotImplemented
+        return (self.node, self.direction.value) < (
+            other.node,
+            other.direction.value,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = "->sw" if self.direction is LinkDirection.UPLINK else "sw->"
+        return f"{arrow}{self.node}" if arrow == "sw->" else f"{self.node}{arrow}"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkTask:
+    """A periodic task ``{node, P, C, d}`` running on one link direction.
+
+    This is the paper's Eq. 18.6/18.7 object. ``deadline`` here is the
+    *per-link* deadline (``d_iu`` or ``d_id``), not the channel's
+    end-to-end deadline.
+
+    Attributes
+    ----------
+    link:
+        The link direction ("processor") the task runs on.
+    period:
+        ``P_i`` of the originating channel, in timeslots.
+    capacity:
+        ``C_i`` of the originating channel -- the task WCET, in timeslots.
+    deadline:
+        The per-link relative deadline, in timeslots. Must be at least
+        ``capacity`` (Eq. 18.9), otherwise the task could never finish in
+        time even alone on the link.
+    channel_id:
+        ID of the originating channel, for traceability (``-1`` when the
+        task was built from a bare spec, e.g. in unit tests).
+    """
+
+    link: LinkRef
+    period: int
+    capacity: int
+    deadline: int
+    channel_id: int = -1
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("period", self.period),
+            ("capacity", self.capacity),
+            ("deadline", self.deadline),
+        ):
+            if not isinstance(value, int) or value <= 0:
+                raise ChannelParameterError(
+                    f"LinkTask {name} must be a positive integer, got {value!r}"
+                )
+        if self.capacity > self.period:
+            raise ChannelParameterError(
+                f"LinkTask capacity {self.capacity} exceeds period {self.period}"
+            )
+        if self.deadline < self.capacity:
+            raise ChannelParameterError(
+                f"LinkTask deadline {self.deadline} is below its capacity "
+                f"{self.capacity} (violates Eq. 18.9)"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """``C / P`` -- the task's long-run demand on its link direction."""
+        return self.capacity / self.period
+
+    @classmethod
+    def pair_for_channel(cls, channel: RTChannel) -> tuple["LinkTask", "LinkTask"]:
+        """Derive ``(T_iu, T_id)`` from a channel with an assigned partition.
+
+        Implements Eq. 18.6/18.7: the uplink task runs on the source
+        node's uplink, the downlink task on the destination node's
+        downlink, both inheriting the channel's period and capacity.
+        """
+        spec: ChannelSpec = channel.spec
+        up = cls(
+            link=LinkRef.uplink(channel.source),
+            period=spec.period,
+            capacity=spec.capacity,
+            deadline=channel.uplink_deadline,
+            channel_id=channel.channel_id,
+        )
+        down = cls(
+            link=LinkRef.downlink(channel.destination),
+            period=spec.period,
+            capacity=spec.capacity,
+            deadline=channel.downlink_deadline,
+            channel_id=channel.channel_id,
+        )
+        return up, down

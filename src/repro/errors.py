@@ -1,0 +1,160 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+
+The hierarchy mirrors the architecture of the reproduced system
+(Hoang & Jonsson, 2004):
+
+* configuration / parameter validation  -> :class:`ConfigurationError`
+* RT-channel parameter problems         -> :class:`ChannelParameterError`
+* deadline partitioning problems        -> :class:`PartitioningError`
+* admission-control rejections          -> :class:`AdmissionError` (and the
+  more specific :class:`InfeasibleChannelError`)
+* signalling-protocol violations        -> :class:`ProtocolError`
+* frame encoding/decoding problems      -> :class:`CodecError`
+* simulator misuse                      -> :class:`SimulationError`
+* topology construction problems        -> :class:`TopologyError`
+
+Note that an admission *rejection* in normal operation is reported as a
+result value (:class:`repro.core.admission.AdmissionDecision`), not an
+exception; :class:`InfeasibleChannelError` is only raised by APIs whose
+contract is "admit or raise".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ChannelParameterError",
+    "PartitioningError",
+    "AdmissionError",
+    "InfeasibleChannelError",
+    "UnknownChannelError",
+    "ProtocolError",
+    "CodecError",
+    "FieldRangeError",
+    "SimulationError",
+    "SchedulingError",
+    "TopologyError",
+    "RoutingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object or parameter set is invalid.
+
+    Raised during construction of configuration dataclasses (for example a
+    non-positive link speed or an empty node set), before any simulation or
+    analysis runs.
+    """
+
+
+class ChannelParameterError(ConfigurationError):
+    """An RT-channel parameter triple ``{P, C, d}`` is invalid.
+
+    Per the paper (Section 18.2.2) every parameter is a positive number of
+    maximum-sized frames; additionally ``C <= P`` is required for a
+    periodic channel to be schedulable at all, and ``d >= 2*C`` is required
+    for feasibility through a store-and-forward switch (Eq. 18.9).
+    The ``d >= 2*C`` condition is *not* checked at construction time --
+    such a channel is representable but will be rejected by admission
+    control -- only structural validity is enforced here.
+    """
+
+
+class PartitioningError(ReproError, ValueError):
+    """A deadline-partitioning scheme produced or received invalid input.
+
+    Examples: a partition that violates ``d_iu + d_id == d_i`` (Eq. 18.8),
+    or a request to partition a channel with ``d_i < 2*C_i`` for which no
+    valid partition exists (Eq. 18.9).
+    """
+
+
+class AdmissionError(ReproError):
+    """Base class for admission-control errors."""
+
+
+class InfeasibleChannelError(AdmissionError):
+    """Raised by admit-or-raise APIs when a channel request is infeasible.
+
+    Attributes
+    ----------
+    decision:
+        The full :class:`~repro.core.admission.AdmissionDecision` explaining
+        which link and which constraint failed, when available.
+    """
+
+    def __init__(self, message: str, decision: object | None = None) -> None:
+        super().__init__(message)
+        self.decision = decision
+
+
+class UnknownChannelError(AdmissionError, KeyError):
+    """An operation referenced an RT-channel ID that is not active."""
+
+
+class ProtocolError(ReproError):
+    """The RT-channel signalling protocol was violated.
+
+    Examples: a ResponseFrame for an unknown connection-request ID, a
+    RequestFrame arriving at an end node, or a duplicate establishment
+    for an already-active channel ID.
+    """
+
+
+class CodecError(ReproError, ValueError):
+    """A frame could not be encoded or decoded.
+
+    Raised by the bit-level codecs in :mod:`repro.protocol` when input
+    bytes are truncated, a type tag is unknown, or a field is out of its
+    declared range (see :class:`FieldRangeError`).
+    """
+
+
+class FieldRangeError(CodecError):
+    """A frame field value does not fit the bit width declared in the paper.
+
+    The Request/Response frame layouts (Figures 18.3 and 18.4) declare
+    exact field widths -- e.g. the RT channel ID is 16 bits, the
+    connection-request ID 8 bits. Values outside those ranges cannot be
+    represented on the wire and are rejected eagerly.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator was misused.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already finalized, or an event handler raising during dispatch.
+    """
+
+
+class SchedulingError(SimulationError):
+    """A frame-level scheduling invariant was violated at runtime.
+
+    The simulator asserts the paper's guarantee (Eq. 18.1): an admitted
+    RT frame must never complete transmission on a link after its
+    per-link EDF deadline. A violation indicates a bug in either the
+    feasibility analysis or the scheduler and is therefore an error, not
+    a statistic.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A network topology is structurally invalid.
+
+    Examples: duplicate node names, a star topology with zero end nodes,
+    or a tree topology containing a cycle.
+    """
+
+
+class RoutingError(TopologyError):
+    """No route exists between two nodes, or a route lookup was ambiguous."""

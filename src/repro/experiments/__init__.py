@@ -1,0 +1,66 @@
+"""Experiment harness: one module per reproduced artifact.
+
+* :mod:`~repro.experiments.base` -- shared machinery: acceptance-curve
+  runner, trial seeding, result containers.
+* :mod:`~repro.experiments.fig18_5` -- **EXP-F5**, the paper's
+  Figure 18.5 (accepted vs requested channels, SDPS vs ADPS,
+  10 masters / 50 slaves, C=3 P=100 d=40).
+* :mod:`~repro.experiments.ablations` -- EXP-A1..A4 parameter sweeps.
+* :mod:`~repro.experiments.validation` -- EXP-V1, simulation check of
+  the Eq. 18.1 delay guarantee.
+* :mod:`~repro.experiments.coexistence` -- EXP-B1, RT + best-effort.
+* :mod:`~repro.experiments.perf` -- EXP-P1, feasibility-test cost.
+* :mod:`~repro.experiments.multiswitch_exp` -- EXP-X1, switch trees.
+* :mod:`~repro.experiments.dps_comparison` -- EXP-D1, all DPS schemes.
+"""
+
+from .base import (
+    AcceptanceCurve,
+    SchemeCurve,
+    acceptance_curve,
+    run_requests,
+)
+from .fig18_5 import Fig185Config, Fig185Result, run_fig18_5
+from .ablations import (
+    SweepPoint,
+    capacity_sweep,
+    deadline_sweep,
+    master_ratio_sweep,
+    symmetric_traffic_curve,
+)
+from .validation import ValidationReport, run_validation
+from .coexistence import CoexistenceReport, run_coexistence
+from .perf import PerfPoint, feasibility_cost_sweep, make_link_tasks
+from .multiswitch_exp import (
+    MultiSwitchPoint,
+    build_master_slave_fabric,
+    run_multiswitch_comparison,
+)
+from .dps_comparison import DEFAULT_SCHEMES, run_dps_comparison
+
+__all__ = [
+    "AcceptanceCurve",
+    "SchemeCurve",
+    "acceptance_curve",
+    "run_requests",
+    "Fig185Config",
+    "Fig185Result",
+    "run_fig18_5",
+    "SweepPoint",
+    "deadline_sweep",
+    "capacity_sweep",
+    "master_ratio_sweep",
+    "symmetric_traffic_curve",
+    "ValidationReport",
+    "run_validation",
+    "CoexistenceReport",
+    "run_coexistence",
+    "PerfPoint",
+    "feasibility_cost_sweep",
+    "make_link_tasks",
+    "MultiSwitchPoint",
+    "build_master_slave_fabric",
+    "run_multiswitch_comparison",
+    "DEFAULT_SCHEMES",
+    "run_dps_comparison",
+]

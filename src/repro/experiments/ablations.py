@@ -1,0 +1,228 @@
+"""EXP-A1..A4: parameter ablations around the Figure 18.5 workload.
+
+The paper evaluates one point in parameter space; these sweeps map the
+neighbourhood so the mechanism behind the ADPS advantage is visible:
+
+* **EXP-A1 deadline sweep** -- the advantage should grow as deadlines
+  tighten relative to periods (more demand-constrained) and vanish as
+  ``d -> P`` (the Liu & Layland regime where only utilization matters,
+  which no DPS can improve).
+* **EXP-A2 symmetric traffic** -- uniform all-to-all load gives both
+  links the same LinkLoad, so ADPS degenerates to SDPS; acceptance
+  should be statistically indistinguishable.
+* **EXP-A3 capacity sweep** -- larger ``C`` at fixed ``d`` leaves less
+  partitionable slack (Eq. 18.9 floor), compressing the advantage.
+* **EXP-A4 master-ratio sweep** -- the advantage should shrink as the
+  master:slave ratio approaches 1 (bottleneck disappears).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.channel import ChannelSpec
+from ..core.partitioning import AsymmetricDPS, SymmetricDPS
+from ..errors import ConfigurationError
+from ..traffic.patterns import (
+    master_slave_names,
+    master_slave_requests,
+    uniform_requests,
+)
+from ..traffic.spec import FixedSpecSampler
+from .base import AcceptanceCurve, acceptance_curve
+
+__all__ = [
+    "SweepPoint",
+    "SpeedScalingPoint",
+    "deadline_sweep",
+    "capacity_sweep",
+    "master_ratio_sweep",
+    "symmetric_traffic_curve",
+    "speed_scaling",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """Final acceptance means of both schemes at one swept value."""
+
+    value: int
+    sdps_mean: float
+    adps_mean: float
+
+    @property
+    def advantage(self) -> float:
+        """ADPS/SDPS ratio (inf when SDPS accepted nothing)."""
+        if self.sdps_mean == 0:
+            return float("inf")
+        return self.adps_mean / self.sdps_mean
+
+
+def _final_acceptance(
+    n_masters: int,
+    n_slaves: int,
+    spec: ChannelSpec,
+    requests: int,
+    trials: int,
+    seed: int,
+) -> tuple[float, float]:
+    """(sdps, adps) mean accepted at ``requests`` offered channels."""
+    masters, slaves = master_slave_names(n_masters, n_slaves)
+    sampler = FixedSpecSampler(spec)
+    curve = acceptance_curve(
+        node_names=masters + slaves,
+        request_factory=lambda count, rng: master_slave_requests(
+            masters, slaves, count, sampler, rng
+        ),
+        schemes={"sdps": SymmetricDPS, "adps": AsymmetricDPS},
+        requested_counts=[requests],
+        trials=trials,
+        seed=seed,
+    )
+    return curve.curve("sdps").means[-1], curve.curve("adps").means[-1]
+
+
+def deadline_sweep(
+    deadlines: tuple[int, ...] = (20, 30, 40, 50, 60, 80, 100),
+    requests: int = 200,
+    trials: int = 10,
+    seed: int = 181,
+) -> list[SweepPoint]:
+    """EXP-A1: vary the end-to-end deadline, other F5 parameters fixed."""
+    if not deadlines:
+        raise ConfigurationError("deadline sweep needs at least one value")
+    points = []
+    for deadline in deadlines:
+        spec = ChannelSpec(period=100, capacity=3, deadline=deadline)
+        sdps, adps = _final_acceptance(10, 50, spec, requests, trials, seed)
+        points.append(SweepPoint(value=deadline, sdps_mean=sdps, adps_mean=adps))
+    return points
+
+
+def capacity_sweep(
+    capacities: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8),
+    requests: int = 200,
+    trials: int = 10,
+    seed: int = 182,
+) -> list[SweepPoint]:
+    """EXP-A3: vary the per-period capacity, deadline fixed at 40."""
+    if not capacities:
+        raise ConfigurationError("capacity sweep needs at least one value")
+    points = []
+    for capacity in capacities:
+        spec = ChannelSpec(period=100, capacity=capacity, deadline=40)
+        sdps, adps = _final_acceptance(10, 50, spec, requests, trials, seed)
+        points.append(SweepPoint(value=capacity, sdps_mean=sdps, adps_mean=adps))
+    return points
+
+
+def master_ratio_sweep(
+    master_counts: tuple[int, ...] = (5, 10, 15, 20, 30),
+    total_nodes: int = 60,
+    requests: int = 200,
+    trials: int = 10,
+    seed: int = 183,
+) -> list[SweepPoint]:
+    """EXP-A4: vary the master share of a fixed 60-node population."""
+    points = []
+    for n_masters in master_counts:
+        n_slaves = total_nodes - n_masters
+        if n_slaves <= 0:
+            raise ConfigurationError(
+                f"{n_masters} masters leaves no slaves out of {total_nodes}"
+            )
+        spec = ChannelSpec(period=100, capacity=3, deadline=40)
+        sdps, adps = _final_acceptance(
+            n_masters, n_slaves, spec, requests, trials, seed
+        )
+        points.append(
+            SweepPoint(value=n_masters, sdps_mean=sdps, adps_mean=adps)
+        )
+    return points
+
+
+def symmetric_traffic_curve(
+    n_nodes: int = 60,
+    requested_counts: tuple[int, ...] = tuple(range(20, 201, 20)),
+    trials: int = 10,
+    seed: int = 184,
+) -> AcceptanceCurve:
+    """EXP-A2: uniform all-to-all traffic -- ADPS should match SDPS."""
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    sampler = FixedSpecSampler(ChannelSpec(period=100, capacity=3, deadline=40))
+    return acceptance_curve(
+        node_names=nodes,
+        request_factory=lambda count, rng: uniform_requests(
+            nodes, count, sampler, rng
+        ),
+        schemes={"sdps": SymmetricDPS, "adps": AsymmetricDPS},
+        requested_counts=requested_counts,
+        trials=trials,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedScalingPoint:
+    """EXP-S1: one link speed's simulated outcome for a fixed workload."""
+
+    mbps: int
+    slot_ns: int
+    worst_delay_ns: int
+    deadline_misses: int
+
+    @property
+    def worst_delay_slots(self) -> float:
+        """Worst delay normalized to slot-times (speed-invariant part)."""
+        return self.worst_delay_ns / self.slot_ns
+
+
+def speed_scaling(
+    speeds_mbps: tuple[int, ...] = (10, 100, 1000),
+    n_masters: int = 3,
+    n_slaves: int = 9,
+    n_requests: int = 24,
+    messages: int = 3,
+    seed: int = 515,
+) -> list[SpeedScalingPoint]:
+    """EXP-S1: the analysis is slot-relative, so behaviour must scale.
+
+    Admission control never sees the link speed (everything is in
+    timeslots), so the admitted set is identical at every speed; the
+    simulator's absolute delays scale with the slot duration while the
+    slot-normalized delays coincide up to the non-scaling constants
+    (propagation, switch processing). This invariance is a strong
+    whole-stack consistency check.
+    """
+    from ..network.phy import PhyProfile
+    from ..network.topology import build_star
+    from ..sim.rng import RngRegistry
+    from ..units import TimeBase
+
+    points = []
+    for mbps in speeds_mbps:
+        masters, slaves = master_slave_names(n_masters, n_slaves)
+        phy = PhyProfile(timebase=TimeBase.for_speed_mbps(mbps))
+        net = build_star(masters + slaves, dps=AsymmetricDPS(), phy=phy)
+        rng = RngRegistry(seed).stream("speed-scaling")
+        sampler = FixedSpecSampler(
+            ChannelSpec(period=100, capacity=3, deadline=40)
+        )
+        requests = master_slave_requests(
+            masters, slaves, n_requests, sampler, rng
+        )
+        for request in requests:
+            net.establish_analytically(
+                request.source, request.destination, request.spec
+            )
+        net.start_all_sources(stop_after_messages=messages)
+        net.sim.run()
+        points.append(
+            SpeedScalingPoint(
+                mbps=mbps,
+                slot_ns=phy.slot_ns,
+                worst_delay_ns=net.metrics.worst_rt_delay_ns,
+                deadline_misses=net.metrics.total_deadline_misses,
+            )
+        )
+    return points

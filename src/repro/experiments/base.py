@@ -1,0 +1,177 @@
+"""Shared experiment machinery: acceptance curves over request sequences.
+
+The paper's headline metric is *accepted channels vs requested
+channels*. Because admission is strictly incremental -- the decision on
+request ``i`` depends only on requests ``1..i-1`` -- a whole acceptance
+curve for one trial is computed in a single pass: feed the longest
+request sequence once and record the running acceptance count at each
+x-axis checkpoint. Both schemes see the *same* request sequence per
+trial (paired comparison), which removes workload noise from the
+SDPS-vs-ADPS contrast exactly like the paper's single-workload plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.report import format_series_table
+from ..analysis.stats import SeriesSummary, summarize
+from ..core.admission import AdmissionController, SystemState
+from ..core.partitioning import DeadlinePartitioningScheme
+from ..errors import ConfigurationError
+from ..sim.rng import RngRegistry
+from ..traffic.patterns import ChannelRequest
+
+__all__ = [
+    "run_requests",
+    "SchemeCurve",
+    "AcceptanceCurve",
+    "acceptance_curve",
+]
+
+#: Builds a fresh DPS instance per trial (schemes may be stateful).
+SchemeFactory = Callable[[], DeadlinePartitioningScheme]
+
+#: Builds one trial's request sequence: (count, rng) -> requests.
+RequestFactory = Callable[[int, np.random.Generator], list[ChannelRequest]]
+
+
+def run_requests(
+    node_names: Sequence[str],
+    requests: Sequence[ChannelRequest],
+    dps: DeadlinePartitioningScheme,
+    checkpoints: Sequence[int] | None = None,
+) -> list[int]:
+    """Feed ``requests`` to a fresh admission controller.
+
+    Returns the running acceptance count at each checkpoint (after that
+    many requests have been offered). With ``checkpoints=None`` a single
+    final count is returned (as a one-element list).
+    """
+    if checkpoints is None:
+        checkpoints = [len(requests)]
+    checkpoints = sorted(set(checkpoints))
+    if checkpoints and checkpoints[-1] > len(requests):
+        raise ConfigurationError(
+            f"checkpoint {checkpoints[-1]} exceeds the number of requests "
+            f"({len(requests)})"
+        )
+    state = SystemState(nodes=node_names)
+    controller = AdmissionController(state=state, dps=dps)
+    counts: list[int] = []
+    next_checkpoint = 0
+    while (
+        next_checkpoint < len(checkpoints)
+        and checkpoints[next_checkpoint] == 0
+    ):
+        counts.append(0)
+        next_checkpoint += 1
+    for offered, request in enumerate(requests, start=1):
+        controller.request(request.source, request.destination, request.spec)
+        while (
+            next_checkpoint < len(checkpoints)
+            and checkpoints[next_checkpoint] == offered
+        ):
+            counts.append(controller.accept_count)
+            next_checkpoint += 1
+    while next_checkpoint < len(checkpoints):  # checkpoint 0, or empty input
+        counts.append(controller.accept_count)
+        next_checkpoint += 1
+    return counts
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeCurve:
+    """Acceptance statistics of one scheme across the x-axis."""
+
+    scheme: str
+    #: per-x summaries over trials
+    summaries: tuple[SeriesSummary, ...]
+
+    @property
+    def means(self) -> list[float]:
+        return [s.mean for s in self.summaries]
+
+    @property
+    def ci_half_widths(self) -> list[float]:
+        return [s.ci_half_width for s in self.summaries]
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptanceCurve:
+    """A full accepted-vs-requested figure: several schemes, shared x."""
+
+    requested: tuple[int, ...]
+    curves: tuple[SchemeCurve, ...]
+    trials: int
+    seed: int
+
+    def curve(self, scheme: str) -> SchemeCurve:
+        for curve in self.curves:
+            if curve.scheme == scheme:
+                return curve
+        raise ConfigurationError(
+            f"no scheme {scheme!r} in this result "
+            f"(have {[c.scheme for c in self.curves]})"
+        )
+
+    def to_table(self, title: str) -> str:
+        """Render as the figure-as-a-table format the benches print."""
+        series = {c.scheme: [round(m, 1) for m in c.means] for c in self.curves}
+        return format_series_table(
+            "requested", list(self.requested), series, title=title
+        )
+
+
+def acceptance_curve(
+    node_names: Sequence[str],
+    request_factory: RequestFactory,
+    schemes: Mapping[str, SchemeFactory],
+    requested_counts: Sequence[int],
+    trials: int,
+    seed: int,
+) -> AcceptanceCurve:
+    """Run the paired acceptance experiment.
+
+    For each trial, one request sequence of length ``max(requested_counts)``
+    is drawn from the trial's RNG stream and fed to every scheme;
+    acceptance counts are read at each checkpoint. Results are
+    summarized over trials per (scheme, x) pair.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    counts = sorted(set(int(c) for c in requested_counts))
+    if not counts or counts[0] < 0:
+        raise ConfigurationError(
+            f"requested_counts must be non-negative, got {requested_counts!r}"
+        )
+    max_count = counts[-1]
+    per_scheme: dict[str, list[list[int]]] = {name: [] for name in schemes}
+    for trial in range(trials):
+        rng = RngRegistry(seed).fork(trial).stream("requests")
+        requests = request_factory(max_count, rng)
+        if len(requests) != max_count:
+            raise ConfigurationError(
+                f"request factory produced {len(requests)} requests, "
+                f"expected {max_count}"
+            )
+        for name, factory in schemes.items():
+            per_scheme[name].append(
+                run_requests(node_names, requests, factory(), counts)
+            )
+    curves = []
+    for name in schemes:
+        matrix = np.asarray(per_scheme[name], dtype=np.float64)
+        summaries = tuple(
+            summarize(matrix[:, i]) for i in range(len(counts))
+        )
+        curves.append(SchemeCurve(scheme=name, summaries=summaries))
+    return AcceptanceCurve(
+        requested=tuple(counts),
+        curves=tuple(curves),
+        trials=trials,
+        seed=seed,
+    )

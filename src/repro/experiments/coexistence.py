@@ -1,0 +1,227 @@
+"""EXP-B1: RT guarantees under saturating best-effort traffic.
+
+Section 18.2.1's design point is that "regular non-real-time traffic is
+supported at the same time" with RT traffic unharmed: best-effort frames
+wait in the FCFS queue and are served only when the deadline-sorted
+queue is empty, and the worst they can do to an RT frame is one frame of
+non-preemption blocking (absorbed by ``T_latency``).
+
+This experiment runs the validation workload twice -- once clean, once
+with every master additionally blasting saturating best-effort traffic
+at the slaves -- and reports:
+
+* RT deadline misses in both runs (must be zero in both);
+* the worst RT delay inflation caused by the background load (bounded
+  by ``T_latency``'s blocking allowance);
+* best-effort goodput, which should soak up close to the residual link
+  bandwidth left by the RT reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.channel import ChannelSpec
+from ..core.partitioning import AsymmetricDPS
+from ..errors import ConfigurationError
+from ..network.topology import build_star
+from ..sim.rng import RngRegistry
+from ..traffic.besteffort import BestEffortInjector
+from ..traffic.patterns import master_slave_names, master_slave_requests
+from ..traffic.spec import FixedSpecSampler
+
+__all__ = [
+    "CoexistenceReport",
+    "BeLoadPoint",
+    "run_coexistence",
+    "be_latency_vs_rt_load",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CoexistenceReport:
+    """Paired clean / loaded observations."""
+
+    channels_admitted: int
+    clean_misses: int
+    loaded_misses: int
+    clean_worst_delay_ns: int
+    loaded_worst_delay_ns: int
+    be_frames_delivered: int
+    be_goodput_bps: float
+    link_rate_bps: int
+    n_injectors: int
+    rt_reserved_fraction: float
+    simulated_ns: int
+
+    @property
+    def rt_unharmed(self) -> bool:
+        """Zero misses with and without background pressure."""
+        return self.clean_misses == 0 and self.loaded_misses == 0
+
+    @property
+    def be_goodput_fraction(self) -> float:
+        """Best-effort goodput as a fraction of the injecting uplinks' rate.
+
+        Each saturating master can at most fill its own uplink, so the
+        aggregate BE ceiling is ``n_injectors x link rate`` minus the RT
+        reservation and per-frame overheads.
+        """
+        return self.be_goodput_bps / (self.link_rate_bps * self.n_injectors)
+
+    def summary(self) -> str:
+        return (
+            f"RT {'unharmed' if self.rt_unharmed else 'HARMED'}: "
+            f"misses clean={self.clean_misses} loaded={self.loaded_misses}; "
+            f"worst delay {self.clean_worst_delay_ns} -> "
+            f"{self.loaded_worst_delay_ns} ns; BE goodput "
+            f"{self.be_goodput_fraction:.1%} of link rate "
+            f"(RT reserves {self.rt_reserved_fraction:.1%})"
+        )
+
+
+def _run_once(
+    with_besteffort: bool,
+    n_masters: int,
+    n_slaves: int,
+    n_requests: int,
+    messages: int,
+    seed: int,
+):
+    masters, slaves = master_slave_names(n_masters, n_slaves)
+    rng = RngRegistry(seed).stream("coexist-requests")
+    sampler = FixedSpecSampler(ChannelSpec(period=100, capacity=3, deadline=40))
+    requests = master_slave_requests(masters, slaves, n_requests, sampler, rng)
+    net = build_star(masters + slaves, dps=AsymmetricDPS())
+    for request in requests:
+        net.establish_analytically(
+            request.source, request.destination, request.spec
+        )
+    injectors = []
+    if with_besteffort:
+        for master in masters:
+            injectors.append(
+                BestEffortInjector(
+                    sim=net.sim,
+                    node=net.nodes[master],
+                    destinations=slaves,
+                    mode="saturate",
+                )
+            )
+            injectors[-1].start()
+    net.start_all_sources(stop_after_messages=messages)
+    start = net.sim.now
+    horizon = start + messages * 100 * net.phy.slot_ns + 100 * net.phy.slot_ns
+    net.sim.run(until=horizon)
+    for injector in injectors:
+        injector.stop()
+    net.sim.run(until=horizon + 10 * net.phy.slot_ns)
+    return net, net.sim.now - start
+
+
+def run_coexistence(
+    n_masters: int = 4,
+    n_slaves: int = 12,
+    n_requests: int = 40,
+    messages: int = 8,
+    seed: int = 77,
+) -> CoexistenceReport:
+    """Run the paired clean/loaded coexistence experiment."""
+    if messages <= 0:
+        raise ConfigurationError(f"messages must be positive, got {messages}")
+    clean_net, _ = _run_once(
+        False, n_masters, n_slaves, n_requests, messages, seed
+    )
+    loaded_net, elapsed = _run_once(
+        True, n_masters, n_slaves, n_requests, messages, seed
+    )
+    # The admitted sets are identical (same seed, same admission path).
+    reserved = sum(
+        grant.spec.capacity / grant.spec.period for grant in loaded_net.grants
+    ) / max(1, n_masters)
+    return CoexistenceReport(
+        channels_admitted=len(loaded_net.grants),
+        clean_misses=clean_net.metrics.total_deadline_misses,
+        loaded_misses=loaded_net.metrics.total_deadline_misses,
+        clean_worst_delay_ns=clean_net.metrics.worst_rt_delay_ns,
+        loaded_worst_delay_ns=loaded_net.metrics.worst_rt_delay_ns,
+        be_frames_delivered=loaded_net.metrics.be_frames_delivered,
+        be_goodput_bps=loaded_net.metrics.be_goodput_bps(elapsed),
+        link_rate_bps=loaded_net.phy.timebase.bits_per_second,
+        n_injectors=n_masters,
+        rt_reserved_fraction=reserved,
+        simulated_ns=elapsed,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BeLoadPoint:
+    """EXP-B2: best-effort service quality at one RT load level."""
+
+    rt_channels: int
+    rt_reserved_fraction: float
+    rt_misses: int
+    be_goodput_bps: float
+    be_mean_delay_ns: float
+
+
+def be_latency_vs_rt_load(
+    rt_channel_counts: tuple[int, ...] = (0, 12, 24, 36),
+    n_masters: int = 4,
+    n_slaves: int = 12,
+    messages: int = 6,
+    seed: int = 88,
+) -> list[BeLoadPoint]:
+    """EXP-B2: what RT reservations cost the best-effort traffic.
+
+    One saturating best-effort injector per master runs against a
+    growing admitted RT set. Expected shape: best-effort goodput falls
+    roughly linearly with the reserved utilization, its queueing delay
+    rises, and RT misses stay at zero throughout -- the strict-priority
+    design gives RT its guarantee and best-effort *all* of the rest,
+    no more, no less.
+    """
+    points = []
+    for count in rt_channel_counts:
+        masters, slaves = master_slave_names(n_masters, n_slaves)
+        net = build_star(masters + slaves, dps=AsymmetricDPS())
+        rng = RngRegistry(seed).stream("be-load-requests")
+        sampler = FixedSpecSampler(
+            ChannelSpec(period=100, capacity=3, deadline=40)
+        )
+        requests = master_slave_requests(
+            masters, slaves, count, sampler, rng
+        )
+        for request in requests:
+            net.establish_analytically(
+                request.source, request.destination, request.spec
+            )
+        injectors = []
+        for master in masters:
+            injector = BestEffortInjector(
+                sim=net.sim, node=net.nodes[master], destinations=slaves
+            )
+            injector.start()
+            injectors.append(injector)
+        net.start_all_sources(stop_after_messages=messages)
+        start = net.sim.now
+        horizon = start + (messages + 1) * 100 * net.phy.slot_ns
+        net.sim.run(until=horizon)
+        for injector in injectors:
+            injector.stop()
+        net.sim.run(until=horizon + 5 * net.phy.slot_ns)
+        elapsed = net.sim.now - start
+        reserved = sum(
+            grant.spec.capacity / grant.spec.period
+            for grant in net.grants
+        ) / n_masters
+        points.append(
+            BeLoadPoint(
+                rt_channels=len(net.grants),
+                rt_reserved_fraction=reserved,
+                rt_misses=net.metrics.total_deadline_misses,
+                be_goodput_bps=net.metrics.be_goodput_bps(elapsed),
+                be_mean_delay_ns=net.metrics.be_mean_delay_ns,
+            )
+        )
+    return points

@@ -1,0 +1,63 @@
+"""EXP-D1: the full DPS design space on the Figure 18.5 workload.
+
+Beyond the paper's SDPS/ADPS pair, this reproduction implements three
+further schemes (:mod:`repro.core.partitioning_ext`); this experiment
+ranks all five on the exact Figure 18.5 workload:
+
+* ``sdps``   -- half/half (paper baseline);
+* ``adps``   -- LinkLoad-proportional (paper's proposal);
+* ``udps``   -- utilization-proportional (our refinement: weigh links by
+  reserved bandwidth rather than channel count);
+* ``ldps``   -- LinkLoad-proportional over the *slack* ``d - 2C`` only;
+* ``search`` -- probe splits through the admission test until one fits:
+  the per-channel greedy optimum, an upper bound for every one-shot DPS.
+
+The ordering expected (and observed): sdps < {adps, udps, ldps} <=
+search. On the identical-channel workload adps/udps coincide (loads and
+utilizations are proportional); they separate on mixed-size workloads.
+"""
+
+from __future__ import annotations
+
+from ..core.partitioning import AsymmetricDPS, SymmetricDPS
+from ..core.partitioning_ext import LaxityDPS, SearchDPS, UtilizationDPS
+from ..errors import ConfigurationError
+from ..traffic.patterns import master_slave_names, master_slave_requests
+from ..traffic.spec import FixedSpecSampler, SpecSampler
+from .base import AcceptanceCurve, acceptance_curve
+
+__all__ = ["run_dps_comparison", "DEFAULT_SCHEMES"]
+
+DEFAULT_SCHEMES = {
+    "sdps": SymmetricDPS,
+    "adps": AsymmetricDPS,
+    "udps": UtilizationDPS,
+    "ldps": LaxityDPS,
+    "search": SearchDPS,
+}
+
+
+def run_dps_comparison(
+    n_masters: int = 10,
+    n_slaves: int = 50,
+    requested_counts: tuple[int, ...] = tuple(range(20, 201, 20)),
+    sampler: SpecSampler | None = None,
+    trials: int = 10,
+    seed: int = 405,
+    schemes: dict | None = None,
+) -> AcceptanceCurve:
+    """Paired acceptance comparison across all DPS schemes."""
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    masters, slaves = master_slave_names(n_masters, n_slaves)
+    sampler = sampler or FixedSpecSampler.paper_default()
+    return acceptance_curve(
+        node_names=masters + slaves,
+        request_factory=lambda count, rng: master_slave_requests(
+            masters, slaves, count, sampler, rng
+        ),
+        schemes=schemes or DEFAULT_SCHEMES,
+        requested_counts=requested_counts,
+        trials=trials,
+        seed=seed,
+    )

@@ -1,0 +1,127 @@
+"""EXP-F5: reproduction of the paper's Figure 18.5.
+
+    "We do an experiment with the network configuration of 10 master
+    nodes and 50 slave nodes. [...] every requested channel [has] the
+    same parameters: C_i = 3, P_i = 100, d_i = 40. The result [...]
+    proved that we get much better result with asymmetric deadline
+    partitioning scheme."
+
+The figure plots *number of accepted channels* against *number of
+requested channels* (20..200) for SDPS and ADPS. In the published plot
+SDPS saturates near ~60 accepted channels while ADPS reaches ~110 at
+200 requested -- roughly a 2x advantage, driven by the master-uplink
+bottleneck (each master's uplink carries ~5x the channels of any slave
+downlink when all requests flow master -> slave).
+
+The request arrival process is not published; we draw (master, slave)
+pairs uniformly (see :mod:`repro.traffic.patterns`) and average over
+seeds. EXPERIMENTS.md records measured-vs-paper values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.channel import ChannelSpec
+from ..core.partitioning import AsymmetricDPS, SymmetricDPS
+from ..errors import ConfigurationError
+from ..traffic.patterns import master_slave_names, master_slave_requests
+from ..traffic.spec import FixedSpecSampler
+from .base import AcceptanceCurve, acceptance_curve
+
+__all__ = ["Fig185Config", "Fig185Result", "run_fig18_5"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig185Config:
+    """Parameters of the Figure 18.5 run (defaults = the paper's)."""
+
+    n_masters: int = 10
+    n_slaves: int = 50
+    spec: ChannelSpec = field(
+        default_factory=lambda: ChannelSpec(period=100, capacity=3, deadline=40)
+    )
+    requested_counts: tuple[int, ...] = tuple(range(20, 201, 20))
+    trials: int = 20
+    seed: int = 2004
+    #: fraction of requests flowing master -> slave (the paper's pattern).
+    master_to_slave_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_masters <= 0 or self.n_slaves <= 0:
+            raise ConfigurationError(
+                f"need masters and slaves, got {self.n_masters}/{self.n_slaves}"
+            )
+        if self.trials <= 0:
+            raise ConfigurationError(f"trials must be positive: {self.trials}")
+
+
+@dataclass(frozen=True, slots=True)
+class Fig185Result:
+    """The reproduced figure plus the paper-shape checks."""
+
+    config: Fig185Config
+    curve: AcceptanceCurve
+
+    @property
+    def sdps_final_mean(self) -> float:
+        """Mean accepted channels for SDPS at the largest request count."""
+        return self.curve.curve("sdps").means[-1]
+
+    @property
+    def adps_final_mean(self) -> float:
+        """Mean accepted channels for ADPS at the largest request count."""
+        return self.curve.curve("adps").means[-1]
+
+    @property
+    def adps_advantage(self) -> float:
+        """ADPS/SDPS acceptance ratio at saturation (paper: ~1.8x)."""
+        if self.sdps_final_mean == 0:
+            return float("inf")
+        return self.adps_final_mean / self.sdps_final_mean
+
+    def adps_dominates_everywhere(self, slack: float = 1.0) -> bool:
+        """True when ADPS' mean is never below SDPS' mean minus ``slack``.
+
+        ``slack`` absorbs seed noise in the pre-saturation region where
+        both schemes accept (almost) everything.
+        """
+        sdps = self.curve.curve("sdps").means
+        adps = self.curve.curve("adps").means
+        return all(a >= s - slack for s, a in zip(sdps, adps))
+
+    def to_table(self) -> str:
+        return self.curve.to_table(
+            "Figure 18.5 -- accepted vs requested channels "
+            f"({self.config.n_masters} masters, {self.config.n_slaves} "
+            f"slaves, C={self.config.spec.capacity}, "
+            f"P={self.config.spec.period}, d={self.config.spec.deadline}, "
+            f"{self.config.trials} trials)"
+        )
+
+
+def run_fig18_5(config: Fig185Config | None = None) -> Fig185Result:
+    """Run the full Figure 18.5 experiment (paper defaults)."""
+    config = config or Fig185Config()
+    masters, slaves = master_slave_names(config.n_masters, config.n_slaves)
+    sampler = FixedSpecSampler(config.spec)
+
+    def make_requests(count, rng):
+        return master_slave_requests(
+            masters,
+            slaves,
+            count,
+            sampler,
+            rng,
+            master_to_slave_fraction=config.master_to_slave_fraction,
+        )
+
+    curve = acceptance_curve(
+        node_names=masters + slaves,
+        request_factory=make_requests,
+        schemes={"sdps": SymmetricDPS, "adps": AsymmetricDPS},
+        requested_counts=config.requested_counts,
+        trials=config.trials,
+        seed=config.seed,
+    )
+    return Fig185Result(config=config, curve=curve)

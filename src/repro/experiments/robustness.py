@@ -1,0 +1,167 @@
+"""EXP-R1: behaviour outside the paper's model (fault injection).
+
+The paper's guarantee assumes error-free wires and synchronized
+critical-instant analysis. Two robustness questions a deployer asks:
+
+1. **Random phases** -- real stations are not released synchronously.
+   The critical instant is the provable worst case, so random phases
+   must also be miss-free (and typically show *lower* worst-case
+   delays). :func:`run_phase_robustness` checks this.
+2. **Frame loss** -- with corrupted frames the guarantee degrades from
+   "every message within the bound" to "every *delivered* frame within
+   the bound"; messages lose fragments but never arrive late.
+   :func:`run_loss_robustness` injects Bernoulli loss on every wire and
+   verifies exactly that degradation: completeness suffers in
+   proportion to the loss rate, timeliness does not.
+
+Both are extensions (no paper counterpart) and are labelled as such in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.partitioning import AsymmetricDPS
+from ..errors import ConfigurationError
+from ..network.topology import build_star
+from ..sim.rng import RngRegistry
+from ..traffic.patterns import master_slave_names, master_slave_requests
+from ..traffic.spec import FixedSpecSampler
+
+__all__ = [
+    "PhaseRobustnessReport",
+    "LossRobustnessReport",
+    "run_phase_robustness",
+    "run_loss_robustness",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseRobustnessReport:
+    """Critical-instant vs random-phase comparison."""
+
+    channels_admitted: int
+    synchronous_misses: int
+    random_misses: int
+    synchronous_worst_delay_ns: int
+    random_worst_delay_ns: int
+
+    @property
+    def holds(self) -> bool:
+        return self.synchronous_misses == 0 and self.random_misses == 0
+
+    @property
+    def critical_instant_is_worst(self) -> bool:
+        """Random phases never exceed the synchronous worst case."""
+        return self.random_worst_delay_ns <= self.synchronous_worst_delay_ns
+
+
+@dataclass(frozen=True, slots=True)
+class LossRobustnessReport:
+    """Timeliness vs completeness under Bernoulli frame loss."""
+
+    loss_rate: float
+    frames_sent: int
+    frames_delivered: int
+    frames_lost_on_wires: int
+    messages_expected: int
+    messages_completed: int
+    deadline_misses: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.frames_sent == 0:
+            return 1.0
+        return self.frames_delivered / self.frames_sent
+
+    @property
+    def timeliness_preserved(self) -> bool:
+        """Every frame that did arrive met its deadline bound."""
+        return self.deadline_misses == 0
+
+
+def _admitted_network(n_masters, n_slaves, n_requests, seed, **net_kwargs):
+    masters, slaves = master_slave_names(n_masters, n_slaves)
+    net = build_star(masters + slaves, dps=AsymmetricDPS(), **net_kwargs)
+    rng = RngRegistry(seed).stream("robustness-requests")
+    requests = master_slave_requests(
+        masters, slaves, n_requests, FixedSpecSampler.paper_default(), rng
+    )
+    for request in requests:
+        net.establish_analytically(
+            request.source, request.destination, request.spec
+        )
+    return net
+
+
+def run_phase_robustness(
+    n_masters: int = 4,
+    n_slaves: int = 12,
+    n_requests: int = 40,
+    messages: int = 6,
+    seed: int = 808,
+) -> PhaseRobustnessReport:
+    """Run the same admitted set synchronously and with random phases."""
+    if messages <= 0:
+        raise ConfigurationError(f"messages must be positive: {messages}")
+    sync_net = _admitted_network(n_masters, n_slaves, n_requests, seed)
+    sync_net.start_all_sources(stop_after_messages=messages)
+    sync_net.sim.run()
+
+    rand_net = _admitted_network(n_masters, n_slaves, n_requests, seed)
+    phase_rng = RngRegistry(seed).stream("phases")
+    rand_net.start_all_sources(
+        stop_after_messages=messages, random_phases_rng=phase_rng
+    )
+    rand_net.sim.run()
+
+    return PhaseRobustnessReport(
+        channels_admitted=len(sync_net.grants),
+        synchronous_misses=sync_net.metrics.total_deadline_misses,
+        random_misses=rand_net.metrics.total_deadline_misses,
+        synchronous_worst_delay_ns=sync_net.metrics.worst_rt_delay_ns,
+        random_worst_delay_ns=rand_net.metrics.worst_rt_delay_ns,
+    )
+
+
+def run_loss_robustness(
+    loss_rate: float = 0.01,
+    n_masters: int = 4,
+    n_slaves: int = 12,
+    n_requests: int = 40,
+    messages: int = 10,
+    seed: int = 909,
+) -> LossRobustnessReport:
+    """Inject Bernoulli frame loss and separate timeliness from loss."""
+    if not (0.0 <= loss_rate < 1.0):
+        raise ConfigurationError(f"loss_rate must be in [0,1): {loss_rate}")
+    net = _admitted_network(
+        n_masters,
+        n_slaves,
+        n_requests,
+        seed,
+        loss_rate=loss_rate,
+        loss_seed=seed,
+    )
+    net.start_all_sources(stop_after_messages=messages)
+    net.sim.run()
+    frames_sent = sum(
+        grant.spec.capacity * messages for grant in net.grants
+    )
+    lost = sum(
+        node.uplink.link.frames_lost
+        for node in net.nodes.values()
+        if node.uplink is not None
+    ) + sum(
+        port.link.frames_lost for port in net.switch.ports.values()
+    )
+    return LossRobustnessReport(
+        loss_rate=loss_rate,
+        frames_sent=frames_sent,
+        frames_delivered=net.metrics.total_rt_frames,
+        frames_lost_on_wires=lost,
+        messages_expected=len(net.grants) * messages,
+        messages_completed=net.metrics.total_rt_messages,
+        deadline_misses=net.metrics.total_deadline_misses,
+    )

@@ -1,0 +1,55 @@
+"""Multi-switch extension (the paper's stated future work).
+
+Section 18.5: "Future work into this area should include investigating
+the use of more complex network topologies, i.e., networks consisting of
+many interconnected switches". This subpackage generalizes the paper's
+analysis machinery from one switch (two links per channel) to a *tree*
+of switches (k >= 2 links per channel):
+
+* :mod:`~repro.multiswitch.fabric` -- the switch-tree topology and path
+  routing (trees keep routing unique, matching how industrial Ethernet
+  is actually cabled; cycles would need a spanning-tree protocol the
+  paper never touches).
+* :mod:`~repro.multiswitch.partitioning` -- multi-hop deadline
+  partitioning: the k-way generalizations of SDPS (equal split) and
+  ADPS (LinkLoad-proportional split).
+* :mod:`~repro.multiswitch.admission` -- per-link EDF feasibility over
+  all links of the routed path, reusing
+  :mod:`repro.core.feasibility` unchanged -- the per-link theory is
+  identical; only the number of supposed tasks per channel grows.
+
+This is an **extension beyond the paper**: there is no published result
+to compare against. EXP-X1 reports acceptance curves for 2- and 3-switch
+trees to show the machinery works and that the ADPS advantage carries
+over to longer paths.
+"""
+
+from .fabric import FabricLink, SwitchFabric
+from .partitioning import (
+    MultiHopDPS,
+    MultiHopSymmetric,
+    MultiHopProportional,
+    split_deadline,
+)
+from .admission import MultiSwitchAdmission, MultiAdmissionDecision
+from .simnet import (
+    FabricChannel,
+    FabricNetwork,
+    FabricSwitchModel,
+    build_fabric_network,
+)
+
+__all__ = [
+    "FabricChannel",
+    "FabricNetwork",
+    "FabricSwitchModel",
+    "build_fabric_network",
+    "FabricLink",
+    "SwitchFabric",
+    "MultiHopDPS",
+    "MultiHopSymmetric",
+    "MultiHopProportional",
+    "split_deadline",
+    "MultiSwitchAdmission",
+    "MultiAdmissionDecision",
+]

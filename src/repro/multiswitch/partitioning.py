@@ -1,0 +1,148 @@
+"""k-way deadline partitioning for multi-hop paths.
+
+For a channel crossing ``k`` links the end-to-end deadline must be
+split into ``k`` per-link parts ``d_1 .. d_k`` with ``sum d_j == d``
+(generalizing Eq. 18.8) and every ``d_j >= C`` (generalizing Eq. 18.9 --
+each hop's supposed task still has WCET ``C``). A channel with
+``d < k*C`` is infeasible on that path under any split, the multi-hop
+analogue of the store-and-forward bound.
+
+Two schemes mirror the paper's pair:
+
+* :class:`MultiHopSymmetric` -- equal shares (SDPS generalization);
+* :class:`MultiHopProportional` -- shares proportional to each link's
+  LinkLoad including the candidate (ADPS generalization).
+
+Integer splitting uses the largest-remainder method so the parts always
+sum exactly to ``d`` with deterministic tie-breaking, then a repair pass
+lifts any part below ``C`` by taking slack from the largest parts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+from ..core.channel import ChannelSpec
+from ..errors import PartitioningError
+from .fabric import FabricLink
+
+__all__ = [
+    "split_deadline",
+    "MultiHopDPS",
+    "MultiHopSymmetric",
+    "MultiHopProportional",
+]
+
+#: Callback giving the current LinkLoad of a fabric link (candidate included).
+LinkLoadFn = Callable[[FabricLink], int]
+
+
+def split_deadline(
+    deadline: int, capacity: int, weights: Sequence[float]
+) -> list[int]:
+    """Split ``deadline`` into ``len(weights)`` integer parts.
+
+    Parts are proportional to ``weights`` (largest-remainder rounding),
+    then repaired so every part is at least ``capacity`` while the total
+    stays exactly ``deadline``.
+
+    Raises
+    ------
+    PartitioningError
+        when ``deadline < len(weights) * capacity`` (no valid split
+        exists) or the weights are unusable (none positive).
+    """
+    k = len(weights)
+    if k == 0:
+        raise PartitioningError("cannot split a deadline over zero links")
+    if deadline < k * capacity:
+        raise PartitioningError(
+            f"deadline {deadline} cannot cover {k} hops of capacity "
+            f"{capacity} (needs >= {k * capacity})"
+        )
+    if any(w < 0 for w in weights):
+        raise PartitioningError(f"negative weight in {weights!r}")
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        weights = [1.0] * k
+        total_weight = float(k)
+    # Largest-remainder apportionment of `deadline` units.
+    exact = [deadline * w / total_weight for w in weights]
+    parts = [int(x) for x in exact]
+    shortfall = deadline - sum(parts)
+    remainders = sorted(
+        range(k), key=lambda i: (-(exact[i] - parts[i]), i)
+    )
+    for i in remainders[:shortfall]:
+        parts[i] += 1
+    # Repair: lift parts below the capacity floor, taking from the rich.
+    for i in range(k):
+        while parts[i] < capacity:
+            donor = max(
+                (j for j in range(k) if parts[j] > capacity),
+                key=lambda j: parts[j],
+                default=None,
+            )
+            if donor is None:  # pragma: no cover - impossible when d >= k*C
+                raise PartitioningError(
+                    f"cannot repair split {parts!r} to floor {capacity}"
+                )
+            parts[donor] -= 1
+            parts[i] += 1
+    assert sum(parts) == deadline
+    return parts
+
+
+class MultiHopDPS(abc.ABC):
+    """Abstract k-way deadline-partitioning scheme."""
+
+    name: str = "multihop-dps"
+
+    @abc.abstractmethod
+    def partition(
+        self,
+        spec: ChannelSpec,
+        links: Sequence[FabricLink],
+        link_load: LinkLoadFn,
+    ) -> list[int]:
+        """Per-link deadline parts for a channel on ``links`` (ordered)."""
+
+
+class MultiHopSymmetric(MultiHopDPS):
+    """Equal shares: the k-way SDPS (``d_j ~= d / k``)."""
+
+    name = "msym"
+
+    def partition(
+        self,
+        spec: ChannelSpec,
+        links: Sequence[FabricLink],
+        link_load: LinkLoadFn,
+    ) -> list[int]:
+        del link_load
+        return split_deadline(
+            spec.deadline, spec.capacity, [1.0] * len(links)
+        )
+
+
+class MultiHopProportional(MultiHopDPS):
+    """LinkLoad-proportional shares: the k-way ADPS.
+
+    Each link's weight is its LinkLoad including the candidate channel;
+    heavily shared links receive looser per-hop deadlines, relieving the
+    same bottleneck effect ADPS targets on the two-link star.
+    """
+
+    name = "mprop"
+
+    def partition(
+        self,
+        spec: ChannelSpec,
+        links: Sequence[FabricLink],
+        link_load: LinkLoadFn,
+    ) -> list[int]:
+        weights = [float(link_load(link)) for link in links]
+        if any(w < 0 for w in weights):
+            raise PartitioningError(f"negative link load in {weights!r}")
+        return split_deadline(spec.deadline, spec.capacity, weights)

@@ -1,0 +1,404 @@
+"""Simulated data plane for switch fabrics (extension, EXP-X2).
+
+:mod:`repro.multiswitch.admission` answers the *analysis* question for
+switch trees; this module closes the loop the way EXP-V1 does for the
+star: build the actual network -- every node, switch, wire and dual
+queue -- drive admitted channels at the critical instant, and verify
+that per-hop EDF really delivers within the end-to-end bound.
+
+Model
+-----
+* **Admission is centralized and analytical** (the paper's signalling
+  protocol is defined for a single switch only; extending the wire
+  protocol to fabrics is out of scope). On acceptance the establishment
+  installs, in every switch along the path, a forwarding entry
+  ``channel -> (next hop, cumulative deadline offset)``.
+* **Per-hop EDF keys are cumulative**: a frame released at ``t`` is
+  scheduled on hop ``j`` with absolute deadline
+  ``t + (part_1 + ... + part_j) * slot``, the natural generalization of
+  the star's ``release + d_iu`` / ``release + d`` pair.
+* The guarantee bound generalizes Eq. 18.1:
+  ``d_i * slot + T_latency(k)`` with
+  ``T_latency(k) = k*propagation + (k-1)*processing + k*blocking``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import MetricsCollector
+from ..core.channel import ChannelSpec
+from ..core.rt_layer import ChannelGrant, RTLayer
+from ..errors import SimulationError, TopologyError, UnknownChannelError
+from ..network.link import HalfLink
+from ..network.phy import PhyProfile
+from ..network.port import OutputPort
+from ..protocol.ethernet import EthernetFrame, FrameKind
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
+from .admission import MultiAdmissionDecision, MultiSwitchAdmission
+from .fabric import SwitchFabric
+from .partitioning import MultiHopDPS, MultiHopProportional
+
+__all__ = ["FabricChannel", "FabricSwitchModel", "FabricNetwork", "build_fabric_network"]
+
+
+@dataclass(frozen=True, slots=True)
+class FabricChannel:
+    """An established multi-hop channel (simulation view)."""
+
+    decision: MultiAdmissionDecision
+
+    @property
+    def channel_id(self) -> int:
+        return self.decision.channel_id
+
+    @property
+    def source(self) -> str:
+        return self.decision.source
+
+    @property
+    def destination(self) -> str:
+        return self.decision.destination
+
+    @property
+    def spec(self) -> ChannelSpec:
+        return self.decision.spec
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.decision.links)
+
+
+@dataclass(slots=True)
+class _ForwardingEntry:
+    """Per-switch routing state for one channel."""
+
+    next_hop: str
+    #: cumulative deadline (slots since release) after the *outgoing* hop.
+    cumulative_deadline_slots: int
+    #: 1-based index of the outgoing hop along the channel's path; the
+    #: miss check allows ``hop`` frames of cascaded blocking plus the
+    #: accumulated propagation/processing (per-hop share of T_latency).
+    hop_index: int = 2
+
+
+class FabricSwitchModel:
+    """One switch of the fabric: ports to neighbours plus routing state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyProfile,
+        name: str,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self._sim = sim
+        self._phy = phy
+        self.name = name
+        self._trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._ports: dict[str, OutputPort] = {}
+        self._forwarding: dict[int, _ForwardingEntry] = {}
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+
+    @property
+    def ports(self) -> dict[str, OutputPort]:
+        """Output ports keyed by neighbour name (copy)."""
+        return dict(self._ports)
+
+    def attach_port(self, neighbour: str, port: OutputPort) -> None:
+        if neighbour in self._ports:
+            raise SimulationError(
+                f"switch {self.name!r} already has a port toward "
+                f"{neighbour!r}"
+            )
+        self._ports[neighbour] = port
+
+    def install_route(
+        self,
+        channel_id: int,
+        next_hop: str,
+        cumulative_deadline_slots: int,
+        hop_index: int = 2,
+    ) -> None:
+        if next_hop not in self._ports:
+            raise SimulationError(
+                f"switch {self.name!r} has no port toward {next_hop!r}"
+            )
+        self._forwarding[channel_id] = _ForwardingEntry(
+            next_hop=next_hop,
+            cumulative_deadline_slots=cumulative_deadline_slots,
+            hop_index=hop_index,
+        )
+
+    def remove_route(self, channel_id: int) -> None:
+        self._forwarding.pop(channel_id, None)
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """Frame fully arrived; route after the processing delay."""
+        self._sim.schedule(
+            self._phy.switch_processing_ns,
+            lambda f=frame: self._forward(f),
+            label=f"{self.name}:process",
+        )
+
+    def _forward(self, frame: EthernetFrame) -> None:
+        if frame.kind is not FrameKind.RT_DATA:
+            # The fabric data plane models RT channels only; best-effort
+            # routing over trees is out of this extension's scope.
+            self.frames_dropped += 1
+            self._trace.record(
+                self._sim.now, "fabric.drop", self.name, frame.describe()
+            )
+            return
+        entry = self._forwarding.get(frame.channel_id)
+        if entry is None:
+            self.frames_dropped += 1
+            self._trace.record(
+                self._sim.now, "fabric.drop", self.name, frame.describe()
+            )
+            return
+        hop_deadline_ns = (
+            frame.created_at
+            + entry.cumulative_deadline_slots * self._phy.slot_ns
+        )
+        hop = entry.hop_index
+        allowance = (
+            hop * (self._phy.propagation_ns + self._phy.max_frame_ns)
+            + (hop - 1) * self._phy.switch_processing_ns
+        )
+        self._ports[entry.next_hop].submit_rt(
+            frame, hop_deadline_ns, allowance_ns=allowance
+        )
+        self.frames_forwarded += 1
+
+
+class _FabricEndNode:
+    """Leaf station: sends on granted channels, receives into metrics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyProfile,
+        name: str,
+        metrics: MetricsCollector,
+    ) -> None:
+        self._sim = sim
+        self._phy = phy
+        self.name = name
+        self._metrics = metrics
+        self.rt_layer = RTLayer(node_name=name, slot_ns=phy.slot_ns)
+        self.uplink: OutputPort | None = None
+        self._active_sources: set[int] = set()
+
+    def receive(self, frame: EthernetFrame) -> None:
+        self._metrics.on_delivery(frame, self._sim.now)
+
+    def send_message(self, channel_id: int) -> int:
+        if self.uplink is None:
+            raise SimulationError(f"node {self.name!r} has no uplink")
+        outgoing = self.rt_layer.emit_message(channel_id, self._sim.now)
+        for item in outgoing:
+            self.uplink.submit_rt(item.frame, item.uplink_deadline_ns)
+        return len(outgoing)
+
+    def start_periodic_source(
+        self, channel_id: int, stop_after_messages: int | None = None
+    ) -> None:
+        grant = self.rt_layer.grants.get(channel_id)
+        if grant is None:
+            raise UnknownChannelError(
+                f"node {self.name!r} has no channel {channel_id}"
+            )
+        period_ns = grant.spec.period * self._phy.slot_ns
+        self._active_sources.add(channel_id)
+        remaining = stop_after_messages
+
+        def fire() -> None:
+            nonlocal remaining
+            if channel_id not in self._active_sources:
+                return
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            self.send_message(channel_id)
+            self._sim.schedule(period_ns, fire)
+
+        self._sim.schedule(0, fire)
+
+
+class FabricNetwork:
+    """A fully wired multi-switch network with centralized admission."""
+
+    def __init__(
+        self,
+        fabric: SwitchFabric,
+        admission: MultiSwitchAdmission,
+        phy: PhyProfile,
+        trace_enabled: bool = False,
+    ) -> None:
+        fabric.validate_connected()
+        self.fabric = fabric
+        self.admission = admission
+        self.phy = phy
+        self.sim = Simulator()
+        self.trace = TraceRecorder(enabled=trace_enabled)
+        max_hops = self._max_hop_count()
+        self.metrics = MetricsCollector(
+            t_latency_ns=self._t_latency_ns(max_hops)
+        )
+        self.switches: dict[str, FabricSwitchModel] = {}
+        self.nodes: dict[str, _FabricEndNode] = {}
+        self.channels: list[FabricChannel] = []
+        self._wire_everything()
+
+    # -- construction ------------------------------------------------------
+
+    def _max_hop_count(self) -> int:
+        nodes = sorted(self.fabric.nodes)
+        worst = 2
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                worst = max(worst, self.fabric.hop_count(a, b))
+        return worst
+
+    def _t_latency_ns(self, hops: int) -> int:
+        """Generalized Eq. 18.1 latency constant for ``hops``-link paths."""
+        return (
+            hops * self.phy.propagation_ns
+            + (hops - 1) * self.phy.switch_processing_ns
+            + hops * self.phy.max_frame_ns
+        )
+
+    def _wire_everything(self) -> None:
+        for switch_name in sorted(self.fabric.switches):
+            self.switches[switch_name] = FabricSwitchModel(
+                sim=self.sim, phy=self.phy, name=switch_name,
+                trace=self.trace,
+            )
+        for node_name in sorted(self.fabric.nodes):
+            self.nodes[node_name] = _FabricEndNode(
+                sim=self.sim, phy=self.phy, name=node_name,
+                metrics=self.metrics,
+            )
+        # one duplex cable per fabric edge = two HalfLinks + two ports
+        for node_name in sorted(self.fabric.nodes):
+            self._wire_edge(node_name, self.fabric.attachment(node_name))
+        for a, b in self.fabric.switch_adjacencies():
+            self._wire_edge(a, b)
+
+    def _receiver(self, name: str):
+        if name in self.switches:
+            return self.switches[name].receive
+        return self.nodes[name].receive
+
+    def _wire_edge(self, a: str, b: str) -> None:
+        for tail, head in ((a, b), (b, a)):
+            wire = HalfLink(
+                sim=self.sim,
+                phy=self.phy,
+                name=f"{tail}->{head}",
+                deliver=self._receiver(head),
+                trace=self.trace,
+            )
+            port = OutputPort(
+                sim=self.sim,
+                phy=self.phy,
+                link=wire,
+                name=f"port:{tail}->{head}",
+                trace=self.trace,
+            )
+            if tail in self.switches:
+                self.switches[tail].attach_port(head, port)
+            else:
+                node = self.nodes[tail]
+                if node.uplink is not None:
+                    raise TopologyError(
+                        f"end node {tail!r} has two cables; leaves attach "
+                        "to exactly one switch"
+                    )
+                node.uplink = port
+
+    # -- establishment ---------------------------------------------------------
+
+    def establish(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> FabricChannel | None:
+        """Admit analytically and install forwarding + grant on success."""
+        decision = self.admission.request(source, destination, spec)
+        if not decision.accepted:
+            return None
+        parts = decision.parts
+        links = decision.links
+        # first hop: the source node's uplink EDF key
+        cumulative_after_first = parts[0]
+        grant = ChannelGrant(
+            channel_id=decision.channel_id,
+            source=source,
+            destination=destination,
+            spec=spec,
+            uplink_deadline_slots=cumulative_after_first,
+        )
+        self.nodes[source].rt_layer.install_grant(grant)
+        # remaining hops are transmitted by switches
+        cumulative = parts[0]
+        for hop_index, (link, part) in enumerate(
+            zip(links[1:], parts[1:]), start=2
+        ):
+            cumulative += part
+            self.switches[link.tail].install_route(
+                decision.channel_id, link.head, cumulative,
+                hop_index=hop_index,
+            )
+        self.metrics.register_channel(decision.channel_id, spec.capacity)
+        channel = FabricChannel(decision=decision)
+        self.channels.append(channel)
+        return channel
+
+    def release(self, channel_id: int) -> None:
+        decision = self.admission.release(channel_id)
+        for link in decision.links[1:]:
+            self.switches[link.tail].remove_route(channel_id)
+        self.channels = [
+            c for c in self.channels if c.channel_id != channel_id
+        ]
+
+    # -- traffic -----------------------------------------------------------------
+
+    def start_all_sources(
+        self, stop_after_messages: int | None = None
+    ) -> None:
+        """Critical-instant release on every established channel."""
+        for channel in self.channels:
+            self.nodes[channel.source].start_periodic_source(
+                channel.channel_id, stop_after_messages=stop_after_messages
+            )
+
+    def per_link_misses(self) -> int:
+        total = 0
+        for node in self.nodes.values():
+            if node.uplink is not None:
+                total += node.uplink.stats.rt_link_deadline_misses
+        for switch in self.switches.values():
+            for port in switch.ports.values():
+                total += port.stats.rt_link_deadline_misses
+        return total
+
+
+def build_fabric_network(
+    fabric: SwitchFabric,
+    dps: MultiHopDPS | None = None,
+    phy: PhyProfile | None = None,
+    trace_enabled: bool = False,
+) -> FabricNetwork:
+    """Convenience builder pairing a fabric with admission and a kernel."""
+    phy = phy or PhyProfile.fast_ethernet()
+    admission = MultiSwitchAdmission(
+        fabric=fabric, dps=dps or MultiHopProportional()
+    )
+    return FabricNetwork(
+        fabric=fabric, admission=admission, phy=phy,
+        trace_enabled=trace_enabled,
+    )

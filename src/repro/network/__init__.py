@@ -1,0 +1,30 @@
+"""Switched-Ethernet network models (the simulated substrate).
+
+* :mod:`~repro.network.phy` -- link-speed profiles and latency budgets.
+* :mod:`~repro.network.link` -- a unidirectional wire with exact
+  transmission timing.
+* :mod:`~repro.network.port` -- an output port: EDF + FCFS queues
+  feeding one wire (Figure 18.2's queue pair).
+* :mod:`~repro.network.node` -- an end node with an RT layer.
+* :mod:`~repro.network.switch` -- the store-and-forward switch with
+  admission control and channel management.
+* :mod:`~repro.network.topology` -- builders wiring everything to a
+  simulator (star per the paper; tree as the future-work extension).
+"""
+
+from .phy import PhyProfile
+from .link import HalfLink
+from .port import OutputPort
+from .node import EndNode
+from .switch import Switch
+from .topology import StarNetwork, build_star
+
+__all__ = [
+    "PhyProfile",
+    "HalfLink",
+    "OutputPort",
+    "EndNode",
+    "Switch",
+    "StarNetwork",
+    "build_star",
+]

@@ -1,0 +1,164 @@
+"""A unidirectional wire with exact Ethernet timing.
+
+Full-duplex Ethernet means each physical cable is two independent
+simplex channels; the analysis treats them as two independent
+"processors" (Section 18.3.2) and the simulator mirrors that exactly:
+a :class:`HalfLink` carries frames one way, the reverse direction is a
+different ``HalfLink`` instance.
+
+Timing model per frame::
+
+    t0                 = transmission start
+    t0 + tx(frame)     = wire free again (IFG included in tx), owner's
+                         ``on_idle`` fires -- next frame may start
+    t0 + tx + prop     = frame fully received, ``deliver`` fires
+
+The link never queues: :meth:`transmit` on a busy link is a programming
+error (:class:`~repro.errors.SimulationError`) -- queueing is the output
+port's job, and keeping the layers strict catches scheduling bugs early.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SimulationError
+from ..protocol.ethernet import EthernetFrame
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
+from .phy import PhyProfile
+
+__all__ = ["HalfLink"]
+
+
+class HalfLink:
+    """One direction of one cable.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel.
+    phy:
+        Timing profile (transmission and propagation delays).
+    name:
+        Diagnostic name, e.g. ``"m0->switch"``.
+    deliver:
+        Called with the frame when it has fully arrived at the far end.
+    on_idle:
+        Called when the wire becomes free (transmission finished, IFG
+        elapsed); the owning port uses this to start the next frame.
+        Assigned after construction because port and link reference each
+        other.
+    trace:
+        Optional recorder for ``link.*`` milestones.
+    loss_rate:
+        Probability that a transmitted frame is corrupted in flight and
+        silently discarded at the receiver (FCS failure). The paper
+        assumes error-free wires (its guarantee has no retransmission
+        budget); a non-zero rate is a **fault-injection knob** for
+        robustness experiments -- losses then surface as incomplete
+        messages in the metrics, never as silent wrong results.
+    loss_rng:
+        RNG for loss draws; required when ``loss_rate > 0`` so fault
+        injection stays reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyProfile,
+        name: str,
+        deliver: Callable[[EthernetFrame], None],
+        trace: TraceRecorder | None = None,
+        loss_rate: float = 0.0,
+        loss_rng=None,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise SimulationError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        if loss_rate > 0.0 and loss_rng is None:
+            raise SimulationError(
+                "a loss_rng is required when loss_rate > 0 "
+                "(fault injection must be reproducible)"
+            )
+        self._sim = sim
+        self._phy = phy
+        self.name = name
+        self._deliver = deliver
+        self.on_idle: Callable[[], None] | None = None
+        self._trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._busy_until = -1
+        self._loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        # statistics
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.busy_ns = 0
+        self.frames_lost = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a frame is on the wire (or its IFG is running)."""
+        return self._sim.now < self._busy_until
+
+    @property
+    def busy_until(self) -> int:
+        """Time (ns) the wire becomes free; in the past when idle."""
+        return self._busy_until
+
+    def utilization(self, since_ns: int = 0) -> float:
+        """Fraction of wall-clock the wire has been busy since ``since_ns``."""
+        elapsed = self._sim.now - since_ns
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed)
+
+    def transmit(self, frame: EthernetFrame) -> int:
+        """Put ``frame`` on the wire now. Returns the completion time (ns).
+
+        Raises
+        ------
+        SimulationError
+            if the wire is still busy -- the caller (output port) must
+            serialize transmissions.
+        """
+        now = self._sim.now
+        if self.busy:
+            raise SimulationError(
+                f"link {self.name}: transmit while busy until "
+                f"{self._busy_until} ns (now {now} ns); the output port must "
+                "serialize frames"
+            )
+        tx = self._phy.transmission_ns(frame)
+        done = now + tx
+        self._busy_until = done
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_size_bytes
+        self.busy_ns += tx
+        self._trace.record(now, "link.start", self.name, frame.describe())
+        self._sim.schedule(tx, self._wire_free, label=f"{self.name}:idle")
+        arrival = tx + self._phy.propagation_ns
+        self._sim.schedule(
+            arrival,
+            lambda f=frame: self._arrive(f),
+            label=f"{self.name}:deliver",
+        )
+        return done
+
+    def _wire_free(self) -> None:
+        self._trace.record(self._sim.now, "link.idle", self.name)
+        if self.on_idle is not None:
+            self.on_idle()
+
+    def _arrive(self, frame: EthernetFrame) -> None:
+        if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+            self.frames_lost += 1
+            self._trace.record(
+                self._sim.now, "link.lost", self.name, frame.describe()
+            )
+            return
+        self._trace.record(
+            self._sim.now, "link.deliver", self.name, frame.describe()
+        )
+        self._deliver(frame)

@@ -1,0 +1,453 @@
+"""The end node: application, RT layer and uplink transmitter.
+
+An :class:`EndNode` bundles everything the paper places in one station
+(Figure 18.2):
+
+* an **uplink output port** (EDF + FCFS queues) feeding the wire toward
+  the switch;
+* the **RT layer** holding established channel grants and mangling
+  headers (:class:`repro.core.rt_layer.RTLayer`);
+* **source signalling** state for channel establishment
+  (:class:`repro.protocol.signaling.SourceSignaling`);
+* a **destination policy** deciding whether to accept offered channels;
+* reception: delivered frames are reported to the shared
+  :class:`~repro.analysis.metrics.MetricsCollector`, and signalling
+  frames drive the handshake state machines.
+
+The node's application-facing API is :meth:`request_channel` (with a
+completion callback), :meth:`send_message` /
+:meth:`start_periodic_source`, and :meth:`send_best_effort`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..analysis.metrics import MetricsCollector
+from ..core.channel import ChannelSpec
+from ..core.rt_layer import ChannelGrant, RTLayer
+from ..errors import ProtocolError, SimulationError, UnknownChannelError
+from ..protocol.ethernet import EthernetFrame, FrameKind
+from ..protocol.frames import (
+    RequestFrame,
+    ResponseFrame,
+    TeardownFrame,
+    decode_signaling,
+    REQUEST_FRAME_BYTES,
+    RESPONSE_FRAME_BYTES,
+    TEARDOWN_FRAME_BYTES,
+)
+from ..protocol.signaling import (
+    ConnectionRequestState,
+    DestinationPolicy,
+    PendingRequest,
+    SourceSignaling,
+    accept_all,
+    destination_response,
+)
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
+from .phy import PhyProfile
+from .port import OutputPort
+
+__all__ = ["EndNode"]
+
+#: Name used for the switch endpoint in frame source/destination fields.
+SWITCH_NAME = "switch"
+
+RequestCallback = Callable[[PendingRequest, ChannelGrant | None], None]
+
+
+class EndNode:
+    """One station on the star network.
+
+    Constructed by the topology builder, which wires the uplink port and
+    registers addresses; applications then use the public methods.
+
+    Parameters
+    ----------
+    sim, phy:
+        Kernel and timing profile.
+    name, mac, ip:
+        Identity. MAC/IP are registered with the switch's directory by
+        the topology builder.
+    switch_mac:
+        Needed to address RequestFrames (Figure 18.3's first field).
+    metrics:
+        Shared network-wide collector.
+    destination_policy:
+        Accept/decline decision for offered channels; default accepts
+        everything (the paper's evaluation never declines).
+    trace:
+        Optional trace recorder.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyProfile,
+        name: str,
+        mac: int,
+        ip: int,
+        switch_mac: int,
+        metrics: MetricsCollector,
+        destination_policy: DestinationPolicy = accept_all,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self._sim = sim
+        self._phy = phy
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self._switch_mac = switch_mac
+        self._metrics = metrics
+        self._policy = destination_policy
+        self._trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.rt_layer = RTLayer(node_name=name, slot_ns=phy.slot_ns)
+        self.signaling = SourceSignaling(
+            node_mac=mac, switch_mac=switch_mac, node_ip=ip
+        )
+        #: set by the topology builder once the uplink wire exists.
+        self.uplink: OutputPort | None = None
+        self._request_callbacks: dict[int, RequestCallback] = {}
+        #: channels this node receives on (destination side), id -> capacity.
+        self.incoming_channels: dict[int, int] = {}
+        self.frames_received = 0
+        #: signalling frames that arrived as wire bytes and were decoded
+        #: with the bit-exact codec (fidelity counter for tests).
+        self.signaling_frames_decoded = 0
+        #: periodic sources keyed by channel id (for teardown).
+        self._active_sources: set[int] = set()
+
+    # -- wiring (topology builder) ------------------------------------------
+
+    def attach_uplink(self, port: OutputPort) -> None:
+        if self.uplink is not None:
+            raise SimulationError(f"node {self.name!r} already has an uplink")
+        self.uplink = port
+
+    def _require_uplink(self) -> OutputPort:
+        if self.uplink is None:
+            raise SimulationError(
+                f"node {self.name!r} is not wired to the switch yet"
+            )
+        return self.uplink
+
+    # -- channel establishment (application API) -------------------------------
+
+    def request_channel(
+        self,
+        destination_mac: int,
+        destination_ip: int,
+        destination_name: str,
+        spec: ChannelSpec,
+        on_complete: RequestCallback | None = None,
+        timeout_ns: int | None = None,
+    ) -> None:
+        """Send a RequestFrame for a new RT channel to the switch.
+
+        ``on_complete`` fires when the final ResponseFrame arrives, with
+        the completed :class:`PendingRequest` and, on acceptance, the
+        installed :class:`ChannelGrant`.
+
+        ``timeout_ns`` arms a local timer: if no response arrives in
+        time (possible only on lossy wires -- the paper's model is
+        error-free), the request completes as ``TIMED_OUT`` with a
+        ``None`` grant, and a late positive response is automatically
+        answered with a teardown so the switch's reservation is not
+        leaked.
+        """
+        request = self.signaling.build_request(
+            destination=destination_name,
+            destination_mac=destination_mac,
+            destination_ip=destination_ip,
+            period=spec.period,
+            capacity=spec.capacity,
+            deadline=spec.deadline,
+        )
+        if on_complete is not None:
+            self._request_callbacks[request.connect_request_id] = on_complete
+        if timeout_ns is not None:
+            if timeout_ns <= 0:
+                raise SimulationError(
+                    f"timeout_ns must be positive, got {timeout_ns}"
+                )
+            self._sim.schedule(
+                timeout_ns,
+                lambda rid=request.connect_request_id: self._request_timeout(
+                    rid
+                ),
+                label=f"{self.name}:req{request.connect_request_id}:timeout",
+            )
+        self._send_signaling(request, payload_bytes=REQUEST_FRAME_BYTES)
+        self._trace.record(
+            self._sim.now,
+            "signal.request",
+            self.name,
+            f"req={request.connect_request_id} -> {destination_name}",
+        )
+
+    def _request_timeout(self, connect_request_id: int) -> None:
+        """Timer expiry for one outstanding request (no-op if completed)."""
+        try:
+            record = self.signaling.timeout_request(connect_request_id)
+        except ProtocolError:
+            return  # the response won the race
+        self._trace.record(
+            self._sim.now,
+            "signal.timeout",
+            self.name,
+            f"req={connect_request_id}",
+        )
+        callback = self._request_callbacks.pop(connect_request_id, None)
+        if callback is not None:
+            callback(record, None)
+
+    def teardown_channel(self, channel_id: int) -> None:
+        """Release an established sending channel."""
+        self.rt_layer.remove_grant(channel_id)
+        self._active_sources.discard(channel_id)
+        frame = TeardownFrame(connect_request_id=0, rt_channel_id=channel_id)
+        self._send_signaling(frame, payload_bytes=TEARDOWN_FRAME_BYTES)
+
+    def _send_signaling(self, payload, payload_bytes: int) -> None:
+        """Encode a signalling frame to real bytes and queue it.
+
+        Every node-originated signalling frame travels as its bit-exact
+        wire encoding (Figures 18.3/18.4); the receiver runs the real
+        decoder. Only the switch's grant-carrying final response uses
+        structured metadata (see :mod:`repro.core.rt_layer`).
+        """
+        encoded = payload.encode()
+        assert len(encoded) == payload_bytes
+        frame = EthernetFrame(
+            kind=FrameKind.SIGNALING,
+            source=self.name,
+            destination=SWITCH_NAME,
+            payload_bytes=payload_bytes,
+            created_at=self._sim.now,
+            payload_object=encoded,
+        )
+        self._require_uplink().submit_be(frame)
+
+    # -- RT data path (application API) -----------------------------------------
+
+    def send_message(self, channel_id: int) -> int:
+        """Emit one message (``C`` frames) on an established channel now.
+
+        Returns the number of frames enqueued.
+        """
+        outgoing = self.rt_layer.emit_message(channel_id, self._sim.now)
+        port = self._require_uplink()
+        for item in outgoing:
+            port.submit_rt(item.frame, item.uplink_deadline_ns)
+        return len(outgoing)
+
+    def start_periodic_source(
+        self,
+        channel_id: int,
+        stop_after_messages: int | None = None,
+        phase_ns: int = 0,
+    ) -> None:
+        """Generate one message every period, starting ``phase_ns`` from now.
+
+        The first release happens at ``now + phase_ns`` (a zero phase
+        means the critical-instant synchronous release the feasibility
+        analysis assumes is covered when all sources start together).
+        """
+        grant = self.rt_layer.grants.get(channel_id)
+        if grant is None:
+            raise UnknownChannelError(
+                f"node {self.name!r} has no established channel {channel_id}"
+            )
+        if phase_ns < 0:
+            raise SimulationError(f"phase must be >= 0 ns, got {phase_ns}")
+        period_ns = grant.spec.period * self._phy.slot_ns
+        self._active_sources.add(channel_id)
+        remaining = stop_after_messages
+
+        def fire() -> None:
+            nonlocal remaining
+            if channel_id not in self._active_sources:
+                return
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            self.send_message(channel_id)
+            self._sim.schedule(
+                period_ns, fire, label=f"{self.name}:ch{channel_id}:period"
+            )
+
+        self._sim.schedule(
+            phase_ns, fire, label=f"{self.name}:ch{channel_id}:start"
+        )
+
+    def start_sporadic_source(
+        self,
+        channel_id: int,
+        rng,
+        stop_after_messages: int | None = None,
+        mean_extra_gap_slots: float = 50.0,
+    ) -> None:
+        """Generate messages sporadically: gaps of at least one period.
+
+        The paper reserves for *periodic* traffic, but EDF theory covers
+        the sporadic generalization: as long as consecutive releases are
+        at least ``P_i`` apart, the demand on every link is bounded by
+        the periodic case, so the admitted reservation still guarantees
+        every deadline. Gaps are ``P_i + Exp(mean_extra_gap_slots)``
+        slots, drawn from ``rng`` for reproducibility.
+
+        Validated by EXP-R1c style tests: sporadic sources on a fully
+        admitted set never miss.
+        """
+        grant = self.rt_layer.grants.get(channel_id)
+        if grant is None:
+            raise UnknownChannelError(
+                f"node {self.name!r} has no established channel {channel_id}"
+            )
+        if mean_extra_gap_slots < 0:
+            raise SimulationError(
+                f"mean_extra_gap_slots must be >= 0, got {mean_extra_gap_slots}"
+            )
+        period_ns = grant.spec.period * self._phy.slot_ns
+        self._active_sources.add(channel_id)
+        remaining = stop_after_messages
+
+        def gap_ns() -> int:
+            extra = float(rng.exponential(mean_extra_gap_slots))
+            return period_ns + int(extra * self._phy.slot_ns)
+
+        def fire() -> None:
+            nonlocal remaining
+            if channel_id not in self._active_sources:
+                return
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            self.send_message(channel_id)
+            self._sim.schedule(
+                gap_ns(), fire, label=f"{self.name}:ch{channel_id}:sporadic"
+            )
+
+        self._sim.schedule(
+            gap_ns(), fire, label=f"{self.name}:ch{channel_id}:sporadic0"
+        )
+
+    def stop_periodic_source(self, channel_id: int) -> None:
+        """Stop generating messages on ``channel_id`` (grant remains)."""
+        self._active_sources.discard(channel_id)
+
+    # -- best-effort path ---------------------------------------------------------
+
+    def send_best_effort(self, destination: str, payload_bytes: int) -> bool:
+        """Queue one best-effort frame toward ``destination``.
+
+        Returns False when the uplink best-effort buffer dropped it.
+        """
+        frame = EthernetFrame(
+            kind=FrameKind.BEST_EFFORT,
+            source=self.name,
+            destination=destination,
+            payload_bytes=payload_bytes,
+            created_at=self._sim.now,
+        )
+        return self._require_uplink().submit_be(frame)
+
+    # -- reception -----------------------------------------------------------------
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """Entry point for frames arriving on this node's downlink."""
+        self.frames_received += 1
+        if frame.kind is FrameKind.SIGNALING:
+            self._receive_signaling(frame)
+            return
+        self._metrics.on_delivery(frame, self._sim.now)
+        self._trace.record(
+            self._sim.now, "node.deliver", self.name, frame.describe()
+        )
+
+    def _receive_signaling(self, frame: EthernetFrame) -> None:
+        self._metrics.on_delivery(frame, self._sim.now)
+        payload = frame.payload_object
+        if isinstance(payload, (bytes, bytearray)):
+            # bit-exact wire encoding: run the real decoder
+            payload = decode_signaling(bytes(payload))
+            self.signaling_frames_decoded += 1
+        # The switch attaches the channel grant to positive responses as
+        # (ResponseFrame, ChannelGrant) -- management metadata riding in
+        # the response's padding bytes (see repro.core.rt_layer docs).
+        if isinstance(payload, tuple) and len(payload) == 2:
+            response, grant = payload
+            if not isinstance(response, ResponseFrame) or not isinstance(
+                grant, ChannelGrant
+            ):
+                raise ProtocolError(
+                    f"node {self.name!r} received malformed signalling tuple"
+                )
+            self._handle_response(response, grant)
+        elif isinstance(payload, RequestFrame):
+            self._handle_offer(payload)
+        elif isinstance(payload, ResponseFrame):
+            self._handle_response(payload, None)
+        else:
+            raise ProtocolError(
+                f"node {self.name!r} received unexpected signalling payload "
+                f"{type(payload).__name__}"
+            )
+
+    def _handle_offer(self, request: RequestFrame) -> None:
+        """An offered channel (switch-stamped RequestFrame) arrived."""
+        response = destination_response(request, self._switch_mac, self._policy)
+        if response.ok:
+            self.incoming_channels[request.rt_channel_id] = request.capacity
+            self._metrics.register_channel(
+                request.rt_channel_id, request.capacity
+            )
+        self._trace.record(
+            self._sim.now,
+            "signal.offer",
+            self.name,
+            f"ch={request.rt_channel_id} ok={response.ok}",
+        )
+        self._send_signaling(response, payload_bytes=RESPONSE_FRAME_BYTES)
+
+    def _handle_response(
+        self, response: ResponseFrame, grant: ChannelGrant | None
+    ) -> None:
+        """The switch's final verdict on one of our requests arrived."""
+        completed = self.signaling.handle_response(response)
+        if completed.state is ConnectionRequestState.TIMED_OUT:
+            # Late response for a request we already abandoned. If the
+            # switch accepted, its reservation is orphaned: release it.
+            if response.ok:
+                frame = TeardownFrame(
+                    connect_request_id=response.connect_request_id,
+                    rt_channel_id=response.rt_channel_id,
+                )
+                self._send_signaling(frame, payload_bytes=TEARDOWN_FRAME_BYTES)
+                self._trace.record(
+                    self._sim.now,
+                    "signal.late_response_teardown",
+                    self.name,
+                    f"ch={response.rt_channel_id}",
+                )
+            return
+        if response.ok:
+            if grant is None:
+                raise ProtocolError(
+                    f"positive response for request {response.connect_request_id} "
+                    "arrived without a channel grant"
+                )
+            self.rt_layer.install_grant(grant)
+        callback = self._request_callbacks.pop(response.connect_request_id, None)
+        self._trace.record(
+            self._sim.now,
+            "signal.response",
+            self.name,
+            f"req={response.connect_request_id} ok={response.ok}",
+        )
+        if callback is not None:
+            callback(completed, grant)

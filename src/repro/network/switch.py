@@ -1,0 +1,224 @@
+"""The store-and-forward switch (Sections 18.1-18.2).
+
+The :class:`Switch` bundles:
+
+* one **downlink output port** per connected node, each with the EDF +
+  FCFS queue pair of Figure 18.2;
+* the **forwarding plane**: a fully received frame is processed after
+  the store-and-forward delay, then routed -- RT frames by their channel
+  ID (the channel *is* the address once established; the destination was
+  recorded at establishment time), best-effort frames by destination
+  name, signalling frames into the channel-management software;
+* the **RT channel management software** of Figure 18.2
+  (:class:`~repro.core.channel_manager.SwitchChannelManager`), i.e.
+  admission control plus the establishment handshake.
+
+Downlink EDF keys come straight from the frame's mangled IP header: the
+48-bit end-to-end absolute deadline the source RT layer wrote. The
+switch needs no per-channel deadline state on the forwarding fast path
+-- exactly the property the paper's header trick buys.
+"""
+
+from __future__ import annotations
+
+from ..core.channel_manager import (
+    NodeDirectory,
+    SignalAction,
+    SwitchChannelManager,
+)
+from ..core.admission import AdmissionController
+from ..errors import ProtocolError, SimulationError, UnknownChannelError
+from ..protocol.ethernet import EthernetFrame, FrameKind
+from ..protocol.frames import (
+    RequestFrame,
+    ResponseFrame,
+    TeardownFrame,
+    decode_signaling,
+    REQUEST_FRAME_BYTES,
+    RESPONSE_FRAME_BYTES,
+)
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
+from .node import SWITCH_NAME
+from .phy import PhyProfile
+from .port import OutputPort
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """The central switch of the star topology.
+
+    Parameters
+    ----------
+    sim, phy:
+        Kernel and timing profile.
+    mac:
+        The switch's MAC address (target of all RequestFrames).
+    admission:
+        The admission controller (with its system state and DPS).
+    directory:
+        Node address directory, shared with the topology builder.
+    trace:
+        Optional trace recorder.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyProfile,
+        mac: int,
+        admission: AdmissionController,
+        directory: NodeDirectory,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self._sim = sim
+        self._phy = phy
+        self.mac = mac
+        self._trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.manager = SwitchChannelManager(
+            admission=admission, directory=directory, switch_mac=mac
+        )
+        self._ports: dict[str, OutputPort] = {}
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        #: signalling frames that arrived as wire bytes and were decoded
+        #: with the bit-exact codec (fidelity counter for tests).
+        self.signaling_frames_decoded = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_port(self, node_name: str, port: OutputPort) -> None:
+        """Register the downlink port toward ``node_name``."""
+        if node_name in self._ports:
+            raise SimulationError(
+                f"switch already has a port toward {node_name!r}"
+            )
+        self._ports[node_name] = port
+
+    def port_toward(self, node_name: str) -> OutputPort:
+        port = self._ports.get(node_name)
+        if port is None:
+            raise SimulationError(
+                f"switch has no port toward {node_name!r}"
+            )
+        return port
+
+    @property
+    def ports(self) -> dict[str, OutputPort]:
+        """Downlink ports keyed by node name (copy)."""
+        return dict(self._ports)
+
+    # -- ingress from uplinks ------------------------------------------------------
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """A frame fully arrived on some uplink (store-and-forward point).
+
+        Processing (routing + queueing) happens after the switch's
+        processing delay, modelling lookup latency.
+        """
+        self._sim.schedule(
+            self._phy.switch_processing_ns,
+            lambda f=frame: self._process(f),
+            label="switch:process",
+        )
+
+    def _process(self, frame: EthernetFrame) -> None:
+        if frame.kind is FrameKind.SIGNALING:
+            self._process_signaling(frame)
+        elif frame.kind is FrameKind.RT_DATA:
+            self._forward_rt(frame)
+        else:
+            self._forward_best_effort(frame)
+
+    # -- forwarding plane -------------------------------------------------------------
+
+    def _forward_rt(self, frame: EthernetFrame) -> None:
+        try:
+            destination = self.manager.destination_of(frame.channel_id)
+        except UnknownChannelError:
+            # Channel torn down while the frame was in flight: drop.
+            self.frames_dropped += 1
+            self._trace.record(
+                self._sim.now, "switch.drop", SWITCH_NAME, frame.describe()
+            )
+            return
+        port = self.port_toward(destination)
+        # Second hop: the miss check allows the full two-hop share of
+        # T_latency -- blocking suffered on the uplink cascades into the
+        # downlink's completion time (see OutputPort.submit_rt).
+        port.submit_rt(
+            frame,
+            link_deadline_ns=frame.absolute_deadline,
+            allowance_ns=self._phy.t_latency_ns,
+        )
+        self.frames_forwarded += 1
+
+    def _forward_best_effort(self, frame: EthernetFrame) -> None:
+        port = self._ports.get(frame.destination)
+        if port is None:
+            self.frames_dropped += 1
+            self._trace.record(
+                self._sim.now,
+                "switch.drop",
+                SWITCH_NAME,
+                f"no port toward {frame.destination!r}",
+            )
+            return
+        accepted = port.submit_be(frame)
+        if accepted:
+            self.frames_forwarded += 1
+        else:
+            self.frames_dropped += 1
+
+    # -- channel management ------------------------------------------------------------
+
+    def _process_signaling(self, frame: EthernetFrame) -> None:
+        payload = frame.payload_object
+        if isinstance(payload, (bytes, bytearray)):
+            # bit-exact wire encoding from an end node: real decoder
+            payload = decode_signaling(bytes(payload))
+            self.signaling_frames_decoded += 1
+        if isinstance(payload, RequestFrame):
+            actions = self.manager.handle_request(payload)
+        elif isinstance(payload, ResponseFrame):
+            actions = self.manager.handle_response(payload)
+        elif isinstance(payload, TeardownFrame):
+            actions = self.manager.handle_teardown(payload)
+        else:
+            raise ProtocolError(
+                f"switch received unexpected signalling payload "
+                f"{type(payload).__name__}"
+            )
+        self._trace.record(
+            self._sim.now,
+            "switch.signal",
+            SWITCH_NAME,
+            f"{type(payload).__name__} -> {len(actions)} action(s)",
+        )
+        for action in actions:
+            self._emit_signaling(action)
+
+    def _emit_signaling(self, action: SignalAction) -> None:
+        if isinstance(action.frame, RequestFrame):
+            payload_bytes = REQUEST_FRAME_BYTES
+            # forwarded (stamped) requests travel as wire bytes too
+            payload_object: object = action.frame.encode()
+        else:
+            payload_bytes = RESPONSE_FRAME_BYTES
+            if action.grant is not None:
+                # the grant rides as management metadata in the response
+                # padding; this is the one frame that stays structured
+                # (see repro.core.rt_layer docs / DESIGN.md substitutions)
+                payload_object = (action.frame, action.grant)
+            else:
+                payload_object = action.frame.encode()
+        out = EthernetFrame(
+            kind=FrameKind.SIGNALING,
+            source=SWITCH_NAME,
+            destination=action.target,
+            payload_bytes=payload_bytes,
+            created_at=self._sim.now,
+            payload_object=payload_object,
+        )
+        self.port_toward(action.target).submit_be(out)

@@ -1,0 +1,69 @@
+"""Wire-format layer: frame codecs and RT header mangling.
+
+This subpackage implements the paper's on-the-wire artifacts:
+
+* :mod:`~repro.protocol.bitfields` -- MSB-first bit packing primitives.
+* :mod:`~repro.protocol.frames` -- the RequestFrame and ResponseFrame of
+  Figures 18.3/18.4, bit-exact field widths.
+* :mod:`~repro.protocol.headers` -- the RT layer's repurposing of the IP
+  source/destination address fields for the 48-bit absolute deadline and
+  the 16-bit channel ID (Section 18.2.2, ToS = 255 convention).
+* :mod:`~repro.protocol.ethernet` -- the logical Ethernet frame model the
+  simulator transports, with exact wire-size accounting.
+* :mod:`~repro.protocol.signaling` -- per-role state machines for the
+  channel-establishment handshake.
+"""
+
+from .bitfields import BitPacker, BitUnpacker
+from .frames import (
+    FrameType,
+    RequestFrame,
+    ResponseFrame,
+    TeardownFrame,
+    decode_signaling,
+    REQUEST_FRAME_BYTES,
+    RESPONSE_FRAME_BYTES,
+)
+from .headers import (
+    RT_TOS,
+    RTHeader,
+    decode_rt_header,
+    encode_rt_header,
+    MAX_ABSOLUTE_DEADLINE,
+    MAX_CHANNEL_ID,
+)
+from .ethernet import EthernetFrame, FrameKind
+from .signaling import (
+    ConnectionRequestState,
+    DestinationPolicy,
+    PendingRequest,
+    SourceSignaling,
+    accept_all,
+    destination_response,
+)
+
+__all__ = [
+    "BitPacker",
+    "BitUnpacker",
+    "FrameType",
+    "RequestFrame",
+    "ResponseFrame",
+    "TeardownFrame",
+    "decode_signaling",
+    "REQUEST_FRAME_BYTES",
+    "RESPONSE_FRAME_BYTES",
+    "RT_TOS",
+    "RTHeader",
+    "decode_rt_header",
+    "encode_rt_header",
+    "MAX_ABSOLUTE_DEADLINE",
+    "MAX_CHANNEL_ID",
+    "EthernetFrame",
+    "FrameKind",
+    "ConnectionRequestState",
+    "DestinationPolicy",
+    "PendingRequest",
+    "SourceSignaling",
+    "accept_all",
+    "destination_response",
+]

@@ -1,0 +1,111 @@
+"""MSB-first bit packing and unpacking.
+
+The signalling frames of Figures 18.3/18.4 use field widths that are not
+byte-aligned (a 1-bit response flag, a 16-bit channel ID next to 48-bit
+MAC addresses), so the codecs need sub-byte precision. These two small
+classes provide it:
+
+* :class:`BitPacker` appends unsigned integer fields most-significant-
+  bit first and renders the result as bytes, padding the final partial
+  byte with zero bits (the padding is on the wire but carries no
+  information).
+* :class:`BitUnpacker` reads fields back in the same order and can
+  verify that any trailing padding is all-zero.
+
+Both validate widths and ranges eagerly: a value that does not fit its
+declared width raises :class:`~repro.errors.FieldRangeError` instead of
+being silently truncated -- the paper's field widths are protocol
+invariants, not suggestions.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError, FieldRangeError
+
+__all__ = ["BitPacker", "BitUnpacker"]
+
+
+class BitPacker:
+    """Accumulate unsigned fields MSB-first and serialize to bytes."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._bits = 0
+
+    def put(self, value: int, width: int) -> "BitPacker":
+        """Append ``value`` as a ``width``-bit big-endian field.
+
+        Returns ``self`` so calls can be chained.
+        """
+        if width <= 0:
+            raise FieldRangeError(f"field width must be positive, got {width}")
+        if not isinstance(value, int):
+            raise FieldRangeError(
+                f"field value must be an int, got {type(value).__name__}"
+            )
+        if value < 0 or value >= (1 << width):
+            raise FieldRangeError(
+                f"value {value} does not fit in {width} bits "
+                f"(range 0..{(1 << width) - 1})"
+            )
+        self._value = (self._value << width) | value
+        self._bits += width
+        return self
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits appended so far."""
+        return self._bits
+
+    def to_bytes(self) -> bytes:
+        """Render as bytes, zero-padding the last partial byte on the right."""
+        if self._bits == 0:
+            return b""
+        pad = (-self._bits) % 8
+        return (self._value << pad).to_bytes((self._bits + pad) // 8, "big")
+
+
+class BitUnpacker:
+    """Read MSB-first unsigned fields out of a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise CodecError(
+                f"BitUnpacker needs bytes, got {type(data).__name__}"
+            )
+        self._data = bytes(data)
+        self._value = int.from_bytes(self._data, "big") if self._data else 0
+        self._total_bits = 8 * len(self._data)
+        self._consumed = 0
+
+    def take(self, width: int) -> int:
+        """Read the next ``width``-bit field.
+
+        Raises :class:`~repro.errors.CodecError` when the input is too
+        short -- a truncated frame must never decode successfully.
+        """
+        if width <= 0:
+            raise FieldRangeError(f"field width must be positive, got {width}")
+        if self._consumed + width > self._total_bits:
+            raise CodecError(
+                f"frame truncated: wanted {width} more bits but only "
+                f"{self._total_bits - self._consumed} remain"
+            )
+        shift = self._total_bits - self._consumed - width
+        self._consumed += width
+        return (self._value >> shift) & ((1 << width) - 1)
+
+    @property
+    def remaining_bits(self) -> int:
+        return self._total_bits - self._consumed
+
+    def expect_zero_padding(self) -> None:
+        """Assert that all unread bits are zero (trailing pad check)."""
+        if self.remaining_bits == 0:
+            return
+        tail = self._value & ((1 << self.remaining_bits) - 1)
+        if tail != 0:
+            raise CodecError(
+                f"nonzero trailing padding ({self.remaining_bits} bits, "
+                f"value {tail:#x}); frame is corrupt or misframed"
+            )

@@ -1,0 +1,276 @@
+"""Bit-exact RequestFrame / ResponseFrame codecs (Figures 18.3 and 18.4).
+
+The RT-channel establishment handshake uses two signalling frames whose
+data fields the paper specifies down to the bit:
+
+**RequestFrame** (Figure 18.3), carried in an Ethernet frame addressed
+to the switch:
+
+======================================  =====
+field                                   bits
+======================================  =====
+Type (= Connect packet)                 8
+Connection request ID                   8
+RT channel ID (not yet valid)           16
+Source MAC address                      48
+Destination MAC address                 48
+IP source address                       32
+IP destination address                  32
+T_period                                32
+C (capacity)                            32
+T_deadline                              32
+======================================  =====
+
+Total 288 bits = 36 bytes.
+
+**ResponseFrame** (Figure 18.4):
+
+======================================  =====
+field                                   bits
+======================================  =====
+Type (= Response packet)                8
+Connection request ID                   8
+RT channel ID                           16
+Switch (source) MAC address             48
+Response (0 = Not OK, 1 = OK)           1
+======================================  =====
+
+Total 81 bits, padded with 7 zero bits to 11 bytes.
+
+Field *widths* are taken verbatim from the figures. The *serialization
+order* within the data field is not fully recoverable from the published
+figure text, so this implementation fixes the canonical order above
+(type tag first, then identifiers, addresses, parameters) and documents
+it; any order-preserving permutation would interoperate only with
+itself, and the paper's own prototype is not available to match against.
+
+A :class:`TeardownFrame` (type 3) is added as a natural extension -- the
+paper establishes channels dynamically but does not give a release
+frame; a real deployment needs one, and the admission controller
+supports release.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CodecError, FieldRangeError
+from .bitfields import BitPacker, BitUnpacker
+
+__all__ = [
+    "FrameType",
+    "RequestFrame",
+    "ResponseFrame",
+    "TeardownFrame",
+    "decode_signaling",
+    "REQUEST_FRAME_BYTES",
+    "RESPONSE_FRAME_BYTES",
+    "TEARDOWN_FRAME_BYTES",
+]
+
+#: Encoded size of a RequestFrame data field (288 bits).
+REQUEST_FRAME_BYTES = 36
+#: Encoded size of a ResponseFrame data field (81 bits, padded).
+RESPONSE_FRAME_BYTES = 11
+#: Encoded size of a TeardownFrame data field (32 bits).
+TEARDOWN_FRAME_BYTES = 4
+
+_MAC_BITS = 48
+_IP_BITS = 32
+_PARAM_BITS = 32
+_CHANNEL_ID_BITS = 16
+_REQUEST_ID_BITS = 8
+_TYPE_BITS = 8
+
+
+class FrameType(enum.IntEnum):
+    """The 8-bit Type field of the signalling frames."""
+
+    CONNECT = 1
+    RESPONSE = 2
+    TEARDOWN = 3  # extension, see module docstring
+
+
+@dataclass(frozen=True, slots=True)
+class RequestFrame:
+    """Decoded form of the Figure 18.3 connection request.
+
+    ``rt_channel_id`` is 0 (not yet valid) when the source emits the
+    request; the switch overwrites it with the network-unique ID before
+    forwarding the request to the destination (Section 18.2.2).
+    """
+
+    connect_request_id: int
+    rt_channel_id: int
+    source_mac: int
+    destination_mac: int
+    source_ip: int
+    destination_ip: int
+    period: int
+    capacity: int
+    deadline: int
+
+    def __post_init__(self) -> None:
+        _check_width("connect_request_id", self.connect_request_id, _REQUEST_ID_BITS)
+        _check_width("rt_channel_id", self.rt_channel_id, _CHANNEL_ID_BITS)
+        _check_width("source_mac", self.source_mac, _MAC_BITS)
+        _check_width("destination_mac", self.destination_mac, _MAC_BITS)
+        _check_width("source_ip", self.source_ip, _IP_BITS)
+        _check_width("destination_ip", self.destination_ip, _IP_BITS)
+        _check_width("period", self.period, _PARAM_BITS)
+        _check_width("capacity", self.capacity, _PARAM_BITS)
+        _check_width("deadline", self.deadline, _PARAM_BITS)
+
+    def encode(self) -> bytes:
+        """Serialize to the 36-byte wire form."""
+        packer = (
+            BitPacker()
+            .put(FrameType.CONNECT, _TYPE_BITS)
+            .put(self.connect_request_id, _REQUEST_ID_BITS)
+            .put(self.rt_channel_id, _CHANNEL_ID_BITS)
+            .put(self.source_mac, _MAC_BITS)
+            .put(self.destination_mac, _MAC_BITS)
+            .put(self.source_ip, _IP_BITS)
+            .put(self.destination_ip, _IP_BITS)
+            .put(self.period, _PARAM_BITS)
+            .put(self.capacity, _PARAM_BITS)
+            .put(self.deadline, _PARAM_BITS)
+        )
+        return packer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, unpacker: BitUnpacker) -> "RequestFrame":
+        """Decode the fields after the type tag (already consumed)."""
+        frame = cls(
+            connect_request_id=unpacker.take(_REQUEST_ID_BITS),
+            rt_channel_id=unpacker.take(_CHANNEL_ID_BITS),
+            source_mac=unpacker.take(_MAC_BITS),
+            destination_mac=unpacker.take(_MAC_BITS),
+            source_ip=unpacker.take(_IP_BITS),
+            destination_ip=unpacker.take(_IP_BITS),
+            period=unpacker.take(_PARAM_BITS),
+            capacity=unpacker.take(_PARAM_BITS),
+            deadline=unpacker.take(_PARAM_BITS),
+        )
+        unpacker.expect_zero_padding()
+        return frame
+
+    def with_channel_id(self, rt_channel_id: int) -> "RequestFrame":
+        """The switch's rewrite before forwarding to the destination."""
+        return RequestFrame(
+            connect_request_id=self.connect_request_id,
+            rt_channel_id=rt_channel_id,
+            source_mac=self.source_mac,
+            destination_mac=self.destination_mac,
+            source_ip=self.source_ip,
+            destination_ip=self.destination_ip,
+            period=self.period,
+            capacity=self.capacity,
+            deadline=self.deadline,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseFrame:
+    """Decoded form of the Figure 18.4 connection response.
+
+    Sent by the destination node to the switch (accept/decline), and by
+    the switch to the source node (final verdict, also used for direct
+    rejection when the feasibility test fails).
+    """
+
+    connect_request_id: int
+    rt_channel_id: int
+    switch_mac: int
+    ok: bool
+
+    def __post_init__(self) -> None:
+        _check_width("connect_request_id", self.connect_request_id, _REQUEST_ID_BITS)
+        _check_width("rt_channel_id", self.rt_channel_id, _CHANNEL_ID_BITS)
+        _check_width("switch_mac", self.switch_mac, _MAC_BITS)
+        if not isinstance(self.ok, bool):
+            raise FieldRangeError(
+                f"response flag must be a bool, got {self.ok!r}"
+            )
+
+    def encode(self) -> bytes:
+        packer = (
+            BitPacker()
+            .put(FrameType.RESPONSE, _TYPE_BITS)
+            .put(self.connect_request_id, _REQUEST_ID_BITS)
+            .put(self.rt_channel_id, _CHANNEL_ID_BITS)
+            .put(self.switch_mac, _MAC_BITS)
+            .put(1 if self.ok else 0, 1)
+        )
+        return packer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, unpacker: BitUnpacker) -> "ResponseFrame":
+        frame = cls(
+            connect_request_id=unpacker.take(_REQUEST_ID_BITS),
+            rt_channel_id=unpacker.take(_CHANNEL_ID_BITS),
+            switch_mac=unpacker.take(_MAC_BITS),
+            ok=bool(unpacker.take(1)),
+        )
+        unpacker.expect_zero_padding()
+        return frame
+
+
+@dataclass(frozen=True, slots=True)
+class TeardownFrame:
+    """Release an active RT channel (extension frame, type 3)."""
+
+    connect_request_id: int
+    rt_channel_id: int
+
+    def __post_init__(self) -> None:
+        _check_width("connect_request_id", self.connect_request_id, _REQUEST_ID_BITS)
+        _check_width("rt_channel_id", self.rt_channel_id, _CHANNEL_ID_BITS)
+
+    def encode(self) -> bytes:
+        packer = (
+            BitPacker()
+            .put(FrameType.TEARDOWN, _TYPE_BITS)
+            .put(self.connect_request_id, _REQUEST_ID_BITS)
+            .put(self.rt_channel_id, _CHANNEL_ID_BITS)
+        )
+        return packer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, unpacker: BitUnpacker) -> "TeardownFrame":
+        frame = cls(
+            connect_request_id=unpacker.take(_REQUEST_ID_BITS),
+            rt_channel_id=unpacker.take(_CHANNEL_ID_BITS),
+        )
+        unpacker.expect_zero_padding()
+        return frame
+
+
+def decode_signaling(
+    data: bytes,
+) -> RequestFrame | ResponseFrame | TeardownFrame:
+    """Decode any signalling frame, dispatching on the 8-bit type tag."""
+    unpacker = BitUnpacker(data)
+    tag = unpacker.take(_TYPE_BITS)
+    try:
+        frame_type = FrameType(tag)
+    except ValueError:
+        raise CodecError(f"unknown signalling frame type {tag:#04x}") from None
+    if frame_type is FrameType.CONNECT:
+        return RequestFrame.decode_body(unpacker)
+    if frame_type is FrameType.RESPONSE:
+        return ResponseFrame.decode_body(unpacker)
+    return TeardownFrame.decode_body(unpacker)
+
+
+def _check_width(name: str, value: int, width: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise FieldRangeError(
+            f"{name} must be an int, got {type(value).__name__}"
+        )
+    if value < 0 or value >= (1 << width):
+        raise FieldRangeError(
+            f"{name} = {value} does not fit in the {width}-bit field "
+            f"declared by the paper (range 0..{(1 << width) - 1})"
+        )

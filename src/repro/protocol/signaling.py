@@ -1,0 +1,242 @@
+"""Channel-establishment signalling state machines (Section 18.2.2).
+
+The establishment handshake involves three roles:
+
+1. the **source** node sends a RequestFrame to the switch and waits for
+   a ResponseFrame matching its connection-request ID;
+2. the **switch** runs admission control; on failure it answers the
+   source directly with a negative ResponseFrame, on success it stamps
+   the network-unique RT channel ID into the request and forwards it to
+   the destination (the switch side lives in
+   :mod:`repro.core.channel_manager` because it needs the admission
+   controller);
+3. the **destination** node answers the offered channel with a
+   ResponseFrame (accept or decline).
+
+This module provides the two end-node state machines as pure, simulator-
+agnostic objects: the network layer feeds them decoded frames and they
+return what to send next. Keeping them pure makes the protocol's corner
+cases (duplicate responses, unknown request IDs, request-ID exhaustion)
+unit-testable without any event loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ProtocolError
+from .frames import RequestFrame, ResponseFrame
+
+__all__ = [
+    "ConnectionRequestState",
+    "PendingRequest",
+    "SourceSignaling",
+    "DestinationPolicy",
+    "accept_all",
+]
+
+
+class ConnectionRequestState(enum.Enum):
+    """Lifecycle of one outstanding connection request at the source."""
+
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    #: The source gave up waiting (lost request or lost response). A
+    #: response arriving after the timeout is surfaced so the caller can
+    #: release the switch's orphaned reservation.
+    TIMED_OUT = "timed-out"
+
+
+@dataclass(slots=True)
+class PendingRequest:
+    """Bookkeeping for one in-flight connection request at the source."""
+
+    connect_request_id: int
+    destination: str
+    period: int
+    capacity: int
+    deadline: int
+    state: ConnectionRequestState = ConnectionRequestState.PENDING
+    rt_channel_id: int = -1
+
+
+class SourceSignaling:
+    """Source-node half of the establishment handshake.
+
+    The 8-bit *connection request ID* field exists so a node can tell
+    apart responses to several concurrent requests (Section 18.2.2);
+    this class allocates those IDs, refuses to exceed 256 concurrent
+    outstanding requests (the field cannot express more), and pairs each
+    ResponseFrame with its request.
+
+    Parameters
+    ----------
+    node_mac:
+        This node's 48-bit MAC address, placed in the source MAC field.
+    switch_mac:
+        The switch's MAC address (destination of every RequestFrame).
+    node_ip:
+        This node's 32-bit IP address.
+    """
+
+    MAX_OUTSTANDING = 256  # 8-bit connection request ID space
+
+    def __init__(self, node_mac: int, switch_mac: int, node_ip: int) -> None:
+        self._node_mac = node_mac
+        self._switch_mac = switch_mac
+        self._node_ip = node_ip
+        self._pending: dict[int, PendingRequest] = {}
+        #: requests that timed out locally; a late response must still be
+        #: recognizable so the orphaned switch reservation can be freed.
+        self._timed_out: dict[int, PendingRequest] = {}
+        self._next_hint = 0
+        self.completed: list[PendingRequest] = []
+
+    @property
+    def outstanding(self) -> int:
+        """Number of requests still awaiting a response."""
+        return len(self._pending)
+
+    def _allocate_request_id(self) -> int:
+        # Timed-out IDs stay reserved until their late response arrives
+        # (or forever, if it was truly lost) -- reusing one would pair a
+        # new request with a stale response.
+        in_use = len(self._pending) + len(self._timed_out)
+        if in_use >= self.MAX_OUTSTANDING:
+            raise ProtocolError(
+                "all 256 connection-request IDs are outstanding; wait for "
+                "responses before issuing more requests"
+            )
+        for offset in range(self.MAX_OUTSTANDING):
+            candidate = (self._next_hint + offset) % self.MAX_OUTSTANDING
+            if candidate not in self._pending and candidate not in self._timed_out:
+                self._next_hint = (candidate + 1) % self.MAX_OUTSTANDING
+                return candidate
+        raise ProtocolError("request ID space exhausted")  # pragma: no cover
+
+    def build_request(
+        self,
+        destination: str,
+        destination_mac: int,
+        destination_ip: int,
+        period: int,
+        capacity: int,
+        deadline: int,
+    ) -> RequestFrame:
+        """Create and register a RequestFrame for a new RT channel.
+
+        The *RT channel ID* field is sent as 0 -- "not set with a valid
+        value yet" per the paper; the switch assigns the real ID.
+        """
+        request_id = self._allocate_request_id()
+        self._pending[request_id] = PendingRequest(
+            connect_request_id=request_id,
+            destination=destination,
+            period=period,
+            capacity=capacity,
+            deadline=deadline,
+        )
+        return RequestFrame(
+            connect_request_id=request_id,
+            rt_channel_id=0,
+            source_mac=self._node_mac,
+            destination_mac=destination_mac,
+            source_ip=self._node_ip,
+            destination_ip=destination_ip,
+            period=period,
+            capacity=capacity,
+            deadline=deadline,
+        )
+
+    def handle_response(self, response: ResponseFrame) -> PendingRequest:
+        """Consume the switch's final ResponseFrame for one request.
+
+        Returns the completed request record (state ``ACCEPTED`` with the
+        assigned channel ID, or ``REJECTED``). Raises
+        :class:`~repro.errors.ProtocolError` for responses that match no
+        outstanding request -- duplicates and strays must be surfaced,
+        not silently absorbed, because in a real deployment they indicate
+        switch or network misbehaviour.
+        """
+        stale = self._timed_out.pop(response.connect_request_id, None)
+        if stale is not None:
+            # Late response for a locally abandoned request. Record the
+            # channel ID so the caller can tear down the orphaned switch
+            # reservation; the state stays TIMED_OUT.
+            if response.ok:
+                stale.rt_channel_id = response.rt_channel_id
+            return stale
+        request = self._pending.pop(response.connect_request_id, None)
+        if request is None:
+            raise ProtocolError(
+                f"response for unknown connection request ID "
+                f"{response.connect_request_id}"
+            )
+        if response.ok:
+            request.state = ConnectionRequestState.ACCEPTED
+            request.rt_channel_id = response.rt_channel_id
+        else:
+            request.state = ConnectionRequestState.REJECTED
+        self.completed.append(request)
+        return request
+
+    def timeout_request(self, connect_request_id: int) -> PendingRequest:
+        """Abandon a pending request that received no response in time.
+
+        The record transitions to ``TIMED_OUT`` and the ID stays
+        reserved (see :meth:`_allocate_request_id`) so a late response
+        can still be matched. Raises for unknown IDs.
+        """
+        request = self._pending.pop(connect_request_id, None)
+        if request is None:
+            raise ProtocolError(
+                f"cannot time out unknown connection request "
+                f"{connect_request_id}"
+            )
+        request.state = ConnectionRequestState.TIMED_OUT
+        self._timed_out[connect_request_id] = request
+        self.completed.append(request)
+        return request
+
+
+#: Decision function a destination node applies to an offered channel:
+#: given the (switch-stamped) RequestFrame, return True to accept.
+DestinationPolicy = Callable[[RequestFrame], bool]
+
+
+def accept_all(request: RequestFrame) -> bool:
+    """The default destination policy: accept every offered channel.
+
+    The paper's destination nodes may decline (the ResponseFrame exists
+    for that purpose) but its evaluation never exercises a decline; real
+    deployments would plug in resource checks here (CPU budget for the
+    receiving task, buffer space, application-level authorization).
+    """
+    del request
+    return True
+
+
+def destination_response(
+    request: RequestFrame, switch_mac: int, policy: DestinationPolicy
+) -> ResponseFrame:
+    """Build the destination node's ResponseFrame for an offered channel.
+
+    The response's source MAC is the *switch* address per Figure 18.4 --
+    the ResponseFrame format is shared by the destination->switch and
+    switch->source messages, and carries the switch MAC as the stable
+    addressing anchor.
+    """
+    if request.rt_channel_id == 0:
+        raise ProtocolError(
+            "offered channel carries no RT channel ID; the switch must "
+            "stamp the ID before forwarding a request to the destination"
+        )
+    return ResponseFrame(
+        connect_request_id=request.connect_request_id,
+        rt_channel_id=request.rt_channel_id,
+        switch_mac=switch_mac,
+        ok=bool(policy(request)),
+    )

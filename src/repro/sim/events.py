@@ -1,0 +1,76 @@
+"""Event records for the discrete-event kernel.
+
+An :class:`Event` pairs a firing time with a zero-argument callback.
+Determinism rule: events scheduled for the same instant fire in the
+order they were scheduled (FIFO), enforced by a monotone sequence
+number in the heap key. This makes every simulation run bit-for-bit
+reproducible for a given seed, which the validation experiments rely
+on.
+
+:class:`EventHandle` is the caller-facing token for cancellation.
+Cancellation is lazy (the heap entry stays but is skipped on pop),
+which keeps cancel O(1) -- important because every frame transmission
+schedules a completion event and pipelined transmitters re-plan often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(slots=True)
+class Event:
+    """One scheduled callback. Library-internal; users see handles."""
+
+    time: int
+    seq: int
+    action: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def sort_key(self) -> tuple[int, int]:
+        return (self.time, self.seq)
+
+
+@dataclass(frozen=True, slots=True)
+class EventHandle:
+    """Opaque token returned by :meth:`Simulator.schedule`.
+
+    Holds a reference to the underlying event so cancellation works even
+    after the heap has been reorganized.
+    """
+
+    _event: Event = field(repr=False)
+
+    @property
+    def time(self) -> int:
+        """The scheduled firing time (ns)."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Diagnostic label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True until the event has fired or been cancelled."""
+        return not self._event.cancelled and self._event.action is not _fired
+
+    def cancel(self) -> bool:
+        """Prevent the event from firing. Returns False if already fired."""
+        if self._event.action is _fired:
+            return False
+        self._event.cancelled = True
+        return True
+
+
+def _fired() -> None:  # sentinel assigned after dispatch
+    raise AssertionError("a fired event must never be re-dispatched")

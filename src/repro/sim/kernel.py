@@ -1,0 +1,168 @@
+"""The discrete-event simulator core.
+
+A minimal, deterministic event loop in integer nanoseconds:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` enqueue a
+  callback; same-time events fire in scheduling (FIFO) order.
+* :meth:`Simulator.run` drains the queue, optionally up to a horizon.
+* cancellation is lazy and O(1) (see :mod:`repro.sim.events`).
+
+The kernel is callback-based rather than coroutine-based: the network
+models (links, ports, sources) are naturally event-driven state
+machines, and callbacks keep the hot loop free of generator overhead --
+one simulated second of a loaded 100 Mbps link is ~8k frame events, and
+the validation experiments simulate many hyperperiods.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..errors import SimulationError
+from .events import Event, EventHandle
+from .events import _fired  # type: ignore[attr-defined]
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event loop with an integer-ns clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(100, lambda: seen.append(sim.now))
+    >>> _ = sim.schedule(50, lambda: seen.append(sim.now))
+    >>> sim.run()
+    >>> seen
+    [50, 100]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._running = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Events still in the queue (including lazily cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Lifetime count of events that actually fired."""
+        return self._dispatched
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self, delay: int, action: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` to fire ``delay`` ns from now.
+
+        ``delay`` must be non-negative; zero-delay events fire later in
+        the *current* instant, after all previously scheduled events for
+        this time (FIFO), never immediately re-entering the caller.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay {delay} ns)"
+            )
+        return self.schedule_at(self._now + delay, action, label)
+
+    def schedule_at(
+        self, time: int, action: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute simulation time ``time`` (ns)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} ns; the clock is already at "
+                f"{self._now} ns"
+            )
+        if not callable(action):
+            raise SimulationError(
+                f"event action must be callable, got {type(action).__name__}"
+            )
+        event = Event(time=time, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, event.seq, event))
+        return EventHandle(event)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: int | None = None) -> int:
+        """Dispatch events in time order.
+
+        Parameters
+        ----------
+        until:
+            Inclusive horizon in ns. Events scheduled after ``until``
+            stay queued and the clock is advanced to exactly ``until``
+            when the queue outlives the horizon. ``None`` drains the
+            whole queue.
+
+        Returns the number of events dispatched by this call. Re-entrant
+        calls (``run`` from inside an event) are an error.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"horizon {until} ns is in the past (now {self._now} ns)"
+            )
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                time, _, event = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = time
+                action = event.action
+                event.action = _fired
+                action()
+                fired += 1
+                self._dispatched += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def step(self) -> bool:
+        """Dispatch a single (non-cancelled) event. Returns False if idle."""
+        if self._running:
+            raise SimulationError("Simulator.step is not re-entrant")
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            action = event.action
+            event.action = _fired
+            self._running = True
+            try:
+                action()
+            finally:
+                self._running = False
+            self._dispatched += 1
+            return True
+        return False
+
+    def peek_time(self) -> int | None:
+        """Firing time of the next live event, or None when idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,81 @@
+"""Named, independently seeded random streams.
+
+Experiments must be reproducible (same seed → same admitted channel set →
+same figure row) and *decoupled*: adding a best-effort traffic source
+must not change which (master, slave) pairs the request generator draws.
+The standard trick is one named stream per consumer, each derived from
+the experiment's root seed plus the stream name via ``numpy``'s
+``SeedSequence.spawn``-style keying.
+
+Usage
+-----
+>>> rngs = RngRegistry(seed=42)
+>>> a = rngs.stream("requests")
+>>> b = rngs.stream("besteffort")
+>>> a is rngs.stream("requests")   # memoized
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory and cache for named :class:`numpy.random.Generator` streams.
+
+    Each stream is seeded from ``(root_seed, hash(name))`` through
+    :class:`numpy.random.SeedSequence`, so streams are statistically
+    independent and stable across runs and process restarts (the name
+    hash is a deterministic string digest, not Python's randomized
+    ``hash``).
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int) or seed < 0:
+            raise ConfigurationError(
+                f"root seed must be a non-negative int, got {seed!r}"
+            )
+        self._seed = seed
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @staticmethod
+    def _name_key(name: str) -> int:
+        """Stable 64-bit digest of a stream name (FNV-1a)."""
+        acc = 0xCBF29CE484222325
+        for byte in name.encode("utf-8"):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the (memoized) generator for ``name``."""
+        if not name:
+            raise ConfigurationError("stream name must be non-empty")
+        generator = self._streams.get(name)
+        if generator is None:
+            sequence = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(self._name_key(name),)
+            )
+            generator = np.random.Generator(np.random.PCG64(sequence))
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, sub_seed: int) -> "RngRegistry":
+        """A registry for a sub-experiment (e.g. trial ``i`` of a sweep).
+
+        Derived as ``root_seed * large_prime + sub_seed`` so that trials
+        of the same experiment never share streams while remaining a
+        pure function of ``(root seed, trial index)``.
+        """
+        if sub_seed < 0:
+            raise ConfigurationError(f"sub_seed must be >= 0, got {sub_seed}")
+        return RngRegistry(self._seed * 1_000_003 + sub_seed)

@@ -1,0 +1,116 @@
+"""Structured trace recording for simulations.
+
+The validation experiments need to reconstruct per-frame timelines
+(generated → queued → transmission start → delivered) to verify the
+paper's Eq. 18.1 guarantee. Rather than sprinkling print statements,
+every network component reports milestones to a :class:`TraceRecorder`;
+recording is off by default and costs one predicate call per milestone
+when disabled, so production benchmark runs pay almost nothing.
+
+Records are plain tuples-with-names, filterable by category, and the
+recorder can summarize itself for quick debugging.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One milestone in a simulation.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (ns) of the milestone.
+    category:
+        Dotted event kind, e.g. ``"frame.delivered"``, ``"edf.enqueue"``,
+        ``"signal.request"``.
+    subject:
+        Identifier of the thing the record is about (usually a frame ID
+        or channel ID rendered into the free-form text by the caller).
+    detail:
+        Free-form human-readable detail.
+    """
+
+    time: int
+    category: str
+    subject: str
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` entries when enabled.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default), :meth:`record` is a cheap no-op.
+    capacity:
+        Optional cap on stored records; when exceeded, the *oldest*
+        records are discarded (the most recent history is what one debugs
+        with). ``None`` means unbounded.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+
+    def record(
+        self, time: int, category: str, subject: str, detail: str = ""
+    ) -> None:
+        """Store one milestone (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(
+            TraceRecord(time=time, category=category, subject=subject, detail=detail)
+        )
+        if self._capacity is not None and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self._dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded due to the capacity cap."""
+        return self._dropped
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All stored records with exactly this category."""
+        return [r for r in self._records if r.category == category]
+
+    def by_prefix(self, prefix: str) -> list[TraceRecord]:
+        """All stored records whose category starts with ``prefix``."""
+        return [r for r in self._records if r.category.startswith(prefix)]
+
+    def categories(self) -> dict[str, int]:
+        """Histogram of stored record categories."""
+        return dict(Counter(r.category for r in self._records))
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._dropped = 0
+
+    def summary(self, limit: int = 10) -> str:
+        """Multi-line human-readable digest (top categories by count)."""
+        lines = [f"TraceRecorder: {len(self._records)} records"]
+        if self._dropped:
+            lines.append(f"  ({self._dropped} dropped by capacity cap)")
+        for category, count in sorted(
+            self.categories().items(), key=lambda kv: -kv[1]
+        )[:limit]:
+            lines.append(f"  {category:30s} {count}")
+        return "\n".join(lines)

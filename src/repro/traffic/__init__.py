@@ -1,0 +1,34 @@
+"""Workload generation: channel-request patterns and background traffic.
+
+* :mod:`~repro.traffic.spec` -- samplers for channel parameter triples
+  (fixed, uniform-random, harmonic-period).
+* :mod:`~repro.traffic.patterns` -- request-sequence generators: the
+  master-slave pattern of Figure 18.1 plus uniform/hotspot/funnel
+  controls used by the ablation experiments.
+* :mod:`~repro.traffic.besteffort` -- best-effort background load
+  (saturating and Poisson injectors) for the coexistence experiment.
+"""
+
+from .spec import FixedSpecSampler, HarmonicSpecSampler, UniformSpecSampler
+from .patterns import (
+    ChannelRequest,
+    funnel_requests,
+    hotspot_requests,
+    master_slave_names,
+    master_slave_requests,
+    uniform_requests,
+)
+from .besteffort import BestEffortInjector
+
+__all__ = [
+    "FixedSpecSampler",
+    "HarmonicSpecSampler",
+    "UniformSpecSampler",
+    "ChannelRequest",
+    "master_slave_names",
+    "master_slave_requests",
+    "uniform_requests",
+    "hotspot_requests",
+    "funnel_requests",
+    "BestEffortInjector",
+]

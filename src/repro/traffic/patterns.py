@@ -1,0 +1,191 @@
+"""Channel-request sequences: who asks for a channel to whom.
+
+The paper's evaluation uses the **master-slave** pattern of Figure 18.1:
+a small set of master nodes communicating with a large set of slaves.
+Masters' uplinks then carry many more channels than any slave's
+downlink -- the bottleneck ADPS is designed to relieve. The exact
+request-arrival process is not published; we draw (master, slave) pairs
+uniformly at random, which preserves the load *ratio* the result depends
+on (documented in EXPERIMENTS.md).
+
+Other patterns exercise regimes the ablations need:
+
+* :func:`uniform_requests` -- symmetric all-to-all traffic, where ADPS's
+  load ratio is ~1 and it should coincide with SDPS;
+* :func:`hotspot_requests` -- a fraction of requests target one node,
+  creating a *downlink* bottleneck (the mirror image of master-slave);
+* :func:`funnel_requests` -- everyone sends to one sink, the extreme
+  downlink bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.channel import ChannelSpec
+from ..errors import ConfigurationError
+from .spec import SpecSampler
+
+__all__ = [
+    "ChannelRequest",
+    "master_slave_names",
+    "master_slave_requests",
+    "uniform_requests",
+    "hotspot_requests",
+    "funnel_requests",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelRequest:
+    """One entry of a request sequence."""
+
+    source: str
+    destination: str
+    spec: ChannelSpec
+
+
+def master_slave_names(
+    n_masters: int, n_slaves: int
+) -> tuple[list[str], list[str]]:
+    """Node names for a master-slave configuration (``m0.., s0..``)."""
+    if n_masters <= 0 or n_slaves <= 0:
+        raise ConfigurationError(
+            f"need at least one master and one slave, got "
+            f"{n_masters}/{n_slaves}"
+        )
+    return (
+        [f"m{i}" for i in range(n_masters)],
+        [f"s{i}" for i in range(n_slaves)],
+    )
+
+
+def master_slave_requests(
+    masters: Sequence[str],
+    slaves: Sequence[str],
+    count: int,
+    sampler: SpecSampler,
+    rng: np.random.Generator,
+    master_to_slave_fraction: float = 1.0,
+) -> list[ChannelRequest]:
+    """Draw ``count`` requests between random (master, slave) pairs.
+
+    ``master_to_slave_fraction`` is the probability that a request flows
+    master -> slave (the paper's Figure 18.1 arrows); the remainder flow
+    slave -> master (e.g. sensor readings toward a controller). The
+    default 1.0 concentrates all load on master uplinks, the regime
+    Figure 18.5 demonstrates.
+    """
+    if count < 0:
+        raise ConfigurationError(f"request count must be >= 0, got {count}")
+    if not (0.0 <= master_to_slave_fraction <= 1.0):
+        raise ConfigurationError(
+            "master_to_slave_fraction must be in [0, 1], got "
+            f"{master_to_slave_fraction}"
+        )
+    if not masters or not slaves:
+        raise ConfigurationError("masters and slaves must be non-empty")
+    requests = []
+    for _ in range(count):
+        master = masters[int(rng.integers(0, len(masters)))]
+        slave = slaves[int(rng.integers(0, len(slaves)))]
+        spec = sampler.sample(rng)
+        if rng.random() < master_to_slave_fraction:
+            requests.append(ChannelRequest(master, slave, spec))
+        else:
+            requests.append(ChannelRequest(slave, master, spec))
+    return requests
+
+
+def uniform_requests(
+    nodes: Sequence[str],
+    count: int,
+    sampler: SpecSampler,
+    rng: np.random.Generator,
+) -> list[ChannelRequest]:
+    """Draw ``count`` requests between distinct uniformly random nodes."""
+    if len(nodes) < 2:
+        raise ConfigurationError(
+            f"uniform traffic needs >= 2 nodes, got {len(nodes)}"
+        )
+    if count < 0:
+        raise ConfigurationError(f"request count must be >= 0, got {count}")
+    requests = []
+    for _ in range(count):
+        i = int(rng.integers(0, len(nodes)))
+        j = int(rng.integers(0, len(nodes) - 1))
+        if j >= i:
+            j += 1
+        requests.append(ChannelRequest(nodes[i], nodes[j], sampler.sample(rng)))
+    return requests
+
+
+def hotspot_requests(
+    nodes: Sequence[str],
+    hotspot: str,
+    count: int,
+    sampler: SpecSampler,
+    rng: np.random.Generator,
+    hotspot_fraction: float = 0.5,
+) -> list[ChannelRequest]:
+    """Uniform traffic, except a fraction targets one hot destination.
+
+    Creates a *downlink* bottleneck at ``hotspot`` -- the mirror image
+    of the master-slave uplink bottleneck; ADPS should shift deadline
+    budget toward the hot downlink.
+    """
+    if hotspot not in nodes:
+        raise ConfigurationError(f"hotspot {hotspot!r} is not in the node list")
+    if not (0.0 <= hotspot_fraction <= 1.0):
+        raise ConfigurationError(
+            f"hotspot_fraction must be in [0, 1], got {hotspot_fraction}"
+        )
+    others = [n for n in nodes if n != hotspot]
+    if not others:
+        raise ConfigurationError("need at least one non-hotspot node")
+    requests = []
+    for _ in range(count):
+        if rng.random() < hotspot_fraction:
+            source = others[int(rng.integers(0, len(others)))]
+            requests.append(
+                ChannelRequest(source, hotspot, sampler.sample(rng))
+            )
+        else:
+            i = int(rng.integers(0, len(others)))
+            j = int(rng.integers(0, len(others) - 1)) if len(others) > 1 else 0
+            if len(others) > 1 and j >= i:
+                j += 1
+            if len(others) == 1:
+                requests.append(
+                    ChannelRequest(others[0], hotspot, sampler.sample(rng))
+                )
+            else:
+                requests.append(
+                    ChannelRequest(others[i], others[j], sampler.sample(rng))
+                )
+    return requests
+
+
+def funnel_requests(
+    sources: Sequence[str],
+    sink: str,
+    count: int,
+    sampler: SpecSampler,
+    rng: np.random.Generator,
+) -> list[ChannelRequest]:
+    """Every request flows from a random source into one sink node."""
+    if sink in sources:
+        raise ConfigurationError("the sink must not be among the sources")
+    if not sources:
+        raise ConfigurationError("need at least one source")
+    return [
+        ChannelRequest(
+            sources[int(rng.integers(0, len(sources)))],
+            sink,
+            sampler.sample(rng),
+        )
+        for _ in range(count)
+    ]

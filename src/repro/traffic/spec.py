@@ -1,0 +1,133 @@
+"""Samplers for RT-channel parameter triples ``{P, C, d}``.
+
+The paper's Figure 18.5 experiment uses one fixed triple
+(``C=3, P=100, d=40``) for every requested channel; the ablation
+experiments vary parameters. A *spec sampler* is a small object with a
+``sample(rng)`` method returning a :class:`~repro.core.channel.ChannelSpec`;
+experiments draw one spec per request from the trial's named RNG stream
+so workloads stay reproducible and decoupled (see
+:class:`repro.sim.rng.RngRegistry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.channel import ChannelSpec
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SpecSampler",
+    "FixedSpecSampler",
+    "UniformSpecSampler",
+    "HarmonicSpecSampler",
+]
+
+
+@runtime_checkable
+class SpecSampler(Protocol):
+    """Anything that can draw channel parameter triples."""
+
+    def sample(self, rng: np.random.Generator) -> ChannelSpec:
+        """Draw one spec."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class FixedSpecSampler:
+    """Always returns the same spec (the paper's Figure 18.5 workload)."""
+
+    spec: ChannelSpec
+
+    @classmethod
+    def paper_default(cls) -> "FixedSpecSampler":
+        """``C=3, P=100, d=40`` -- the exact parameters of Figure 18.5."""
+        return cls(ChannelSpec(period=100, capacity=3, deadline=40))
+
+    def sample(self, rng: np.random.Generator) -> ChannelSpec:
+        del rng
+        return self.spec
+
+
+@dataclass(frozen=True, slots=True)
+class UniformSpecSampler:
+    """Independent uniform draws for each parameter, in timeslots.
+
+    ``deadline`` is drawn from ``deadline_range`` but floored at
+    ``2 * capacity`` so every sampled channel is at least partitionable
+    (rejecting structurally impossible channels would only add noise to
+    acceptance counts -- the paper's admission test, not Eq. 18.9, is
+    what the ablations study).
+    """
+
+    period_range: tuple[int, int]
+    capacity_range: tuple[int, int]
+    deadline_range: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        for name, (lo, hi) in (
+            ("period_range", self.period_range),
+            ("capacity_range", self.capacity_range),
+            ("deadline_range", self.deadline_range),
+        ):
+            if lo <= 0 or hi < lo:
+                raise ConfigurationError(
+                    f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})"
+                )
+
+    def sample(self, rng: np.random.Generator) -> ChannelSpec:
+        period = int(rng.integers(self.period_range[0], self.period_range[1] + 1))
+        cap_hi = min(self.capacity_range[1], period)
+        cap_lo = min(self.capacity_range[0], cap_hi)
+        capacity = int(rng.integers(cap_lo, cap_hi + 1))
+        deadline = int(
+            rng.integers(self.deadline_range[0], self.deadline_range[1] + 1)
+        )
+        deadline = max(deadline, 2 * capacity)
+        return ChannelSpec(period=period, capacity=capacity, deadline=deadline)
+
+
+@dataclass(frozen=True, slots=True)
+class HarmonicSpecSampler:
+    """Periods drawn from a harmonic set (typical of industrial cyclic IO).
+
+    Harmonic periods (each dividing the next) keep hyperperiods small,
+    which is both realistic for PLC-style traffic and a distinct regime
+    for the feasibility test's horizon (EXP-P1 uses this to contrast
+    against the uniform sampler's long hyperperiods).
+    """
+
+    periods: Sequence[int] = (50, 100, 200, 400)
+    capacity_range: tuple[int, int] = (1, 5)
+    deadline_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not self.periods:
+            raise ConfigurationError("harmonic sampler needs >= 1 period")
+        ordered = sorted(self.periods)
+        for small, large in zip(ordered, ordered[1:]):
+            if large % small != 0:
+                raise ConfigurationError(
+                    f"periods {self.periods!r} are not harmonic: "
+                    f"{large} is not a multiple of {small}"
+                )
+        if not (0 < self.deadline_fraction <= 1):
+            raise ConfigurationError(
+                "deadline_fraction must be in (0, 1], got "
+                f"{self.deadline_fraction}"
+            )
+        lo, hi = self.capacity_range
+        if lo <= 0 or hi < lo:
+            raise ConfigurationError(
+                f"capacity_range must satisfy 0 < lo <= hi, got ({lo}, {hi})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> ChannelSpec:
+        period = int(self.periods[int(rng.integers(0, len(self.periods)))])
+        cap_hi = min(self.capacity_range[1], period)
+        capacity = int(rng.integers(self.capacity_range[0], cap_hi + 1))
+        deadline = max(int(period * self.deadline_fraction), 2 * capacity)
+        return ChannelSpec(period=period, capacity=capacity, deadline=deadline)

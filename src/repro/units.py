@@ -1,0 +1,219 @@
+"""Time and bandwidth units for the reproduced system.
+
+The paper (Section 18.2.2) expresses every RT-channel parameter -- period
+``P``, capacity ``C`` and relative deadline ``d`` -- as a *number of
+maximum-sized frames*, i.e. in **timeslots**, where one timeslot is the
+time needed to transmit one maximum-sized Ethernet frame on the link.
+All feasibility analysis in :mod:`repro.core` is therefore carried out in
+exact integer timeslot arithmetic.
+
+The discrete-event simulator, on the other hand, runs in **integer
+nanoseconds** so that it can model frames of arbitrary size (signalling
+frames and best-effort frames are usually much shorter than a timeslot)
+without losing determinism to floating point. This module provides the
+bridge between the two domains:
+
+* :class:`TimeBase` -- conversion between timeslots and nanoseconds for a
+  given link speed and maximum frame size.
+* Wire-size accounting helpers that include the parts of a frame that
+  occupy the medium but are invisible to the payload: preamble, start
+  frame delimiter (SFD) and inter-frame gap (IFG).
+
+Example
+-------
+>>> tb = TimeBase.for_speed_mbps(100)
+>>> tb.slot_ns  # one maximum frame on fast Ethernet
+123040
+>>> tb.slots_to_ns(3)
+369120
+>>> tb.ns_to_slots_ceil(1)
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "ETH_MAX_PAYLOAD",
+    "ETH_MIN_PAYLOAD",
+    "ETH_HEADER_BYTES",
+    "ETH_FCS_BYTES",
+    "ETH_PREAMBLE_BYTES",
+    "ETH_SFD_BYTES",
+    "ETH_IFG_BYTES",
+    "ETH_MAX_FRAME_BYTES",
+    "ETH_MIN_FRAME_BYTES",
+    "ETH_MAX_WIRE_BYTES",
+    "ETH_MIN_WIRE_BYTES",
+    "wire_bytes",
+    "frame_bytes_for_payload",
+    "TimeBase",
+]
+
+# -- plain time constants ---------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+# -- IEEE 802.3 size constants (bytes) ---------------------------------------
+
+#: Maximum Ethernet payload (bytes) -- the classic 1500-byte MTU.
+ETH_MAX_PAYLOAD = 1500
+#: Minimum Ethernet payload (bytes); shorter payloads are padded.
+ETH_MIN_PAYLOAD = 46
+#: Destination MAC + source MAC + EtherType.
+ETH_HEADER_BYTES = 14
+#: Frame check sequence (CRC-32).
+ETH_FCS_BYTES = 4
+#: Preamble transmitted before every frame.
+ETH_PREAMBLE_BYTES = 7
+#: Start frame delimiter.
+ETH_SFD_BYTES = 1
+#: Inter-frame gap, expressed in byte times (96 bit times).
+ETH_IFG_BYTES = 12
+
+#: Maximum frame as counted by the MAC (header + payload + FCS).
+ETH_MAX_FRAME_BYTES = ETH_HEADER_BYTES + ETH_MAX_PAYLOAD + ETH_FCS_BYTES  # 1518
+#: Minimum frame as counted by the MAC.
+ETH_MIN_FRAME_BYTES = ETH_HEADER_BYTES + ETH_MIN_PAYLOAD + ETH_FCS_BYTES  # 64
+
+#: Wire occupancy of a maximum frame (adds preamble, SFD and IFG): 1538.
+ETH_MAX_WIRE_BYTES = (
+    ETH_MAX_FRAME_BYTES + ETH_PREAMBLE_BYTES + ETH_SFD_BYTES + ETH_IFG_BYTES
+)
+#: Wire occupancy of a minimum frame: 84.
+ETH_MIN_WIRE_BYTES = (
+    ETH_MIN_FRAME_BYTES + ETH_PREAMBLE_BYTES + ETH_SFD_BYTES + ETH_IFG_BYTES
+)
+
+
+def frame_bytes_for_payload(payload_bytes: int) -> int:
+    """Return the MAC frame size (header + padded payload + FCS).
+
+    Payloads shorter than :data:`ETH_MIN_PAYLOAD` are padded up, as the
+    standard requires; payloads longer than :data:`ETH_MAX_PAYLOAD` are
+    rejected (this library never emits jumbo frames -- the paper's
+    timeslot is defined by the standard maximum frame).
+    """
+    if payload_bytes < 0:
+        raise ConfigurationError(f"negative payload size: {payload_bytes}")
+    if payload_bytes > ETH_MAX_PAYLOAD:
+        raise ConfigurationError(
+            f"payload of {payload_bytes} bytes exceeds the Ethernet maximum "
+            f"of {ETH_MAX_PAYLOAD}; split it over several frames instead"
+        )
+    padded = max(payload_bytes, ETH_MIN_PAYLOAD)
+    return ETH_HEADER_BYTES + padded + ETH_FCS_BYTES
+
+
+def wire_bytes(frame_bytes: int) -> int:
+    """Return the wire occupancy of a MAC frame (adds preamble+SFD+IFG).
+
+    This is the quantity that determines how long the medium is busy, and
+    hence what one "timeslot" costs for a maximum frame.
+    """
+    if frame_bytes < ETH_MIN_FRAME_BYTES:
+        raise ConfigurationError(
+            f"frame of {frame_bytes} bytes is below the Ethernet minimum "
+            f"of {ETH_MIN_FRAME_BYTES}"
+        )
+    return frame_bytes + ETH_PREAMBLE_BYTES + ETH_SFD_BYTES + ETH_IFG_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class TimeBase:
+    """Conversion between analysis timeslots and simulator nanoseconds.
+
+    Parameters
+    ----------
+    bits_per_second:
+        Raw link speed. Full-duplex links have this capacity independently
+        in each direction.
+    max_wire_bytes:
+        Wire occupancy of a maximum-sized frame, including preamble, SFD
+        and inter-frame gap. One timeslot is exactly the time to put this
+        many bytes on the wire.
+
+    Notes
+    -----
+    ``slot_ns`` is kept exact: the constructor rejects combinations where
+    the slot duration is not an integer number of nanoseconds (all the
+    standard Ethernet speeds divide evenly).
+    """
+
+    bits_per_second: int
+    max_wire_bytes: int = ETH_MAX_WIRE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.bits_per_second <= 0:
+            raise ConfigurationError(
+                f"link speed must be positive, got {self.bits_per_second}"
+            )
+        if self.max_wire_bytes <= 0:
+            raise ConfigurationError(
+                f"max_wire_bytes must be positive, got {self.max_wire_bytes}"
+            )
+        total_bits = 8 * self.max_wire_bytes * NS_PER_S
+        if total_bits % self.bits_per_second != 0:
+            raise ConfigurationError(
+                "slot duration is not an integer number of nanoseconds for "
+                f"speed={self.bits_per_second} bps and "
+                f"max_wire_bytes={self.max_wire_bytes}"
+            )
+
+    @classmethod
+    def for_speed_mbps(
+        cls, mbps: int, max_wire_bytes: int = ETH_MAX_WIRE_BYTES
+    ) -> "TimeBase":
+        """Convenience constructor for common Ethernet speeds (10/100/1000)."""
+        return cls(bits_per_second=mbps * 1_000_000, max_wire_bytes=max_wire_bytes)
+
+    @property
+    def slot_ns(self) -> int:
+        """Duration of one timeslot (one maximum frame on the wire) in ns."""
+        return 8 * self.max_wire_bytes * NS_PER_S // self.bits_per_second
+
+    @property
+    def byte_time_ns_num(self) -> tuple[int, int]:
+        """Byte time as an exact rational ``(numerator_ns, denominator)``.
+
+        At 100 Mbps one byte takes 80 ns exactly; at 1 Gbps it takes 8 ns;
+        other speeds may not be integral, hence the rational form.
+        """
+        return (8 * NS_PER_S, self.bits_per_second)
+
+    def bytes_to_ns(self, nbytes: int) -> int:
+        """Time (ns) to transmit ``nbytes`` on the wire, rounded up.
+
+        Rounding up is the conservative choice for a real-time analysis:
+        the medium is never modelled as free earlier than it truly is.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"negative byte count: {nbytes}")
+        num, den = 8 * NS_PER_S * nbytes, self.bits_per_second
+        return -(-num // den)  # ceiling division
+
+    def slots_to_ns(self, slots: int) -> int:
+        """Convert a whole number of timeslots to nanoseconds (exact)."""
+        if slots < 0:
+            raise ConfigurationError(f"negative slot count: {slots}")
+        return slots * self.slot_ns
+
+    def ns_to_slots_ceil(self, ns: int) -> int:
+        """Smallest whole number of timeslots covering ``ns`` nanoseconds."""
+        if ns < 0:
+            raise ConfigurationError(f"negative duration: {ns}")
+        return -(-ns // self.slot_ns)
+
+    def ns_to_slots_floor(self, ns: int) -> int:
+        """Largest whole number of timeslots contained in ``ns`` nanoseconds."""
+        if ns < 0:
+            raise ConfigurationError(f"negative duration: {ns}")
+        return ns // self.slot_ns

@@ -1,0 +1,59 @@
+"""Tests for the operational audit reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.audit import admission_report, link_report, system_summary
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import SymmetricDPS
+
+SPEC = ChannelSpec(period=100, capacity=3, deadline=40)
+
+
+@pytest.fixture
+def controller():
+    ctrl = AdmissionController(
+        SystemState(["m", "s0", "s1"]), SymmetricDPS()
+    )
+    for dest in ("s0", "s1") * 4:  # 6 accepted, 2 rejected
+        ctrl.request("m", dest, SPEC)
+    ctrl.request("m", "ghost", SPEC)  # unknown node
+    return ctrl
+
+
+class TestLinkReport:
+    def test_rows_for_occupied_links_only(self, controller):
+        text = link_report(controller.state)
+        assert "m->sw" in text
+        assert "sw->s0" in text
+        assert "sw->s1" in text
+        # header present
+        assert "reserved U" in text
+
+    def test_headroom_column_with_reference(self, controller):
+        text = link_report(controller.state, reference=SPEC)
+        assert "headroom" in text
+        lines = [l for l in text.splitlines() if "m->sw" in l]
+        # uplink is saturated at 6 channels: headroom must be 0
+        assert lines[0].strip().endswith("0")
+
+    def test_empty_state(self):
+        text = link_report(SystemState(["a"]))
+        assert "link occupancy" in text
+
+
+class TestAdmissionReport:
+    def test_totals_and_reasons(self, controller):
+        text = admission_report(controller)
+        assert "accepted" in text and "6" in text
+        assert "rejected" in text
+        assert "uplink-infeasible" in text
+        assert "unknown-node" in text
+        assert "sdps" in text
+
+    def test_system_summary_combines(self, controller):
+        text = system_summary(controller, reference=SPEC)
+        assert "admission history" in text
+        assert "link occupancy" in text

@@ -1,0 +1,146 @@
+"""Tests for the metrics collector and channel statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.errors import ConfigurationError
+from repro.protocol.ethernet import EthernetFrame, FrameKind
+from repro.protocol.headers import encode_rt_header
+from repro.units import ETH_MAX_PAYLOAD
+
+
+def rt_frame(deadline, channel=1, seq=0, fragment=0, created=0):
+    return EthernetFrame(
+        kind=FrameKind.RT_DATA,
+        source="a",
+        destination="b",
+        payload_bytes=ETH_MAX_PAYLOAD,
+        rt_header=encode_rt_header(deadline, channel),
+        channel_id=channel,
+        message_seq=seq,
+        fragment_index=fragment,
+        created_at=created,
+    )
+
+
+def be_frame(payload=100, created=0):
+    return EthernetFrame(
+        kind=FrameKind.BEST_EFFORT,
+        source="a",
+        destination="b",
+        payload_bytes=payload,
+        created_at=created,
+    )
+
+
+class TestRTDelivery:
+    def test_on_time_delivery_not_a_miss(self):
+        metrics = MetricsCollector(t_latency_ns=1000)
+        metrics.register_channel(1, capacity=1)
+        metrics.on_delivery(rt_frame(deadline=5000), now_ns=4000)
+        stats = metrics.channels[1]
+        assert stats.frames_delivered == 1
+        assert stats.deadline_misses == 0
+        assert metrics.total_deadline_misses == 0
+
+    def test_latency_grace_applied(self):
+        metrics = MetricsCollector(t_latency_ns=1000)
+        metrics.register_channel(1, capacity=1)
+        metrics.on_delivery(rt_frame(deadline=5000), now_ns=6000)  # = bound
+        assert metrics.total_deadline_misses == 0
+        metrics.on_delivery(rt_frame(deadline=5000, seq=1), now_ns=6001)
+        assert metrics.total_deadline_misses == 1
+
+    def test_delay_statistics(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.register_channel(1, capacity=1)
+        metrics.on_delivery(rt_frame(deadline=10**9, created=100), now_ns=400)
+        metrics.on_delivery(
+            rt_frame(deadline=10**9, created=100, seq=1), now_ns=900
+        )
+        stats = metrics.channels[1]
+        assert stats.worst_delay_ns == 800
+        assert stats.mean_delay_ns == pytest.approx((300 + 800) / 2)
+        assert metrics.worst_rt_delay_ns == 800
+
+    def test_message_completion_needs_all_fragments(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.register_channel(1, capacity=3)
+        for fragment in range(2):
+            metrics.on_delivery(
+                rt_frame(deadline=10**9, fragment=fragment), now_ns=10
+            )
+        assert metrics.channels[1].messages_completed == 0
+        metrics.on_delivery(rt_frame(deadline=10**9, fragment=2), now_ns=10)
+        assert metrics.channels[1].messages_completed == 1
+        assert metrics.total_rt_messages == 1
+
+    def test_interleaved_messages_tracked_separately(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.register_channel(1, capacity=2)
+        metrics.on_delivery(rt_frame(10**9, seq=0, fragment=0), 1)
+        metrics.on_delivery(rt_frame(10**9, seq=1, fragment=0), 2)
+        metrics.on_delivery(rt_frame(10**9, seq=1, fragment=1), 3)
+        metrics.on_delivery(rt_frame(10**9, seq=0, fragment=1), 4)
+        assert metrics.channels[1].messages_completed == 2
+
+    def test_unregistered_channel_still_counted(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.on_delivery(rt_frame(10**9, channel=9), 5)
+        assert metrics.channels[9].frames_delivered == 1
+
+    def test_miss_ratio(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.register_channel(1, capacity=1)
+        metrics.on_delivery(rt_frame(deadline=100), now_ns=50)
+        metrics.on_delivery(rt_frame(deadline=100, seq=1), now_ns=500)
+        assert metrics.channels[1].miss_ratio == 0.5
+
+
+class TestBestEffortAndSignaling:
+    def test_be_accounting(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.on_delivery(be_frame(payload=200, created=0), now_ns=1000)
+        metrics.on_delivery(be_frame(payload=300, created=500), now_ns=1000)
+        assert metrics.be_frames_delivered == 2
+        assert metrics.be_bytes_delivered == 500
+        assert metrics.be_mean_delay_ns == pytest.approx(750)
+
+    def test_goodput(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.on_delivery(be_frame(payload=1250), now_ns=1)
+        # 1250 bytes = 10000 bits over 1 us = 10 Gbps
+        assert metrics.be_goodput_bps(1000) == pytest.approx(1e10)
+        assert metrics.be_goodput_bps(0) == 0.0
+
+    def test_signaling_counted_separately(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        frame = EthernetFrame(
+            kind=FrameKind.SIGNALING,
+            source="a",
+            destination="switch",
+            payload_bytes=36,
+        )
+        metrics.on_delivery(frame, 10)
+        assert metrics.signaling_frames_delivered == 1
+        assert metrics.be_frames_delivered == 0
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsCollector(t_latency_ns=-1)
+
+    def test_bad_capacity_rejected(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        with pytest.raises(ConfigurationError):
+            metrics.register_channel(1, capacity=0)
+
+    def test_summary_text(self):
+        metrics = MetricsCollector(t_latency_ns=0)
+        metrics.register_channel(1, capacity=1)
+        metrics.on_delivery(rt_frame(10**9), 5)
+        text = metrics.summary()
+        assert "RT frames delivered : 1" in text

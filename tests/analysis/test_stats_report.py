@@ -1,0 +1,92 @@
+"""Tests for summary statistics and report tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_series_table, format_table
+from repro.analysis.stats import mean_confidence, summarize
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_confidence_interval_brackets_mean(self):
+        summary = summarize([10.0] * 5 + [12.0] * 5)
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.ci_half_width > 0
+
+    def test_single_sample_zero_width(self):
+        summary = summarize([7.0])
+        assert summary.mean == 7.0
+        assert summary.ci_half_width == 0.0
+        assert summary.std == 0.0
+
+    def test_constant_sample_zero_width(self):
+        summary = summarize([3.0, 3.0, 3.0])
+        assert summary.ci_half_width == 0.0
+
+    def test_levels(self):
+        wide = summarize([1.0, 5.0, 9.0], level=0.99)
+        narrow = summarize([1.0, 5.0, 9.0], level=0.90)
+        assert wide.ci_half_width > narrow.ci_half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([1.0], level=0.5)
+
+    def test_mean_confidence_tuple(self):
+        mean, half = mean_confidence([2.0, 4.0])
+        assert mean == 3.0
+        assert half > 0
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["bb", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "22.50" in text  # float formatting
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestFormatSeriesTable:
+    def test_figure_as_table(self):
+        text = format_series_table(
+            "requested",
+            [20, 40],
+            {"sdps": [20, 38], "adps": [20, 40]},
+        )
+        lines = text.splitlines()
+        assert "requested" in lines[0]
+        assert "sdps" in lines[0] and "adps" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_series_table("x", [1, 2], {"s": [1]})

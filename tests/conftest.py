@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import ChannelSpec
+from repro.core.task import LinkRef, LinkTask
+
+
+@pytest.fixture
+def paper_spec() -> ChannelSpec:
+    """The exact Figure 18.5 channel parameters."""
+    return ChannelSpec(period=100, capacity=3, deadline=40)
+
+
+@pytest.fixture
+def uplink() -> LinkRef:
+    return LinkRef.uplink("n0")
+
+
+def make_tasks(
+    params: list[tuple[int, int, int]], node: str = "n0"
+) -> list[LinkTask]:
+    """Build a task set from (period, capacity, deadline) triples."""
+    link = LinkRef.uplink(node)
+    return [
+        LinkTask(link=link, period=p, capacity=c, deadline=d, channel_id=i)
+        for i, (p, c, d) in enumerate(params)
+    ]

@@ -1,0 +1,145 @@
+"""Tests for ChannelSpec, DeadlinePartition and RTChannel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import (
+    ChannelSpec,
+    ChannelState,
+    DeadlinePartition,
+    RTChannel,
+)
+from repro.errors import ChannelParameterError, PartitioningError
+
+
+class TestChannelSpec:
+    def test_paper_parameters(self, paper_spec):
+        assert paper_spec.period == 100
+        assert paper_spec.capacity == 3
+        assert paper_spec.deadline == 40
+
+    def test_utilization(self, paper_spec):
+        assert paper_spec.utilization == 0.03
+
+    @pytest.mark.parametrize("field", ["period", "capacity", "deadline"])
+    def test_nonpositive_rejected(self, field):
+        kwargs = {"period": 10, "capacity": 2, "deadline": 8}
+        kwargs[field] = 0
+        with pytest.raises(ChannelParameterError):
+            ChannelSpec(**kwargs)
+        kwargs[field] = -3
+        with pytest.raises(ChannelParameterError):
+            ChannelSpec(**kwargs)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ChannelParameterError):
+            ChannelSpec(period=10.5, capacity=2, deadline=8)  # type: ignore[arg-type]
+
+    def test_capacity_above_period_rejected(self):
+        with pytest.raises(ChannelParameterError):
+            ChannelSpec(period=5, capacity=6, deadline=10)
+
+    def test_capacity_equal_period_allowed(self):
+        spec = ChannelSpec(period=5, capacity=5, deadline=10)
+        assert spec.utilization == 1.0
+
+    def test_partitionable_boundary(self):
+        assert ChannelSpec(period=10, capacity=3, deadline=6).is_partitionable()
+        assert not ChannelSpec(
+            period=10, capacity=3, deadline=5
+        ).is_partitionable()
+
+    def test_deadline_beyond_period_allowed(self):
+        spec = ChannelSpec(period=10, capacity=2, deadline=25)
+        assert spec.is_partitionable()
+
+    def test_with_deadline(self, paper_spec):
+        other = paper_spec.with_deadline(80)
+        assert other.deadline == 80
+        assert other.period == paper_spec.period
+        assert paper_spec.deadline == 40  # original untouched
+
+    def test_specs_are_ordered_and_hashable(self):
+        a = ChannelSpec(period=10, capacity=1, deadline=5)
+        b = ChannelSpec(period=10, capacity=2, deadline=5)
+        assert a < b
+        assert len({a, b, a}) == 2
+
+
+class TestDeadlinePartition:
+    def test_fractions(self):
+        part = DeadlinePartition(uplink=30, downlink=10)
+        assert part.total == 40
+        assert part.uplink_fraction == 0.75
+        assert part.downlink_fraction == 0.25
+
+    def test_fractions_sum_to_one(self):
+        part = DeadlinePartition(uplink=7, downlink=13)
+        assert part.uplink_fraction + part.downlink_fraction == pytest.approx(1)
+
+    @pytest.mark.parametrize("up,down", [(0, 5), (5, 0), (-1, 6), (6, -1)])
+    def test_nonpositive_parts_rejected(self, up, down):
+        with pytest.raises(PartitioningError):
+            DeadlinePartition(uplink=up, downlink=down)
+
+    def test_validate_for_accepts_legal(self, paper_spec):
+        DeadlinePartition(uplink=20, downlink=20).validate_for(paper_spec)
+        DeadlinePartition(uplink=3, downlink=37).validate_for(paper_spec)
+        DeadlinePartition(uplink=37, downlink=3).validate_for(paper_spec)
+
+    def test_validate_for_rejects_wrong_sum(self, paper_spec):
+        with pytest.raises(PartitioningError, match="18.8"):
+            DeadlinePartition(uplink=20, downlink=19).validate_for(paper_spec)
+
+    def test_validate_for_rejects_below_capacity(self, paper_spec):
+        with pytest.raises(PartitioningError, match="18.9"):
+            DeadlinePartition(uplink=2, downlink=38).validate_for(paper_spec)
+        with pytest.raises(PartitioningError, match="18.9"):
+            DeadlinePartition(uplink=38, downlink=2).validate_for(paper_spec)
+
+
+class TestChannelState:
+    def test_terminal_states(self):
+        assert ChannelState.REJECTED.is_terminal()
+        assert ChannelState.TORN_DOWN.is_terminal()
+        assert not ChannelState.ACTIVE.is_terminal()
+        assert not ChannelState.REQUESTED.is_terminal()
+        assert not ChannelState.OFFERED.is_terminal()
+
+
+class TestRTChannel:
+    def test_initial_state(self, paper_spec):
+        channel = RTChannel(source="a", destination="b", spec=paper_spec)
+        assert channel.state is ChannelState.REQUESTED
+        assert channel.channel_id == -1
+        assert channel.partition is None
+
+    def test_self_loop_rejected(self, paper_spec):
+        with pytest.raises(ChannelParameterError):
+            RTChannel(source="a", destination="a", spec=paper_spec)
+
+    def test_partition_accessors_require_partition(self, paper_spec):
+        channel = RTChannel(source="a", destination="b", spec=paper_spec)
+        with pytest.raises(PartitioningError):
+            _ = channel.uplink_deadline
+        with pytest.raises(PartitioningError):
+            _ = channel.downlink_deadline
+
+    def test_assign_partition_validates(self, paper_spec):
+        channel = RTChannel(source="a", destination="b", spec=paper_spec)
+        with pytest.raises(PartitioningError):
+            channel.assign_partition(DeadlinePartition(uplink=1, downlink=39))
+        channel.assign_partition(DeadlinePartition(uplink=25, downlink=15))
+        assert channel.uplink_deadline == 25
+        assert channel.downlink_deadline == 15
+
+    def test_describe_contains_key_facts(self, paper_spec):
+        channel = RTChannel(source="a", destination="b", spec=paper_spec)
+        channel.channel_id = 7
+        channel.assign_partition(DeadlinePartition(uplink=20, downlink=20))
+        text = channel.describe()
+        assert "#7" in text
+        assert "a->b" in text
+        assert "P=100" in text
+        assert "d_iu=20" in text

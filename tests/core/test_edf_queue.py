@@ -1,0 +1,146 @@
+"""Tests for the EDF and FCFS output queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edf_queue import EDFQueue, FCFSQueue, QueuedFrame
+from repro.errors import SchedulingError
+
+
+def qf(deadline: int, tag: str = "", at: int = 0) -> QueuedFrame[str]:
+    return QueuedFrame(
+        payload=tag or f"f{deadline}",
+        absolute_deadline=deadline,
+        enqueued_at=at,
+    )
+
+
+class TestEDFQueue:
+    def test_pops_earliest_deadline(self):
+        q = EDFQueue()
+        q.push(qf(30))
+        q.push(qf(10))
+        q.push(qf(20))
+        assert [q.pop().absolute_deadline for _ in range(3)] == [10, 20, 30]
+
+    def test_fifo_tiebreak(self):
+        q = EDFQueue()
+        q.push(qf(10, "first"))
+        q.push(qf(10, "second"))
+        q.push(qf(10, "third"))
+        assert [q.pop().payload for _ in range(3)] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_interleaved_push_pop(self):
+        q = EDFQueue()
+        q.push(qf(50))
+        q.push(qf(10))
+        assert q.pop().absolute_deadline == 10
+        q.push(qf(5))
+        q.push(qf(40))
+        assert q.pop().absolute_deadline == 5
+        assert q.pop().absolute_deadline == 40
+        assert q.pop().absolute_deadline == 50
+
+    def test_peek_does_not_remove(self):
+        q = EDFQueue()
+        q.push(qf(7))
+        assert q.peek().absolute_deadline == 7
+        assert len(q) == 1
+
+    def test_empty_operations_raise(self):
+        q = EDFQueue()
+        with pytest.raises(SchedulingError):
+            q.pop()
+        with pytest.raises(SchedulingError):
+            q.peek()
+
+    def test_len_and_bool(self):
+        q = EDFQueue()
+        assert not q and len(q) == 0
+        q.push(qf(1))
+        assert q and len(q) == 1
+
+    def test_iteration_in_edf_order(self):
+        q = EDFQueue()
+        for d in (5, 1, 9, 3):
+            q.push(qf(d))
+        assert [f.absolute_deadline for f in q] == [1, 3, 5, 9]
+        assert len(q) == 4  # iteration non-destructive
+
+    def test_lifetime_counters(self):
+        q = EDFQueue()
+        for d in range(5):
+            q.push(qf(d))
+        for _ in range(3):
+            q.pop()
+        assert q.total_pushed == 5
+        assert q.total_popped == 3
+
+    def test_clear(self):
+        q = EDFQueue()
+        q.push(qf(1))
+        q.clear()
+        assert not q
+
+
+class TestFCFSQueue:
+    def test_fifo_order(self):
+        q = FCFSQueue()
+        for tag in ("a", "b", "c"):
+            assert q.push(qf(0, tag))
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_bounded_capacity_drops(self):
+        q = FCFSQueue(capacity=2)
+        assert q.push(qf(0, "a"))
+        assert q.push(qf(0, "b"))
+        assert not q.push(qf(0, "c"))
+        assert q.total_dropped == 1
+        assert len(q) == 2
+
+    def test_drain_frees_capacity(self):
+        q = FCFSQueue(capacity=1)
+        assert q.push(qf(0, "a"))
+        q.pop()
+        assert q.push(qf(0, "b"))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SchedulingError):
+            FCFSQueue(capacity=0)
+
+    def test_empty_operations_raise(self):
+        q = FCFSQueue()
+        with pytest.raises(SchedulingError):
+            q.pop()
+        with pytest.raises(SchedulingError):
+            q.peek()
+
+    def test_peek(self):
+        q = FCFSQueue()
+        q.push(qf(0, "x"))
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_counters(self):
+        q = FCFSQueue(capacity=1)
+        q.push(qf(0))
+        q.push(qf(0))
+        q.pop()
+        assert (q.total_pushed, q.total_popped, q.total_dropped) == (1, 1, 1)
+
+    def test_iteration(self):
+        q = FCFSQueue()
+        for tag in ("a", "b"):
+            q.push(qf(0, tag))
+        assert [f.payload for f in q] == ["a", "b"]
+
+    def test_clear(self):
+        q = FCFSQueue()
+        q.push(qf(0))
+        q.clear()
+        assert not q

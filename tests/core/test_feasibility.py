@@ -1,0 +1,222 @@
+"""Tests for the EDF feasibility analysis (Section 18.3.2).
+
+Includes hand-computed demand values, classic schedulability corner
+cases, the Liu & Layland shortcut, and differential tests of the fast
+(control-point) implementation against the naive integer scan.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import (
+    busy_period,
+    control_points,
+    demand,
+    demand_many,
+    hyperperiod,
+    is_feasible,
+    is_feasible_naive,
+    utilization,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import make_tasks
+
+
+class TestUtilization:
+    def test_empty_set(self):
+        assert utilization([]) == 0
+
+    def test_single_task(self):
+        tasks = make_tasks([(100, 3, 20)])
+        assert utilization(tasks) == Fraction(3, 100)
+
+    def test_sum_is_exact(self):
+        # 1/3 + 1/6 + 1/2 == 1 exactly; floats would wobble.
+        tasks = make_tasks([(3, 1, 3), (6, 1, 6), (2, 1, 2)])
+        assert utilization(tasks) == 1
+
+    def test_overload_detected_exactly(self):
+        tasks = make_tasks([(3, 1, 3), (6, 1, 6), (2, 1, 2), (100, 1, 50)])
+        assert utilization(tasks) > 1
+
+
+class TestHyperperiod:
+    def test_empty(self):
+        assert hyperperiod([]) == 1
+
+    def test_coprime_periods(self):
+        assert hyperperiod(make_tasks([(3, 1, 3), (5, 1, 5)])) == 15
+
+    def test_harmonic_periods(self):
+        assert hyperperiod(make_tasks([(10, 1, 10), (20, 1, 20), (40, 1, 40)])) == 40
+
+
+class TestDemand:
+    def test_zero_before_first_deadline(self):
+        tasks = make_tasks([(100, 3, 20)])
+        assert demand(tasks, 19) == 0
+        assert demand(tasks, 0) == 0
+
+    def test_steps_at_deadline(self):
+        tasks = make_tasks([(100, 3, 20)])
+        assert demand(tasks, 20) == 3
+        assert demand(tasks, 119) == 3
+        assert demand(tasks, 120) == 6  # second job deadline at P + d
+
+    def test_multiple_tasks_sum(self):
+        tasks = make_tasks([(10, 2, 5), (20, 4, 10)])
+        # t=10: task0 jobs with deadlines 5 -> 1 job? deadlines 5, 15...
+        # 1 + (10-5)//10 = 1 job (deadline 15 > 10); task1: 1 job.
+        assert demand(tasks, 10) == 2 * 1 + 4 * 1
+
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demand(make_tasks([(10, 1, 5)]), -1)
+
+    def test_demand_many_matches_scalar(self):
+        tasks = make_tasks([(10, 2, 5), (20, 4, 10), (7, 1, 3)])
+        instants = np.arange(0, 150, dtype=np.int64)
+        vec = demand_many(tasks, instants)
+        for t in instants:
+            assert vec[t] == demand(tasks, int(t))
+
+    def test_demand_many_empty_inputs(self):
+        assert demand_many([], np.array([1, 2, 3])).tolist() == [0, 0, 0]
+        tasks = make_tasks([(10, 2, 5)])
+        assert demand_many(tasks, np.array([], dtype=np.int64)).size == 0
+
+
+class TestBusyPeriod:
+    def test_empty_set(self):
+        assert busy_period([]) == 0
+
+    def test_single_task(self):
+        assert busy_period(make_tasks([(100, 3, 20)])) == 3
+
+    def test_identical_tasks_sum_capacity(self):
+        # Q tasks of C=3: first busy period = 3Q while 3Q <= P.
+        tasks = make_tasks([(100, 3, 20)] * 6)
+        assert busy_period(tasks) == 18
+
+    def test_full_utilization(self):
+        assert busy_period(make_tasks([(4, 2, 4), (4, 2, 4)])) == 4
+
+    def test_growth_across_periods(self):
+        # C=3,P=4 and C=1,P=8: L0=4, W(4)=3+1=4 -> fixpoint 4.
+        assert busy_period(make_tasks([(4, 3, 4), (8, 1, 8)])) == 4
+        # heavier: C=3,P=4, C=3,P=16: L0=6, W(6)=6+3=9, W(9)=9+3=12,
+        # W(12)=9+3=12 -> 12.
+        assert busy_period(make_tasks([(4, 3, 4), (16, 3, 16)])) == 12
+
+    def test_overutilized_rejected(self):
+        with pytest.raises(ConfigurationError):
+            busy_period(make_tasks([(2, 2, 2), (3, 2, 3)]))
+
+
+class TestControlPoints:
+    def test_empty(self):
+        assert control_points([], 100).size == 0
+
+    def test_deadline_beyond_horizon_excluded(self):
+        tasks = make_tasks([(10, 1, 50)])
+        assert control_points(tasks, 49).size == 0
+        assert control_points(tasks, 50).tolist() == [50]
+
+    def test_points_are_m_p_plus_d(self):
+        tasks = make_tasks([(10, 1, 4)])
+        assert control_points(tasks, 40).tolist() == [4, 14, 24, 34]
+
+    def test_deduplication_across_tasks(self):
+        tasks = make_tasks([(10, 1, 4), (5, 1, 4)])
+        points = control_points(tasks, 20)
+        assert points.tolist() == sorted(set([4, 14] + [4, 9, 14, 19]))
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            control_points(make_tasks([(10, 1, 4)]), -1)
+
+
+class TestIsFeasible:
+    def test_empty_set_feasible(self):
+        report = is_feasible([])
+        assert report.feasible
+
+    def test_liu_layland_shortcut_taken(self):
+        tasks = make_tasks([(10, 3, 10), (20, 8, 20)])
+        report = is_feasible(tasks)
+        assert report.feasible
+        assert report.used_liu_layland
+        assert report.points_checked == 0
+
+    def test_liu_layland_overload(self):
+        tasks = make_tasks([(10, 6, 10), (20, 10, 20)])
+        report = is_feasible(tasks)
+        assert not report.feasible
+        assert report.link_utilization == Fraction(11, 10)
+
+    def test_paper_sdps_boundary_six_channels(self):
+        # SDPS on the Figure 18.5 workload: d_iu = 20, C = 3, P = 100.
+        # h(20) = 3Q <= 20 -> feasible up to Q = 6, infeasible at 7.
+        six = make_tasks([(100, 3, 20)] * 6)
+        seven = make_tasks([(100, 3, 20)] * 7)
+        assert is_feasible(six).feasible
+        report = is_feasible(seven)
+        assert not report.feasible
+        assert report.violation == (20, 21)
+
+    def test_constrained_deadline_infeasible_despite_low_utilization(self):
+        # Two tasks, each C=3 d=4: h(4) = 6 > 4 although U = 0.06.
+        tasks = make_tasks([(100, 3, 4), (100, 3, 4)])
+        report = is_feasible(tasks)
+        assert not report.feasible
+        assert report.link_utilization < 1
+
+    def test_exact_full_utilization_feasible(self):
+        # Implicit deadlines, U == 1 exactly: feasible under EDF.
+        tasks = make_tasks([(2, 1, 2), (4, 1, 4), (8, 2, 8)])
+        assert utilization(tasks) == 1
+        assert is_feasible(tasks).feasible
+
+    def test_report_bool(self):
+        assert bool(is_feasible([]))
+        assert not bool(is_feasible(make_tasks([(10, 6, 10), (10, 6, 10)])))
+
+    def test_violation_instant_is_a_control_point(self):
+        tasks = make_tasks([(100, 3, 4), (100, 3, 4)])
+        report = is_feasible(tasks)
+        assert report.violation is not None
+        t, h = report.violation
+        assert t == 4 and h == 6
+
+
+class TestDifferentialFastVsNaive:
+    CASES = [
+        [(100, 3, 20)] * 5,
+        [(100, 3, 20)] * 7,
+        [(10, 2, 5), (20, 4, 10)],
+        [(10, 2, 5), (20, 4, 10), (7, 1, 3)],
+        [(4, 3, 4), (16, 3, 16)],
+        [(2, 1, 2), (4, 1, 4), (8, 2, 8)],
+        [(100, 3, 4), (100, 3, 4)],
+        [(12, 4, 6), (9, 3, 5)],
+        [(50, 10, 25), (30, 5, 12), (20, 2, 9)],
+    ]
+
+    @pytest.mark.parametrize("params", CASES)
+    def test_same_verdict(self, params):
+        tasks = make_tasks(params)
+        fast = is_feasible(tasks)
+        naive = is_feasible_naive(tasks)
+        assert fast.feasible == naive.feasible
+
+    @pytest.mark.parametrize("params", CASES)
+    def test_fast_checks_no_more_points(self, params):
+        tasks = make_tasks(params)
+        fast = is_feasible(tasks)
+        naive = is_feasible_naive(tasks)
+        if not fast.used_liu_layland and naive.points_checked:
+            assert fast.points_checked <= naive.points_checked

@@ -1,0 +1,182 @@
+"""Tests for SDPS / ADPS and the partitioning helpers (Section 18.4)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import (
+    AsymmetricDPS,
+    SymmetricDPS,
+    clamp_partition,
+    split_round_half_up,
+)
+from repro.core.task import LinkRef
+from repro.errors import PartitioningError
+
+
+class StubLoads:
+    """Minimal LoadView backed by a dict of loads."""
+
+    def __init__(self, loads: dict[LinkRef, int] | None = None):
+        self._loads = loads or {}
+
+    def link_load(self, link: LinkRef) -> int:
+        return self._loads.get(link, 0)
+
+    def link_utilization(self, link: LinkRef) -> Fraction:
+        return Fraction(self.link_load(link), 100)
+
+
+class TestClampPartition:
+    def test_in_range_untouched(self, paper_spec):
+        part = clamp_partition(paper_spec, 25)
+        assert (part.uplink, part.downlink) == (25, 15)
+
+    def test_clamps_low(self, paper_spec):
+        part = clamp_partition(paper_spec, 0)
+        assert part.uplink == paper_spec.capacity
+        assert part.total == paper_spec.deadline
+
+    def test_clamps_high(self, paper_spec):
+        part = clamp_partition(paper_spec, 1000)
+        assert part.downlink == paper_spec.capacity
+        assert part.total == paper_spec.deadline
+
+    def test_unpartitionable_rejected(self):
+        spec = ChannelSpec(period=10, capacity=3, deadline=5)
+        with pytest.raises(PartitioningError, match="18.9"):
+            clamp_partition(spec, 3)
+
+    def test_exact_boundary_d_equals_2c(self):
+        spec = ChannelSpec(period=10, capacity=3, deadline=6)
+        part = clamp_partition(spec, 1)
+        assert (part.uplink, part.downlink) == (3, 3)
+
+
+class TestSplitRoundHalfUp:
+    def test_half_rounds_up(self):
+        assert split_round_half_up(5, 1, 2) == 3  # 2.5 -> 3
+
+    def test_exact_division(self):
+        assert split_round_half_up(40, 1, 2) == 20
+        assert split_round_half_up(40, 2, 3) == 27  # 26.67 -> 27
+
+    def test_zero_numerator(self):
+        assert split_round_half_up(40, 0, 3) == 0
+
+    def test_full_share(self):
+        assert split_round_half_up(40, 3, 3) == 40
+
+    def test_invalid_denominator(self):
+        with pytest.raises(PartitioningError):
+            split_round_half_up(40, 1, 0)
+
+    def test_negative_numerator(self):
+        with pytest.raises(PartitioningError):
+            split_round_half_up(40, -1, 2)
+
+
+class TestSymmetricDPS:
+    def test_even_deadline_halved(self, paper_spec):
+        part = SymmetricDPS().partition("a", "b", paper_spec, StubLoads())
+        assert (part.uplink, part.downlink) == (20, 20)
+
+    def test_odd_deadline_floor_to_uplink(self):
+        spec = ChannelSpec(period=100, capacity=3, deadline=41)
+        part = SymmetricDPS().partition("a", "b", spec, StubLoads())
+        assert (part.uplink, part.downlink) == (20, 21)
+
+    def test_state_invariant(self, paper_spec):
+        """SDPS ignores loads entirely (Eq. 18.15)."""
+        dps = SymmetricDPS()
+        loaded = StubLoads({LinkRef.uplink("a"): 99})
+        assert dps.partition("a", "b", paper_spec, StubLoads()) == dps.partition(
+            "a", "b", paper_spec, loaded
+        )
+
+    def test_tight_deadline_clamped(self):
+        spec = ChannelSpec(period=100, capacity=10, deadline=21)
+        part = SymmetricDPS().partition("a", "b", spec, StubLoads())
+        # d//2 = 10 == C, fine; downlink 11.
+        assert (part.uplink, part.downlink) == (10, 11)
+
+    def test_unpartitionable_raises(self):
+        spec = ChannelSpec(period=100, capacity=10, deadline=19)
+        with pytest.raises(PartitioningError):
+            SymmetricDPS().partition("a", "b", spec, StubLoads())
+
+
+class TestAsymmetricDPS:
+    def test_balanced_loads_give_even_split(self, paper_spec):
+        loads = StubLoads(
+            {LinkRef.uplink("a"): 3, LinkRef.downlink("b"): 3}
+        )
+        part = AsymmetricDPS().partition("a", "b", paper_spec, loads)
+        assert (part.uplink, part.downlink) == (20, 20)
+
+    def test_eq_18_16_ratio(self, paper_spec):
+        # LL(src)=2, LL(dst)=1 -> Upart = 2/3 -> d_iu = 27 (round-half-up).
+        loads = StubLoads(
+            {LinkRef.uplink("a"): 2, LinkRef.downlink("b"): 1}
+        )
+        part = AsymmetricDPS().partition("a", "b", paper_spec, loads)
+        assert (part.uplink, part.downlink) == (27, 13)
+
+    def test_heavy_uplink_gets_most_budget(self, paper_spec):
+        loads = StubLoads(
+            {LinkRef.uplink("a"): 10, LinkRef.downlink("b"): 1}
+        )
+        part = AsymmetricDPS().partition("a", "b", paper_spec, loads)
+        # 40 * 10/11 = 36.36 -> 36; downlink 4 >= C.
+        assert (part.uplink, part.downlink) == (36, 4)
+
+    def test_heavy_downlink_mirrors(self, paper_spec):
+        loads = StubLoads(
+            {LinkRef.uplink("a"): 1, LinkRef.downlink("b"): 10}
+        )
+        part = AsymmetricDPS().partition("a", "b", paper_spec, loads)
+        assert (part.uplink, part.downlink) == (4, 36)
+
+    def test_extreme_ratio_clamped_to_capacity_floor(self, paper_spec):
+        loads = StubLoads(
+            {LinkRef.uplink("a"): 1000, LinkRef.downlink("b"): 1}
+        )
+        part = AsymmetricDPS().partition("a", "b", paper_spec, loads)
+        assert part.downlink == paper_spec.capacity
+        assert part.total == paper_spec.deadline
+
+    def test_zero_loads_fall_back_to_half(self, paper_spec):
+        part = AsymmetricDPS().partition("a", "b", paper_spec, StubLoads())
+        assert (part.uplink, part.downlink) == (20, 20)
+
+    def test_negative_load_rejected(self, paper_spec):
+        loads = StubLoads({LinkRef.uplink("a"): -1})
+        with pytest.raises(PartitioningError):
+            AsymmetricDPS().partition("a", "b", paper_spec, loads)
+
+    def test_partition_with_probe_ignores_probe(self, paper_spec):
+        dps = AsymmetricDPS()
+        loads = StubLoads(
+            {LinkRef.uplink("a"): 2, LinkRef.downlink("b"): 1}
+        )
+        part = dps.partition_with_probe(
+            "a", "b", paper_spec, loads, probe=lambda p: False
+        )
+        assert part == dps.partition("a", "b", paper_spec, loads)
+
+    def test_partition_always_legal(self, paper_spec):
+        """Any load combination yields a partition meeting Eq. 18.8/18.9."""
+        dps = AsymmetricDPS()
+        for up in range(0, 20):
+            for down in range(0, 20):
+                loads = StubLoads(
+                    {
+                        LinkRef.uplink("a"): up,
+                        LinkRef.downlink("b"): down,
+                    }
+                )
+                part = dps.partition("a", "b", paper_spec, loads)
+                part.validate_for(paper_spec)

@@ -1,0 +1,151 @@
+"""Tests for the extension DPS schemes (UDPS, LaxityDPS, SearchDPS)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.channel import ChannelSpec, DeadlinePartition
+from repro.core.partitioning_ext import LaxityDPS, SearchDPS, UtilizationDPS
+from repro.core.task import LinkRef
+from repro.errors import PartitioningError
+
+
+class StubLoads:
+    def __init__(self, loads=None, utils=None):
+        self._loads = loads or {}
+        self._utils = utils or {}
+
+    def link_load(self, link):
+        return self._loads.get(link, 0)
+
+    def link_utilization(self, link):
+        return self._utils.get(link, Fraction(0))
+
+
+class TestUtilizationDPS:
+    def test_proportional_to_utilization(self, paper_spec):
+        utils = {
+            LinkRef.uplink("a"): Fraction(30, 100),
+            LinkRef.downlink("b"): Fraction(10, 100),
+        }
+        part = UtilizationDPS().partition(
+            "a", "b", paper_spec, StubLoads(utils=utils)
+        )
+        # 40 * 3/4 = 30
+        assert (part.uplink, part.downlink) == (30, 10)
+
+    def test_zero_utilization_falls_back_to_half(self, paper_spec):
+        part = UtilizationDPS().partition("a", "b", paper_spec, StubLoads())
+        assert (part.uplink, part.downlink) == (20, 20)
+
+    def test_result_always_legal(self, paper_spec):
+        for num in range(0, 12):
+            utils = {
+                LinkRef.uplink("a"): Fraction(num, 12),
+                LinkRef.downlink("b"): Fraction(12 - num, 12),
+            }
+            part = UtilizationDPS().partition(
+                "a", "b", paper_spec, StubLoads(utils=utils)
+            )
+            part.validate_for(paper_spec)
+
+
+class TestLaxityDPS:
+    def test_mandatory_capacity_first(self):
+        spec = ChannelSpec(period=100, capacity=10, deadline=22)
+        loads = StubLoads({LinkRef.uplink("a"): 100, LinkRef.downlink("b"): 1})
+        part = LaxityDPS().partition("a", "b", spec, loads)
+        # slack = 2; uplink gets C + ~2, downlink at least C.
+        assert part.uplink >= 10 and part.downlink >= 10
+        assert part.total == 22
+
+    def test_matches_adps_direction(self, paper_spec):
+        loads = StubLoads({LinkRef.uplink("a"): 9, LinkRef.downlink("b"): 1})
+        part = LaxityDPS().partition("a", "b", paper_spec, loads)
+        # slack 34, uplink extra = 34*0.9 = 30.6 -> 31; d_iu = 34.
+        assert part.uplink == 34
+        assert part.downlink == 6
+
+    def test_zero_loads_even_slack(self, paper_spec):
+        part = LaxityDPS().partition("a", "b", paper_spec, StubLoads())
+        assert (part.uplink, part.downlink) == (20, 20)
+
+    def test_never_needs_clamping(self):
+        """Outputs satisfy Eq. 18.9 by construction, even extreme loads."""
+        spec = ChannelSpec(period=100, capacity=7, deadline=15)
+        for up in (0, 1, 5, 1000):
+            for down in (0, 1, 5, 1000):
+                loads = StubLoads(
+                    {LinkRef.uplink("a"): up, LinkRef.downlink("b"): down}
+                )
+                part = LaxityDPS().partition("a", "b", spec, loads)
+                part.validate_for(spec)
+
+    def test_unpartitionable_rejected(self):
+        spec = ChannelSpec(period=100, capacity=8, deadline=15)
+        with pytest.raises(PartitioningError):
+            LaxityDPS().partition("a", "b", spec, StubLoads())
+
+
+class TestSearchDPS:
+    def test_without_probe_acts_like_adps(self, paper_spec):
+        loads = StubLoads({LinkRef.uplink("a"): 2, LinkRef.downlink("b"): 1})
+        part = SearchDPS().partition("a", "b", paper_spec, loads)
+        assert (part.uplink, part.downlink) == (27, 13)
+
+    def test_probe_accepting_centre_returns_centre(self, paper_spec):
+        loads = StubLoads({LinkRef.uplink("a"): 2, LinkRef.downlink("b"): 1})
+        part = SearchDPS().partition_with_probe(
+            "a", "b", paper_spec, loads, probe=lambda p: True
+        )
+        assert (part.uplink, part.downlink) == (27, 13)
+
+    def test_search_finds_the_only_feasible_split(self, paper_spec):
+        target = DeadlinePartition(uplink=5, downlink=35)
+
+        def probe(p: DeadlinePartition) -> bool:
+            return p == target
+
+        part = SearchDPS().partition_with_probe(
+            "a", "b", paper_spec, StubLoads(), probe
+        )
+        assert part == target
+
+    def test_search_exhausts_and_returns_heuristic(self, paper_spec):
+        loads = StubLoads({LinkRef.uplink("a"): 2, LinkRef.downlink("b"): 1})
+        part = SearchDPS().partition_with_probe(
+            "a", "b", paper_spec, loads, probe=lambda p: False
+        )
+        # no split passed -> heuristic (ADPS) split returned
+        assert (part.uplink, part.downlink) == (27, 13)
+
+    def test_max_probes_limits_search(self, paper_spec):
+        calls = []
+
+        def probe(p):
+            calls.append(p)
+            return False
+
+        SearchDPS(max_probes=5).partition_with_probe(
+            "a", "b", paper_spec, StubLoads(), probe
+        )
+        assert len(calls) == 5
+
+    def test_invalid_max_probes(self):
+        with pytest.raises(PartitioningError):
+            SearchDPS(max_probes=0)
+
+    def test_search_prefers_splits_near_centre(self, paper_spec):
+        """Among several feasible splits the nearest-to-centre wins."""
+        feasible = {10, 12, 20, 30}
+
+        def probe(p):
+            return p.uplink in feasible
+
+        part = SearchDPS().partition_with_probe(
+            "a", "b", paper_spec, StubLoads(), probe
+        )
+        # centre is 20 (zero loads -> even split) and 20 is feasible.
+        assert part.uplink == 20

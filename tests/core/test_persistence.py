@@ -1,0 +1,116 @@
+"""Tests for admission-state snapshot/restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import AsymmetricDPS, SymmetricDPS
+from repro.core.persistence import dumps, loads, restore, snapshot
+from repro.core.task import LinkRef
+from repro.errors import ConfigurationError
+
+SPEC = ChannelSpec(period=100, capacity=3, deadline=40)
+
+
+def loaded_controller():
+    ctrl = AdmissionController(
+        SystemState(["m", "s0", "s1", "s2"]), AsymmetricDPS()
+    )
+    for dest in ("s0", "s1", "s2") * 4:
+        ctrl.request("m", dest, SPEC)
+    ctrl.request("m", "ghost", SPEC)  # one counted rejection
+    ctrl.release(2)  # and one hole in the ID sequence
+    return ctrl
+
+
+class TestRoundTrip:
+    def test_state_identical_after_restore(self):
+        original = loaded_controller()
+        restored = restore(snapshot(original), AsymmetricDPS())
+        assert restored.state.nodes == original.state.nodes
+        assert set(restored.state.channels) == set(original.state.channels)
+        for link in original.state.occupied_links():
+            assert restored.state.link_load(link) == original.state.link_load(
+                link
+            )
+            assert restored.state.link_utilization(
+                link
+            ) == original.state.link_utilization(link)
+        assert restored.accept_count == original.accept_count
+        assert restored.reject_count == original.reject_count
+        assert (
+            restored.rejections_by_reason == original.rejections_by_reason
+        )
+
+    def test_partitions_preserved_exactly(self):
+        original = loaded_controller()
+        restored = restore(snapshot(original), AsymmetricDPS())
+        for channel_id, channel in original.state.channels.items():
+            twin = restored.state.channel(channel_id)
+            assert twin.partition == channel.partition
+            assert twin.spec == channel.spec
+
+    def test_future_decisions_identical(self):
+        """The restored controller decides exactly like the original."""
+        original = loaded_controller()
+        restored = restore(snapshot(original), AsymmetricDPS())
+        for dest in ("s0", "s1", "s2") * 3:
+            a = original.request("m", dest, SPEC)
+            b = restored.request("m", dest, SPEC)
+            assert a.accepted == b.accepted
+            if a.accepted:
+                assert (
+                    a.channel.channel_id == b.channel.channel_id
+                )
+                assert a.partition == b.partition
+
+    def test_channel_ids_never_reused_after_restore(self):
+        original = loaded_controller()
+        max_id = max(original.state.channels)
+        restored = restore(snapshot(original), AsymmetricDPS())
+        decision = restored.request("s0", "s1", SPEC)
+        assert decision.accepted
+        assert decision.channel.channel_id > max_id
+
+    def test_json_round_trip(self):
+        original = loaded_controller()
+        text = dumps(original)
+        restored = loads(text, AsymmetricDPS())
+        assert snapshot(restored) == snapshot(original)
+
+    def test_snapshot_does_not_mutate(self):
+        original = loaded_controller()
+        before = len(original.state)
+        expected_next = snapshot(original)["next_channel_id"]
+        snapshot(original)  # peeking twice must not consume IDs
+        assert len(original.state) == before
+        decision = original.request("s0", "s1", SPEC)
+        assert decision.accepted
+        assert decision.channel.channel_id == expected_next
+
+
+class TestValidation:
+    def test_scheme_mismatch_refused(self):
+        original = loaded_controller()
+        with pytest.raises(ConfigurationError, match="scheme swap"):
+            restore(snapshot(original), SymmetricDPS())
+
+    def test_bad_version_refused(self):
+        data = snapshot(loaded_controller())
+        data["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            restore(data, AsymmetricDPS())
+
+    def test_garbage_refused(self):
+        with pytest.raises(ConfigurationError):
+            restore({"no": "version"}, AsymmetricDPS())
+        with pytest.raises(ConfigurationError, match="JSON"):
+            loads("{broken", AsymmetricDPS())
+
+    def test_empty_controller_round_trips(self):
+        ctrl = AdmissionController(SystemState(["a", "b"]), SymmetricDPS())
+        restored = restore(snapshot(ctrl), SymmetricDPS())
+        assert len(restored.state) == 0
+        assert restored.request("a", "b", SPEC).channel.channel_id == 1

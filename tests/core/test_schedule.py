@@ -1,0 +1,134 @@
+"""Tests for the offline EDF schedule builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import is_feasible
+from repro.core.schedule import build_schedule
+from repro.errors import ConfigurationError
+from tests.conftest import make_tasks
+
+
+class TestBasicSchedules:
+    def test_empty_set(self):
+        schedule = build_schedule([])
+        assert schedule.feasible
+        assert schedule.table == ()
+
+    def test_single_task_runs_immediately(self):
+        tasks = make_tasks([(10, 3, 5)])
+        schedule = build_schedule(tasks)
+        assert schedule.horizon == 10
+        assert schedule.table[:3] == (0, 0, 0)
+        assert schedule.table[3:10] == (-1,) * 7
+        assert schedule.worst_response_of(0) == 3
+        assert schedule.feasible
+
+    def test_two_tasks_edf_order(self):
+        # task 0: d=8; task 1: d=3 -> task 1 runs first despite index.
+        tasks = make_tasks([(10, 2, 8), (10, 2, 3)])
+        schedule = build_schedule(tasks)
+        assert schedule.table[:4] == (1, 1, 0, 0)
+        assert schedule.worst_response_of(1) == 2
+        assert schedule.worst_response_of(0) == 4
+
+    def test_tie_broken_by_task_index(self):
+        tasks = make_tasks([(10, 1, 5), (10, 1, 5)])
+        schedule = build_schedule(tasks)
+        assert schedule.table[:2] == (0, 1)
+
+    def test_periodic_rereleases(self):
+        tasks = make_tasks([(5, 2, 5)])
+        schedule = build_schedule(tasks, horizon=15)
+        assert schedule.table == (0, 0, -1, -1, -1) * 3
+        assert schedule.responses[0].jobs == 3
+
+    def test_full_utilization_no_idle(self):
+        tasks = make_tasks([(2, 1, 2), (4, 2, 4)])
+        schedule = build_schedule(tasks)
+        assert schedule.idle_slots == 0
+        assert schedule.feasible
+
+    def test_overrun_detected(self):
+        # h(4) = 6 > 4: infeasible; the schedule must show an overrun.
+        tasks = make_tasks([(100, 3, 4), (100, 3, 4)])
+        schedule = build_schedule(tasks)
+        assert not schedule.feasible
+        assert schedule.responses[1].overruns == 1
+        assert schedule.responses[1].worst_response == 6
+        assert schedule.responses[1].slack == -2
+
+    def test_boundary_jobs_followed_to_completion(self):
+        """A job released near the horizon completes past it; response
+        accounting must not truncate."""
+        tasks = make_tasks([(10, 4, 20)])
+        schedule = build_schedule(tasks, horizon=10)
+        # one job, runs slots 0-3
+        assert schedule.responses[0].jobs == 1
+        assert schedule.worst_response_of(0) == 4
+
+
+class TestValidation:
+    def test_overutilized_rejected(self):
+        tasks = make_tasks([(2, 2, 2), (2, 1, 2)])
+        with pytest.raises(ConfigurationError, match="over-utilized"):
+            build_schedule(tasks)
+
+    def test_bad_horizon_rejected(self):
+        tasks = make_tasks([(10, 1, 5)])
+        with pytest.raises(ConfigurationError):
+            build_schedule(tasks, horizon=0)
+        with pytest.raises(ConfigurationError):
+            build_schedule(tasks, horizon=10**9)
+
+    def test_render(self):
+        tasks = make_tasks([(10, 2, 5)])
+        text = build_schedule(tasks).render(width=5)
+        assert "|00..." in text
+
+
+class TestDifferentialAgainstDemandCriterion:
+    CASES = [
+        [(100, 3, 20)] * 6,
+        [(100, 3, 20)] * 7,
+        [(10, 2, 5), (20, 4, 10)],
+        [(10, 2, 5), (20, 4, 10), (7, 1, 3)],
+        [(4, 3, 4), (16, 3, 16)],
+        [(2, 1, 2), (4, 1, 4), (8, 2, 8)],
+        [(100, 3, 4), (100, 3, 4)],
+        [(12, 4, 6), (9, 3, 5)],
+        [(6, 2, 9), (4, 1, 7)],  # deadlines beyond periods
+        [(50, 10, 25), (30, 5, 12), (20, 2, 9)],
+    ]
+
+    @pytest.mark.parametrize("params", CASES)
+    def test_schedule_agrees_with_demand_test(self, params):
+        """The constructed schedule meets all deadlines iff the demand
+        criterion says the set is feasible -- the core cross-check."""
+        tasks = make_tasks(params)
+        assert build_schedule(tasks).feasible == is_feasible(tasks).feasible
+
+    @pytest.mark.parametrize("params", CASES)
+    def test_feasible_sets_respect_deadline_budget(self, params):
+        tasks = make_tasks(params)
+        schedule = build_schedule(tasks)
+        if schedule.feasible:
+            for task, response in zip(tasks, schedule.responses):
+                assert response.worst_response <= task.deadline
+
+
+class TestSdpsBoundaryExactness:
+    def test_six_channels_exactly_fill_the_budget(self):
+        """6 SDPS channels: the last frame completes in slot 18 of a
+        20-slot budget -- the same tightness the DES observes."""
+        tasks = make_tasks([(100, 3, 20)] * 6)
+        schedule = build_schedule(tasks)
+        assert schedule.feasible
+        assert schedule.worst_response_of(5) == 18
+
+    def test_seventh_channel_overruns_by_one(self):
+        tasks = make_tasks([(100, 3, 20)] * 7)
+        schedule = build_schedule(tasks)
+        assert schedule.responses[6].worst_response == 21
+        assert schedule.responses[6].overruns == 1

@@ -1,0 +1,74 @@
+"""Tests for LinkRef/LinkTask (the supposed tasks of Eq. 18.6/18.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import ChannelSpec, DeadlinePartition, RTChannel
+from repro.core.task import LinkDirection, LinkRef, LinkTask
+from repro.errors import ChannelParameterError
+
+
+class TestLinkRef:
+    def test_uplink_downlink_distinct(self):
+        assert LinkRef.uplink("a") != LinkRef.downlink("a")
+
+    def test_same_direction_same_node_equal(self):
+        assert LinkRef.uplink("a") == LinkRef.uplink("a")
+
+    def test_hashable_and_sortable(self):
+        refs = {LinkRef.uplink("a"), LinkRef.downlink("a"), LinkRef.uplink("b")}
+        assert len(refs) == 3
+        assert sorted(refs)  # does not raise
+
+    def test_direction_opposite(self):
+        assert LinkDirection.UPLINK.opposite is LinkDirection.DOWNLINK
+        assert LinkDirection.DOWNLINK.opposite is LinkDirection.UPLINK
+
+
+class TestLinkTask:
+    def test_valid_task(self, uplink):
+        task = LinkTask(link=uplink, period=100, capacity=3, deadline=20)
+        assert task.utilization == 0.03
+
+    @pytest.mark.parametrize("field,value", [
+        ("period", 0), ("capacity", 0), ("deadline", 0),
+        ("period", -1), ("capacity", -2), ("deadline", -3),
+    ])
+    def test_nonpositive_rejected(self, uplink, field, value):
+        kwargs = dict(link=uplink, period=100, capacity=3, deadline=20)
+        kwargs[field] = value
+        with pytest.raises(ChannelParameterError):
+            LinkTask(**kwargs)
+
+    def test_capacity_above_period_rejected(self, uplink):
+        with pytest.raises(ChannelParameterError):
+            LinkTask(link=uplink, period=2, capacity=3, deadline=5)
+
+    def test_deadline_below_capacity_rejected(self, uplink):
+        # Eq. 18.9: deadline < WCET can never be met.
+        with pytest.raises(ChannelParameterError, match="18.9"):
+            LinkTask(link=uplink, period=100, capacity=3, deadline=2)
+
+    def test_deadline_equal_capacity_allowed(self, uplink):
+        LinkTask(link=uplink, period=100, capacity=3, deadline=3)
+
+
+class TestPairForChannel:
+    def test_pair_matches_eq_18_6_and_18_7(self, paper_spec):
+        channel = RTChannel(source="src", destination="dst", spec=paper_spec)
+        channel.channel_id = 9
+        channel.assign_partition(DeadlinePartition(uplink=25, downlink=15))
+        up, down = LinkTask.pair_for_channel(channel)
+        assert up.link == LinkRef.uplink("src")
+        assert down.link == LinkRef.downlink("dst")
+        assert up.period == down.period == paper_spec.period
+        assert up.capacity == down.capacity == paper_spec.capacity
+        assert up.deadline == 25
+        assert down.deadline == 15
+        assert up.channel_id == down.channel_id == 9
+
+    def test_pair_requires_partition(self, paper_spec):
+        channel = RTChannel(source="src", destination="dst", spec=paper_spec)
+        with pytest.raises(Exception):
+            LinkTask.pair_for_channel(channel)

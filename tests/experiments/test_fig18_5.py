@@ -1,0 +1,97 @@
+"""Tests for the Figure 18.5 reproduction (the paper's headline result).
+
+The shape assertions here ARE the reproduction criteria: SDPS saturates
+near 60 accepted channels (6 per master uplink x 10 masters), ADPS
+roughly doubles that, and ADPS never does worse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import ChannelSpec
+from repro.errors import ConfigurationError
+from repro.experiments.fig18_5 import Fig185Config, run_fig18_5
+
+
+@pytest.fixture(scope="module")
+def result():
+    """A modest but statistically meaningful run (shared across tests)."""
+    return run_fig18_5(Fig185Config(trials=6, seed=2004))
+
+
+class TestPaperShape:
+    def test_sdps_saturates_at_sixty(self, result):
+        """Each master uplink fits 6 channels under SDPS: h(20)=3Q<=20."""
+        assert result.sdps_final_mean == pytest.approx(60.0, abs=1.5)
+
+    def test_adps_reaches_paper_band(self, result):
+        """Paper's Figure 18.5 shows ADPS near 110 at 200 requested."""
+        assert 100.0 <= result.adps_final_mean <= 125.0
+
+    def test_adps_advantage_roughly_2x(self, result):
+        assert 1.6 <= result.adps_advantage <= 2.2
+
+    def test_adps_dominates_everywhere(self, result):
+        assert result.adps_dominates_everywhere()
+
+    def test_low_load_region_accepts_everything(self, result):
+        sdps = result.curve.curve("sdps")
+        adps = result.curve.curve("adps")
+        assert sdps.means[0] == pytest.approx(20.0, abs=0.5)
+        assert adps.means[0] == pytest.approx(20.0, abs=0.5)
+
+    def test_curves_monotone_nondecreasing(self, result):
+        for scheme in ("sdps", "adps"):
+            means = result.curve.curve(scheme).means
+            assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+
+    def test_table_renders(self, result):
+        text = result.to_table()
+        assert "Figure 18.5" in text
+        assert "sdps" in text and "adps" in text
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = Fig185Config()
+        assert config.n_masters == 10
+        assert config.n_slaves == 50
+        assert config.spec == ChannelSpec(period=100, capacity=3, deadline=40)
+        assert config.requested_counts == tuple(range(20, 201, 20))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fig185Config(n_masters=0)
+        with pytest.raises(ConfigurationError):
+            Fig185Config(trials=0)
+
+    def test_reproducibility(self):
+        config = Fig185Config(
+            trials=2, requested_counts=(20, 60), seed=99
+        )
+        one = run_fig18_5(config)
+        two = run_fig18_5(config)
+        assert one.curve.curve("adps").means == two.curve.curve("adps").means
+
+
+class TestMechanism:
+    def test_advantage_vanishes_with_loose_deadline(self):
+        """With d = 2P the demand test stops binding; both schemes hit
+        the same utilization wall, so ADPS ~ SDPS."""
+        config = Fig185Config(
+            trials=3,
+            requested_counts=(200,),
+            spec=ChannelSpec(period=100, capacity=3, deadline=200),
+        )
+        result = run_fig18_5(config)
+        assert result.adps_advantage == pytest.approx(1.0, abs=0.1)
+
+    def test_reverse_traffic_mirrors_advantage(self):
+        """Slave->master traffic bottlenecks master *downlinks*; ADPS
+        still wins by shifting budget toward them."""
+        config = Fig185Config(
+            trials=3, requested_counts=(200,), master_to_slave_fraction=0.0
+        )
+        result = run_fig18_5(config)
+        assert result.adps_final_mean > result.sdps_final_mean * 1.4

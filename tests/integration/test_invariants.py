@@ -1,0 +1,117 @@
+"""Whole-stack invariants: speed scaling, buffer bounds, percentiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import AsymmetricDPS, SymmetricDPS
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import speed_scaling
+from repro.network.topology import build_star
+
+
+class TestSpeedScaling:
+    def test_slot_normalized_delays_invariant(self):
+        """EXP-S1: the analysis is slot-relative; absolute delays scale
+        with the slot duration, slot-normalized delays coincide."""
+        points = speed_scaling(speeds_mbps=(100, 1000))
+        assert all(p.deadline_misses == 0 for p in points)
+        fast, gigabit = points
+        assert gigabit.worst_delay_ns < fast.worst_delay_ns
+        # normalized: equal up to the non-scaling constants (propagation
+        # and switch processing loom larger at gigabit, hence the band).
+        assert gigabit.worst_delay_slots == pytest.approx(
+            fast.worst_delay_slots, rel=0.05
+        )
+
+    def test_absolute_delays_scale_by_slot_ratio(self):
+        points = speed_scaling(speeds_mbps=(10, 100))
+        slow, fast = points
+        ratio = slow.worst_delay_ns / fast.worst_delay_ns
+        assert ratio == pytest.approx(10.0, rel=0.05)
+
+
+class TestBufferBounds:
+    def test_rt_backlog_watermark_bounded_by_admitted_demand(self):
+        """Admission control implicitly bounds switch buffering: the RT
+        backlog on a downlink never exceeds the total capacity of the
+        channels traversing it (all C frames of every channel can be
+        simultaneously queued at the critical instant, no more)."""
+        net = build_star(["m"] + [f"s{i}" for i in range(6)],
+                         dps=SymmetricDPS())
+        spec = ChannelSpec(period=100, capacity=3, deadline=40)
+        for i in range(6):
+            net.establish_analytically("m", f"s{i}", spec)
+        net.start_all_sources(stop_after_messages=3)
+        net.sim.run()
+        # uplink: 6 channels x 3 frames can pile up at t=0
+        uplink = net.nodes["m"].uplink
+        assert 0 < uplink.stats.rt_backlog_max <= 18
+        # each downlink carries exactly one channel -> <= 3 frames ever
+        for name, port in net.switch.ports.items():
+            assert port.stats.rt_backlog_max <= 3
+
+    def test_be_backlog_watermark_tracks_queue(self):
+        net = build_star(["a", "b"], dps=SymmetricDPS())
+        for _ in range(5):
+            net.nodes["a"].send_best_effort("b", 100)
+        assert net.nodes["a"].uplink.stats.be_backlog_max == 4
+        net.sim.run()
+
+
+class TestDelayPercentiles:
+    def test_percentiles_from_simulation(self):
+        net = build_star(
+            ["m", "s0", "s1"], dps=AsymmetricDPS(), record_delays=True
+        )
+        spec = ChannelSpec(period=100, capacity=3, deadline=40)
+        for dest in ("s0", "s1"):
+            net.establish_analytically("m", dest, spec)
+        net.start_all_sources(stop_after_messages=10)
+        net.sim.run()
+        pooled = net.metrics.delay_percentiles()
+        assert pooled[50.0] <= pooled[95.0] <= pooled[100.0]
+        assert pooled[100.0] == net.metrics.worst_rt_delay_ns
+        per_channel = net.metrics.delay_percentiles(channel_id=1)
+        assert per_channel[100.0] <= pooled[100.0]
+
+    def test_percentiles_require_opt_in(self):
+        net = build_star(["a", "b"], dps=SymmetricDPS())
+        with pytest.raises(ConfigurationError, match="record_delays"):
+            net.metrics.delay_percentiles()
+
+    def test_percentiles_need_samples(self):
+        net = build_star(["a", "b"], dps=SymmetricDPS(), record_delays=True)
+        with pytest.raises(ConfigurationError, match="no delay samples"):
+            net.metrics.delay_percentiles()
+
+
+class TestBlockingCascade:
+    def test_hypothesis_found_cascade_case(self):
+        """Regression for a real modelling subtlety the property suite
+        uncovered: with two same-instant releases, the EDF queue cannot
+        preempt the frame that already started, so the tighter-deadline
+        frame suffers one slot of blocking on the uplink AND arrives
+        late enough at the switch to consume part of the downlink's
+        slack too. The per-hop miss check must therefore allow the
+        *cumulative* hop share of T_latency, and the end-to-end bound
+        (which prices two frames of blocking) must still hold."""
+        from repro.core.channel import ChannelSpec
+        from repro.core.partitioning import SymmetricDPS
+
+        net = build_star(["n0", "n1"], dps=SymmetricDPS())
+        assert net.establish_analytically(
+            "n0", "n1", ChannelSpec(period=20, capacity=1, deadline=4)
+        )
+        assert net.establish_analytically(
+            "n0", "n1", ChannelSpec(period=20, capacity=1, deadline=2)
+        )
+        net.start_all_sources(stop_after_messages=2)
+        net.sim.run()
+        assert net.metrics.total_deadline_misses == 0
+        per_link = net.nodes["n0"].uplink.stats.rt_link_deadline_misses + sum(
+            p.stats.rt_link_deadline_misses
+            for p in net.switch.ports.values()
+        )
+        assert per_link == 0

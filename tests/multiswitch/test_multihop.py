@@ -1,0 +1,187 @@
+"""Tests for k-way partitioning and multi-switch admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import ChannelSpec
+from repro.errors import PartitioningError, UnknownChannelError
+from repro.multiswitch.admission import MultiSwitchAdmission
+from repro.multiswitch.fabric import FabricLink, SwitchFabric
+from repro.multiswitch.partitioning import (
+    MultiHopProportional,
+    MultiHopSymmetric,
+    split_deadline,
+)
+
+
+class TestSplitDeadline:
+    def test_even_split(self):
+        assert split_deadline(40, 3, [1, 1]) == [20, 20]
+        assert split_deadline(60, 3, [1, 1, 1]) == [20, 20, 20]
+
+    def test_sum_always_exact(self):
+        for weights in ([1, 2], [3, 1, 2], [5, 5, 5, 1]):
+            parts = split_deadline(41, 2, weights)
+            assert sum(parts) == 41
+
+    def test_proportional(self):
+        parts = split_deadline(40, 3, [3, 1])
+        assert parts == [30, 10]
+
+    def test_floor_repair(self):
+        # weight 0 link must still get >= C.
+        parts = split_deadline(40, 5, [1, 0])
+        assert parts[1] >= 5
+        assert sum(parts) == 40
+
+    def test_all_zero_weights_fall_back_to_even(self):
+        assert split_deadline(40, 3, [0, 0]) == [20, 20]
+
+    def test_impossible_split_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_deadline(5, 3, [1, 1])  # needs >= 6
+        with pytest.raises(PartitioningError):
+            split_deadline(8, 3, [1, 1, 1])  # needs >= 9
+
+    def test_boundary_exact_k_times_c(self):
+        assert split_deadline(9, 3, [7, 1, 1]) == [3, 3, 3]
+
+    def test_zero_links_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_deadline(10, 1, [])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_deadline(10, 1, [1, -1])
+
+    def test_deterministic_remainder_assignment(self):
+        a = split_deadline(10, 1, [1, 1, 1])
+        b = split_deadline(10, 1, [1, 1, 1])
+        assert a == b
+        assert sum(a) == 10
+
+
+class TestMultiHopSchemes:
+    def test_symmetric_equal_parts(self, paper_spec):
+        fabric = SwitchFabric.chain(2, 1)
+        links = fabric.path_links("n0_0", "n1_0")
+        parts = MultiHopSymmetric().partition(
+            paper_spec, links, lambda link: 1
+        )
+        assert sum(parts) == paper_spec.deadline
+        assert max(parts) - min(parts) <= 1
+
+    def test_proportional_follows_loads(self, paper_spec):
+        fabric = SwitchFabric.chain(2, 1)
+        links = fabric.path_links("n0_0", "n1_0")
+        loads = {links[0]: 8, links[1]: 1, links[2]: 1}
+        parts = MultiHopProportional().partition(
+            paper_spec, links, lambda link: loads[link]
+        )
+        assert sum(parts) == paper_spec.deadline
+        assert parts[0] > parts[1] and parts[0] > parts[2]
+
+    def test_two_link_proportional_matches_adps_ratio(self, paper_spec):
+        fabric = SwitchFabric.single_switch(["a", "b"])
+        links = fabric.path_links("a", "b")
+        loads = {links[0]: 2, links[1]: 1}
+        parts = MultiHopProportional().partition(
+            paper_spec, links, lambda link: loads[link]
+        )
+        # 40 * 2/3 ~ 26.67 -> largest remainder gives 27/13.
+        assert parts == [27, 13]
+
+
+class TestMultiSwitchAdmission:
+    def make(self, scheme=None):
+        fabric = SwitchFabric.chain(2, 2)
+        return MultiSwitchAdmission(
+            fabric=fabric, dps=scheme or MultiHopSymmetric()
+        )
+
+    def test_accept_installs_on_every_path_link(self, paper_spec):
+        admission = self.make()
+        decision = admission.request("n0_0", "n1_0", paper_spec)
+        assert decision.accepted
+        assert len(decision.links) == 3
+        for link in decision.links:
+            assert admission.link_load(link) == 1
+        assert admission.active_channels == 1
+
+    def test_reject_leaves_no_trace(self):
+        admission = self.make()
+        bad = ChannelSpec(period=100, capacity=3, deadline=8)  # < 3 links * 3
+        decision = admission.request("n0_0", "n1_0", bad)
+        assert not decision.accepted
+        for link in decision.links:
+            assert admission.link_load(link) == 0
+
+    def test_trunk_is_shared_bottleneck(self, paper_spec):
+        """Channels between different node pairs contend on the trunk."""
+        admission = self.make()
+        trunk = FabricLink("sw0", "sw1")
+        admission.request("n0_0", "n1_0", paper_spec)
+        admission.request("n0_1", "n1_1", paper_spec)
+        assert admission.link_load(trunk) == 2
+
+    def test_local_channels_skip_trunk(self, paper_spec):
+        admission = self.make()
+        admission.request("n0_0", "n0_1", paper_spec)
+        assert admission.link_load(FabricLink("sw0", "sw1")) == 0
+
+    def test_saturation_reported_with_failed_link(self, paper_spec):
+        admission = self.make()
+        results = [
+            admission.request("n0_0", "n1_0", paper_spec) for _ in range(30)
+        ]
+        rejected = [r for r in results if not r.accepted]
+        assert rejected
+        assert rejected[0].failed_link is not None
+        assert rejected[0].reports  # evidence present
+
+    def test_release_restores_capacity(self, paper_spec):
+        admission = self.make()
+        decisions = []
+        while True:
+            decision = admission.request("n0_0", "n1_0", paper_spec)
+            if not decision.accepted:
+                break
+            decisions.append(decision)
+        admission.release(decisions[0].channel_id)
+        assert admission.request("n0_0", "n1_0", paper_spec).accepted
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(UnknownChannelError):
+            self.make().release(999)
+
+    def test_proportional_beats_symmetric_on_bottleneck(self, paper_spec):
+        """The ADPS advantage generalizes to the trunk bottleneck."""
+        def fill(admission):
+            accepted = 0
+            pairs = [("n0_0", "n1_0"), ("n0_1", "n1_1")]
+            for _ in range(40):
+                for source, destination in pairs:
+                    if admission.request(
+                        source, destination, paper_spec
+                    ).accepted:
+                        accepted += 1
+            return accepted
+
+        symmetric = fill(self.make(MultiHopSymmetric()))
+        proportional = fill(self.make(MultiHopProportional()))
+        assert proportional >= symmetric
+
+    def test_degenerate_single_switch_matches_star_semantics(
+        self, paper_spec
+    ):
+        """One-switch fabric behaves like the paper's SDPS star: 6 fit."""
+        fabric = SwitchFabric.single_switch(["m", "x", "y"])
+        admission = MultiSwitchAdmission(
+            fabric=fabric, dps=MultiHopSymmetric()
+        )
+        accepted = sum(
+            admission.request("m", dest, paper_spec).accepted
+            for dest in ["x", "y"] * 5
+        )
+        assert accepted == 6

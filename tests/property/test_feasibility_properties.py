@@ -1,0 +1,185 @@
+"""Property-based tests for the feasibility analysis (hypothesis).
+
+These pin down the *theory* invariants that individual example tests
+cannot exhaust: monotonicity of the demand function, the control-point
+reduction's equivalence to the naive scan, and the sustainability of
+the feasibility verdict under task removal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.feasibility import (
+    busy_period,
+    control_points,
+    demand,
+    demand_many,
+    hyperperiod,
+    is_feasible,
+    is_feasible_naive,
+    utilization,
+)
+from repro.core.task import LinkRef, LinkTask
+
+LINK = LinkRef.uplink("prop")
+
+
+@st.composite
+def link_task(draw):
+    period = draw(st.integers(min_value=1, max_value=60))
+    capacity = draw(st.integers(min_value=1, max_value=period))
+    deadline = draw(st.integers(min_value=capacity, max_value=120))
+    return LinkTask(
+        link=LINK, period=period, capacity=capacity, deadline=deadline
+    )
+
+
+task_sets = st.lists(link_task(), min_size=0, max_size=6)
+small_task_sets = st.lists(link_task(), min_size=1, max_size=4)
+
+
+@given(task_sets)
+@settings(max_examples=150, deadline=None)
+def test_fast_and_naive_always_agree(tasks):
+    """The control-point + busy-period reductions change nothing."""
+    assert is_feasible(tasks).feasible == is_feasible_naive(tasks).feasible
+
+
+@given(small_task_sets, st.integers(min_value=0, max_value=300))
+@settings(max_examples=100, deadline=None)
+def test_demand_monotone_in_time(tasks, t):
+    assert demand(tasks, t) <= demand(tasks, t + 1)
+
+
+@given(small_task_sets, st.integers(min_value=0, max_value=300))
+@settings(max_examples=100, deadline=None)
+def test_demand_many_matches_scalar(tasks, t):
+    values = demand_many(tasks, np.array([t, t + 7], dtype=np.int64))
+    assert values[0] == demand(tasks, t)
+    assert values[1] == demand(tasks, t + 7)
+
+
+@given(small_task_sets)
+@settings(max_examples=100, deadline=None)
+def test_demand_jumps_only_at_control_points(tasks):
+    """h is constant between consecutive control points."""
+    horizon = min(
+        int(hyperperiod(tasks)), 400
+    )
+    points = set(control_points(tasks, horizon).tolist())
+    previous = demand(tasks, 0)
+    for t in range(1, horizon + 1):
+        current = demand(tasks, t)
+        if current != previous:
+            assert t in points, f"h jumped at {t} which is not a control point"
+        previous = current
+
+
+@given(task_sets)
+@settings(max_examples=100, deadline=None)
+def test_feasible_set_stays_feasible_after_removal(tasks):
+    """Feasibility is sustainable under dropping any one task."""
+    if utilization(tasks) > 1:
+        return
+    if not is_feasible(tasks).feasible:
+        return
+    for i in range(len(tasks)):
+        remaining = tasks[:i] + tasks[i + 1 :]
+        assert is_feasible(remaining).feasible
+
+
+@given(small_task_sets)
+@settings(max_examples=100, deadline=None)
+def test_busy_period_is_a_fixpoint(tasks):
+    if utilization(tasks) > 1:
+        return
+    length = busy_period(tasks)
+    workload = sum(-(-length // t.period) * t.capacity for t in tasks)
+    assert workload == length
+    assert length >= sum(t.capacity for t in tasks) or length == 0
+
+
+@given(small_task_sets)
+@settings(max_examples=100, deadline=None)
+def test_busy_period_bounded_by_hyperperiod(tasks):
+    if utilization(tasks) > 1:
+        return
+    assert busy_period(tasks) <= hyperperiod(tasks)
+
+
+@given(small_task_sets)
+@settings(max_examples=80, deadline=None)
+def test_implicit_deadline_feasibility_iff_utilization(tasks):
+    """Liu & Layland: with d == P, feasible <=> U <= 1."""
+    implicit = [
+        LinkTask(
+            link=LINK,
+            period=t.period,
+            capacity=t.capacity,
+            deadline=t.period,
+        )
+        for t in tasks
+    ]
+    report = is_feasible(implicit)
+    assert report.feasible == (utilization(implicit) <= 1)
+
+
+@given(small_task_sets)
+@settings(max_examples=80, deadline=None)
+def test_shrinking_a_deadline_never_helps(tasks):
+    """Feasibility is monotone in deadlines: tightening one deadline
+    cannot turn an infeasible set feasible."""
+    if is_feasible(tasks).feasible:
+        return
+    loosened = [
+        LinkTask(
+            link=LINK,
+            period=t.period,
+            capacity=t.capacity,
+            deadline=t.deadline + 10,
+        )
+        for t in tasks
+    ]
+    # the CONTRAPOSITIVE: loosening may or may not fix it, but tightening
+    # the loosened set back must reproduce the infeasible verdict.
+    tightened_back = [
+        LinkTask(
+            link=LINK,
+            period=t.period,
+            capacity=t.capacity,
+            deadline=t.deadline - 10,
+        )
+        for t in loosened
+    ]
+    assert not is_feasible(tightened_back).feasible
+
+
+@given(task_sets)
+@settings(max_examples=100, deadline=None)
+def test_offline_schedule_agrees_with_demand_criterion(tasks):
+    """Third implementation cross-check: the tabular EDF schedule meets
+    every deadline exactly when the analytical test says feasible."""
+    from repro.core.schedule import build_schedule
+
+    if utilization(tasks) > 1:
+        return
+    if hyperperiod(tasks) > 5000:
+        return  # keep the property suite fast
+    schedule = build_schedule(tasks)
+    assert schedule.feasible == is_feasible(tasks).feasible
+
+
+@given(task_sets)
+@settings(max_examples=80, deadline=None)
+def test_offline_worst_response_within_deadline_when_feasible(tasks):
+    from repro.core.schedule import build_schedule
+
+    if utilization(tasks) > 1 or hyperperiod(tasks) > 5000:
+        return
+    if not is_feasible(tasks).feasible:
+        return
+    schedule = build_schedule(tasks)
+    for task, response in zip(tasks, schedule.responses):
+        assert response.worst_response <= task.deadline

@@ -1,0 +1,168 @@
+"""Property-based tests for partitioning schemes and codecs."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import (
+    AsymmetricDPS,
+    SymmetricDPS,
+    clamp_partition,
+    split_round_half_up,
+)
+from repro.core.partitioning_ext import LaxityDPS, SearchDPS, UtilizationDPS
+from repro.core.task import LinkRef
+from repro.multiswitch.partitioning import split_deadline
+from repro.protocol.bitfields import BitPacker, BitUnpacker
+from repro.protocol.headers import decode_rt_header, encode_rt_header
+
+
+@st.composite
+def partitionable_spec(draw):
+    capacity = draw(st.integers(min_value=1, max_value=20))
+    period = draw(st.integers(min_value=capacity, max_value=500))
+    deadline = draw(st.integers(min_value=2 * capacity, max_value=600))
+    return ChannelSpec(period=period, capacity=capacity, deadline=deadline)
+
+
+class Loads:
+    def __init__(self, up, down, u_up=0, u_down=0):
+        self._map = {
+            LinkRef.uplink("a"): up,
+            LinkRef.downlink("b"): down,
+        }
+        self._u = {
+            LinkRef.uplink("a"): Fraction(u_up, 100),
+            LinkRef.downlink("b"): Fraction(u_down, 100),
+        }
+
+    def link_load(self, link):
+        return self._map.get(link, 0)
+
+    def link_utilization(self, link):
+        return self._u.get(link, Fraction(0))
+
+
+loads_strategy = st.builds(
+    Loads,
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=99),
+    st.integers(min_value=0, max_value=99),
+)
+
+
+@given(partitionable_spec(), loads_strategy)
+@settings(max_examples=200, deadline=None)
+def test_every_scheme_satisfies_eq_18_8_and_18_9(spec, loads):
+    """All five DPS implementations always emit legal partitions."""
+    for scheme in (
+        SymmetricDPS(),
+        AsymmetricDPS(),
+        UtilizationDPS(),
+        LaxityDPS(),
+        SearchDPS(),
+    ):
+        partition = scheme.partition("a", "b", spec, loads)
+        partition.validate_for(spec)  # raises on violation
+
+
+@given(partitionable_spec(), loads_strategy)
+@settings(max_examples=100, deadline=None)
+def test_adps_gives_heavier_link_at_least_half(spec, loads):
+    up = loads.link_load(LinkRef.uplink("a"))
+    down = loads.link_load(LinkRef.downlink("b"))
+    if up + down == 0:
+        return
+    partition = AsymmetricDPS().partition("a", "b", spec, loads)
+    lo, hi = spec.capacity, spec.deadline - spec.capacity
+    if up > down and partition.uplink < hi:
+        assert partition.uplink >= spec.deadline // 2
+    if down > up and partition.downlink < hi:
+        assert partition.downlink >= spec.deadline // 2
+
+
+@given(
+    partitionable_spec(),
+    st.integers(min_value=-100, max_value=1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_clamp_partition_always_legal(spec, wish):
+    clamp_partition(spec, wish).validate_for(spec)
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_split_round_half_up_error_below_one(deadline, num, den):
+    if num > den:
+        num = den
+    result = split_round_half_up(deadline, num, den)
+    exact = deadline * num / den
+    assert abs(result - exact) <= 0.5 + 1e-9
+
+
+@st.composite
+def k_way_case(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    capacity = draw(st.integers(min_value=1, max_value=10))
+    deadline = draw(st.integers(min_value=k * capacity, max_value=500))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return deadline, capacity, weights
+
+
+@given(k_way_case())
+@settings(max_examples=200, deadline=None)
+def test_split_deadline_invariants(case):
+    deadline, capacity, weights = case
+    parts = split_deadline(deadline, capacity, weights)
+    assert sum(parts) == deadline
+    assert all(part >= capacity for part in parts)
+    assert len(parts) == len(weights)
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 48) - 1),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_rt_header_roundtrip(deadline, channel):
+    header = encode_rt_header(deadline, channel)
+    assert decode_rt_header(header) == (deadline, channel)
+    assert header.tos == 255
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=64),  # width
+            st.integers(min_value=0),  # raw value, masked below
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_bitfield_roundtrip(fields):
+    packer = BitPacker()
+    expected = []
+    for width, raw in fields:
+        value = raw & ((1 << width) - 1)
+        packer.put(value, width)
+        expected.append((width, value))
+    unpacker = BitUnpacker(packer.to_bytes())
+    for width, value in expected:
+        assert unpacker.take(width) == value
+    unpacker.expect_zero_padding()

@@ -1,0 +1,174 @@
+"""Property-based tests: EDF queue ordering and admission soundness."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.channel import ChannelSpec
+from repro.core.edf_queue import EDFQueue, QueuedFrame
+from repro.core.feasibility import is_feasible
+from repro.core.partitioning import AsymmetricDPS, SymmetricDPS
+from repro.core.partitioning_ext import LaxityDPS
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_edf_queue_drains_sorted(deadlines):
+    queue: EDFQueue[int] = EDFQueue()
+    for i, deadline in enumerate(deadlines):
+        queue.push(
+            QueuedFrame(payload=i, absolute_deadline=deadline, enqueued_at=0)
+        )
+    drained = [queue.pop().absolute_deadline for _ in range(len(deadlines))]
+    assert drained == sorted(deadlines)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),  # push (True) or pop (False)
+            st.integers(min_value=0, max_value=1000),
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_edf_queue_interleaved_operations_keep_heap_invariant(ops):
+    queue: EDFQueue[int] = EDFQueue()
+    model: list[int] = []
+    for is_push, deadline in ops:
+        if is_push or not model:
+            queue.push(
+                QueuedFrame(
+                    payload=0, absolute_deadline=deadline, enqueued_at=0
+                )
+            )
+            model.append(deadline)
+        else:
+            popped = queue.pop().absolute_deadline
+            assert popped == min(model)
+            model.remove(popped)
+    assert len(queue) == len(model)
+
+
+@st.composite
+def request_sequence(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=6))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    count = draw(st.integers(min_value=0, max_value=25))
+    requests = []
+    for _ in range(count):
+        i = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        j = draw(st.integers(min_value=0, max_value=n_nodes - 2))
+        if j >= i:
+            j += 1
+        capacity = draw(st.integers(min_value=1, max_value=5))
+        period = draw(st.integers(min_value=capacity, max_value=60))
+        deadline = draw(st.integers(min_value=1, max_value=80))
+        requests.append(
+            (nodes[i], nodes[j], period, capacity, deadline)
+        )
+    return nodes, requests
+
+
+@given(
+    request_sequence(),
+    st.sampled_from(["sdps", "adps", "ldps"]),
+)
+@settings(max_examples=120, deadline=None)
+def test_admission_soundness_every_link_stays_feasible(case, scheme_name):
+    """THE soundness property: whatever the request mix and scheme, the
+    installed task set on every link passes the exact feasibility test
+    after every decision."""
+    nodes, requests = case
+    scheme = {
+        "sdps": SymmetricDPS(),
+        "adps": AsymmetricDPS(),
+        "ldps": LaxityDPS(),
+    }[scheme_name]
+    state = SystemState(nodes)
+    controller = AdmissionController(state, scheme)
+    for source, destination, period, capacity, deadline in requests:
+        try:
+            spec = ChannelSpec(
+                period=period, capacity=capacity, deadline=deadline
+            )
+        except Exception:
+            continue  # structurally invalid draw (e.g. C > P filtered)
+        controller.request(source, destination, spec)
+        for link in state.occupied_links():
+            assert is_feasible(list(state.tasks_on(link))).feasible, (
+                f"link {link} became infeasible after admitting on "
+                f"{source}->{destination}"
+            )
+
+
+@given(request_sequence())
+@settings(max_examples=60, deadline=None)
+def test_release_restores_exact_state(case):
+    """Admitting then releasing a channel leaves link loads unchanged."""
+    nodes, requests = case
+    state = SystemState(nodes)
+    controller = AdmissionController(state, AsymmetricDPS())
+    admitted = []
+    for source, destination, period, capacity, deadline in requests:
+        try:
+            spec = ChannelSpec(
+                period=period, capacity=capacity, deadline=deadline
+            )
+        except Exception:
+            continue
+        decision = controller.request(source, destination, spec)
+        if decision.accepted:
+            admitted.append(decision.channel.channel_id)
+    snapshot = {
+        link: state.link_load(link) for link in state.occupied_links()
+    }
+    if not admitted:
+        return
+    victim = admitted[len(admitted) // 2]
+    channel = state.channel(victim)
+    controller.release(victim)
+    from repro.core.task import LinkRef
+
+    assert (
+        state.link_load(LinkRef.uplink(channel.source))
+        == snapshot.get(LinkRef.uplink(channel.source), 0) - 1
+    )
+
+
+@given(request_sequence())
+@settings(max_examples=40, deadline=None)
+def test_snapshot_restore_preserves_future_decisions(case):
+    """Persistence round-trip: a restored controller is decision-for-
+    decision identical to the original on any continuation."""
+    from repro.core.persistence import restore, snapshot
+
+    nodes, requests = case
+    if len(requests) < 2:
+        return
+    half = len(requests) // 2
+    original = AdmissionController(SystemState(nodes), AsymmetricDPS())
+    for source, destination, period, capacity, deadline in requests[:half]:
+        try:
+            spec = ChannelSpec(
+                period=period, capacity=capacity, deadline=deadline
+            )
+        except Exception:
+            continue
+        original.request(source, destination, spec)
+    clone = restore(snapshot(original), AsymmetricDPS())
+    for source, destination, period, capacity, deadline in requests[half:]:
+        try:
+            spec = ChannelSpec(
+                period=period, capacity=capacity, deadline=deadline
+            )
+        except Exception:
+            continue
+        a = original.request(source, destination, spec)
+        b = clone.request(source, destination, spec)
+        assert a.accepted == b.accepted
+        assert a.partition == b.partition
+        if a.accepted:
+            assert a.channel.channel_id == b.channel.channel_id

@@ -1,0 +1,107 @@
+"""Tests for the MSB-first bit packer/unpacker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodecError, FieldRangeError
+from repro.protocol.bitfields import BitPacker, BitUnpacker
+
+
+class TestBitPacker:
+    def test_single_byte(self):
+        assert BitPacker().put(0xAB, 8).to_bytes() == b"\xab"
+
+    def test_msb_first_ordering(self):
+        # 4 bits of 0xF then 4 bits of 0x0 -> 0xF0.
+        assert BitPacker().put(0xF, 4).put(0x0, 4).to_bytes() == b"\xf0"
+
+    def test_cross_byte_field(self):
+        # 12-bit value 0xABC followed by 4 bits 0xD -> 0xAB 0xCD.
+        data = BitPacker().put(0xABC, 12).put(0xD, 4).to_bytes()
+        assert data == b"\xab\xcd"
+
+    def test_zero_padding_on_partial_byte(self):
+        # 1 bit set -> padded right with 7 zeros: 0b1000_0000.
+        assert BitPacker().put(1, 1).to_bytes() == b"\x80"
+
+    def test_empty(self):
+        assert BitPacker().to_bytes() == b""
+
+    def test_bit_length(self):
+        packer = BitPacker().put(1, 3).put(0, 13)
+        assert packer.bit_length == 16
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(FieldRangeError):
+            BitPacker().put(256, 8)
+        with pytest.raises(FieldRangeError):
+            BitPacker().put(2, 1)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(FieldRangeError):
+            BitPacker().put(-1, 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FieldRangeError):
+            BitPacker().put(0, 0)
+
+    def test_48_bit_field(self):
+        mac = 0x0123456789AB
+        assert BitPacker().put(mac, 48).to_bytes() == bytes.fromhex(
+            "0123456789ab"
+        )
+
+
+class TestBitUnpacker:
+    def test_roundtrip_mixed_widths(self):
+        fields = [(5, 3), (1023, 10), (0, 1), (0xDEADBEEF, 32), (7, 4)]
+        packer = BitPacker()
+        for value, width in fields:
+            packer.put(value, width)
+        unpacker = BitUnpacker(packer.to_bytes())
+        for value, width in fields:
+            assert unpacker.take(width) == value
+        unpacker.expect_zero_padding()
+
+    def test_truncated_input_raises(self):
+        unpacker = BitUnpacker(b"\xff")
+        unpacker.take(4)
+        with pytest.raises(CodecError, match="truncated"):
+            unpacker.take(5)
+
+    def test_remaining_bits(self):
+        unpacker = BitUnpacker(b"\x00\x00")
+        assert unpacker.remaining_bits == 16
+        unpacker.take(3)
+        assert unpacker.remaining_bits == 13
+
+    def test_nonzero_padding_detected(self):
+        unpacker = BitUnpacker(b"\x81")  # take 1 bit, 7 remain = 0x01
+        unpacker.take(1)
+        with pytest.raises(CodecError, match="padding"):
+            unpacker.expect_zero_padding()
+
+    def test_zero_padding_accepted(self):
+        unpacker = BitUnpacker(b"\x80")
+        unpacker.take(1)
+        unpacker.expect_zero_padding()
+
+    def test_padding_check_on_fully_consumed(self):
+        unpacker = BitUnpacker(b"\xff")
+        unpacker.take(8)
+        unpacker.expect_zero_padding()  # nothing remains: fine
+
+    def test_empty_input(self):
+        unpacker = BitUnpacker(b"")
+        assert unpacker.remaining_bits == 0
+        with pytest.raises(CodecError):
+            unpacker.take(1)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            BitUnpacker("not bytes")  # type: ignore[arg-type]
+
+    def test_invalid_width(self):
+        with pytest.raises(FieldRangeError):
+            BitUnpacker(b"\x00").take(0)

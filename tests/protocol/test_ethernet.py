@@ -1,0 +1,110 @@
+"""Tests for the logical EthernetFrame model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocol.ethernet import EthernetFrame, FrameKind
+from repro.protocol.headers import RTHeader, encode_rt_header
+from repro.units import ETH_MAX_PAYLOAD
+
+
+def rt_frame(**overrides) -> EthernetFrame:
+    kwargs = dict(
+        kind=FrameKind.RT_DATA,
+        source="a",
+        destination="b",
+        payload_bytes=ETH_MAX_PAYLOAD,
+        rt_header=encode_rt_header(1000, 7),
+        channel_id=7,
+        message_seq=0,
+        created_at=0,
+    )
+    kwargs.update(overrides)
+    return EthernetFrame(**kwargs)
+
+
+class TestValidation:
+    def test_rt_frame_ok(self):
+        frame = rt_frame()
+        assert frame.absolute_deadline == 1000
+
+    def test_rt_frame_requires_header(self):
+        with pytest.raises(ConfigurationError):
+            rt_frame(rt_header=None)
+
+    def test_rt_frame_requires_rt_tos(self):
+        bogus = RTHeader(ip_source=0, ip_destination=0, tos=0)
+        with pytest.raises(ConfigurationError):
+            rt_frame(rt_header=bogus)
+
+    def test_rt_frame_requires_channel(self):
+        with pytest.raises(ConfigurationError):
+            rt_frame(channel_id=-1)
+
+    def test_best_effort_must_not_carry_rt_header(self):
+        with pytest.raises(ConfigurationError):
+            EthernetFrame(
+                kind=FrameKind.BEST_EFFORT,
+                source="a",
+                destination="b",
+                payload_bytes=100,
+                rt_header=encode_rt_header(1, 1),
+            )
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EthernetFrame(
+                kind=FrameKind.BEST_EFFORT,
+                source="a",
+                destination="b",
+                payload_bytes=-1,
+            )
+
+    def test_best_effort_has_no_deadline(self):
+        frame = EthernetFrame(
+            kind=FrameKind.BEST_EFFORT,
+            source="a",
+            destination="b",
+            payload_bytes=100,
+        )
+        with pytest.raises(ConfigurationError):
+            _ = frame.absolute_deadline
+
+
+class TestSizes:
+    def test_max_frame_sizes(self):
+        frame = rt_frame()
+        assert frame.mac_frame_bytes == 1518
+        assert frame.wire_size_bytes == 1538
+
+    def test_small_signaling_frame_padded(self):
+        frame = EthernetFrame(
+            kind=FrameKind.SIGNALING,
+            source="a",
+            destination="switch",
+            payload_bytes=11,
+        )
+        assert frame.mac_frame_bytes == 64
+        assert frame.wire_size_bytes == 84
+
+
+class TestIdentity:
+    def test_frame_ids_unique(self):
+        a = rt_frame()
+        b = rt_frame()
+        assert a.frame_id != b.frame_id
+
+    def test_describe_rt(self):
+        text = rt_frame(message_seq=3, fragment_index=1).describe()
+        assert "ch=7" in text and "msg=3.1" in text and "a->b" in text
+
+    def test_describe_best_effort(self):
+        frame = EthernetFrame(
+            kind=FrameKind.BEST_EFFORT,
+            source="a",
+            destination="b",
+            payload_bytes=64,
+        )
+        assert "be" in frame.describe()

@@ -1,0 +1,158 @@
+"""Tests for the end-node signalling state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.frames import RequestFrame, ResponseFrame
+from repro.protocol.signaling import (
+    ConnectionRequestState,
+    SourceSignaling,
+    accept_all,
+    destination_response,
+)
+
+NODE_MAC = 0x02_00_00_00_00_01
+SWITCH_MAC = 0x02_FF_FF_FF_FF_FF
+NODE_IP = 0x0A00_0001
+
+
+def make_source() -> SourceSignaling:
+    return SourceSignaling(
+        node_mac=NODE_MAC, switch_mac=SWITCH_MAC, node_ip=NODE_IP
+    )
+
+
+def respond(request: RequestFrame, ok: bool, channel_id: int = 5):
+    return ResponseFrame(
+        connect_request_id=request.connect_request_id,
+        rt_channel_id=channel_id,
+        switch_mac=SWITCH_MAC,
+        ok=ok,
+    )
+
+
+class TestSourceSignaling:
+    def test_build_request_fields(self):
+        source = make_source()
+        request = source.build_request(
+            destination="b",
+            destination_mac=0x02,
+            destination_ip=0x0A00_0002,
+            period=100,
+            capacity=3,
+            deadline=40,
+        )
+        assert request.source_mac == NODE_MAC
+        assert request.rt_channel_id == 0  # not valid yet, per the paper
+        assert request.period == 100
+        assert source.outstanding == 1
+
+    def test_accept_flow(self):
+        source = make_source()
+        request = source.build_request("b", 2, 2, 100, 3, 40)
+        record = source.handle_response(respond(request, ok=True, channel_id=9))
+        assert record.state is ConnectionRequestState.ACCEPTED
+        assert record.rt_channel_id == 9
+        assert source.outstanding == 0
+        assert source.completed == [record]
+
+    def test_reject_flow(self):
+        source = make_source()
+        request = source.build_request("b", 2, 2, 100, 3, 40)
+        record = source.handle_response(respond(request, ok=False))
+        assert record.state is ConnectionRequestState.REJECTED
+        assert record.rt_channel_id == -1
+
+    def test_unknown_response_raises(self):
+        source = make_source()
+        stray = ResponseFrame(
+            connect_request_id=77, rt_channel_id=1, switch_mac=SWITCH_MAC,
+            ok=True,
+        )
+        with pytest.raises(ProtocolError, match="unknown"):
+            source.handle_response(stray)
+
+    def test_duplicate_response_raises(self):
+        source = make_source()
+        request = source.build_request("b", 2, 2, 100, 3, 40)
+        source.handle_response(respond(request, ok=True))
+        with pytest.raises(ProtocolError):
+            source.handle_response(respond(request, ok=True))
+
+    def test_request_ids_distinct_while_outstanding(self):
+        source = make_source()
+        ids = {
+            source.build_request("b", 2, 2, 100, 3, 40).connect_request_id
+            for _ in range(100)
+        }
+        assert len(ids) == 100
+
+    def test_id_space_exhaustion(self):
+        source = make_source()
+        requests = [
+            source.build_request("b", 2, 2, 100, 3, 40) for _ in range(256)
+        ]
+        with pytest.raises(ProtocolError, match="256"):
+            source.build_request("b", 2, 2, 100, 3, 40)
+        # Completing one frees an ID.
+        source.handle_response(respond(requests[0], ok=False))
+        source.build_request("b", 2, 2, 100, 3, 40)
+
+    def test_ids_reused_after_completion(self):
+        source = make_source()
+        first = source.build_request("b", 2, 2, 100, 3, 40)
+        source.handle_response(respond(first, ok=True))
+        # the freed ID eventually comes around again
+        seen = set()
+        for _ in range(256):
+            request = source.build_request("b", 2, 2, 100, 3, 40)
+            seen.add(request.connect_request_id)
+            source.handle_response(respond(request, ok=True))
+        assert first.connect_request_id in seen
+
+
+class TestDestinationResponse:
+    def make_offer(self, channel_id=5) -> RequestFrame:
+        return RequestFrame(
+            connect_request_id=1,
+            rt_channel_id=channel_id,
+            source_mac=NODE_MAC,
+            destination_mac=0x02,
+            source_ip=NODE_IP,
+            destination_ip=0x0A00_0002,
+            period=100,
+            capacity=3,
+            deadline=40,
+        )
+
+    def test_accept_all_policy(self):
+        response = destination_response(
+            self.make_offer(), SWITCH_MAC, accept_all
+        )
+        assert response.ok
+        assert response.rt_channel_id == 5
+        assert response.switch_mac == SWITCH_MAC
+
+    def test_declining_policy(self):
+        response = destination_response(
+            self.make_offer(), SWITCH_MAC, lambda req: False
+        )
+        assert not response.ok
+
+    def test_policy_sees_the_request(self):
+        seen = []
+
+        def policy(request):
+            seen.append(request.period)
+            return True
+
+        destination_response(self.make_offer(), SWITCH_MAC, policy)
+        assert seen == [100]
+
+    def test_unstamped_offer_rejected(self):
+        with pytest.raises(ProtocolError, match="stamp"):
+            destination_response(
+                self.make_offer(channel_id=0), SWITCH_MAC, accept_all
+            )

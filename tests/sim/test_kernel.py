@@ -1,0 +1,170 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(300, lambda: seen.append("c"))
+        sim.schedule(100, lambda: seen.append("a"))
+        sim.schedule(200, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 300
+
+    def test_fifo_at_same_instant(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(50, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_zero_delay_runs_after_current_event(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(0, lambda: seen.append("inner"))
+            seen.append("outer")
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == ["outer", "inner"]
+        assert sim.now == 10
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_non_callable_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1, "not callable")  # type: ignore[arg-type]
+
+
+class TestRun:
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append(10))
+        sim.schedule(20, lambda: seen.append(20))
+        sim.schedule(30, lambda: seen.append(30))
+        fired = sim.run(until=20)
+        assert fired == 2
+        assert seen == [10, 20]
+        assert sim.now == 20
+        sim.run()
+        assert seen == [10, 20, 30]
+
+    def test_run_advances_clock_to_horizon_when_idle(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_past_horizon_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, recurse)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_scheduled_during_run_are_dispatched(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                sim.schedule(10, lambda: chain(n + 1))
+
+        sim.schedule(0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 50
+
+    def test_dispatched_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.dispatched_events == 7
+
+
+class TestStep:
+    def test_step_one_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda: seen.append(1))
+        sim.schedule(10, lambda: seen.append(2))
+        assert sim.step()
+        assert seen == [1]
+        assert sim.now == 5
+        assert sim.step()
+        assert not sim.step()
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(42, lambda: None)
+        assert sim.peek_time() == 42
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, lambda: seen.append("x"))
+        assert handle.pending
+        assert handle.cancel()
+        sim.run()
+        assert seen == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert not handle.cancel()
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2
+
+    def test_handle_metadata(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None, label="hello")
+        assert handle.time == 10
+        assert handle.label == "hello"

@@ -1,0 +1,110 @@
+"""Tests for the RNG registry and the trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestRngRegistry:
+    def test_streams_are_memoized(self):
+        rngs = RngRegistry(seed=1)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_are_independent(self):
+        rngs = RngRegistry(seed=1)
+        a = rngs.stream("a").integers(0, 1_000_000, size=10)
+        b = rngs.stream("b").integers(0, 1_000_000, size=10)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_registries(self):
+        one = RngRegistry(seed=7).stream("x").integers(0, 10**9, size=5)
+        two = RngRegistry(seed=7).stream("x").integers(0, 10**9, size=5)
+        assert list(one) == list(two)
+
+    def test_different_seeds_differ(self):
+        one = RngRegistry(seed=1).stream("x").integers(0, 10**9, size=5)
+        two = RngRegistry(seed=2).stream("x").integers(0, 10**9, size=5)
+        assert list(one) != list(two)
+
+    def test_decoupling_property(self):
+        """Creating extra streams never perturbs an existing stream."""
+        lone = RngRegistry(seed=3)
+        values_alone = lone.stream("main").integers(0, 10**9, size=5)
+        busy = RngRegistry(seed=3)
+        busy.stream("noise1")
+        busy.stream("noise2")
+        values_busy = busy.stream("main").integers(0, 10**9, size=5)
+        assert list(values_alone) == list(values_busy)
+
+    def test_fork_is_deterministic_and_distinct(self):
+        root = RngRegistry(seed=5)
+        t0 = root.fork(0).stream("x").integers(0, 10**9, size=3)
+        t0_again = RngRegistry(seed=5).fork(0).stream("x").integers(
+            0, 10**9, size=3
+        )
+        t1 = root.fork(1).stream("x").integers(0, 10**9, size=3)
+        assert list(t0) == list(t0_again)
+        assert list(t0) != list(t1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            RngRegistry(seed=-1)
+        with pytest.raises(ConfigurationError):
+            RngRegistry(seed=1).stream("")
+        with pytest.raises(ConfigurationError):
+            RngRegistry(seed=1).fork(-2)
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_stores_nothing(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1, "x", "s")
+        assert len(trace) == 0
+
+    def test_enabled_recorder_stores(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(1, "frame.delivered", "f1", "detail")
+        trace.record(2, "frame.delivered", "f2")
+        trace.record(3, "edf.enqueue", "f3")
+        assert len(trace) == 3
+        assert [r.subject for r in trace] == ["f1", "f2", "f3"]
+
+    def test_filters(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(1, "frame.delivered", "a")
+        trace.record(2, "frame.dropped", "b")
+        trace.record(3, "edf.enqueue", "c")
+        assert len(trace.by_category("frame.delivered")) == 1
+        assert len(trace.by_prefix("frame.")) == 2
+        assert trace.categories() == {
+            "frame.delivered": 1,
+            "frame.dropped": 1,
+            "edf.enqueue": 1,
+        }
+
+    def test_capacity_cap_drops_oldest(self):
+        trace = TraceRecorder(enabled=True, capacity=3)
+        for i in range(5):
+            trace.record(i, "x", f"s{i}")
+        assert len(trace) == 3
+        assert [r.subject for r in trace] == ["s2", "s3", "s4"]
+        assert trace.dropped == 2
+
+    def test_clear(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(1, "x", "s")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_summary_mentions_counts(self):
+        trace = TraceRecorder(enabled=True)
+        for _ in range(4):
+            trace.record(0, "hot.path", "s")
+        text = trace.summary()
+        assert "4 records" in text
+        assert "hot.path" in text

@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy contract.
+
+Callers rely on two properties: every deliberate failure derives from
+ReproError, and the dual-inheritance classes (ValueError/KeyError/
+RuntimeError mixins) remain catchable by their builtin bases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.ChannelParameterError,
+    errors.PartitioningError,
+    errors.AdmissionError,
+    errors.InfeasibleChannelError,
+    errors.UnknownChannelError,
+    errors.ProtocolError,
+    errors.CodecError,
+    errors.FieldRangeError,
+    errors.SimulationError,
+    errors.SchedulingError,
+    errors.TopologyError,
+    errors.RoutingError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_everything_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_builtin_mixins():
+    assert issubclass(errors.ConfigurationError, ValueError)
+    assert issubclass(errors.ChannelParameterError, ValueError)
+    assert issubclass(errors.PartitioningError, ValueError)
+    assert issubclass(errors.CodecError, ValueError)
+    assert issubclass(errors.UnknownChannelError, KeyError)
+    assert issubclass(errors.SimulationError, RuntimeError)
+
+
+def test_specialization_chains():
+    assert issubclass(errors.ChannelParameterError, errors.ConfigurationError)
+    assert issubclass(errors.FieldRangeError, errors.CodecError)
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+    assert issubclass(errors.RoutingError, errors.TopologyError)
+    assert issubclass(errors.InfeasibleChannelError, errors.AdmissionError)
+
+
+def test_infeasible_channel_error_carries_decision():
+    exc = errors.InfeasibleChannelError("nope", decision={"k": 1})
+    assert exc.decision == {"k": 1}
+    bare = errors.InfeasibleChannelError("nope")
+    assert bare.decision is None
+
+
+def test_catching_repro_error_catches_all():
+    for exc in ALL_ERRORS:
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")

@@ -1,0 +1,130 @@
+"""Tests for repro.units: sizes, wire accounting, TimeBase conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    ETH_MAX_FRAME_BYTES,
+    ETH_MAX_PAYLOAD,
+    ETH_MAX_WIRE_BYTES,
+    ETH_MIN_FRAME_BYTES,
+    ETH_MIN_WIRE_BYTES,
+    TimeBase,
+    frame_bytes_for_payload,
+    wire_bytes,
+)
+
+
+class TestSizeConstants:
+    def test_max_frame_is_1518(self):
+        assert ETH_MAX_FRAME_BYTES == 1518
+
+    def test_min_frame_is_64(self):
+        assert ETH_MIN_FRAME_BYTES == 64
+
+    def test_max_wire_is_1538(self):
+        # 1518 + preamble 7 + SFD 1 + IFG 12
+        assert ETH_MAX_WIRE_BYTES == 1538
+
+    def test_min_wire_is_84(self):
+        assert ETH_MIN_WIRE_BYTES == 84
+
+
+class TestFrameBytesForPayload:
+    def test_max_payload(self):
+        assert frame_bytes_for_payload(ETH_MAX_PAYLOAD) == ETH_MAX_FRAME_BYTES
+
+    def test_small_payload_padded_to_minimum(self):
+        assert frame_bytes_for_payload(1) == ETH_MIN_FRAME_BYTES
+        assert frame_bytes_for_payload(46) == ETH_MIN_FRAME_BYTES
+
+    def test_mid_payload_not_padded(self):
+        assert frame_bytes_for_payload(100) == 14 + 100 + 4
+
+    def test_zero_payload_ok(self):
+        assert frame_bytes_for_payload(0) == ETH_MIN_FRAME_BYTES
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frame_bytes_for_payload(-1)
+
+    def test_jumbo_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frame_bytes_for_payload(ETH_MAX_PAYLOAD + 1)
+
+
+class TestWireBytes:
+    def test_adds_preamble_sfd_ifg(self):
+        assert wire_bytes(1518) == 1538
+        assert wire_bytes(64) == 84
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wire_bytes(63)
+
+
+class TestTimeBase:
+    def test_fast_ethernet_slot_duration(self):
+        tb = TimeBase.for_speed_mbps(100)
+        # 1538 bytes * 8 bits / 100 Mbps = 123.04 us
+        assert tb.slot_ns == 123_040
+
+    def test_gigabit_slot_duration(self):
+        tb = TimeBase.for_speed_mbps(1000)
+        assert tb.slot_ns == 12_304
+
+    def test_ten_mbps_slot_duration(self):
+        tb = TimeBase.for_speed_mbps(10)
+        assert tb.slot_ns == 1_230_400
+
+    def test_slots_roundtrip(self):
+        tb = TimeBase.for_speed_mbps(100)
+        for slots in (0, 1, 3, 100):
+            ns = tb.slots_to_ns(slots)
+            assert tb.ns_to_slots_floor(ns) == slots
+            assert tb.ns_to_slots_ceil(ns) == slots
+
+    def test_ceil_floor_disagree_mid_slot(self):
+        tb = TimeBase.for_speed_mbps(100)
+        mid = tb.slot_ns // 2
+        assert tb.ns_to_slots_floor(mid) == 0
+        assert tb.ns_to_slots_ceil(mid) == 1
+
+    def test_bytes_to_ns_exact_at_100mbps(self):
+        tb = TimeBase.for_speed_mbps(100)
+        assert tb.bytes_to_ns(1) == 80  # 80 ns per byte
+        assert tb.bytes_to_ns(1538) == tb.slot_ns
+
+    def test_bytes_to_ns_rounds_up(self):
+        # 8e9 * 3 / 300e6 = 80 exactly; use odd speed to force rounding
+        tb = TimeBase(bits_per_second=1_000_000_000, max_wire_bytes=1000)
+        assert tb.bytes_to_ns(1) == 8
+
+    def test_negative_inputs_rejected(self):
+        tb = TimeBase.for_speed_mbps(100)
+        with pytest.raises(ConfigurationError):
+            tb.bytes_to_ns(-1)
+        with pytest.raises(ConfigurationError):
+            tb.slots_to_ns(-1)
+        with pytest.raises(ConfigurationError):
+            tb.ns_to_slots_ceil(-1)
+        with pytest.raises(ConfigurationError):
+            tb.ns_to_slots_floor(-1)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeBase(bits_per_second=0)
+        with pytest.raises(ConfigurationError):
+            TimeBase(bits_per_second=-5)
+
+    def test_non_integral_slot_rejected(self):
+        # 1538 bytes at 7 bps does not give integer ns.
+        with pytest.raises(ConfigurationError):
+            TimeBase(bits_per_second=7)
+
+    def test_byte_time_rational(self):
+        tb = TimeBase.for_speed_mbps(100)
+        num, den = tb.byte_time_ns_num
+        assert num / den == 80.0

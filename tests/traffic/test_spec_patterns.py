@@ -1,0 +1,196 @@
+"""Tests for spec samplers and request-pattern generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.channel import ChannelSpec
+from repro.errors import ConfigurationError
+from repro.traffic.patterns import (
+    funnel_requests,
+    hotspot_requests,
+    master_slave_names,
+    master_slave_requests,
+    uniform_requests,
+)
+from repro.traffic.spec import (
+    FixedSpecSampler,
+    HarmonicSpecSampler,
+    UniformSpecSampler,
+)
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestFixedSpecSampler:
+    def test_paper_default(self):
+        sampler = FixedSpecSampler.paper_default()
+        spec = sampler.sample(rng())
+        assert (spec.period, spec.capacity, spec.deadline) == (100, 3, 40)
+
+    def test_always_same(self):
+        sampler = FixedSpecSampler(ChannelSpec(50, 2, 20))
+        generator = rng()
+        assert all(
+            sampler.sample(generator) == ChannelSpec(50, 2, 20)
+            for _ in range(10)
+        )
+
+
+class TestUniformSpecSampler:
+    def test_within_ranges_and_valid(self):
+        sampler = UniformSpecSampler(
+            period_range=(50, 200),
+            capacity_range=(1, 10),
+            deadline_range=(5, 100),
+        )
+        generator = rng()
+        for _ in range(200):
+            spec = sampler.sample(generator)
+            assert 50 <= spec.period <= 200
+            assert 1 <= spec.capacity <= 10
+            assert spec.capacity <= spec.period
+            assert spec.deadline >= 2 * spec.capacity  # partitionable floor
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformSpecSampler((0, 10), (1, 2), (1, 5))
+        with pytest.raises(ConfigurationError):
+            UniformSpecSampler((10, 5), (1, 2), (1, 5))
+
+
+class TestHarmonicSpecSampler:
+    def test_periods_from_set(self):
+        sampler = HarmonicSpecSampler(periods=(50, 100, 200))
+        generator = rng()
+        for _ in range(100):
+            spec = sampler.sample(generator)
+            assert spec.period in (50, 100, 200)
+            assert spec.deadline >= 2 * spec.capacity
+
+    def test_non_harmonic_rejected(self):
+        with pytest.raises(ConfigurationError, match="harmonic"):
+            HarmonicSpecSampler(periods=(50, 75))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicSpecSampler(deadline_fraction=0)
+
+
+class TestMasterSlave:
+    def test_names(self):
+        masters, slaves = master_slave_names(2, 3)
+        assert masters == ["m0", "m1"]
+        assert slaves == ["s0", "s1", "s2"]
+        with pytest.raises(ConfigurationError):
+            master_slave_names(0, 3)
+
+    def test_all_master_to_slave_by_default(self):
+        masters, slaves = master_slave_names(3, 10)
+        requests = master_slave_requests(
+            masters, slaves, 50, FixedSpecSampler.paper_default(), rng()
+        )
+        assert len(requests) == 50
+        for request in requests:
+            assert request.source in masters
+            assert request.destination in slaves
+
+    def test_reverse_fraction(self):
+        masters, slaves = master_slave_names(3, 10)
+        requests = master_slave_requests(
+            masters,
+            slaves,
+            200,
+            FixedSpecSampler.paper_default(),
+            rng(),
+            master_to_slave_fraction=0.0,
+        )
+        for request in requests:
+            assert request.source in slaves
+            assert request.destination in masters
+
+    def test_mixed_fraction_has_both_directions(self):
+        masters, slaves = master_slave_names(3, 10)
+        requests = master_slave_requests(
+            masters,
+            slaves,
+            300,
+            FixedSpecSampler.paper_default(),
+            rng(),
+            master_to_slave_fraction=0.5,
+        )
+        m2s = sum(r.source in masters for r in requests)
+        assert 0 < m2s < 300
+
+    def test_invalid_fraction_rejected(self):
+        masters, slaves = master_slave_names(1, 1)
+        with pytest.raises(ConfigurationError):
+            master_slave_requests(
+                masters, slaves, 5, FixedSpecSampler.paper_default(), rng(),
+                master_to_slave_fraction=1.5,
+            )
+
+    def test_reproducible_for_same_seed(self):
+        masters, slaves = master_slave_names(3, 10)
+        sampler = FixedSpecSampler.paper_default()
+        a = master_slave_requests(
+            masters, slaves, 20, sampler, np.random.default_rng(7)
+        )
+        b = master_slave_requests(
+            masters, slaves, 20, sampler, np.random.default_rng(7)
+        )
+        assert a == b
+
+
+class TestUniform:
+    def test_no_self_loops(self):
+        nodes = [f"n{i}" for i in range(5)]
+        requests = uniform_requests(
+            nodes, 300, FixedSpecSampler.paper_default(), rng()
+        )
+        assert all(r.source != r.destination for r in requests)
+
+    def test_covers_many_pairs(self):
+        nodes = [f"n{i}" for i in range(6)]
+        requests = uniform_requests(
+            nodes, 500, FixedSpecSampler.paper_default(), rng()
+        )
+        pairs = {(r.source, r.destination) for r in requests}
+        assert len(pairs) > 20
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_requests(["only"], 5, FixedSpecSampler.paper_default(), rng())
+
+
+class TestHotspotAndFunnel:
+    def test_hotspot_receives_requested_fraction(self):
+        nodes = [f"n{i}" for i in range(10)]
+        requests = hotspot_requests(
+            nodes, "n0", 500, FixedSpecSampler.paper_default(), rng(),
+            hotspot_fraction=0.5,
+        )
+        toward = sum(r.destination == "n0" for r in requests)
+        assert 200 < toward < 320  # ~50% with slack
+
+    def test_hotspot_must_be_member(self):
+        with pytest.raises(ConfigurationError):
+            hotspot_requests(
+                ["a", "b"], "z", 5, FixedSpecSampler.paper_default(), rng()
+            )
+
+    def test_funnel_all_to_sink(self):
+        requests = funnel_requests(
+            ["a", "b", "c"], "sink", 50, FixedSpecSampler.paper_default(), rng()
+        )
+        assert all(r.destination == "sink" for r in requests)
+        assert all(r.source in ("a", "b", "c") for r in requests)
+
+    def test_funnel_sink_not_source(self):
+        with pytest.raises(ConfigurationError):
+            funnel_requests(
+                ["a", "sink"], "sink", 5, FixedSpecSampler.paper_default(), rng()
+            )
