@@ -1,0 +1,99 @@
+"""Oracle benchmarks: cost of the brute-force EDF replay and the
+three-way differential check.
+
+The timeline oracle is the correctness safety net for every future
+admission-path optimization, so its own throughput matters: a fuzz
+campaign is only useful if thousands of trials finish in seconds.
+These benchmarks pin the replay cost on the paper's workload shape,
+the cross-check cost on mixed fuzz draws, and print the campaign
+throughput (trials/second) a CI quick-fuzz run can expect.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.core.feasibility import is_feasible
+from repro.core.task import LinkRef, LinkTask
+from repro.oracle.differential import cross_check
+from repro.oracle.edf_timeline import simulate_edf
+from repro.oracle.fuzz import FAMILIES, generate_task_set, run_campaign
+
+_LINK = LinkRef.uplink("bench")
+
+
+def _paper_link_tasks(n: int, deadline: int = 40) -> list[LinkTask]:
+    return [
+        LinkTask(
+            link=_LINK, period=100, capacity=3, deadline=deadline,
+            channel_id=index,
+        )
+        for index in range(n)
+    ]
+
+
+def test_bench_timeline_paper_busy_period(benchmark):
+    """Replay of a saturated Figure 18.5 downlink (13 channels, d=40)."""
+    tasks = _paper_link_tasks(13)
+    result = benchmark(simulate_edf, tasks)
+    assert result.first_miss is None
+    assert is_feasible(tasks).feasible
+
+
+def test_bench_timeline_full_hyperperiod(benchmark):
+    """Full-hyperperiod accounting replay (no early stop)."""
+    tasks = _paper_link_tasks(12)
+    result = benchmark.pedantic(
+        simulate_edf,
+        args=(tasks, 100),
+        kwargs=dict(stop_on_miss=False, record_jobs=True),
+        rounds=20, iterations=1,
+    )
+    assert result.jobs_released == 12
+    assert result.schedulable
+
+
+def test_bench_cross_check_infeasible_witness(benchmark):
+    """Cross-check of an infeasible set: includes the miss replay."""
+    tasks = _paper_link_tasks(7, deadline=20)
+    verdict = benchmark(cross_check, tasks)
+    assert verdict.ok
+    assert not verdict.fast.feasible
+
+
+def test_bench_cross_check_mixed_draws(benchmark):
+    """One cross-check per family on fixed fuzz draws."""
+    draws = [
+        generate_task_set(family, seed=0, trial=index)
+        for index, family in enumerate(FAMILIES)
+    ]
+
+    def check_all():
+        return [cross_check(tasks) for tasks in draws]
+
+    verdicts = benchmark(check_all)
+    assert all(v.ok for v in verdicts)
+
+
+def test_campaign_throughput_table(capsys):
+    """Trials/second of the seeded campaign (the CI quick-fuzz cost)."""
+    trials = 400
+    start = time.perf_counter()
+    report = run_campaign(trials, seed=0)
+    elapsed = time.perf_counter() - start
+    assert report.ok
+    rows = [
+        [trials, f"{elapsed:.2f}", f"{trials / elapsed:.0f}",
+         report.counts.get("agree-feasible", 0),
+         report.counts.get("agree-infeasible", 0),
+         report.capped],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["trials", "seconds", "trials/s", "feasible", "infeasible",
+             "capped"],
+            rows,
+            title="oracle campaign throughput (all families, seed 0)",
+        ))

@@ -37,6 +37,10 @@ Package map
     One module per reproduced figure/table and per extension study.
 ``repro.multiswitch``
     Future-work extension: per-hop partitioning on switch trees.
+``repro.oracle``
+    Differential validation: brute-force EDF timeline replay
+    cross-checked against the analytical admission test, plus the
+    seeded fuzz campaigns that keep them agreeing.
 """
 
 from .errors import (
@@ -87,6 +91,13 @@ from .core import (
     utilization,
 )
 from .network import PhyProfile, StarNetwork, build_star
+from .oracle import (
+    OracleVerdict,
+    TimelineResult,
+    cross_check,
+    run_campaign,
+    simulate_edf,
+)
 from .sim import Simulator
 
 __version__ = "1.0.0"
@@ -143,5 +154,11 @@ __all__ = [
     "StarNetwork",
     "build_star",
     "Simulator",
+    # oracle
+    "OracleVerdict",
+    "TimelineResult",
+    "cross_check",
+    "run_campaign",
+    "simulate_edf",
     "__version__",
 ]

@@ -15,9 +15,12 @@ Commands
 ``dps``          all five partitioning schemes (EXP-D1)
 ``multiswitch``  switch-tree extension (EXP-X1)
 ``robustness``   phase / loss fault injection (EXP-R1)
+``oracle``       differential fuzz campaign: analytical admission vs
+                 brute-force EDF timeline replay
 
 Exit status: 0 on success, 1 when a checked guarantee is violated
-(``validate``, ``coexist``, ``robustness``), 2 on usage errors.
+(``validate``, ``coexist``, ``robustness``, ``oracle``), 2 on usage
+errors.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from typing import Sequence
 
 from .analysis.export import write_csv, write_json
 from .analysis.report import format_table
+from .oracle.fuzz import FAMILIES
 
 __all__ = ["main", "build_parser"]
 
@@ -119,6 +123,34 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("mode", choices=["phase", "loss"])
     robustness.add_argument("--loss-rate", type=float, default=0.01)
     robustness.add_argument("--seed", type=int, default=808)
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="differential fuzz campaign: analytical feasibility vs "
+             "EDF timeline replay",
+    )
+    oracle.add_argument("--trials", type=int, default=1000,
+                        help="random task sets to cross-check "
+                             "(default 1000)")
+    oracle.add_argument("--seed", type=int, default=0)
+    oracle.add_argument(
+        "--families", nargs="+", metavar="NAME", default=None,
+        choices=FAMILIES,
+        help="task-set families to draw from, space-separated "
+             "(default: all; see repro.oracle.fuzz.FAMILIES)",
+    )
+    oracle.add_argument(
+        "--skip-naive", action="store_true",
+        help="skip the every-integer reference scan (faster; the "
+             "timeline leg still runs)",
+    )
+    oracle.add_argument(
+        "--max-horizon", type=int, default=None,
+        help="cap on replay/scan horizons in slots (longer sets are "
+             "counted as horizon-capped, not failed)",
+    )
+    oracle.add_argument("--json", metavar="PATH",
+                        help="export the campaign report as JSON")
 
     return parser
 
@@ -361,6 +393,28 @@ def _cmd_robustness(args) -> int:
     return 0 if report.timeliness_preserved else 1
 
 
+def _cmd_oracle(args) -> int:
+    from .oracle.differential import DEFAULT_MAX_HORIZON
+    from .oracle.fuzz import run_campaign
+
+    report = run_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        families=tuple(args.families) if args.families else FAMILIES,
+        check_naive=not args.skip_naive,
+        max_horizon=args.max_horizon or DEFAULT_MAX_HORIZON,
+    )
+    print(report.summary())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_json_dict(), indent=2))
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "fig18-5": _cmd_fig18_5,
     "validate": _cmd_validate,
@@ -371,6 +425,7 @@ _COMMANDS = {
     "dps": _cmd_dps,
     "multiswitch": _cmd_multiswitch,
     "robustness": _cmd_robustness,
+    "oracle": _cmd_oracle,
 }
 
 

@@ -33,7 +33,7 @@ from ..errors import SimulationError, TopologyError, UnknownChannelError
 from ..network.link import HalfLink
 from ..network.phy import PhyProfile
 from ..network.port import OutputPort
-from ..protocol.ethernet import EthernetFrame, FrameKind
+from ..protocol.ethernet import EthernetFrame, FrameKind, reset_frame_ids
 from ..sim.kernel import Simulator
 from ..sim.trace import TraceRecorder
 from .admission import MultiAdmissionDecision, MultiSwitchAdmission
@@ -243,6 +243,7 @@ class FabricNetwork:
         self.fabric = fabric
         self.admission = admission
         self.phy = phy
+        reset_frame_ids()
         self.sim = Simulator()
         self.trace = TraceRecorder(enabled=trace_enabled)
         max_hops = self._max_hop_count()

@@ -30,6 +30,7 @@ from ..core.channel_manager import NodeDirectory
 from ..core.partitioning import DeadlinePartitioningScheme, SymmetricDPS
 from ..core.rt_layer import ChannelGrant
 from ..errors import TopologyError
+from ..protocol.ethernet import reset_frame_ids
 from ..protocol.signaling import DestinationPolicy, accept_all
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
@@ -224,6 +225,7 @@ def build_star(
             f"{SWITCH_NAME!r} is reserved for the switch itself"
         )
 
+    reset_frame_ids()
     sim = Simulator()
     phy = phy or PhyProfile.fast_ethernet()
     trace = TraceRecorder(enabled=trace_enabled)

@@ -1,0 +1,58 @@
+"""Differential validation oracle for the admission-control analysis.
+
+The paper's central guarantee -- demand criterion passes ⇒ per-link EDF
+never misses -- is checked here by *execution*, not by trust:
+
+* :mod:`~repro.oracle.edf_timeline` -- a standalone brute-force EDF
+  dispatcher replaying the synchronous schedule slot by slot over the
+  first busy period, reporting per-job responses and the first miss.
+* :mod:`~repro.oracle.differential` -- a three-way cross-check of
+  ``is_feasible``, ``is_feasible_naive`` and the timeline replay, with
+  a structured :class:`~repro.oracle.differential.OracleVerdict`.
+* :mod:`~repro.oracle.fuzz` -- seeded random task-set families (uniform,
+  harmonic, paper-style, adversarial near-``U=1``) driving N-trial
+  campaigns: ``repro oracle --trials 10000 --seed 0``.
+
+Any future optimization of the admission hot path must keep a fuzz
+campaign green; see "Validating a change" in README.md.
+"""
+
+from .edf_timeline import (
+    DeadlineMiss,
+    JobRecord,
+    TaskTimelineStats,
+    TimelineResult,
+    default_release_horizon,
+    simulate_edf,
+)
+from .differential import (
+    Agreement,
+    OracleVerdict,
+    cross_check,
+    first_demand_violation,
+)
+from .fuzz import (
+    FAMILIES,
+    CampaignReport,
+    Disagreement,
+    generate_task_set,
+    run_campaign,
+)
+
+__all__ = [
+    "DeadlineMiss",
+    "JobRecord",
+    "TaskTimelineStats",
+    "TimelineResult",
+    "default_release_horizon",
+    "simulate_edf",
+    "Agreement",
+    "OracleVerdict",
+    "cross_check",
+    "first_demand_violation",
+    "FAMILIES",
+    "CampaignReport",
+    "Disagreement",
+    "generate_task_set",
+    "run_campaign",
+]

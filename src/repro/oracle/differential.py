@@ -1,0 +1,287 @@
+"""Differential cross-check: analytical admission vs executed timeline.
+
+Runs three independent EDF-feasibility oracles on the same task set --
+
+1. :func:`repro.core.feasibility.is_feasible` (control points within the
+   busy period; the production admission path),
+2. :func:`repro.core.feasibility.is_feasible_naive` (every integer
+   instant; no reductions),
+3. :func:`repro.oracle.edf_timeline.simulate_edf` (the executed
+   schedule itself)
+
+-- and classifies their agreement. Any mismatch is a bug in one of
+them, and since the three share no code, a fuzz campaign over this
+check (:mod:`repro.oracle.fuzz`) is the repo's strongest defense
+against silently breaking admission control during a refactor.
+
+The timeline leg is direction-aware:
+
+* analytically **feasible** ⇒ the replay over the first busy period
+  must finish with zero misses;
+* analytically **infeasible** with a demand violation at control point
+  ``t*`` ⇒ the replay restricted to releases before ``t*`` must witness
+  a miss at some absolute deadline ``<= t*`` (the violation *is* the
+  statement that jobs due by ``t*`` carry more than ``t*`` slots of
+  work, so no policy can finish them);
+* analytically **infeasible** by utilization (``U > 1``) ⇒ the demand
+  criterion has no finite certificate from ``is_feasible`` (it reports
+  the utilization test only), so the checker first locates the earliest
+  demand violation itself and then replays to it.
+
+Pathological task sets whose horizon explodes (huge ``lcm`` of periods
+near ``U = 1``) are classified ``HORIZON_CAPPED`` rather than silently
+skipped, and campaigns report how many were capped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.feasibility import (
+    FeasibilityReport,
+    control_points,
+    demand_many,
+    hyperperiod,
+    is_feasible,
+    is_feasible_naive,
+    utilization,
+)
+from ..core.task import LinkTask
+from ..errors import ConfigurationError
+from .edf_timeline import TimelineResult, default_release_horizon, simulate_edf
+
+__all__ = [
+    "Agreement",
+    "OracleVerdict",
+    "first_demand_violation",
+    "cross_check",
+]
+
+#: Default bound on the replayed / scanned horizon, in slots. Fuzz
+#: families are tuned so that almost no draw exceeds it; the verdict
+#: records the ones that do.
+DEFAULT_MAX_HORIZON = 200_000
+
+#: Skip the naive every-integer scan above this horizon (it is the only
+#: quadratic-ish leg; the other two stay).
+DEFAULT_NAIVE_HORIZON_CAP = 50_000
+
+
+class Agreement(enum.Enum):
+    """Outcome classes of one differential check."""
+
+    #: all oracles agree the set is schedulable.
+    AGREE_FEASIBLE = "agree-feasible"
+    #: all oracles agree the set is not schedulable.
+    AGREE_INFEASIBLE = "agree-infeasible"
+    #: ``is_feasible`` and ``is_feasible_naive`` returned different
+    #: verdicts -- a reduction (busy period / control points) is broken.
+    FAST_NAIVE_MISMATCH = "fast-naive-mismatch"
+    #: the executed timeline contradicts the analytical verdict -- the
+    #: admission test itself (or the dispatcher) is broken.
+    ANALYTIC_TIMELINE_MISMATCH = "analytic-timeline-mismatch"
+    #: the horizon needed to decide exceeded the configured cap; the
+    #: check was not completed (not a disagreement).
+    HORIZON_CAPPED = "horizon-capped"
+
+    @property
+    def is_disagreement(self) -> bool:
+        return self in (
+            Agreement.FAST_NAIVE_MISMATCH,
+            Agreement.ANALYTIC_TIMELINE_MISMATCH,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OracleVerdict:
+    """Structured result of one cross-check, with full provenance."""
+
+    tasks: tuple[LinkTask, ...]
+    fast: FeasibilityReport
+    #: ``None`` when the naive scan was skipped (horizon above its cap).
+    naive: FeasibilityReport | None
+    #: ``None`` when the replay was skipped (``HORIZON_CAPPED``).
+    timeline: TimelineResult | None
+    agreement: Agreement
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        """True unless two oracles actually contradicted each other."""
+        return not self.agreement.is_disagreement
+
+    def summary(self) -> str:
+        return (
+            f"{self.agreement.value}: {len(self.tasks)} tasks, "
+            f"U={float(self.fast.link_utilization):.3f} -- {self.detail}"
+        )
+
+
+def first_demand_violation(
+    tasks: Sequence[LinkTask], max_horizon: int
+) -> tuple[int, int] | None:
+    """Earliest control point ``t`` with ``h(n, t) > t``, or ``None``.
+
+    Unlike :func:`repro.core.feasibility.is_feasible` this also works
+    for over-utilized sets, where no busy-period bound exists: it scans
+    control points over doubling horizons until a violation appears or
+    ``max_horizon`` is reached. For ``U > 1`` a violation always exists
+    (demand grows like ``U * t``), so ``None`` only means "beyond the
+    cap".
+    """
+    if not tasks:
+        return None
+    horizon = max(task.deadline for task in tasks)
+    while True:
+        horizon = min(horizon, max_horizon)
+        points = control_points(tasks, horizon)
+        demands = demand_many(tasks, points)
+        bad = np.nonzero(demands > points)[0]
+        if bad.size:
+            first = int(bad[0])
+            return int(points[first]), int(demands[first])
+        if horizon >= max_horizon:
+            return None
+        horizon *= 2
+
+
+def cross_check(
+    tasks: Sequence[LinkTask],
+    *,
+    check_naive: bool = True,
+    max_horizon: int = DEFAULT_MAX_HORIZON,
+    naive_horizon_cap: int = DEFAULT_NAIVE_HORIZON_CAP,
+) -> OracleVerdict:
+    """Run all three oracles on one task set and classify agreement.
+
+    Parameters
+    ----------
+    tasks:
+        The per-link task set under test.
+    check_naive:
+        Include the every-integer reference scan (skipped automatically
+        above ``naive_horizon_cap`` regardless).
+    max_horizon:
+        Bound on the replay horizon and on the violation search for
+        over-utilized sets; longer needs are ``HORIZON_CAPPED``.
+    """
+    tasks = tuple(tasks)
+    if max_horizon <= 0:
+        raise ConfigurationError(
+            f"max_horizon must be positive, got {max_horizon}"
+        )
+    fast = is_feasible(tasks)
+    over_utilized = fast.link_utilization > 1
+
+    # --- leg 1: fast vs naive -------------------------------------------
+    naive: FeasibilityReport | None = None
+    if check_naive:
+        naive_horizon = (
+            0 if over_utilized else default_release_horizon(tasks)
+        )
+        if naive_horizon <= naive_horizon_cap:
+            naive = is_feasible_naive(tasks)
+            if naive.feasible != fast.feasible:
+                return OracleVerdict(
+                    tasks=tasks,
+                    fast=fast,
+                    naive=naive,
+                    timeline=None,
+                    agreement=Agreement.FAST_NAIVE_MISMATCH,
+                    detail=(
+                        f"is_feasible says {fast.feasible}, "
+                        f"is_feasible_naive says {naive.feasible} "
+                        f"(violations {fast.violation} vs {naive.violation})"
+                    ),
+                )
+
+    # --- leg 2: analytical vs executed timeline -------------------------
+    if fast.feasible:
+        horizon = default_release_horizon(tasks)
+        if horizon > max_horizon:
+            return OracleVerdict(
+                tasks=tasks,
+                fast=fast,
+                naive=naive,
+                timeline=None,
+                agreement=Agreement.HORIZON_CAPPED,
+                detail=f"busy-period horizon {horizon} > cap {max_horizon}",
+            )
+        timeline = simulate_edf(tasks, horizon, stop_on_miss=True)
+        if timeline.first_miss is not None:
+            miss = timeline.first_miss
+            return OracleVerdict(
+                tasks=tasks,
+                fast=fast,
+                naive=naive,
+                timeline=timeline,
+                agreement=Agreement.ANALYTIC_TIMELINE_MISMATCH,
+                detail=(
+                    "analytically feasible but the replay missed the "
+                    f"deadline of task {miss.task_index} at t={miss.time}"
+                ),
+            )
+        return OracleVerdict(
+            tasks=tasks,
+            fast=fast,
+            naive=naive,
+            timeline=timeline,
+            agreement=Agreement.AGREE_FEASIBLE,
+            detail=(
+                f"no miss in {timeline.jobs_released} jobs over "
+                f"horizon {horizon}"
+            ),
+        )
+
+    # Infeasible: obtain a finite certificate t* with h(t*) > t*.
+    if fast.violation is not None:
+        violation = fast.violation
+    else:  # rejected by the utilization test alone (U > 1)
+        violation = first_demand_violation(tasks, max_horizon)
+        if violation is None:
+            return OracleVerdict(
+                tasks=tasks,
+                fast=fast,
+                naive=naive,
+                timeline=None,
+                agreement=Agreement.HORIZON_CAPPED,
+                detail=(
+                    f"U={float(fast.link_utilization):.3f} > 1 but no "
+                    f"demand violation within cap {max_horizon}"
+                ),
+            )
+    t_star, h_star = violation
+    timeline = simulate_edf(
+        tasks, t_star, stop_on_miss=True,
+        # h(t*) slots of work released before t*; generous margin.
+        max_slots=max(4 * h_star, 1024),
+    )
+    miss = timeline.first_miss
+    if miss is None or miss.time > t_star:
+        observed = "no miss" if miss is None else f"first miss at {miss.time}"
+        return OracleVerdict(
+            tasks=tasks,
+            fast=fast,
+            naive=naive,
+            timeline=timeline,
+            agreement=Agreement.ANALYTIC_TIMELINE_MISMATCH,
+            detail=(
+                f"analytical violation h({t_star})={h_star} predicts a miss "
+                f"by t={t_star}, but the replay observed {observed}"
+            ),
+        )
+    return OracleVerdict(
+        tasks=tasks,
+        fast=fast,
+        naive=naive,
+        timeline=timeline,
+        agreement=Agreement.AGREE_INFEASIBLE,
+        detail=(
+            f"replay missed task {miss.task_index} at t={miss.time} <= "
+            f"control point {t_star} (h={h_star})"
+        ),
+    )

@@ -1,0 +1,322 @@
+"""Brute-force EDF timeline replay: the executable ground truth.
+
+The analytical admission test (:mod:`repro.core.feasibility`) *claims*
+that ``h(n, t) <= t`` at every control point implies no deadline miss
+under per-link EDF. This module checks that claim the hard way: it
+dispatches the synchronous task set slot by slot under preemptive EDF
+and reports exactly what happens -- per-job response times, and the
+first missed deadline if any.
+
+Why this is a sufficient witness (see THEORY.md section 6 for the full
+argument):
+
+* For a synchronous periodic task set with ``U <= 1``, if EDF misses a
+  deadline at all, the **first** miss occurs no later than the end of
+  the first busy period ``L`` (Eq. 18.4). The schedule on ``[0, L)``
+  depends only on jobs released before ``L``, so replaying releases in
+  ``[0, L)`` and draining the backlog observes that first miss exactly.
+* Conversely, dropping the jobs released at or after ``L`` can never
+  *create* a miss: removing work from an EDF schedule only decreases
+  response times. Hence: miss in the replay ⇔ the full infinite
+  schedule misses.
+
+The dispatcher is deliberately naive -- one slot of work per iteration,
+a heap ordered by absolute deadline, ties broken by task index --
+because its value is being *trivially auditable*, not fast. It shares
+no code with :func:`repro.core.feasibility.is_feasible`, with
+:func:`repro.core.schedule.build_schedule` (which refuses ``U > 1`` and
+always runs a full hyperperiod), or with the event-driven port
+simulator, so agreement between them is meaningful evidence.
+
+Unlike ``build_schedule`` this replay also handles over-utilized sets
+(``U > 1``): backlog then grows without bound, and the replay runs
+until the first miss (guaranteed to exist) or a safety cap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.feasibility import busy_period, hyperperiod, utilization
+from ..core.task import LinkTask
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_MAX_SLOTS",
+    "JobRecord",
+    "DeadlineMiss",
+    "TaskTimelineStats",
+    "TimelineResult",
+    "default_release_horizon",
+    "simulate_edf",
+]
+
+#: Safety cap on executed (busy) slots per replay. Busy periods of the
+#: workloads this repo studies are a few thousand slots; the cap only
+#: guards against runaway horizons on pathological fuzz inputs.
+DEFAULT_MAX_SLOTS = 5_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """One job's complete lifecycle in the replay."""
+
+    task_index: int
+    channel_id: int
+    release: int
+    #: absolute deadline (release + relative deadline).
+    deadline: int
+    #: slot boundary at which the last unit of work finished.
+    completion: int
+
+    @property
+    def response(self) -> int:
+        return self.completion - self.release
+
+    @property
+    def missed(self) -> bool:
+        return self.completion > self.deadline
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlineMiss:
+    """The first instant at which a job's deadline passed unfinished.
+
+    ``time`` equals the missed *absolute deadline* -- under EDF the job
+    at the top of the ready heap when a miss is first observed is
+    exactly the job whose deadline is the earliest one missed, so this
+    is the true first-miss instant of the schedule.
+    """
+
+    time: int
+    task_index: int
+    channel_id: int
+    release: int
+    #: units of work the job still owed when its deadline passed.
+    remaining: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskTimelineStats:
+    """Aggregate response statistics for one task over the replay."""
+
+    task_index: int
+    channel_id: int
+    deadline: int
+    jobs_released: int
+    jobs_completed: int
+    #: worst completion-minus-release over completed jobs (0 if none).
+    worst_response: int
+    #: completed jobs whose completion exceeded their absolute deadline.
+    overruns: int
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineResult:
+    """Everything the replay observed.
+
+    Attributes
+    ----------
+    release_horizon:
+        Jobs were released at every ``m * P_i < release_horizon``.
+    makespan:
+        Time at which the replay stopped: the first idle instant after
+        the last release when no miss occurred (for a feasible set this
+        equals the busy period when replaying exactly the first busy
+        period), or the miss instant when ``stop_on_miss`` fired.
+    slots_executed:
+        Busy slots actually dispatched.
+    first_miss:
+        The earliest deadline miss, or ``None`` if every job that
+        completed did so in time.
+    task_stats:
+        Per-task aggregates, index-aligned with the input sequence.
+    jobs:
+        Per-job records (only populated when ``record_jobs=True``).
+    """
+
+    release_horizon: int
+    makespan: int
+    slots_executed: int
+    jobs_released: int
+    jobs_completed: int
+    first_miss: DeadlineMiss | None
+    task_stats: tuple[TaskTimelineStats, ...]
+    jobs: tuple[JobRecord, ...] = ()
+
+    @property
+    def schedulable(self) -> bool:
+        """True when the replay finished with zero misses or overruns."""
+        return self.first_miss is None and all(
+            s.overruns == 0 for s in self.task_stats
+        )
+
+    def worst_response_of(self, task_index: int) -> int:
+        return self.task_stats[task_index].worst_response
+
+
+def default_release_horizon(tasks: Sequence[LinkTask]) -> int:
+    """The analysis horizon of ``is_feasible``: min(busy period, hyperperiod).
+
+    Only defined for ``U <= 1`` (the busy period diverges otherwise);
+    over-utilized sets need an explicit horizon, usually the first
+    demand-violation instant (see
+    :func:`repro.oracle.differential.first_demand_violation`).
+    """
+    return min(busy_period(tasks), hyperperiod(tasks))
+
+
+def simulate_edf(
+    tasks: Sequence[LinkTask],
+    release_horizon: int | None = None,
+    *,
+    stop_on_miss: bool = True,
+    record_jobs: bool = False,
+    max_slots: int = DEFAULT_MAX_SLOTS,
+) -> TimelineResult:
+    """Replay the synchronous EDF schedule of ``tasks`` on one link.
+
+    Every task releases a job at ``t = 0, P_i, 2 P_i, ...`` for all
+    release instants strictly below ``release_horizon``; the replay then
+    drains the remaining backlog so every released job runs to
+    completion (late jobs keep executing -- EDF does not abandon work --
+    and are counted as overruns), unless ``stop_on_miss`` ends the
+    replay at the first observed miss.
+
+    Parameters
+    ----------
+    tasks:
+        The per-link task set; order defines tie-breaking and indexing.
+    release_horizon:
+        Release window bound (default: the first busy period, the exact
+        window the analytical test reasons about). Must be given
+        explicitly for over-utilized sets.
+    stop_on_miss:
+        Return at the first miss (the oracle's usual mode) instead of
+        accounting the full window.
+    record_jobs:
+        Keep a :class:`JobRecord` per job (memory proportional to the
+        job count; off by default for fuzz campaigns).
+    max_slots:
+        Safety cap on dispatched slots.
+
+    Raises
+    ------
+    ConfigurationError
+        for a negative horizon, a missing horizon on an over-utilized
+        set, or a replay exceeding ``max_slots``.
+    """
+    tasks = list(tasks)
+    if release_horizon is None:
+        if tasks and utilization(tasks) > 1:
+            raise ConfigurationError(
+                "an over-utilized set (U > 1) has no busy period; pass an "
+                "explicit release_horizon (e.g. the first demand violation)"
+            )
+        release_horizon = default_release_horizon(tasks)
+    if release_horizon < 0:
+        raise ConfigurationError(
+            f"release_horizon must be non-negative, got {release_horizon}"
+        )
+
+    # releases: heap of (next_release, task_index); ready: heap of
+    # [abs_deadline, task_index, release, remaining] -- the list is
+    # mutated in place while the job is at the top.
+    releases: list[tuple[int, int]] = [
+        (0, index) for index in range(len(tasks)) if release_horizon > 0
+    ]
+    heapq.heapify(releases)
+    ready: list[list[int]] = []
+
+    worst = [0] * len(tasks)
+    released = [0] * len(tasks)
+    completed = [0] * len(tasks)
+    overruns = [0] * len(tasks)
+    jobs: list[JobRecord] = []
+    first_miss: DeadlineMiss | None = None
+
+    time = 0
+    slots = 0
+    while releases or ready:
+        while releases and releases[0][0] <= time:
+            release, index = heapq.heappop(releases)
+            task = tasks[index]
+            heapq.heappush(
+                ready,
+                [release + task.deadline, index, release, task.capacity],
+            )
+            released[index] += 1
+            nxt = release + task.period
+            if nxt < release_horizon:
+                heapq.heappush(releases, (nxt, index))
+        if not ready:
+            # idle gap: jump straight to the next release.
+            time = releases[0][0]
+            continue
+        job = ready[0]
+        deadline_abs, index, release, remaining = job
+        if first_miss is None and deadline_abs <= time:
+            # The top of the heap has the earliest pending deadline, so
+            # this is the schedule's first miss (see DeadlineMiss).
+            first_miss = DeadlineMiss(
+                time=deadline_abs,
+                task_index=index,
+                channel_id=tasks[index].channel_id,
+                release=release,
+                remaining=remaining,
+            )
+            if stop_on_miss:
+                break
+        job[3] -= 1
+        slots += 1
+        if slots > max_slots:
+            raise ConfigurationError(
+                f"EDF replay exceeded {max_slots} slots "
+                f"(horizon {release_horizon}, {len(tasks)} tasks); the set "
+                "is pathologically long -- raise max_slots or shrink it"
+            )
+        if job[3] == 0:
+            heapq.heappop(ready)
+            completion = time + 1
+            completed[index] += 1
+            response = completion - release
+            if response > worst[index]:
+                worst[index] = response
+            if completion > deadline_abs:
+                overruns[index] += 1
+            if record_jobs:
+                jobs.append(
+                    JobRecord(
+                        task_index=index,
+                        channel_id=tasks[index].channel_id,
+                        release=release,
+                        deadline=deadline_abs,
+                        completion=completion,
+                    )
+                )
+        time += 1
+
+    stats = tuple(
+        TaskTimelineStats(
+            task_index=index,
+            channel_id=task.channel_id,
+            deadline=task.deadline,
+            jobs_released=released[index],
+            jobs_completed=completed[index],
+            worst_response=worst[index],
+            overruns=overruns[index],
+        )
+        for index, task in enumerate(tasks)
+    )
+    return TimelineResult(
+        release_horizon=release_horizon,
+        makespan=time,
+        slots_executed=slots,
+        jobs_released=sum(released),
+        jobs_completed=sum(completed),
+        first_miss=first_miss,
+        task_stats=stats,
+        jobs=tuple(jobs),
+    )

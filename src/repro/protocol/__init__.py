@@ -32,7 +32,7 @@ from .headers import (
     MAX_ABSOLUTE_DEADLINE,
     MAX_CHANNEL_ID,
 )
-from .ethernet import EthernetFrame, FrameKind
+from .ethernet import EthernetFrame, FrameKind, reset_frame_ids
 from .signaling import (
     ConnectionRequestState,
     DestinationPolicy,
@@ -60,6 +60,7 @@ __all__ = [
     "MAX_CHANNEL_ID",
     "EthernetFrame",
     "FrameKind",
+    "reset_frame_ids",
     "ConnectionRequestState",
     "DestinationPolicy",
     "PendingRequest",

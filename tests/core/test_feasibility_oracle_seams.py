@@ -1,0 +1,181 @@
+"""Seam tests pinning the feasibility primitives the oracle builds on.
+
+The differential oracle (:mod:`repro.oracle`) trusts three primitives
+when it constructs replay horizons and violation certificates:
+``busy_period`` (Eq. 18.4), ``control_points`` (Eq. 18.5) and
+``demand_many`` (vectorized Eq. 18.3). These tests pin their exact
+behaviour on the edge cases the oracle exercises hardest -- single
+tasks, ``d > P``, ``d = P`` and zero-slack (``U = 1``) sets -- so that
+a future optimization of any of them fails here, in a unit test that
+names the broken seam, before it fails as an opaque fuzz mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import (
+    busy_period,
+    control_points,
+    demand,
+    demand_many,
+    hyperperiod,
+    utilization,
+)
+from repro.errors import ConfigurationError
+
+from ..conftest import make_tasks
+
+
+class TestBusyPeriodSeams:
+    def test_empty_set_has_zero_busy_period(self):
+        assert busy_period([]) == 0
+
+    def test_single_task_busy_period_is_its_capacity(self):
+        assert busy_period(make_tasks([(10, 3, 7)])) == 3
+        assert busy_period(make_tasks([(100, 1, 100)])) == 1
+
+    def test_busy_period_ignores_deadlines(self):
+        # Eq. 18.4 is a pure workload fixpoint: deadlines don't enter.
+        short = make_tasks([(10, 3, 3), (15, 4, 4)])
+        long = make_tasks([(10, 3, 30), (15, 4, 45)])  # d > P
+        assert busy_period(short) == busy_period(long)
+
+    def test_zero_slack_set_busy_period_is_the_hyperperiod(self):
+        # U == 1: the link never idles, so the first busy period spans
+        # the whole hyperperiod.
+        tasks = make_tasks([(2, 1, 2), (4, 2, 4)])
+        assert utilization(tasks) == 1
+        assert busy_period(tasks) == hyperperiod(tasks) == 4
+
+    def test_busy_period_never_exceeds_the_hyperperiod(self):
+        for params in (
+            [(10, 3, 8), (15, 4, 12)],
+            [(7, 2, 7), (11, 3, 11), (13, 5, 13)],
+            [(100, 3, 20)] * 6,
+        ):
+            tasks = make_tasks(params)
+            assert busy_period(tasks) <= hyperperiod(tasks)
+
+    def test_busy_period_is_the_least_fixpoint(self):
+        tasks = make_tasks([(10, 3, 10), (15, 4, 15)])
+        length = busy_period(tasks)
+
+        def workload(t: int) -> int:
+            return sum(-(-t // task.period) * task.capacity for task in tasks)
+
+        assert workload(length) == length
+        # every earlier instant still has pending backlog
+        for t in range(1, length):
+            assert workload(t) > t
+
+    def test_overutilized_set_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="over-utilized"):
+            busy_period(make_tasks([(2, 1, 2)] * 3))
+
+    def test_paper_uplink_busy_period(self):
+        # 6 channels of C=3 on one uplink: 18 straight busy slots.
+        assert busy_period(make_tasks([(100, 3, 20)] * 6)) == 18
+
+
+class TestControlPointSeams:
+    def test_single_task_arithmetic_progression(self):
+        points = control_points(make_tasks([(10, 2, 4)]), 35)
+        assert points.tolist() == [4, 14, 24, 34]
+
+    def test_deadline_equal_to_period(self):
+        points = control_points(make_tasks([(10, 2, 10)]), 30)
+        assert points.tolist() == [10, 20, 30]
+
+    def test_deadline_beyond_period_starts_late(self):
+        # d > P: the first absolute deadline is d itself, past the
+        # first releases.
+        points = control_points(make_tasks([(5, 1, 12)]), 30)
+        assert points.tolist() == [12, 17, 22, 27]
+
+    def test_horizon_below_first_deadline_is_empty(self):
+        points = control_points(make_tasks([(10, 2, 8)]), 7)
+        assert points.size == 0
+
+    def test_zero_horizon_and_empty_set(self):
+        assert control_points(make_tasks([(10, 2, 8)]), 0).size == 0
+        assert control_points([], 100).size == 0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            control_points(make_tasks([(10, 2, 8)]), -1)
+
+    def test_duplicate_points_are_merged(self):
+        tasks = make_tasks([(10, 2, 5), (10, 3, 5)])
+        points = control_points(tasks, 25)
+        assert points.tolist() == [5, 15, 25]
+
+    def test_points_are_sorted_and_unique(self):
+        tasks = make_tasks([(6, 1, 4), (10, 2, 7), (15, 3, 15)])
+        points = control_points(tasks, 60)
+        assert np.all(np.diff(points) > 0)
+
+    def test_boundary_point_at_exact_horizon_is_included(self):
+        points = control_points(make_tasks([(10, 2, 10)]), 20)
+        assert 20 in points.tolist()
+
+    def test_every_point_is_a_job_deadline(self):
+        tasks = make_tasks([(6, 1, 4), (10, 2, 13)])  # includes d > P
+        horizon = 60
+        points = set(control_points(tasks, horizon).tolist())
+        expected = set()
+        for task in tasks:
+            deadline = task.deadline
+            while deadline <= horizon:
+                expected.add(deadline)
+                deadline += task.period
+        assert points == expected
+
+
+class TestDemandManySeams:
+    def test_empty_instants_give_empty_result(self):
+        tasks = make_tasks([(10, 2, 5)])
+        out = demand_many(tasks, np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_empty_task_set_gives_zeros(self):
+        out = demand_many([], np.array([0, 10, 100]))
+        assert out.tolist() == [0, 0, 0]
+
+    def test_matches_scalar_demand_at_step_boundaries(self):
+        tasks = make_tasks([(10, 2, 4), (15, 3, 20)])  # one d > P
+        instants = []
+        for task in tasks:
+            for m in range(4):
+                absolute = task.deadline + m * task.period
+                instants.extend([absolute - 1, absolute, absolute + 1])
+        instants = np.array(sorted(set(i for i in instants if i >= 0)))
+        vectorized = demand_many(tasks, instants)
+        for instant, value in zip(instants.tolist(), vectorized.tolist()):
+            assert value == demand(tasks, instant)
+
+    def test_single_task_step_shape(self):
+        tasks = make_tasks([(10, 2, 4)])
+        out = demand_many(tasks, np.array([0, 3, 4, 13, 14, 24]))
+        # steps of C=2 exactly at t = 4, 14, 24
+        assert out.tolist() == [0, 0, 2, 2, 4, 6]
+
+    def test_deadline_beyond_period_counts_overlapping_jobs(self):
+        # d = 25, P = 10: at t = 45 the jobs released at 0, 10, 20 are
+        # all due (deadlines 25, 35, 45).
+        tasks = make_tasks([(10, 2, 25)])
+        assert demand(tasks, 45) == 6
+        assert demand_many(tasks, np.array([45])).tolist() == [6]
+
+    def test_zero_slack_demand_meets_supply_at_the_hyperperiod(self):
+        tasks = make_tasks([(2, 1, 2), (4, 2, 4)])  # U == 1, d == P
+        horizon = hyperperiod(tasks)
+        assert demand(tasks, horizon) == horizon
+        assert demand_many(tasks, np.array([horizon])).tolist() == [horizon]
+
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            demand_many(make_tasks([(10, 2, 5)]), np.array([3, -1]))
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            demand(make_tasks([(10, 2, 5)]), -1)

@@ -1,0 +1,131 @@
+"""Unit tests for the three-way differential cross-checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import is_feasible, utilization
+from repro.errors import ConfigurationError
+from repro.oracle.differential import (
+    Agreement,
+    cross_check,
+    first_demand_violation,
+)
+
+from ..conftest import make_tasks
+
+
+class TestFirstDemandViolation:
+    def test_none_for_empty_set(self):
+        assert first_demand_violation([], 1000) is None
+
+    def test_none_for_feasible_set(self):
+        tasks = make_tasks([(10, 2, 10), (20, 4, 20)])
+        assert first_demand_violation(tasks, 10_000) is None
+
+    def test_matches_is_feasible_certificate(self):
+        tasks = make_tasks([(100, 3, 20)] * 7)
+        report = is_feasible(tasks)
+        assert not report.feasible
+        assert first_demand_violation(tasks, 10_000) == report.violation
+
+    def test_finds_violation_for_overutilized_set(self):
+        tasks = make_tasks([(2, 1, 2)] * 3)  # U = 1.5
+        violation = first_demand_violation(tasks, 10_000)
+        assert violation is not None
+        t, h = violation
+        assert h > t
+
+    def test_respects_the_cap(self):
+        # Violation exists (U > 1) but only beyond the tiny cap when
+        # deadlines start past it.
+        tasks = make_tasks([(4, 3, 50), (4, 3, 50)])
+        assert first_demand_violation(tasks, 10) is None
+
+
+class TestCrossCheck:
+    def test_agree_feasible(self):
+        verdict = cross_check(make_tasks([(100, 3, 40)] * 6))
+        assert verdict.agreement is Agreement.AGREE_FEASIBLE
+        assert verdict.ok
+        assert verdict.naive is not None
+        assert verdict.timeline is not None
+        assert verdict.timeline.first_miss is None
+
+    def test_agree_feasible_empty_set(self):
+        verdict = cross_check([])
+        assert verdict.agreement is Agreement.AGREE_FEASIBLE
+
+    def test_agree_infeasible_demand(self):
+        verdict = cross_check(make_tasks([(100, 3, 20)] * 7))
+        assert verdict.agreement is Agreement.AGREE_INFEASIBLE
+        assert verdict.ok
+        miss = verdict.timeline.first_miss
+        assert miss is not None
+        assert miss.time <= verdict.fast.violation[0]
+
+    def test_agree_infeasible_overutilized(self):
+        tasks = make_tasks([(3, 2, 3), (3, 2, 3)])  # U = 4/3
+        verdict = cross_check(tasks)
+        assert verdict.agreement is Agreement.AGREE_INFEASIBLE
+        assert verdict.fast.violation is None  # rejected on utilization
+        assert verdict.timeline.first_miss is not None
+
+    def test_naive_leg_can_be_skipped(self):
+        verdict = cross_check(
+            make_tasks([(100, 3, 40)] * 3), check_naive=False
+        )
+        assert verdict.naive is None
+        assert verdict.agreement is Agreement.AGREE_FEASIBLE
+
+    def test_naive_skipped_above_its_cap_but_check_continues(self):
+        tasks = make_tasks([(10, 4, 10), (15, 6, 15)])  # busy period 30
+        verdict = cross_check(tasks, naive_horizon_cap=5)
+        assert verdict.naive is None
+        assert verdict.agreement is Agreement.AGREE_FEASIBLE
+
+    def test_horizon_capped_is_not_a_disagreement(self):
+        # Feasible (Liu & Layland) but the replay horizon -- the busy
+        # period, 10 slots -- exceeds the tiny cap.
+        tasks = make_tasks([(10, 4, 10), (15, 6, 15)])
+        verdict = cross_check(tasks, max_horizon=5)
+        assert verdict.agreement is Agreement.HORIZON_CAPPED
+        assert verdict.ok
+        assert verdict.timeline is None
+
+    def test_overutilized_beyond_cap_is_horizon_capped(self):
+        tasks = make_tasks([(4, 3, 200), (4, 3, 200)])
+        verdict = cross_check(tasks, max_horizon=20)
+        assert verdict.agreement is Agreement.HORIZON_CAPPED
+        assert verdict.ok
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ConfigurationError, match="max_horizon"):
+            cross_check([], max_horizon=0)
+
+    def test_verdict_summary_mentions_agreement(self):
+        verdict = cross_check(make_tasks([(10, 1, 10)]))
+        assert "agree-feasible" in verdict.summary()
+
+
+class TestZeroSlackBoundaries:
+    """Exact boundary sets: one extra slot of demand flips the verdict."""
+
+    def test_full_utilization_implicit_deadlines_is_feasible(self):
+        tasks = make_tasks([(2, 1, 2), (4, 2, 4)])  # U == 1, d == P
+        assert utilization(tasks) == 1
+        verdict = cross_check(tasks)
+        assert verdict.agreement is Agreement.AGREE_FEASIBLE
+
+    def test_paper_uplink_boundary_six_fits_seven_does_not(self):
+        six = cross_check(make_tasks([(100, 3, 20)] * 6))
+        seven = cross_check(make_tasks([(100, 3, 20)] * 7))
+        assert six.agreement is Agreement.AGREE_FEASIBLE
+        assert seven.agreement is Agreement.AGREE_INFEASIBLE
+
+    def test_exact_demand_equality_is_feasible(self):
+        # h(6) == 6 exactly: allowed (the criterion is h <= t).
+        tasks = make_tasks([(10, 3, 3), (10, 3, 6)])
+        verdict = cross_check(tasks)
+        assert verdict.agreement is Agreement.AGREE_FEASIBLE
+        assert verdict.timeline.first_miss is None

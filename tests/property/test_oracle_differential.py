@@ -1,0 +1,181 @@
+"""Property tests: the analytical admission test vs the executed schedule.
+
+The central theorems this repo relies on, stated as hypothesis
+properties over random task sets:
+
+* **Soundness of admission** -- analytically feasible ⇒ the brute-force
+  EDF replay of the first busy period finishes with zero misses.
+* **Completeness of rejection** -- analytically infeasible with a
+  demand violation at control point ``t*`` ⇒ the replay witnesses a
+  miss at some absolute deadline ``<= t*``.
+* **Busy-period exactness** -- for a feasible set the replay drains at
+  exactly the analytical busy period (Eq. 18.4): the fixpoint really is
+  the first idle instant.
+* **Third-implementation agreement** -- over a full hyperperiod the
+  replay's per-task worst responses equal those of the independent
+  tabular scheduler (:func:`repro.core.schedule.build_schedule`).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.core.feasibility import (
+    busy_period,
+    hyperperiod,
+    is_feasible,
+    utilization,
+)
+from repro.core.schedule import build_schedule
+from repro.core.task import LinkRef, LinkTask
+from repro.oracle.differential import (
+    Agreement,
+    cross_check,
+    first_demand_violation,
+)
+from repro.oracle.edf_timeline import default_release_horizon, simulate_edf
+
+LINK = LinkRef.uplink("oracle-prop")
+
+#: Keep replay horizons honest but bounded: periods up to 60, at most 6
+#: tasks. Sets whose busy period still explodes are assumed away.
+MAX_HORIZON = 30_000
+
+
+@st.composite
+def link_task(draw):
+    period = draw(st.integers(min_value=1, max_value=60))
+    capacity = draw(st.integers(min_value=1, max_value=period))
+    deadline = draw(st.integers(min_value=capacity, max_value=120))
+    return LinkTask(
+        link=LINK, period=period, capacity=capacity, deadline=deadline
+    )
+
+
+@st.composite
+def harmonic_task(draw):
+    """Periods from divisors of 60: hyperperiods stay <= 60."""
+    period = draw(st.sampled_from([2, 3, 4, 5, 6, 10, 12, 15, 20, 30, 60]))
+    capacity = draw(st.integers(min_value=1, max_value=period))
+    deadline = draw(st.integers(min_value=capacity, max_value=90))
+    return LinkTask(
+        link=LINK, period=period, capacity=capacity, deadline=deadline
+    )
+
+
+@st.composite
+def tight_task(draw):
+    """Constrained deadlines (d <= P): demand violations are common."""
+    period = draw(st.integers(min_value=4, max_value=40))
+    capacity = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+    deadline = draw(st.integers(min_value=capacity, max_value=period))
+    return LinkTask(
+        link=LINK, period=period, capacity=capacity, deadline=deadline
+    )
+
+
+@st.composite
+def heavy_task(draw):
+    """Capacities of at least half the period: U > 1 is common."""
+    period = draw(st.integers(min_value=2, max_value=30))
+    capacity = draw(st.integers(min_value=max(1, period // 2), max_value=period))
+    deadline = draw(st.integers(min_value=capacity, max_value=60))
+    return LinkTask(
+        link=LINK, period=period, capacity=capacity, deadline=deadline
+    )
+
+
+task_sets = st.lists(link_task(), min_size=0, max_size=6)
+tight_sets = st.lists(tight_task(), min_size=3, max_size=7)
+heavy_sets = st.lists(heavy_task(), min_size=2, max_size=5)
+harmonic_sets = st.lists(harmonic_task(), min_size=1, max_size=5)
+
+
+@given(task_sets)
+@settings(max_examples=200, deadline=None)
+def test_feasible_implies_no_simulated_miss(tasks):
+    """Admission soundness: a feasible verdict survives execution."""
+    assume(is_feasible(tasks).feasible)
+    assume(default_release_horizon(tasks) <= MAX_HORIZON)
+    result = simulate_edf(tasks, stop_on_miss=False)
+    assert result.first_miss is None
+    assert result.schedulable
+    for stats in result.task_stats:
+        assert stats.worst_response <= stats.deadline
+
+
+@given(tight_sets)
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+def test_infeasible_witnessed_at_the_reported_control_point(tasks):
+    """Rejection completeness: the violation certificate is executable."""
+    report = is_feasible(tasks)
+    assume(not report.feasible and report.violation is not None)
+    t_star, h_star = report.violation
+    assert h_star > t_star
+    result = simulate_edf(tasks, t_star)
+    assert result.first_miss is not None
+    assert result.first_miss.time <= t_star
+
+
+@given(heavy_sets)
+@settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+def test_overutilized_sets_miss_in_practice(tasks):
+    """U > 1 has no analytical certificate from ``is_feasible`` (it
+    stops at the utilization test); the oracle finds one and executes
+    it."""
+    assume(tasks and utilization(tasks) > 1)
+    violation = first_demand_violation(tasks, MAX_HORIZON)
+    assume(violation is not None)
+    t_star, _ = violation
+    result = simulate_edf(tasks, t_star)
+    assert result.first_miss is not None
+    assert result.first_miss.time <= t_star
+
+
+@given(task_sets)
+@settings(max_examples=100, deadline=None)
+def test_feasible_replay_drains_at_the_busy_period(tasks):
+    """Eq. 18.4 exactness: the fixpoint is the first idle instant."""
+    assume(tasks and is_feasible(tasks).feasible)
+    horizon = default_release_horizon(tasks)
+    assume(horizon <= MAX_HORIZON)
+    result = simulate_edf(tasks)
+    assert result.makespan == busy_period(tasks)
+    assert result.slots_executed == result.makespan
+
+
+@given(task_sets)
+@settings(max_examples=150, deadline=None)
+def test_cross_check_never_finds_a_disagreement(tasks):
+    """The three oracles agree on arbitrary task sets."""
+    verdict = cross_check(tasks, max_horizon=MAX_HORIZON)
+    assert verdict.ok, verdict.summary()
+    assert verdict.agreement in (
+        Agreement.AGREE_FEASIBLE,
+        Agreement.AGREE_INFEASIBLE,
+        Agreement.HORIZON_CAPPED,
+    )
+
+
+@given(harmonic_sets)
+@settings(max_examples=120, deadline=None)
+def test_timeline_matches_the_tabular_scheduler(tasks):
+    """Replay vs ``build_schedule``: same jobs, same worst responses."""
+    assume(utilization(tasks) <= 1)
+    schedule = build_schedule(tasks)
+    replay = simulate_edf(
+        tasks, hyperperiod(tasks), stop_on_miss=False
+    )
+    assert len(schedule.responses) == len(replay.task_stats)
+    for tabular, timeline in zip(schedule.responses, replay.task_stats):
+        assert tabular.jobs == timeline.jobs_released
+        assert tabular.worst_response == timeline.worst_response
+        assert tabular.overruns == timeline.overruns
