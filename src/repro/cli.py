@@ -17,10 +17,14 @@ Commands
 ``robustness``   phase / loss fault injection (EXP-R1)
 ``oracle``       differential fuzz campaign: analytical admission vs
                  brute-force EDF timeline replay
+``bench-admission`` admission fast-path timing, cached vs from-scratch
+                 (EXP-P2); ``--smoke`` for the quick CI variant
+``admission-diff`` differential campaign: cached vs from-scratch
+                 admission decisions under interleaved releases
 
 Exit status: 0 on success, 1 when a checked guarantee is violated
-(``validate``, ``coexist``, ``robustness``, ``oracle``), 2 on usage
-errors.
+(``validate``, ``coexist``, ``robustness``, ``oracle``,
+``bench-admission`` parity, ``admission-diff``), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -151,6 +155,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     oracle.add_argument("--json", metavar="PATH",
                         help="export the campaign report as JSON")
+
+    bench = sub.add_parser(
+        "bench-admission",
+        help="time the Fig. 18.5 admission sweep cached vs from-scratch "
+             "(EXP-P2)",
+    )
+    bench.add_argument("--requests", type=int, default=200,
+                       help="channel requests per trial (default 200)")
+    bench.add_argument("--trials", type=int, default=5,
+                       help="request sequences per timing run (default 5)")
+    bench.add_argument("--seed", type=int, default=2004)
+    bench.add_argument(
+        "--scheme", choices=["sdps", "adps"], default="sdps",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per side; the minimum is reported "
+             "(default 3)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="quick CI variant: reduced workload, asserts decision "
+             "parity but no speedup floor (shared-runner timing is "
+             "too noisy for ratios)",
+    )
+    bench.add_argument("--json", metavar="PATH",
+                       help="export the timing report as JSON")
+
+    adiff = sub.add_parser(
+        "admission-diff",
+        help="differential campaign: cached vs from-scratch admission "
+             "decisions under interleaved releases",
+    )
+    adiff.add_argument("--trials", type=int, default=200,
+                       help="seeded trials to compare (default 200)")
+    adiff.add_argument("--seed", type=int, default=0)
+    adiff.add_argument("--ops", type=int, default=40,
+                       help="request/release operations per trial "
+                            "(default 40)")
+    adiff.add_argument("--json", metavar="PATH",
+                       help="export the campaign report as JSON")
 
     return parser
 
@@ -415,6 +460,57 @@ def _cmd_oracle(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_admission(args) -> int:
+    from .experiments.admission_perf import (
+        AdmissionPerfConfig,
+        run_admission_perf,
+    )
+
+    if args.smoke:
+        config = AdmissionPerfConfig(
+            requests=min(args.requests, 60),
+            trials=min(args.trials, 2),
+            seed=args.seed,
+            scheme=args.scheme,
+            repeats=1,
+        )
+    else:
+        config = AdmissionPerfConfig(
+            requests=args.requests,
+            trials=args.trials,
+            seed=args.seed,
+            scheme=args.scheme,
+            repeats=args.repeats,
+        )
+    result = run_admission_perf(config)
+    print(result.summary())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(result.to_json_dict(), indent=2))
+        print(f"wrote {path}")
+    return 0 if result.parity else 1
+
+
+def _cmd_admission_diff(args) -> int:
+    from .oracle.admission_diff import run_admission_campaign
+
+    report = run_admission_campaign(
+        args.trials, args.seed, ops_per_trial=args.ops
+    )
+    print(report.summary())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_json_dict(), indent=2))
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "fig18-5": _cmd_fig18_5,
     "validate": _cmd_validate,
@@ -426,6 +522,8 @@ _COMMANDS = {
     "multiswitch": _cmd_multiswitch,
     "robustness": _cmd_robustness,
     "oracle": _cmd_oracle,
+    "bench-admission": _cmd_bench_admission,
+    "admission-diff": _cmd_admission_diff,
 }
 
 

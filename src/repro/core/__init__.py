@@ -33,6 +33,11 @@ from .feasibility import (
     is_feasible,
     utilization,
 )
+from .feasibility_cache import (
+    CacheStats,
+    FeasibilityCache,
+    LinkCacheEntry,
+)
 from .partitioning import (
     DeadlinePartitioningScheme,
     SymmetricDPS,
@@ -80,6 +85,9 @@ __all__ = [
     "hyperperiod",
     "is_feasible",
     "utilization",
+    "CacheStats",
+    "FeasibilityCache",
+    "LinkCacheEntry",
     "DeadlinePartitioningScheme",
     "SymmetricDPS",
     "AsymmetricDPS",

@@ -25,10 +25,9 @@ the tasks assigned to it).
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, NamedTuple
 
 from ..errors import (
     AdmissionError,
@@ -39,6 +38,7 @@ from ..errors import (
 )
 from .channel import ChannelSpec, ChannelState, DeadlinePartition, RTChannel
 from .feasibility import FeasibilityReport, is_feasible
+from .feasibility_cache import FeasibilityCache
 from .partitioning import DeadlinePartitioningScheme, LoadView
 from .task import LinkRef, LinkTask
 
@@ -110,6 +110,10 @@ class _CandidateLoadView:
         self._spec = spec
 
     def link_load(self, link: LinkRef) -> int:
+        # Identity check first: LinkRefs are interned, and the schemes
+        # overwhelmingly ask about the candidate's own two links.
+        if link is self._uplink or link is self._downlink:
+            return self._base.link_load(link) + 1
         bonus = 1 if link in (self._uplink, self._downlink) else 0
         return self._base.link_load(link) + bonus
 
@@ -175,11 +179,18 @@ class SystemState:
                 f"no active RT channel with ID {channel_id}"
             ) from None
 
-    def install(self, channel: RTChannel) -> None:
+    def install(
+        self,
+        channel: RTChannel,
+        pair: tuple[LinkTask, LinkTask] | None = None,
+    ) -> None:
         """Add an admitted channel and its two supposed tasks.
 
         The channel must already carry a network-unique ID and a valid
         partition; :class:`AdmissionController` is the normal caller.
+        ``pair`` lets a caller that already derived the channel's
+        ``(T_iu, T_id)`` (the controller shares them with its cache)
+        pass them in instead of deriving them again.
         """
         if channel.channel_id < 0:
             raise AdmissionError("cannot install a channel without an ID")
@@ -187,7 +198,9 @@ class SystemState:
             raise AdmissionError(
                 f"channel ID {channel.channel_id} is already active"
             )
-        up, down = LinkTask.pair_for_channel(channel)
+        up, down = pair if pair is not None else LinkTask.pair_for_channel(
+            channel
+        )
         self._schedule_for(up.link).add(up)
         self._schedule_for(down.link).add(down)
         self._channels[channel.channel_id] = channel
@@ -222,7 +235,7 @@ class SystemState:
     def link_load(self, link: LinkRef) -> int:
         """LinkLoad ``LL``: number of channels traversing ``link``."""
         schedule = self._schedules.get(link)
-        return schedule.load if schedule is not None else 0
+        return len(schedule.tasks) if schedule is not None else 0
 
     def link_utilization(self, link: LinkRef) -> Fraction:
         schedule = self._schedules.get(link)
@@ -259,6 +272,12 @@ class RejectionReason(enum.Enum):
     UNKNOWN_NODE = "unknown-node"
     #: ``d < 2C``: no deadline partition can exist (Eq. 18.9).
     NOT_PARTITIONABLE = "not-partitionable"
+    #: Some partition exists (Eq. 18.9 holds) but the DPS found no split
+    #: under which both links stay feasible (e.g. a strict
+    #: :class:`~repro.core.partitioning_ext.SearchDPS` exhausting its
+    #: probes). Distinct from :attr:`NOT_PARTITIONABLE`, which is a
+    #: property of the spec alone.
+    NO_FEASIBLE_PARTITION = "no-feasible-partition"
     #: The uplink (source -> switch) failed the feasibility test.
     UPLINK_INFEASIBLE = "uplink-infeasible"
     #: The downlink (switch -> destination) failed the feasibility test.
@@ -267,9 +286,12 @@ class RejectionReason(enum.Enum):
     DESTINATION_DECLINED = "destination-declined"
 
 
-@dataclass(frozen=True, slots=True)
-class AdmissionDecision:
+class AdmissionDecision(NamedTuple):
     """Complete record of one admission-control decision.
+
+    One is built per request on the admission hot path, hence a
+    NamedTuple (construction is measurably cheaper than a frozen
+    dataclass and the record is immutable either way).
 
     Attributes
     ----------
@@ -299,6 +321,48 @@ class AdmissionDecision:
         return self.accepted
 
 
+class _Assessment(NamedTuple):
+    """Pure (state-untouched) outcome of the decision procedure.
+
+    ``reason is None`` means "would be accepted". Shared by
+    :meth:`AdmissionController.request` (which then mutates) and
+    :meth:`AdmissionController.preview` (which never does). One is
+    built per non-memoized decision, so it is a NamedTuple rather than
+    a dataclass (measurably cheaper to construct).
+    """
+
+    reason: RejectionReason | None
+    partition: DeadlinePartition | None = None
+    uplink_report: FeasibilityReport | None = None
+    downlink_report: FeasibilityReport | None = None
+
+
+#: Interned candidate tasks, keyed by ``(link, P, C, d)``. Admission
+#: derives the same candidate ``LinkTask`` objects over and over (one
+#: spec probed against the same link under a handful of partitions) and
+#: the validating constructor is measurable on the hot path; interning
+#: runs it once per distinct candidate. Safe because LinkTask is frozen
+#: and the first construction still validates (Eq. 18.9 etc.). Bounded
+#: by a wholesale clear at capacity.
+_CANDIDATE_TASKS: dict[tuple[LinkRef, int, int, int], LinkTask] = {}
+_CANDIDATE_TASKS_MAX = 1 << 15
+
+
+def _candidate_task(
+    link: LinkRef, period: int, capacity: int, deadline: int
+) -> LinkTask:
+    key = (link, period, capacity, deadline)
+    task = _CANDIDATE_TASKS.get(key)
+    if task is None:
+        if len(_CANDIDATE_TASKS) >= _CANDIDATE_TASKS_MAX:
+            _CANDIDATE_TASKS.clear()
+        task = LinkTask(
+            link=link, period=period, capacity=capacity, deadline=deadline
+        )
+        _CANDIDATE_TASKS[key] = task
+    return task
+
+
 class AdmissionController:
     """The switch's admit-or-reject logic over a :class:`SystemState`.
 
@@ -309,6 +373,14 @@ class AdmissionController:
     dps:
         The deadline-partitioning scheme (SDPS, ADPS, ...). The scheme is
         consulted once per request with loads that include the candidate.
+    use_cache:
+        When True (the default), per-link feasibility is decided through
+        the incremental :class:`~repro.core.feasibility_cache.FeasibilityCache`
+        instead of re-running the from-scratch test on every request.
+        The cached and from-scratch controllers produce identical
+        decision streams (enforced by
+        :mod:`repro.oracle.admission_diff`); ``use_cache=False`` keeps
+        the reference path available for differential testing.
 
     Notes
     -----
@@ -318,17 +390,47 @@ class AdmissionController:
     network-unique *RT channel ID* of the signalling frames. The
     controller raises :class:`AdmissionError` once the 16-bit space is
     exhausted, making the paper's field-width limit explicit instead of
-    silently aliasing IDs.
+    silently aliasing IDs. Only :meth:`request` consumes IDs --
+    :meth:`preview` never advances the counter.
+
+    All mutations of the shared :class:`SystemState` should go through
+    this controller (or the state's own ``install``/``release``); the
+    cache detects count-changing external mutations and resynchronizes,
+    but a count-preserving swap of tasks behind its back is undefined.
     """
 
     MAX_CHANNEL_ID = 0xFFFF  # 16-bit field in Figures 18.3/18.4
 
+    #: Assessment-memo capacity; cleared wholesale on overflow (the memo
+    #: is a cache of pure results, so clearing is always correct).
+    _ASSESS_MEMO_MAX = 8192
+
     def __init__(
-        self, state: SystemState, dps: DeadlinePartitioningScheme
+        self,
+        state: SystemState,
+        dps: DeadlinePartitioningScheme,
+        *,
+        use_cache: bool = True,
     ) -> None:
         self._state = state
         self._dps = dps
-        self._next_id = itertools.count(1)
+        #: Whether the scheme actually overrides partition_with_probe;
+        #: for plain schemes (SDPS/ADPS/...) the per-request probe
+        #: closure and the delegating trampoline are skipped entirely.
+        self._dps_probes = (
+            type(dps).partition_with_probe
+            is not DeadlinePartitioningScheme.partition_with_probe
+        )
+        self._cache = FeasibilityCache(state) if use_cache else None
+        #: Whole-assessment memo, keyed by (source, destination, spec)
+        #: and validated by the two endpoint links' cache epochs. Only
+        #: used when the DPS declares itself ``local_only`` (the
+        #: assessment is then a pure function of those two links).
+        self._assess_memo: dict[
+            tuple[str, str, ChannelSpec],
+            tuple[int, int, _Assessment],
+        ] = {}
+        self._next_id = 1
         self.accept_count = 0
         self.reject_count = 0
         #: rejection histogram keyed by :class:`RejectionReason`.
@@ -342,6 +444,16 @@ class AdmissionController:
     def dps(self) -> DeadlinePartitioningScheme:
         return self._dps
 
+    @property
+    def cache(self) -> FeasibilityCache | None:
+        """The incremental fast path, or ``None`` for a reference
+        (from-scratch) controller."""
+        return self._cache
+
+    @property
+    def uses_cache(self) -> bool:
+        return self._cache is not None
+
     def _count_rejection(self, reason: RejectionReason) -> None:
         self.reject_count += 1
         self.rejections_by_reason[reason] = (
@@ -352,31 +464,175 @@ class AdmissionController:
 
     def _feasible_with(
         self,
-        source: str,
-        destination: str,
+        up_link: LinkRef,
+        down_link: LinkRef,
         spec: ChannelSpec,
         partition: DeadlinePartition,
     ) -> tuple[FeasibilityReport, FeasibilityReport]:
         """Test both affected links with the candidate's tasks added."""
-        up_link = LinkRef.uplink(source)
-        down_link = LinkRef.downlink(destination)
-        up_task = LinkTask(
-            link=up_link,
-            period=spec.period,
-            capacity=spec.capacity,
-            deadline=partition.uplink,
+        up_task = _candidate_task(
+            up_link, spec.period, spec.capacity, partition.uplink
         )
-        down_task = LinkTask(
-            link=down_link,
-            period=spec.period,
-            capacity=spec.capacity,
-            deadline=partition.downlink,
+        down_task = _candidate_task(
+            down_link, spec.period, spec.capacity, partition.downlink
         )
+        if self._cache is not None:
+            return self._cache.check(up_task), self._cache.check(down_task)
         up_report = is_feasible(list(self._state.tasks_on(up_link)) + [up_task])
         down_report = is_feasible(
             list(self._state.tasks_on(down_link)) + [down_task]
         )
         return up_report, down_report
+
+    def _assess(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> _Assessment:
+        """Run the full decision procedure without mutating anything.
+
+        Neither the system state, nor the counters, nor the ID stream
+        are touched; :meth:`request` applies the side effects afterward
+        and :meth:`preview` returns the assessment as-is.
+
+        When the DPS is ``local_only`` and the cache is active, whole
+        assessments are memoized per ``(source, destination, spec)`` and
+        revalidated in O(1) against the two endpoint links' cache
+        epochs: any install/release/resync on either link bumps its
+        epoch and the stale entry simply misses. This makes the
+        saturated tail of an acceptance sweep (the same rejected spec
+        re-requested hundreds of times against unchanged links) a
+        dictionary hit.
+
+        The memo is validated with *guarded* epoch reads (``entry()``
+        runs the drift check, so external state mutation bumps the
+        epoch before the comparison) but *stored* with raw reads
+        (:meth:`~repro.core.feasibility_cache.FeasibilityCache.epoch_of`):
+        the assessment just computed was derived from the state those
+        raw epochs stamp (its feasibility checks ran guarded), and a
+        stamp that is stale relative to an un-noticed earlier drift can
+        only make the entry miss on its next validation, never hit
+        wrongly.
+        """
+        cache = self._cache
+        if cache is None or not self._dps.local_only:
+            return self._assess_uncached(source, destination, spec)
+        # Pre-checks inlined (has_node is a measurable method call here,
+        # and _decide below assumes they already ran).
+        nodes = self._state._nodes
+        if source not in nodes or destination not in nodes:
+            return _Assessment(reason=RejectionReason.UNKNOWN_NODE)
+        if not spec.is_partitionable():
+            return _Assessment(reason=RejectionReason.NOT_PARTITIONABLE)
+        up_link = LinkRef.uplink(source)
+        down_link = LinkRef.downlink(destination)
+        key = (source, destination, spec)
+        hit = self._assess_memo.get(key)
+        if (
+            hit is not None
+            and hit[0] == cache.entry(up_link).epoch
+            and hit[1] == cache.entry(down_link).epoch
+        ):
+            return hit[2]
+        assessment = self._decide(source, destination, spec, up_link, down_link)
+        if len(self._assess_memo) >= self._ASSESS_MEMO_MAX:
+            self._assess_memo.clear()
+        self._assess_memo[key] = (
+            cache.epoch_of(up_link),
+            cache.epoch_of(down_link),
+            assessment,
+        )
+        return assessment
+
+    def _assess_uncached(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> _Assessment:
+        """The decision procedure with pre-checks (no memo consulted)."""
+        nodes = self._state._nodes
+        if source not in nodes or destination not in nodes:
+            return _Assessment(reason=RejectionReason.UNKNOWN_NODE)
+        if not spec.is_partitionable():
+            return _Assessment(reason=RejectionReason.NOT_PARTITIONABLE)
+        return self._decide(
+            source,
+            destination,
+            spec,
+            LinkRef.uplink(source),
+            LinkRef.downlink(destination),
+        )
+
+    def _decide(
+        self,
+        source: str,
+        destination: str,
+        spec: ChannelSpec,
+        up_link: LinkRef,
+        down_link: LinkRef,
+    ) -> _Assessment:
+        """Partition choice plus per-link tests.
+
+        Callers have already verified both nodes exist and the spec is
+        partitionable (Eq. 18.9 on the end-to-end deadline), and pass in
+        the two interned endpoint link refs they derived doing so.
+        """
+        loads = self._state.with_candidate(source, destination, spec)
+
+        try:
+            if self._dps_probes:
+
+                def probe(partition: DeadlinePartition) -> bool:
+                    up, down = self._feasible_with(
+                        up_link, down_link, spec, partition
+                    )
+                    return up.feasible and down.feasible
+
+                partition = self._dps.partition_with_probe(
+                    source, destination, spec, loads, probe
+                )
+            else:
+                partition = self._dps.partition(source, destination, spec, loads)
+            partition.validate_for(spec)
+        except PartitioningError:
+            # The spec itself is partitionable (checked above), so this
+            # is *not* Eq. 18.9 failing: the scheme searched and found no
+            # split under which both links stay feasible (or produced an
+            # invalid split). Miscounting it as NOT_PARTITIONABLE would
+            # blame the spec for a load problem.
+            return _Assessment(reason=RejectionReason.NO_FEASIBLE_PARTITION)
+
+        up_report, down_report = self._feasible_with(
+            up_link, down_link, spec, partition
+        )
+        if not up_report.feasible or not down_report.feasible:
+            reason = (
+                RejectionReason.UPLINK_INFEASIBLE
+                if not up_report.feasible
+                else RejectionReason.DOWNLINK_INFEASIBLE
+            )
+            return _Assessment(reason, partition, up_report, down_report)
+        return _Assessment(None, partition, up_report, down_report)
+
+    def _allocate_id(self) -> int:
+        """Consume the next channel ID, enforcing the 16-bit limit."""
+        if self._next_id > self.MAX_CHANNEL_ID:
+            raise AdmissionError(
+                "exhausted the 16-bit RT channel ID space "
+                f"(> {self.MAX_CHANNEL_ID} channels created)"
+            )
+        channel_id = self._next_id
+        self._next_id += 1
+        return channel_id
+
+    def _install(self, channel: RTChannel) -> None:
+        """Install into the cache first, then the shared state.
+
+        Cache-first ordering keeps the drift guard's counts consistent
+        during the two-step mutation; if the state install fails, the
+        guard resynchronizes the affected links on the next access.
+        """
+        pair = LinkTask.pair_for_channel(channel)
+        if self._cache is not None:
+            self._cache.install(pair[0])
+            self._cache.install(pair[1])
+        self._state.install(channel, pair)
 
     def request(
         self, source: str, destination: str, spec: ChannelSpec
@@ -388,84 +644,59 @@ class AdmissionController:
         veto, see :mod:`repro.core.channel_manager`).
         """
         candidate = RTChannel(source=source, destination=destination, spec=spec)
-
-        if not (
-            self._state.has_node(source) and self._state.has_node(destination)
-        ):
+        assessment = self._assess(source, destination, spec)
+        if assessment.reason is not None:
             candidate.state = ChannelState.REJECTED
-            self._count_rejection(RejectionReason.UNKNOWN_NODE)
+            self._count_rejection(assessment.reason)
             return AdmissionDecision(
-                accepted=False,
-                channel=candidate,
-                reason=RejectionReason.UNKNOWN_NODE,
+                False,
+                candidate,
+                assessment.reason,
+                assessment.partition,
+                assessment.uplink_report,
+                assessment.downlink_report,
             )
-
-        if not spec.is_partitionable():
-            candidate.state = ChannelState.REJECTED
-            self._count_rejection(RejectionReason.NOT_PARTITIONABLE)
-            return AdmissionDecision(
-                accepted=False,
-                channel=candidate,
-                reason=RejectionReason.NOT_PARTITIONABLE,
-            )
-
-        loads = self._state.with_candidate(source, destination, spec)
-
-        def probe(partition: DeadlinePartition) -> bool:
-            up, down = self._feasible_with(source, destination, spec, partition)
-            return up.feasible and down.feasible
-
-        try:
-            partition = self._dps.partition_with_probe(
-                source, destination, spec, loads, probe
-            )
-            partition.validate_for(spec)
-        except PartitioningError:
-            candidate.state = ChannelState.REJECTED
-            self._count_rejection(RejectionReason.NOT_PARTITIONABLE)
-            return AdmissionDecision(
-                accepted=False,
-                channel=candidate,
-                reason=RejectionReason.NOT_PARTITIONABLE,
-            )
-
-        up_report, down_report = self._feasible_with(
-            source, destination, spec, partition
-        )
-        if not up_report.feasible or not down_report.feasible:
-            candidate.state = ChannelState.REJECTED
-            reason = (
-                RejectionReason.UPLINK_INFEASIBLE
-                if not up_report.feasible
-                else RejectionReason.DOWNLINK_INFEASIBLE
-            )
-            self._count_rejection(reason)
-            return AdmissionDecision(
-                accepted=False,
-                channel=candidate,
-                reason=reason,
-                partition=partition,
-                uplink_report=up_report,
-                downlink_report=down_report,
-            )
-
-        channel_id = next(self._next_id)
-        if channel_id > self.MAX_CHANNEL_ID:
-            raise AdmissionError(
-                "exhausted the 16-bit RT channel ID space "
-                f"(> {self.MAX_CHANNEL_ID} channels created)"
-            )
-        candidate.channel_id = channel_id
-        candidate.assign_partition(partition)
+        candidate.channel_id = self._allocate_id()
+        # Direct assignment instead of assign_partition(): _decide already
+        # ran validate_for on this exact partition/spec pair, so the
+        # trusted construction in LinkTask.pair_for_channel stays sound.
+        candidate.partition = assessment.partition
         candidate.state = ChannelState.ACTIVE
-        self._state.install(candidate)
+        self._install(candidate)
         self.accept_count += 1
         return AdmissionDecision(
-            accepted=True,
-            channel=candidate,
-            partition=partition,
-            uplink_report=up_report,
-            downlink_report=down_report,
+            True,
+            candidate,
+            None,
+            assessment.partition,
+            assessment.uplink_report,
+            assessment.downlink_report,
+        )
+
+    def preview(
+        self, source: str, destination: str, spec: ChannelSpec
+    ) -> AdmissionDecision:
+        """Decide a request without any side effect whatsoever.
+
+        Runs the identical decision procedure as :meth:`request` but
+        installs nothing, consumes no channel ID and touches no counter:
+        the controller's serialized state is byte-identical before and
+        after. On a would-be acceptance the returned channel stays in
+        ``REQUESTED`` state with no ID (the partition that *would* be
+        used is still reported); on a would-be rejection the candidate
+        is marked ``REJECTED`` exactly as a real rejection would.
+        """
+        candidate = RTChannel(source=source, destination=destination, spec=spec)
+        assessment = self._assess(source, destination, spec)
+        if assessment.reason is not None:
+            candidate.state = ChannelState.REJECTED
+        return AdmissionDecision(
+            assessment.reason is None,
+            candidate,
+            assessment.reason,
+            assessment.partition,
+            assessment.uplink_report,
+            assessment.downlink_report,
         )
 
     def admit_or_raise(
@@ -486,19 +717,23 @@ class AdmissionController:
     ) -> bool:
         """Non-mutating feasibility preview of a request.
 
-        Runs the identical decision procedure but rolls back the
-        installation, leaving state and counters untouched.
+        Thin alias for :meth:`preview`. Unlike the historical
+        implementation (which installed the channel and rolled it back,
+        permanently consuming a 16-bit channel ID per accepted preview
+        and leaving stale zero-count histogram keys), this touches no
+        controller state at all.
         """
-        decision = self.request(source, destination, spec)
-        if decision.accepted:
-            self._state.release(decision.channel.channel_id)
-            self.accept_count -= 1
-        else:
-            self.reject_count -= 1
-            if decision.reason is not None:
-                self.rejections_by_reason[decision.reason] -= 1
-        return decision.accepted
+        return self.preview(source, destination, spec).accepted
 
     def release(self, channel_id: int) -> RTChannel:
         """Tear down an active channel, freeing its reservations."""
+        if self._cache is not None:
+            channel = self._state.channel(channel_id)
+            # Cache first, state second (see _install for why).
+            self._cache.release(
+                LinkRef.uplink(channel.source), channel_id
+            )
+            self._cache.release(
+                LinkRef.downlink(channel.destination), channel_id
+            )
         return self._state.release(channel_id)

@@ -53,6 +53,7 @@ __all__ = [
     "LoadView",
     "FeasibilityProbe",
     "clamp_partition",
+    "intern_partition",
     "split_round_half_up",
     "DeadlinePartitioningScheme",
     "SymmetricDPS",
@@ -84,6 +85,28 @@ class LoadView(Protocol):
 FeasibilityProbe = Callable[[DeadlinePartition], bool]
 
 
+#: Interned partitions keyed by ``(uplink, downlink)``. Every admission
+#: request builds at least one DeadlinePartition and its validating
+#: constructor is measurable on that hot path; the sweep workloads
+#: revisit the same few dozen splits constantly. Safe because the class
+#: is frozen and the first construction still validates. Bounded by a
+#: wholesale clear at capacity.
+_PARTITIONS: dict[tuple[int, int], DeadlinePartition] = {}
+_PARTITIONS_MAX = 1 << 15
+
+
+def intern_partition(uplink: int, downlink: int) -> DeadlinePartition:
+    """The interned ``DeadlinePartition(uplink, downlink)``."""
+    key = (uplink, downlink)
+    part = _PARTITIONS.get(key)
+    if part is None:
+        if len(_PARTITIONS) >= _PARTITIONS_MAX:
+            _PARTITIONS.clear()
+        part = DeadlinePartition(uplink=uplink, downlink=downlink)
+        _PARTITIONS[key] = part
+    return part
+
+
 def clamp_partition(spec: ChannelSpec, uplink_part: int) -> DeadlinePartition:
     """Build a valid partition from a desired (possibly out-of-range) split.
 
@@ -105,7 +128,7 @@ def clamp_partition(spec: ChannelSpec, uplink_part: int) -> DeadlinePartition:
         )
     lo, hi = spec.capacity, spec.deadline - spec.capacity
     clamped = min(max(uplink_part, lo), hi)
-    return DeadlinePartition(uplink=clamped, downlink=spec.deadline - clamped)
+    return intern_partition(clamped, spec.deadline - clamped)
 
 
 def split_round_half_up(deadline: int, numerator: int, denominator: int) -> int:
@@ -136,6 +159,16 @@ class DeadlinePartitioningScheme(abc.ABC):
 
     #: Short name used in reports and experiment legends.
     name: str = "dps"
+
+    #: True when the scheme's choice (and any probing) depends *only* on
+    #: the candidate's two endpoint links -- the source uplink and the
+    #: destination downlink. The admission controller then memoizes whole
+    #: assessments keyed by ``(source, destination, spec)`` and
+    #: invalidates them via those two links' cache epochs alone. A scheme
+    #: that consults any other link (or non-link state) must leave this
+    #: False (the conservative default) or the memo would serve stale
+    #: decisions.
+    local_only: bool = False
 
     @abc.abstractmethod
     def partition(
@@ -194,6 +227,7 @@ class SymmetricDPS(DeadlinePartitioningScheme):
     """
 
     name = "sdps"
+    local_only = True  # state-invariant, a fortiori endpoint-local
 
     def partition(
         self,
@@ -216,6 +250,7 @@ class AsymmetricDPS(DeadlinePartitioningScheme):
     """
 
     name = "adps"
+    local_only = True  # reads only the two endpoint LinkLoads
 
     def partition(
         self,

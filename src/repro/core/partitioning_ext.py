@@ -35,6 +35,7 @@ from .partitioning import (
     FeasibilityProbe,
     LoadView,
     clamp_partition,
+    intern_partition,
     split_round_half_up,
 )
 from .task import LinkRef
@@ -53,6 +54,7 @@ class UtilizationDPS(DeadlinePartitioningScheme):
     """
 
     name = "udps"
+    local_only = True  # reads only the two endpoint utilizations
 
     def partition(
         self,
@@ -88,6 +90,7 @@ class LaxityDPS(DeadlinePartitioningScheme):
     """
 
     name = "ldps"
+    local_only = True  # reads only the two endpoint LinkLoads
 
     def partition(
         self,
@@ -110,7 +113,7 @@ class LaxityDPS(DeadlinePartitioningScheme):
         else:
             extra_up = split_round_half_up(slack, ll_up, total)
         uplink = spec.capacity + extra_up
-        return DeadlinePartition(uplink=uplink, downlink=spec.deadline - uplink)
+        return intern_partition(uplink, spec.deadline - uplink)
 
 
 class SearchDPS(DeadlinePartitioningScheme):
@@ -132,16 +135,30 @@ class SearchDPS(DeadlinePartitioningScheme):
         Upper bound on feasibility probes per channel, limiting admission
         latency for channels with very long deadlines. ``None`` means
         exhaustive.
+    strict:
+        When True, :meth:`partition_with_probe` raises
+        :class:`~repro.errors.PartitioningError` instead of returning the
+        centre split when no probed split passes. The admission
+        controller classifies that as
+        :attr:`~repro.core.admission.RejectionReason.NO_FEASIBLE_PARTITION`
+        (the spec is partitionable; the *load* admits no split), keeping
+        the rejection histogram honest.
     """
 
     name = "searchdps"
+    # Probes test only the two endpoint links, so the whole search is a
+    # pure function of their state -- memoizable like ADPS.
+    local_only = True
 
-    def __init__(self, max_probes: int | None = None) -> None:
+    def __init__(
+        self, max_probes: int | None = None, *, strict: bool = False
+    ) -> None:
         if max_probes is not None and max_probes <= 0:
             raise PartitioningError(
                 f"max_probes must be positive or None, got {max_probes}"
             )
         self._max_probes = max_probes
+        self._strict = strict
         self._heuristic = _AdpsHeuristic()
 
     def partition(
@@ -167,12 +184,15 @@ class SearchDPS(DeadlinePartitioningScheme):
         for uplink in _fan_out(centre.uplink, lo, hi):
             if self._max_probes is not None and probes >= self._max_probes:
                 break
-            candidate = DeadlinePartition(
-                uplink=uplink, downlink=spec.deadline - uplink
-            )
+            candidate = intern_partition(uplink, spec.deadline - uplink)
             probes += 1
             if probe(candidate):
                 return candidate
+        if self._strict:
+            raise PartitioningError(
+                f"no probed split of d={spec.deadline} keeps both links "
+                f"feasible ({probes} probes)"
+            )
         return centre
 
 
@@ -180,6 +200,7 @@ class _AdpsHeuristic(DeadlinePartitioningScheme):
     """Internal: ADPS arithmetic reused as SearchDPS's starting point."""
 
     name = "adps-heuristic"
+    local_only = True
 
     def partition(
         self,

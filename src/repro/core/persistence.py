@@ -75,14 +75,7 @@ def snapshot(controller: AdmissionController) -> dict[str, Any]:
 
 def _peek_next_id(controller: AdmissionController) -> int:
     """Read the ID allocator position without consuming an ID."""
-    # itertools.count has no peek; active channels plus monotonicity give
-    # the exact next value: one past the largest ever allocated. We track
-    # it from accept_count history via max of current channels and the
-    # counter copy trick:
-    import copy
-
-    clone = copy.copy(controller._next_id)  # noqa: SLF001 - serializer
-    return next(clone)
+    return int(controller._next_id)  # noqa: SLF001 - serializer
 
 
 def restore(
@@ -130,10 +123,8 @@ def restore(
         )
         channel.state = ChannelState.ACTIVE
         state.install(channel)
-    import itertools
-
-    controller._next_id = itertools.count(  # noqa: SLF001 - deserializer
-        int(data["next_channel_id"])
+    controller._next_id = int(  # noqa: SLF001 - deserializer
+        data["next_channel_id"]
     )
     controller.accept_count = int(data.get("accept_count", 0))
     controller.reject_count = int(data.get("reject_count", 0))

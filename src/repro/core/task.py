@@ -21,7 +21,7 @@ one supposed task assigned to it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ChannelParameterError
 from .channel import ChannelSpec, RTChannel
@@ -67,16 +67,44 @@ class LinkRef:
 
     node: str
     direction: LinkDirection
+    #: Precomputed hash. LinkRef is the key of every per-link dict on
+    #: the admission hot path; hashing the (str, enum) tuple on each
+    #: lookup is measurable, computing it once at construction is not.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.node, self.direction)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def uplink(cls, node: str) -> "LinkRef":
-        """The node→switch direction of ``node``'s link."""
-        return cls(node=node, direction=LinkDirection.UPLINK)
+        """The node→switch direction of ``node``'s link.
+
+        Instances are interned per node name (they are immutable and the
+        admission hot path constructs the same handful of refs on every
+        request); the node population is bounded by the network, so the
+        intern table is too.
+        """
+        if cls is not LinkRef:
+            return cls(node=node, direction=LinkDirection.UPLINK)
+        ref = _UPLINK_INTERN.get(node)
+        if ref is None:
+            ref = LinkRef(node=node, direction=LinkDirection.UPLINK)
+            _UPLINK_INTERN[node] = ref
+        return ref
 
     @classmethod
     def downlink(cls, node: str) -> "LinkRef":
-        """The switch→node direction of ``node``'s link."""
-        return cls(node=node, direction=LinkDirection.DOWNLINK)
+        """The switch→node direction of ``node``'s link (interned)."""
+        if cls is not LinkRef:
+            return cls(node=node, direction=LinkDirection.DOWNLINK)
+        ref = _DOWNLINK_INTERN.get(node)
+        if ref is None:
+            ref = LinkRef(node=node, direction=LinkDirection.DOWNLINK)
+            _DOWNLINK_INTERN[node] = ref
+        return ref
 
     def __lt__(self, other: "LinkRef") -> bool:
         """Sort by (node, direction name) for stable report ordering."""
@@ -90,6 +118,10 @@ class LinkRef:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         arrow = "->sw" if self.direction is LinkDirection.UPLINK else "sw->"
         return f"{arrow}{self.node}" if arrow == "sw->" else f"{self.node}{arrow}"
+
+
+_UPLINK_INTERN: dict[str, LinkRef] = {}
+_DOWNLINK_INTERN: dict[str, LinkRef] = {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,6 +154,13 @@ class LinkTask:
     capacity: int
     deadline: int
     channel_id: int = -1
+    #: Precomputed ``(period, capacity, deadline)``: the feasibility
+    #: cache keys its verdict memos by this triple on every check, and
+    #: three attribute loads plus a tuple pack per lookup are measurable
+    #: on the admission hot path.
+    pcd: tuple[int, int, int] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         for name, value in (
@@ -142,6 +181,9 @@ class LinkTask:
                 f"LinkTask deadline {self.deadline} is below its capacity "
                 f"{self.capacity} (violates Eq. 18.9)"
             )
+        object.__setattr__(
+            self, "pcd", (self.period, self.capacity, self.deadline)
+        )
 
     @property
     def utilization(self) -> float:
@@ -155,20 +197,69 @@ class LinkTask:
         Implements Eq. 18.6/18.7: the uplink task runs on the source
         node's uplink, the downlink task on the destination node's
         downlink, both inheriting the channel's period and capacity.
+
+        Construction is trusted (``__post_init__`` validation skipped):
+        the spec validated ``0 < C <= P`` at creation, and the
+        partition passed Eq. 18.8/18.9 validation before it reached
+        the channel (``DeadlinePartition.validate_for`` on the
+        admission path, or
+        :meth:`~repro.core.channel.RTChannel.assign_partition`), which
+        together imply every LinkTask invariant for both derived
+        tasks. This runs once per
+        admitted channel on the admission hot path.
         """
         spec: ChannelSpec = channel.spec
-        up = cls(
-            link=LinkRef.uplink(channel.source),
-            period=spec.period,
-            capacity=spec.capacity,
-            deadline=channel.uplink_deadline,
-            channel_id=channel.channel_id,
+        up_d = channel.uplink_deadline  # raises if no partition assigned
+        down_d = channel.downlink_deadline
+        if cls is not LinkTask:
+            up = cls(
+                link=LinkRef.uplink(channel.source),
+                period=spec.period,
+                capacity=spec.capacity,
+                deadline=up_d,
+                channel_id=channel.channel_id,
+            )
+            down = cls(
+                link=LinkRef.downlink(channel.destination),
+                period=spec.period,
+                capacity=spec.capacity,
+                deadline=down_d,
+                channel_id=channel.channel_id,
+            )
+            return up, down
+        return (
+            _trusted_task(
+                LinkRef.uplink(channel.source),
+                spec.period,
+                spec.capacity,
+                up_d,
+                channel.channel_id,
+            ),
+            _trusted_task(
+                LinkRef.downlink(channel.destination),
+                spec.period,
+                spec.capacity,
+                down_d,
+                channel.channel_id,
+            ),
         )
-        down = cls(
-            link=LinkRef.downlink(channel.destination),
-            period=spec.period,
-            capacity=spec.capacity,
-            deadline=channel.downlink_deadline,
-            channel_id=channel.channel_id,
-        )
-        return up, down
+
+
+def _trusted_task(
+    link: LinkRef, period: int, capacity: int, deadline: int, channel_id: int
+) -> LinkTask:
+    """Build a LinkTask bypassing ``__post_init__``.
+
+    Only for callers whose argument invariants (positive ints,
+    ``C <= P``, ``d >= C``) are already guaranteed by validated upstream
+    objects -- see :meth:`LinkTask.pair_for_channel`.
+    """
+    task = object.__new__(LinkTask)
+    set_ = object.__setattr__
+    set_(task, "link", link)
+    set_(task, "period", period)
+    set_(task, "capacity", capacity)
+    set_(task, "deadline", deadline)
+    set_(task, "channel_id", channel_id)
+    set_(task, "pcd", (period, capacity, deadline))
+    return task

@@ -1,0 +1,224 @@
+"""EXP-P2: admission fast-path timing (cached vs from-scratch).
+
+Times the Figure 18.5 admission sweep -- the reproduction's hot path --
+through two controllers fed the identical request sequence: one deciding
+through the incremental
+:class:`~repro.core.feasibility_cache.FeasibilityCache`, one re-running
+the from-scratch :func:`~repro.core.feasibility.is_feasible` per
+request. Besides wall-clock, the run cross-checks the full decision
+stream (a free differential test: any cached-vs-naive divergence fails
+loudly here before it could skew a reported speedup).
+
+This module is deliberately dependency-light (no pytest-benchmark) so
+the CLI's ``repro bench-admission`` and CI's ``--smoke`` variant can use
+it directly; ``benchmarks/bench_admission.py`` wraps it for calibrated
+pytest-benchmark runs.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+
+from ..core.admission import AdmissionController, SystemState
+from ..core.channel import ChannelSpec
+from ..core.partitioning import (
+    AsymmetricDPS,
+    DeadlinePartitioningScheme,
+    SymmetricDPS,
+)
+from ..errors import ConfigurationError
+from ..sim.rng import RngRegistry
+from ..traffic.patterns import (
+    ChannelRequest,
+    master_slave_names,
+    master_slave_requests,
+)
+from ..traffic.spec import FixedSpecSampler
+
+__all__ = [
+    "AdmissionPerfConfig",
+    "AdmissionPerfResult",
+    "run_admission_perf",
+]
+
+_SCHEMES: dict[str, type[DeadlinePartitioningScheme]] = {
+    "sdps": SymmetricDPS,
+    "adps": AsymmetricDPS,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPerfConfig:
+    """One timing run's parameters (defaults = Fig. 18.5 at 200 req)."""
+
+    n_masters: int = 10
+    n_slaves: int = 50
+    spec: ChannelSpec = field(
+        default_factory=lambda: ChannelSpec(period=100, capacity=3, deadline=40)
+    )
+    requests: int = 200
+    trials: int = 5
+    seed: int = 2004
+    scheme: str = "adps"
+    #: Timing repetitions per side; the *minimum* elapsed over the
+    #: repeats is reported (the standard noise-robust estimator for
+    #: deterministic workloads: every disturbance -- GC left-overs,
+    #: scheduler preemption, thermal throttling -- only ever adds time).
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r} (have {sorted(_SCHEMES)})"
+            )
+        if self.requests <= 0 or self.trials <= 0 or self.repeats <= 0:
+            raise ConfigurationError(
+                f"requests, trials and repeats must be positive, got "
+                f"{self.requests}/{self.trials}/{self.repeats}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPerfResult:
+    """Timing plus the built-in parity check of one run."""
+
+    config: AdmissionPerfConfig
+    naive_seconds: float
+    cached_seconds: float
+    decisions: int
+    accepts: int
+    #: True when cached and naive produced the identical decision stream.
+    parity: bool
+    cache_stats: dict[str, int]
+
+    @property
+    def speedup(self) -> float:
+        if self.cached_seconds == 0:
+            return float("inf")
+        return self.naive_seconds / self.cached_seconds
+
+    def summary(self) -> str:
+        lines = [
+            "admission fast-path timing "
+            f"({self.config.scheme}, {self.config.requests} requests x "
+            f"{self.config.trials} trials, seed {self.config.seed})",
+            f"  naive  : {self.naive_seconds * 1000:9.1f} ms",
+            f"  cached : {self.cached_seconds * 1000:9.1f} ms",
+            f"  speedup: {self.speedup:9.2f}x",
+            f"  decisions {self.decisions} ({self.accepts} accepted), "
+            f"parity {'OK' if self.parity else 'VIOLATED'}",
+            f"  cache stats: {self.cache_stats}",
+        ]
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "scheme": self.config.scheme,
+            "requests": self.config.requests,
+            "trials": self.config.trials,
+            "seed": self.config.seed,
+            "naive_seconds": self.naive_seconds,
+            "cached_seconds": self.cached_seconds,
+            "speedup": self.speedup,
+            "decisions": self.decisions,
+            "accepts": self.accepts,
+            "parity": self.parity,
+            "cache_stats": self.cache_stats,
+        }
+
+
+def _request_sequences(
+    config: AdmissionPerfConfig,
+) -> tuple[list[str], list[list[ChannelRequest]]]:
+    masters, slaves = master_slave_names(config.n_masters, config.n_slaves)
+    sampler = FixedSpecSampler(config.spec)
+    sequences = []
+    for trial in range(config.trials):
+        rng = RngRegistry(config.seed).fork(trial).stream("requests")
+        sequences.append(
+            master_slave_requests(
+                masters, slaves, config.requests, sampler, rng
+            )
+        )
+    return masters + slaves, sequences
+
+
+def _run_side(
+    nodes: list[str],
+    sequences: list[list[ChannelRequest]],
+    config: AdmissionPerfConfig,
+    use_cache: bool,
+) -> tuple[float, list[bool], dict[str, int]]:
+    """Feed every sequence to fresh controllers; time only admission.
+
+    The whole sweep is repeated ``config.repeats`` times and the
+    *minimum* total elapsed is reported (the workload is deterministic,
+    so every disturbance only adds time). The collector is paused
+    around the timed loops -- standard micro-benchmark hygiene, applied
+    identically to both sides so the reported ratio reflects admission
+    work, not allocation-triggered GC pauses landing on whichever side
+    the heap happened to cross a threshold in.
+    """
+    best = float("inf")
+    decisions: list[bool] = []
+    stats: dict[str, int] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(config.repeats):
+            repeat_decisions: list[bool] = []
+            repeat_stats: dict[str, int] = {}
+            elapsed = 0.0
+            for requests in sequences:
+                controller = AdmissionController(
+                    SystemState(nodes=nodes),
+                    _SCHEMES[config.scheme](),
+                    use_cache=use_cache,
+                )
+                start = time.perf_counter()
+                for request in requests:
+                    decision = controller.request(
+                        request.source, request.destination, request.spec
+                    )
+                    repeat_decisions.append(decision.accepted)
+                elapsed += time.perf_counter() - start
+                if controller.cache is not None:
+                    for key, value in (
+                        controller.cache.stats.as_dict().items()
+                    ):
+                        repeat_stats[key] = repeat_stats.get(key, 0) + value
+            if elapsed < best:
+                best = elapsed
+            # Deterministic workload: every repeat produces the same
+            # decision stream and counters; keep the last.
+            decisions = repeat_decisions
+            stats = repeat_stats
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best, decisions, stats
+
+
+def run_admission_perf(
+    config: AdmissionPerfConfig | None = None,
+) -> AdmissionPerfResult:
+    """Time the sweep cached-vs-naive on identical request sequences."""
+    config = config or AdmissionPerfConfig()
+    nodes, sequences = _request_sequences(config)
+    naive_s, naive_decisions, _ = _run_side(
+        nodes, sequences, config, use_cache=False
+    )
+    cached_s, cached_decisions, stats = _run_side(
+        nodes, sequences, config, use_cache=True
+    )
+    return AdmissionPerfResult(
+        config=config,
+        naive_seconds=naive_s,
+        cached_seconds=cached_s,
+        decisions=len(cached_decisions),
+        accepts=sum(cached_decisions),
+        parity=naive_decisions == cached_decisions,
+        cache_stats=stats,
+    )

@@ -14,11 +14,11 @@ which is the conservative critical instant (see DESIGN.md).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from ..core.channel import ChannelSpec
 from ..core.feasibility import FeasibilityReport, is_feasible
+from ..core.feasibility_cache import FeasibilityCache
 from ..core.task import LinkRef, LinkDirection, LinkTask
 from ..errors import PartitioningError, UnknownChannelError
 from .fabric import FabricLink, SwitchFabric
@@ -65,17 +65,33 @@ class MultiSwitchAdmission:
         The (validated) switch tree.
     dps:
         A k-way deadline-partitioning scheme.
+    use_cache:
+        When True (default), per-link feasibility goes through the
+        incremental :class:`~repro.core.feasibility_cache.FeasibilityCache`
+        (one entry per directed fabric link); decisions are identical to
+        the from-scratch path, just cheaper per request.
     """
 
-    def __init__(self, fabric: SwitchFabric, dps: MultiHopDPS) -> None:
+    def __init__(
+        self,
+        fabric: SwitchFabric,
+        dps: MultiHopDPS,
+        *,
+        use_cache: bool = True,
+    ) -> None:
         fabric.validate_connected()
         self._fabric = fabric
         self._dps = dps
         self._tasks: dict[FabricLink, list[LinkTask]] = {}
         self._channels: dict[int, MultiAdmissionDecision] = {}
-        self._next_id = itertools.count(1)
+        self._cache = FeasibilityCache() if use_cache else None
+        self._next_id = 1
         self.accept_count = 0
         self.reject_count = 0
+
+    @property
+    def uses_cache(self) -> bool:
+        return self._cache is not None
 
     @property
     def fabric(self) -> SwitchFabric:
@@ -117,7 +133,9 @@ class MultiSwitchAdmission:
                 links=links,
                 parts=(),
             )
-        channel_id = next(self._next_id)
+        # Peek the ID -- it is only consumed on acceptance, so rejected
+        # requests no longer burn through the channel-ID space.
+        channel_id = self._next_id
         reports: list[FeasibilityReport] = []
         candidate_tasks: list[LinkTask] = []
         for link, part in zip(links, parts):
@@ -129,9 +147,12 @@ class MultiSwitchAdmission:
                 channel_id=channel_id,
             )
             candidate_tasks.append(task)
-            report = is_feasible(
-                list(self._tasks.get(link, ())) + [task]
-            )
+            if self._cache is not None:
+                report = self._cache.check(task)
+            else:
+                report = is_feasible(
+                    list(self._tasks.get(link, ())) + [task]
+                )
             reports.append(report)
             if not report.feasible:
                 self.reject_count += 1
@@ -146,8 +167,12 @@ class MultiSwitchAdmission:
                     reports=tuple(reports),
                     failed_link=link,
                 )
-        # install
+        # install (cache first: its drift guard then sees a consistent
+        # count once self._tasks catches up)
+        self._next_id += 1
         for link, task in zip(links, candidate_tasks):
+            if self._cache is not None:
+                self._cache.install(task)
             self._tasks.setdefault(link, []).append(task)
         decision = MultiAdmissionDecision(
             accepted=True,
@@ -171,6 +196,8 @@ class MultiSwitchAdmission:
                 f"no active multi-hop channel {channel_id}"
             )
         for link in decision.links:
+            if self._cache is not None:
+                self._cache.release(_link_ref(link), channel_id)
             tasks = self._tasks.get(link, [])
             self._tasks[link] = [
                 t for t in tasks if t.channel_id != channel_id

@@ -38,6 +38,12 @@ from .fuzz import (
     generate_task_set,
     run_campaign,
 )
+from .admission_diff import (
+    AdmissionDiffReport,
+    AdmissionDisagreement,
+    run_admission_campaign,
+    run_trial,
+)
 
 __all__ = [
     "DeadlineMiss",
@@ -55,4 +61,8 @@ __all__ = [
     "Disagreement",
     "generate_task_set",
     "run_campaign",
+    "AdmissionDiffReport",
+    "AdmissionDisagreement",
+    "run_admission_campaign",
+    "run_trial",
 ]

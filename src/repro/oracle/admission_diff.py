@@ -1,0 +1,362 @@
+"""Differential campaign: cached vs from-scratch admission control.
+
+The :class:`~repro.core.feasibility_cache.FeasibilityCache` is the
+admission hot path's fast lane; this module is the proof that it changed
+*nothing* about the decisions. Every trial builds two controllers over
+identical (but separate) system states -- one with ``use_cache=True``,
+one with ``use_cache=False`` -- and drives both through the same seeded
+sequence of ``request()`` and ``release()`` operations, comparing after
+every single operation:
+
+* the decision stream: ``accepted``, ``reason`` and assigned
+  ``channel_id`` must match exactly,
+* the per-link reservation state: ``link_load`` and exact
+  ``link_utilization`` (as :class:`~fractions.Fraction`) on every
+  occupied link,
+* the cached controller's own :class:`FeasibilityCache` view against its
+  shared state (the cache must never drift from the bookkeeping).
+
+Trials cycle through partitioning schemes -- SDPS, ADPS, utilization-
+and laxity-weighted, and a strict :class:`~repro.core.partitioning_ext.SearchDPS`
+(whose probes exercise the cache once per candidate split) -- and mix
+workload shapes: the Figure 18.5 paper workload, uniform random specs
+(including non-partitionable ones and unknown nodes, to cover every
+rejection reason) and adversarial near-saturation specs. Release
+operations interleave randomly, which is exactly where an incremental
+cache can rot (stale busy periods, un-evicted memo entries).
+
+Everything is a pure function of ``(seed, trial)`` via
+:class:`~repro.sim.rng.RngRegistry`, so any reported disagreement can be
+replayed in isolation with :func:`run_trial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.admission import AdmissionController, SystemState
+from ..core.channel import ChannelSpec
+from ..core.partitioning import (
+    AsymmetricDPS,
+    DeadlinePartitioningScheme,
+    SymmetricDPS,
+)
+from ..core.partitioning_ext import LaxityDPS, SearchDPS, UtilizationDPS
+from ..core.task import LinkRef
+from ..errors import ConfigurationError
+from ..sim.rng import RngRegistry
+
+__all__ = [
+    "AdmissionDisagreement",
+    "AdmissionDiffReport",
+    "run_trial",
+    "run_admission_campaign",
+]
+
+#: Node population per trial; small enough that links saturate and
+#: rejections actually occur, large enough for link diversity.
+_NODES = tuple(f"n{i}" for i in range(6))
+
+#: One name that is never registered, to exercise UNKNOWN_NODE.
+_GHOST_NODE = "ghost"
+
+
+def _schemes() -> tuple[DeadlinePartitioningScheme, ...]:
+    """Fresh scheme instances (schemes are stateless, but cheap to make)."""
+    return (
+        SymmetricDPS(),
+        AsymmetricDPS(),
+        UtilizationDPS(),
+        LaxityDPS(),
+        SearchDPS(max_probes=12, strict=True),
+    )
+
+
+def _draw_spec(rng: np.random.Generator) -> ChannelSpec:
+    """One channel spec; mixes paper-shaped, uniform and adversarial."""
+    shape = int(rng.integers(0, 10))
+    if shape < 4:
+        # Figure 18.5 workload: C=3, P=100, d in the paper's menu.
+        deadline = int(rng.choice((20, 40, 100)))
+        return ChannelSpec(period=100, capacity=3, deadline=deadline)
+    if shape < 8:
+        period = int(rng.integers(4, 81))
+        capacity = int(rng.integers(1, max(2, period // 3)))
+        deadline = int(rng.integers(1, 2 * period))
+        return ChannelSpec(period=period, capacity=capacity, deadline=deadline)
+    # Adversarial: fat capacity, tight deadline -- often only feasible
+    # under one particular split, sometimes under none.
+    period = int(rng.integers(10, 41))
+    capacity = int(rng.integers(period // 4 + 1, period // 2 + 1))
+    deadline = int(rng.integers(capacity, period + 1))
+    return ChannelSpec(period=period, capacity=capacity, deadline=deadline)
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDisagreement:
+    """First divergence of one trial, with replay coordinates."""
+
+    trial: int
+    op_index: int
+    dps: str
+    detail: str
+
+    def reproduce_hint(self, seed: int) -> str:
+        return f"run_trial(seed={seed}, trial={self.trial})"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDiffReport:
+    """Outcome of one cached-vs-naive admission campaign."""
+
+    trials: int
+    seed: int
+    ops_per_trial: int
+    decisions: int
+    accepts: int
+    rejects: int
+    releases: int
+    disagreements: tuple[AdmissionDisagreement, ...]
+    disagreement_count: int
+
+    @property
+    def ok(self) -> bool:
+        """True when cached and from-scratch admission never diverged."""
+        return self.disagreement_count == 0
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "DISAGREEMENTS FOUND"
+        lines = [
+            f"admission diff campaign {status}: {self.trials} trials, "
+            f"seed {self.seed}, {self.ops_per_trial} ops/trial",
+            f"  {self.decisions} decisions compared "
+            f"({self.accepts} accepts, {self.rejects} rejects, "
+            f"{self.releases} releases)",
+        ]
+        for disagreement in self.disagreements:
+            lines.append(
+                f"  MISMATCH trial={disagreement.trial} "
+                f"op={disagreement.op_index} dps={disagreement.dps}: "
+                f"{disagreement.detail}"
+            )
+            lines.append(
+                f"    reproduce: {disagreement.reproduce_hint(self.seed)}"
+            )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "ops_per_trial": self.ops_per_trial,
+            "decisions": self.decisions,
+            "accepts": self.accepts,
+            "rejects": self.rejects,
+            "releases": self.releases,
+            "disagreement_count": self.disagreement_count,
+            "disagreements": [
+                {
+                    "trial": d.trial,
+                    "op_index": d.op_index,
+                    "dps": d.dps,
+                    "detail": d.detail,
+                }
+                for d in self.disagreements
+            ],
+            "ok": self.ok,
+        }
+
+
+def _links_of(source: str, destination: str) -> tuple[LinkRef, LinkRef]:
+    return LinkRef.uplink(source), LinkRef.downlink(destination)
+
+
+def _compare_links(
+    cached: AdmissionController,
+    naive: AdmissionController,
+    links: tuple[LinkRef, ...],
+) -> str | None:
+    """Per-link parity of the two states *and* the cache itself."""
+    for link in links:
+        load_c = cached.state.link_load(link)
+        load_n = naive.state.link_load(link)
+        if load_c != load_n:
+            return f"link_load({link}) cached={load_c} naive={load_n}"
+        util_c = cached.state.link_utilization(link)
+        util_n = naive.state.link_utilization(link)
+        if util_c != util_n:
+            return f"link_utilization({link}) cached={util_c} naive={util_n}"
+        cache = cached.cache
+        assert cache is not None
+        if cache.link_load(link) != load_c:
+            return (
+                f"cache drift on {link}: cache load "
+                f"{cache.link_load(link)} != state load {load_c}"
+            )
+        if cache.link_utilization(link) != util_c:
+            return (
+                f"cache drift on {link}: cache util "
+                f"{cache.link_utilization(link)} != state util {util_c}"
+            )
+    return None
+
+
+def run_trial(
+    seed: int, trial: int, ops: int = 40
+) -> tuple[AdmissionDisagreement | None, dict[str, int]]:
+    """Replay one trial; returns (first disagreement or None, op counts).
+
+    Pure in ``(seed, trial, ops)``: the coordinates recorded in an
+    :class:`AdmissionDisagreement` reproduce the exact divergence.
+    """
+    rng = RngRegistry(seed).fork(trial).stream("admission-diff")
+    dps = _schemes()[trial % len(_schemes())]
+    cached = AdmissionController(
+        SystemState(nodes=_NODES), dps, use_cache=True
+    )
+    naive = AdmissionController(
+        SystemState(nodes=_NODES), dps, use_cache=False
+    )
+    counts = {"decisions": 0, "accepts": 0, "rejects": 0, "releases": 0}
+    touched: set[LinkRef] = set()
+    for op_index in range(ops):
+        roll = int(rng.integers(0, 10))
+        active = sorted(cached.state.channels)
+        if roll < 3 and active:
+            victim = int(active[int(rng.integers(0, len(active)))])
+            cached.release(victim)
+            naive.release(victim)
+            counts["releases"] += 1
+        else:
+            source = str(rng.choice(_NODES))
+            if roll == 9:
+                destination = _GHOST_NODE
+            else:
+                others = [n for n in _NODES if n != source]
+                destination = str(rng.choice(others))
+            spec = _draw_spec(rng)
+            decision_c = cached.request(source, destination, spec)
+            decision_n = naive.request(source, destination, spec)
+            counts["decisions"] += 1
+            if decision_c.accepted != decision_n.accepted:
+                return (
+                    AdmissionDisagreement(
+                        trial=trial,
+                        op_index=op_index,
+                        dps=dps.name,
+                        detail=(
+                            f"{source}->{destination} {spec}: cached "
+                            f"accepted={decision_c.accepted} naive "
+                            f"accepted={decision_n.accepted}"
+                        ),
+                    ),
+                    counts,
+                )
+            if decision_c.reason != decision_n.reason:
+                return (
+                    AdmissionDisagreement(
+                        trial=trial,
+                        op_index=op_index,
+                        dps=dps.name,
+                        detail=(
+                            f"{source}->{destination} {spec}: cached "
+                            f"reason={decision_c.reason} naive "
+                            f"reason={decision_n.reason}"
+                        ),
+                    ),
+                    counts,
+                )
+            if decision_c.accepted:
+                counts["accepts"] += 1
+                if (
+                    decision_c.channel.channel_id
+                    != decision_n.channel.channel_id
+                ):
+                    return (
+                        AdmissionDisagreement(
+                            trial=trial,
+                            op_index=op_index,
+                            dps=dps.name,
+                            detail=(
+                                "channel_id cached="
+                                f"{decision_c.channel.channel_id} naive="
+                                f"{decision_n.channel.channel_id}"
+                            ),
+                        ),
+                        counts,
+                    )
+                touched.update(_links_of(source, destination))
+            else:
+                counts["rejects"] += 1
+        mismatch = _compare_links(cached, naive, tuple(sorted(touched)))
+        if mismatch is not None:
+            return (
+                AdmissionDisagreement(
+                    trial=trial,
+                    op_index=op_index,
+                    dps=dps.name,
+                    detail=mismatch,
+                ),
+                counts,
+            )
+    # End-of-trial: the rejection histograms must agree too.
+    if (
+        cached.accept_count != naive.accept_count
+        or cached.reject_count != naive.reject_count
+        or cached.rejections_by_reason != naive.rejections_by_reason
+    ):
+        return (
+            AdmissionDisagreement(
+                trial=trial,
+                op_index=ops,
+                dps=dps.name,
+                detail=(
+                    f"counters diverged: cached ({cached.accept_count}, "
+                    f"{cached.reject_count}, {cached.rejections_by_reason}) "
+                    f"naive ({naive.accept_count}, {naive.reject_count}, "
+                    f"{naive.rejections_by_reason})"
+                ),
+            ),
+            counts,
+        )
+    return None, counts
+
+
+def run_admission_campaign(
+    trials: int,
+    seed: int,
+    *,
+    ops_per_trial: int = 40,
+    disagreement_limit: int = 20,
+) -> AdmissionDiffReport:
+    """Run an N-trial cached-vs-from-scratch admission campaign."""
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if ops_per_trial <= 0:
+        raise ConfigurationError(
+            f"ops_per_trial must be positive, got {ops_per_trial}"
+        )
+    disagreements: list[AdmissionDisagreement] = []
+    disagreement_count = 0
+    totals = {"decisions": 0, "accepts": 0, "rejects": 0, "releases": 0}
+    for trial in range(trials):
+        disagreement, counts = run_trial(seed, trial, ops=ops_per_trial)
+        for key in totals:
+            totals[key] += counts[key]
+        if disagreement is not None:
+            disagreement_count += 1
+            if len(disagreements) < disagreement_limit:
+                disagreements.append(disagreement)
+    return AdmissionDiffReport(
+        trials=trials,
+        seed=seed,
+        ops_per_trial=ops_per_trial,
+        decisions=totals["decisions"],
+        accepts=totals["accepts"],
+        rejects=totals["rejects"],
+        releases=totals["releases"],
+        disagreements=tuple(disagreements),
+        disagreement_count=disagreement_count,
+    )

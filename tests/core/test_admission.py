@@ -247,3 +247,163 @@ class TestChannelIdExhaustion:
             ctrl.admit_or_raise("a", "b", spec)
         with pytest.raises(AdmissionError, match="16-bit|exhausted"):
             ctrl.admit_or_raise("a", "b", spec)
+
+
+class TestPreviewPurity:
+    """preview()/would_accept() must be observably side-effect free.
+
+    The historical would_accept() installed the channel and rolled it
+    back, permanently consuming a 16-bit channel ID per accepted
+    preview (an availability bug: ~65k previews bricked the
+    controller) and leaving stale zero-count keys in the rejection
+    histogram. These tests pin the repaired contract.
+    """
+
+    def test_preview_consumes_no_channel_ids(self, paper_spec):
+        """70,000 previews -- more than the whole 16-bit ID space --
+        then a real request still succeeds with the next sequential
+        ID."""
+        ctrl = controller()
+        assert ctrl.request("a", "b", paper_spec).channel.channel_id == 1
+        for _ in range(70_000):
+            assert ctrl.would_accept("a", "b", paper_spec)
+        decision = ctrl.request("a", "b", paper_spec)
+        assert decision.accepted
+        assert decision.channel.channel_id == 2
+
+    def test_preview_leaves_snapshot_byte_identical(self, paper_spec):
+        from repro.core.persistence import dumps
+
+        ctrl = controller()
+        ctrl.request("a", "b", paper_spec)
+        before = dumps(ctrl)
+        # Accept-path preview, reject-path previews (every reason).
+        assert ctrl.preview("a", "c", paper_spec).accepted
+        assert not ctrl.preview("a", "ghost", paper_spec).accepted
+        assert not ctrl.preview(
+            "a", "b", ChannelSpec(period=100, capacity=3, deadline=5)
+        ).accepted
+        assert dumps(ctrl) == before
+
+    def test_preview_touches_no_counters_or_histogram(self, paper_spec):
+        ctrl = controller()
+        ctrl.preview("a", "ghost", paper_spec)
+        ctrl.preview("a", "b", ChannelSpec(100, 3, 5))
+        ctrl.preview("a", "b", paper_spec)
+        assert ctrl.accept_count == 0
+        assert ctrl.reject_count == 0
+        assert ctrl.rejections_by_reason == {}
+        assert len(ctrl.state) == 0
+
+    def test_preview_reports_would_be_partition(self, paper_spec):
+        ctrl = controller()
+        decision = ctrl.preview("a", "b", paper_spec)
+        assert decision.accepted
+        assert decision.partition is not None
+        assert decision.channel.channel_id == -1  # no ID consumed
+        assert decision.channel.state is ChannelState.REQUESTED
+
+    def test_preview_matches_subsequent_request(self, paper_spec):
+        """A preview's verdict agrees with an immediately following
+        request, accept and reject alike."""
+        ctrl = controller(SymmetricDPS())
+        for _ in range(8):  # SDPS caps the uplink at 6 paper channels
+            previewed = ctrl.preview("a", "b", paper_spec)
+            decided = ctrl.request("a", "b", paper_spec)
+            assert previewed.accepted == decided.accepted
+            assert previewed.reason == decided.reason
+
+
+class TestNoFeasiblePartition:
+    """A probing DPS exhausting every split is a load problem, not a
+    spec problem: the rejection must be NO_FEASIBLE_PARTITION (not
+    NOT_PARTITIONABLE, which is reserved for d < 2C) and must keep the
+    histogram consistent."""
+
+    def _saturate(self, ctrl, spec):
+        while True:
+            decision = ctrl.request("m", "x", spec)
+            if not decision.accepted:
+                return decision
+
+    def test_strict_search_reports_no_feasible_partition(self):
+        spec = ChannelSpec(period=100, capacity=10, deadline=40)
+        assert spec.is_partitionable()
+        ctrl = controller(SearchDPS(strict=True), ["m", "x"])
+        decision = self._saturate(ctrl, spec)
+        assert decision.reason is RejectionReason.NO_FEASIBLE_PARTITION
+        assert decision.partition is None
+        assert (
+            ctrl.rejections_by_reason[
+                RejectionReason.NO_FEASIBLE_PARTITION
+            ]
+            == 1
+        )
+        assert sum(ctrl.rejections_by_reason.values()) == ctrl.reject_count
+
+    def test_non_strict_search_reports_link_instead(self):
+        """Without strict mode the centre split is returned and the
+        rejection is attributed to the infeasible link, as before."""
+        spec = ChannelSpec(period=100, capacity=10, deadline=40)
+        ctrl = controller(SearchDPS(), ["m", "x"])
+        decision = self._saturate(ctrl, spec)
+        assert decision.reason in (
+            RejectionReason.UPLINK_INFEASIBLE,
+            RejectionReason.DOWNLINK_INFEASIBLE,
+        )
+
+    def test_histogram_has_no_zero_count_keys(self, paper_spec):
+        ctrl = controller(SearchDPS(strict=True))
+        ctrl.request("a", "ghost", paper_spec)
+        ctrl.request("a", "b", ChannelSpec(100, 3, 5))
+        ctrl.would_accept("a", "b", paper_spec)
+        assert all(v > 0 for v in ctrl.rejections_by_reason.values())
+        assert sum(ctrl.rejections_by_reason.values()) == ctrl.reject_count
+
+
+class TestCachedControllerEquivalence:
+    """The cached fast path is an implementation detail: a cached and a
+    from-scratch controller fed the same requests must be
+    indistinguishable through the public API."""
+
+    def test_decision_streams_identical_under_saturation(self, paper_spec):
+        cached = controller(AsymmetricDPS())
+        naive = AdmissionController(
+            SystemState(NODES), AsymmetricDPS(), use_cache=False
+        )
+        assert cached.uses_cache and not naive.uses_cache
+        pairs = [
+            ("a", "b"), ("a", "c"), ("b", "a"), ("c", "d"), ("d", "a"),
+        ]
+        for source, dest in pairs * 6:
+            got = cached.request(source, dest, paper_spec)
+            want = naive.request(source, dest, paper_spec)
+            assert got.accepted == want.accepted
+            assert got.reason == want.reason
+            assert got.partition == want.partition
+            if got.accepted:
+                assert (
+                    got.channel.channel_id == want.channel.channel_id
+                )
+        assert cached.rejections_by_reason == naive.rejections_by_reason
+        for node in NODES:
+            for link in (LinkRef.uplink(node), LinkRef.downlink(node)):
+                assert cached.state.link_utilization(
+                    link
+                ) == naive.state.link_utilization(link)
+
+    def test_release_keeps_cache_in_lockstep(self, paper_spec):
+        ctrl = controller(SymmetricDPS())
+        ids = [
+            ctrl.request("a", dest, paper_spec).channel.channel_id
+            for dest in ("b", "c", "d")
+        ]
+        ctrl.release(ids[1])
+        up = LinkRef.uplink("a")
+        assert ctrl.cache is not None
+        assert ctrl.cache.link_load(up) == ctrl.state.link_load(up) == 2
+        assert ctrl.cache.link_utilization(
+            up
+        ) == ctrl.state.link_utilization(up)
+        # The freed capacity is immediately usable again.
+        assert ctrl.request("a", "b", paper_spec).accepted

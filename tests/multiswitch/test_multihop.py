@@ -185,3 +185,57 @@ class TestMultiSwitchAdmission:
             for dest in ["x", "y"] * 5
         )
         assert accepted == 6
+
+
+class TestMultiSwitchCacheParity:
+    """The multi-switch admission's cached fast path must be decision-
+    identical to its from-scratch path, mirroring the single-switch
+    differential guarantee."""
+
+    def _pairs(self):
+        return [
+            ("n0_0", "n1_0"), ("n0_1", "n1_1"), ("n0_0", "n0_1"),
+            ("n1_1", "n0_0"),
+        ]
+
+    def test_cached_and_naive_decisions_match(self, paper_spec):
+        fabric = SwitchFabric.chain(2, 2)
+        cached = MultiSwitchAdmission(
+            fabric=fabric, dps=MultiHopProportional(), use_cache=True
+        )
+        naive = MultiSwitchAdmission(
+            fabric=SwitchFabric.chain(2, 2),
+            dps=MultiHopProportional(),
+            use_cache=False,
+        )
+        assert cached.uses_cache and not naive.uses_cache
+        released = False
+        for source, destination in self._pairs() * 10:
+            got = cached.request(source, destination, paper_spec)
+            want = naive.request(source, destination, paper_spec)
+            assert got.accepted == want.accepted
+            assert got.channel_id == want.channel_id
+            assert got.parts == want.parts
+            if got.accepted and not released:
+                # One interleaved release on both sides.
+                cached.release(got.channel_id)
+                naive.release(want.channel_id)
+                released = True
+        for source, destination in self._pairs():
+            for link in cached.fabric.path_links(source, destination):
+                assert cached.link_load(link) == naive.link_load(link)
+
+    def test_rejections_do_not_burn_channel_ids(self):
+        """Rejected multi-hop requests no longer consume IDs."""
+        fabric = SwitchFabric.chain(2, 2)
+        admission = MultiSwitchAdmission(
+            fabric=fabric, dps=MultiHopSymmetric()
+        )
+        bad = ChannelSpec(period=100, capacity=3, deadline=8)
+        for _ in range(5):
+            assert not admission.request("n0_0", "n1_0", bad).accepted
+        decision = admission.request(
+            "n0_0", "n1_0", ChannelSpec(period=100, capacity=3, deadline=40)
+        )
+        assert decision.accepted
+        assert decision.channel_id == 1

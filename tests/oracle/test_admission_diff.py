@@ -1,0 +1,59 @@
+"""Tests for the cached-vs-from-scratch admission differential oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracle.admission_diff import (
+    run_admission_campaign,
+    run_trial,
+)
+
+
+class TestRunTrial:
+    def test_trial_is_pure_in_its_coordinates(self):
+        first = run_trial(seed=7, trial=3)
+        second = run_trial(seed=7, trial=3)
+        assert first == second
+
+    def test_trial_reports_no_disagreement(self):
+        disagreement, counts = run_trial(seed=0, trial=0)
+        assert disagreement is None
+        assert counts["decisions"] > 0
+
+    def test_trials_exercise_every_op_kind(self):
+        """Across a handful of trials the mix covers accepts, rejects
+        and releases -- otherwise the campaign proves less than it
+        claims."""
+        totals = {"decisions": 0, "accepts": 0, "rejects": 0, "releases": 0}
+        for trial in range(10):
+            _, counts = run_trial(seed=0, trial=trial)
+            for key in totals:
+                totals[key] += counts[key]
+        assert totals["accepts"] > 0
+        assert totals["rejects"] > 0
+        assert totals["releases"] > 0
+
+
+class TestCampaign:
+    def test_short_campaign_is_clean(self):
+        report = run_admission_campaign(trials=25, seed=0)
+        assert report.ok
+        assert report.disagreement_count == 0
+        assert report.decisions > 0
+        assert report.releases > 0
+        assert "OK" in report.summary()
+
+    def test_report_round_trips_to_json(self):
+        report = run_admission_campaign(trials=5, seed=1)
+        data = report.to_json_dict()
+        assert data["ok"] is True
+        assert data["trials"] == 5
+        assert data["disagreements"] == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_admission_campaign(trials=0, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_admission_campaign(trials=1, seed=0, ops_per_trial=0)

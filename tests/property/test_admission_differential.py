@@ -1,0 +1,157 @@
+"""Property test: cached and from-scratch admission are one controller.
+
+Hypothesis drives random request/release histories -- random endpoints,
+random (sometimes non-partitionable, sometimes unknown-node) specs and
+random release interleavings -- through two controllers that differ
+only in ``use_cache``, and requires the complete observable behaviour
+to match: the ``accepted``/``reason`` decision stream, assigned channel
+IDs, rejection histograms, and the exact per-link ``link_utilization``
+(:class:`~fractions.Fraction`, so equality is exact) on every link of
+the system. Shrinking then reduces any divergence to a minimal op
+sequence, which is considerably more readable than a failing seed from
+the campaign in :mod:`repro.oracle.admission_diff`.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import AsymmetricDPS, SymmetricDPS
+from repro.core.partitioning_ext import LaxityDPS, SearchDPS, UtilizationDPS
+from repro.core.task import LinkRef
+
+NODES = ("n0", "n1", "n2", "n3")
+#: Includes one never-registered name so UNKNOWN_NODE paths interleave.
+ENDPOINTS = NODES + ("ghost",)
+
+SCHEMES = (
+    SymmetricDPS,
+    AsymmetricDPS,
+    UtilizationDPS,
+    LaxityDPS,
+    lambda: SearchDPS(max_probes=10, strict=True),
+)
+
+
+@st.composite
+def spec(draw):
+    period = draw(st.integers(min_value=4, max_value=80))
+    capacity = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+    # Deliberately allows d < 2C (NOT_PARTITIONABLE) and d > P.
+    deadline = draw(st.integers(min_value=capacity, max_value=2 * period))
+    return ChannelSpec(period=period, capacity=capacity, deadline=deadline)
+
+
+@st.composite
+def operation(draw):
+    if draw(st.integers(min_value=0, max_value=9)) < 3:
+        # Release: an index into the active set at execution time.
+        return ("release", draw(st.integers(min_value=0, max_value=31)))
+    return (
+        "request",
+        draw(st.sampled_from(ENDPOINTS)),
+        draw(st.sampled_from(ENDPOINTS)),
+        draw(spec()),
+    )
+
+
+histories = st.tuples(
+    st.integers(min_value=0, max_value=len(SCHEMES) - 1),
+    st.lists(operation(), min_size=1, max_size=40),
+)
+
+
+def _all_links():
+    for node in NODES:
+        yield LinkRef.uplink(node)
+        yield LinkRef.downlink(node)
+
+
+@given(histories)
+@settings(max_examples=120, deadline=None)
+def test_cached_and_fresh_controllers_are_indistinguishable(history):
+    scheme_index, ops = history
+    cached = AdmissionController(
+        SystemState(NODES), SCHEMES[scheme_index](), use_cache=True
+    )
+    naive = AdmissionController(
+        SystemState(NODES), SCHEMES[scheme_index](), use_cache=False
+    )
+    for op in ops:
+        if op[0] == "release":
+            active = sorted(cached.state.channels)
+            if not active:
+                continue
+            victim = active[op[1] % len(active)]
+            cached.release(victim)
+            naive.release(victim)
+        else:
+            _, source, destination, requested = op
+            if source == destination:  # RTChannel forbids self-loops
+                continue
+            got = cached.request(source, destination, requested)
+            want = naive.request(source, destination, requested)
+            assert got.accepted == want.accepted, (
+                f"verdict diverged on {source}->{destination} {requested}"
+            )
+            assert got.reason == want.reason
+            assert got.partition == want.partition
+            if got.accepted:
+                assert (
+                    got.channel.channel_id == want.channel.channel_id
+                )
+        # After *every* op the reservation ledgers must agree exactly.
+        for link in _all_links():
+            assert cached.state.link_load(link) == naive.state.link_load(
+                link
+            )
+            assert cached.state.link_utilization(
+                link
+            ) == naive.state.link_utilization(link), f"drift on {link}"
+            assert cached.cache is not None
+            assert cached.cache.link_utilization(
+                link
+            ) == cached.state.link_utilization(link)
+    assert cached.accept_count == naive.accept_count
+    assert cached.reject_count == naive.reject_count
+    assert cached.rejections_by_reason == naive.rejections_by_reason
+
+
+@given(histories)
+@settings(max_examples=40, deadline=None)
+def test_preview_never_changes_subsequent_decisions(history):
+    """Interleaving previews into a history is a no-op: the control
+    controller (no previews) and the previewing controller produce the
+    same decisions."""
+    scheme_index, ops = history
+    plain = AdmissionController(
+        SystemState(NODES), SCHEMES[scheme_index]()
+    )
+    previewing = AdmissionController(
+        SystemState(NODES), SCHEMES[scheme_index]()
+    )
+    for op in ops:
+        if op[0] == "release":
+            active = sorted(plain.state.channels)
+            if not active:
+                continue
+            victim = active[op[1] % len(active)]
+            plain.release(victim)
+            previewing.release(victim)
+        else:
+            _, source, destination, requested = op
+            if source == destination:  # RTChannel forbids self-loops
+                continue
+            previewed = previewing.preview(source, destination, requested)
+            want = plain.request(source, destination, requested)
+            got = previewing.request(source, destination, requested)
+            assert previewed.accepted == got.accepted
+            assert previewed.reason == got.reason
+            assert got.accepted == want.accepted
+            assert got.reason == want.reason
+            if got.accepted:
+                assert (
+                    got.channel.channel_id == want.channel.channel_id
+                )
