@@ -102,3 +102,31 @@ def test_bench_admission_cache_does_incremental_work(capsys):
     assert fast == stats["checks"]
     assert stats["memo_hits"] > 0
     assert stats["installs"] == 2 * result.accepts
+
+
+def test_bench_admission_registry_metrics_agree(capsys):
+    """The telemetry registry's view matches the cache's own counters.
+
+    ``collect_metrics`` replays the cached sweep once, untimed, with a
+    metrics registry attached; the flattened snapshot must agree with
+    the raw cache stats and the verdict counters must account for every
+    decision. This is the ``repro bench-admission --metrics`` path.
+    """
+    result = run_admission_perf(
+        AdmissionPerfConfig(repeats=1, collect_metrics=True)
+    )
+    metrics = result.registry_metrics
+    assert metrics is not None
+    with capsys.disabled():
+        print()
+        for key in sorted(metrics):
+            print(f"  {key} = {metrics[key]:g}")
+    for stat in ("checks", "memo_hits", "incremental_checks",
+                 "shortcut_accepts", "full_fallbacks", "installs"):
+        assert metrics[f"feasibility_cache.{stat}"] == (
+            result.cache_stats[stat]
+        ), f"registry disagrees with cache counter {stat!r}"
+    accepts = metrics.get("admission.decisions{verdict=accept}", 0)
+    rejects = metrics.get("admission.decisions{verdict=reject}", 0)
+    assert accepts == result.accepts
+    assert accepts + rejects == result.decisions

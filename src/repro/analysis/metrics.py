@@ -15,6 +15,7 @@ only in the summary properties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..errors import ConfigurationError
 from ..protocol.ethernet import EthernetFrame, FrameKind
@@ -98,6 +99,10 @@ class MetricsCollector:
         # uplink ports' completion callbacks: channel -> worst ns.
         self._uplink_worst_response: dict[int, int] = {}
         self.uplink_frames_completed = 0
+        #: optional telemetry hook ``(channel_id, delay_ns, missed)``
+        #: called on every RT delivery; the telemetry bundle points it at
+        #: a registry histogram (see repro.obs.bundle).
+        self.delay_observer: Callable[[int, int, bool], None] | None = None
 
     # -- registration ------------------------------------------------------
 
@@ -137,8 +142,11 @@ class MetricsCollector:
         if delay > stats.worst_delay_ns:
             stats.worst_delay_ns = delay
         bound = frame.absolute_deadline + self.t_latency_ns
-        if now_ns > bound:
+        missed = now_ns > bound
+        if missed:
             stats.deadline_misses += 1
+        if self.delay_observer is not None:
+            self.delay_observer(frame.channel_id, delay, missed)
         expected = self._expected_fragments.get(frame.channel_id)
         if expected is not None:
             seen = stats._fragments_seen.get(frame.message_seq, 0) + 1

@@ -21,10 +21,17 @@ Commands
                  (EXP-P2); ``--smoke`` for the quick CI variant
 ``admission-diff`` differential campaign: cached vs from-scratch
                  admission decisions under interleaved releases
+``obs``          telemetry bundles: ``capture`` a fully instrumented
+                 run, ``check`` an emitted bundle against the schemas
+
+``fig18-5`` and ``validate`` accept ``--telemetry-out DIR`` to emit a
+telemetry bundle (metrics snapshot, probe time series, JSONL trace and
+a Chrome/Perfetto trace) alongside their normal output.
 
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
-``bench-admission`` parity, ``admission-diff``), 2 on usage errors.
+``bench-admission`` parity, ``admission-diff``, ``obs check``), 2 on
+usage errors.
 """
 
 from __future__ import annotations
@@ -61,7 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export the series as JSON")
         return p
 
-    common(sub.add_parser("fig18-5", help="reproduce Figure 18.5"))
+    fig = common(sub.add_parser("fig18-5", help="reproduce Figure 18.5"))
+    fig.add_argument(
+        "--telemetry-out", metavar="DIR",
+        help="emit a telemetry bundle (metrics + traces) into DIR",
+    )
 
     validate = sub.add_parser(
         "validate", help="check the Eq. 18.1 guarantee by simulation"
@@ -78,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--decompose", action="store_true",
         help="additionally print the per-channel per-hop budget table "
              "(EXP-V2)",
+    )
+    validate.add_argument(
+        "--telemetry-out", metavar="DIR",
+        help="emit a telemetry bundle (metrics + probes + traces) into DIR",
+    )
+    validate.add_argument(
+        "--profile", action="store_true",
+        help="with --telemetry-out: time every kernel event callback "
+             "and include the per-label profile in the metrics snapshot",
     )
 
     audit = sub.add_parser(
@@ -182,6 +202,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", metavar="PATH",
                        help="export the timing report as JSON")
+    bench.add_argument(
+        "--metrics", action="store_true",
+        help="add an untimed instrumented pass and report the registry "
+             "snapshot (verdict counters + cache hit/miss metrics)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="telemetry bundles: capture an instrumented run or "
+             "schema-check an emitted bundle",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    capture = obs_sub.add_parser(
+        "capture",
+        help="run a fully instrumented validation simulation and write "
+             "the telemetry bundle (open trace.chrome.json in Perfetto)",
+    )
+    capture.add_argument("out", metavar="DIR",
+                         help="directory for the bundle files")
+    capture.add_argument("--masters", type=int, default=4)
+    capture.add_argument("--slaves", type=int, default=12)
+    capture.add_argument("--requests", type=int, default=40)
+    capture.add_argument("--hyperperiods", type=int, default=2)
+    capture.add_argument("--seed", type=int, default=55)
+    capture.add_argument("--profile", action="store_true",
+                         help="also profile kernel event callbacks")
+    check = obs_sub.add_parser(
+        "check", help="validate a bundle directory against the schemas"
+    )
+    check.add_argument("bundle", metavar="DIR",
+                       help="bundle directory to validate")
 
     adiff = sub.add_parser(
         "admission-diff",
@@ -211,12 +262,34 @@ def _export(args, x_label, x_values, series, metadata):
         print(f"wrote {path}")
 
 
+def _telemetry_for(args, **config_kwargs):
+    """Build a Telemetry bundle when ``--telemetry-out`` was given."""
+    out = getattr(args, "telemetry_out", None)
+    if out is None:
+        return None
+    from .obs import Telemetry, TelemetryConfig
+
+    return Telemetry(TelemetryConfig(**config_kwargs))
+
+
+def _write_telemetry(telemetry, args) -> None:
+    if telemetry is None:
+        return
+    written = telemetry.write(args.telemetry_out)
+    for path in written.values():
+        print(f"wrote {path}")
+
+
 def _cmd_fig18_5(args) -> int:
     from .experiments.fig18_5 import Fig185Config, run_fig18_5
 
+    # no simulator in the analytic sweep -> no probes to schedule
+    telemetry = _telemetry_for(args, probe_cadence_ns=None)
     result = run_fig18_5(
-        Fig185Config(trials=args.trials, seed=args.seed)
+        Fig185Config(trials=args.trials, seed=args.seed),
+        telemetry=telemetry,
     )
+    _write_telemetry(telemetry, args)
     print(result.to_table())
     print(f"\nADPS/SDPS advantage at saturation: "
           f"{result.adps_advantage:.2f}x")
@@ -236,6 +309,7 @@ def _cmd_validate(args) -> int:
     from .experiments.validation import run_validation
 
     scheme = SymmetricDPS() if args.scheme == "sdps" else AsymmetricDPS()
+    telemetry = _telemetry_for(args, profile=args.profile)
     report = run_validation(
         n_masters=args.masters,
         n_slaves=args.slaves,
@@ -244,7 +318,9 @@ def _cmd_validate(args) -> int:
         dps=scheme,
         seed=args.seed,
         use_wire_handshake=False,
+        telemetry=telemetry,
     )
+    _write_telemetry(telemetry, args)
     print(report.summary())
     if args.decompose:
         from .experiments.validation import run_decomposition
@@ -473,6 +549,7 @@ def _cmd_bench_admission(args) -> int:
             seed=args.seed,
             scheme=args.scheme,
             repeats=1,
+            collect_metrics=args.metrics,
         )
     else:
         config = AdmissionPerfConfig(
@@ -481,6 +558,7 @@ def _cmd_bench_admission(args) -> int:
             seed=args.seed,
             scheme=args.scheme,
             repeats=args.repeats,
+            collect_metrics=args.metrics,
         )
     result = run_admission_perf(config)
     print(result.summary())
@@ -511,6 +589,44 @@ def _cmd_admission_diff(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs(args) -> int:
+    if args.obs_command == "check":
+        from .obs import validate_bundle
+
+        errors = validate_bundle(args.bundle)
+        if errors:
+            for error in errors:
+                print(f"SCHEMA ERROR: {error}")
+            print(f"{len(errors)} schema error(s) in {args.bundle}")
+            return 1
+        print(f"bundle {args.bundle} conforms to the telemetry schemas")
+        return 0
+
+    # capture: one fully instrumented validation run
+    from .experiments.validation import run_validation
+    from .obs import Telemetry, TelemetryConfig
+
+    telemetry = Telemetry(TelemetryConfig(profile=args.profile))
+    report = run_validation(
+        n_masters=args.masters,
+        n_slaves=args.slaves,
+        n_requests=args.requests,
+        hyperperiods=args.hyperperiods,
+        seed=args.seed,
+        use_wire_handshake=True,
+        telemetry=telemetry,
+    )
+    written = telemetry.write(args.out)
+    print(report.summary())
+    for path in written.values():
+        print(f"wrote {path}")
+    print(
+        "open trace.chrome.json at https://ui.perfetto.dev "
+        "(or chrome://tracing) to browse the timeline"
+    )
+    return 0
+
+
 _COMMANDS = {
     "fig18-5": _cmd_fig18_5,
     "validate": _cmd_validate,
@@ -524,6 +640,7 @@ _COMMANDS = {
     "oracle": _cmd_oracle,
     "bench-admission": _cmd_bench_admission,
     "admission-diff": _cmd_admission_diff,
+    "obs": _cmd_obs,
 }
 
 

@@ -381,6 +381,12 @@ class AdmissionController:
         decision streams (enforced by
         :mod:`repro.oracle.admission_diff`); ``use_cache=False`` keeps
         the reference path available for differential testing.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`. When
+        given, verdicts are counted into ``admission.decisions``
+        (labelled by verdict) and ``admission.rejections`` (labelled by
+        reason); without one the per-request telemetry cost is a single
+        ``is not None`` check.
 
     Notes
     -----
@@ -411,6 +417,7 @@ class AdmissionController:
         dps: DeadlinePartitioningScheme,
         *,
         use_cache: bool = True,
+        metrics=None,
     ) -> None:
         self._state = state
         self._dps = dps
@@ -435,6 +442,29 @@ class AdmissionController:
         self.reject_count = 0
         #: rejection histogram keyed by :class:`RejectionReason`.
         self.rejections_by_reason: dict[RejectionReason, int] = {}
+        # optional MetricsRegistry: pre-bound counter children so the
+        # per-request cost is one attribute add (None = no telemetry)
+        if metrics is not None:
+            decisions = metrics.counter(
+                "admission.decisions",
+                help="admission verdicts",
+                labels=("verdict",),
+            )
+            self._m_accepts = decisions.labels("accept")
+            self._m_rejects = decisions.labels("reject")
+            reasons = metrics.counter(
+                "admission.rejections",
+                help="rejections by reason",
+                labels=("reason",),
+            )
+            self._m_reasons = {
+                reason: reasons.labels(reason.value)
+                for reason in RejectionReason
+            }
+        else:
+            self._m_accepts = None
+            self._m_rejects = None
+            self._m_reasons = None
 
     @property
     def state(self) -> SystemState:
@@ -459,6 +489,9 @@ class AdmissionController:
         self.rejections_by_reason[reason] = (
             self.rejections_by_reason.get(reason, 0) + 1
         )
+        if self._m_rejects is not None:
+            self._m_rejects.inc()
+            self._m_reasons[reason].inc()
 
     # -- core decision -----------------------------------------------------
 
@@ -664,6 +697,8 @@ class AdmissionController:
         candidate.state = ChannelState.ACTIVE
         self._install(candidate)
         self.accept_count += 1
+        if self._m_accepts is not None:
+            self._m_accepts.inc()
         return AdmissionDecision(
             True,
             candidate,

@@ -75,6 +75,7 @@ class EDFQueue(Generic[PayloadT]):
         self._seq = itertools.count()
         self._pushed = 0
         self._popped = 0
+        self._max_depth = 0
 
     def push(self, frame: QueuedFrame[PayloadT]) -> None:
         """Insert a frame; O(log n)."""
@@ -82,6 +83,8 @@ class EDFQueue(Generic[PayloadT]):
             self._heap, (frame.absolute_deadline, next(self._seq), frame)
         )
         self._pushed += 1
+        if len(self._heap) > self._max_depth:
+            self._max_depth = len(self._heap)
 
     def pop(self) -> QueuedFrame[PayloadT]:
         """Remove and return the earliest-deadline frame; O(log n)."""
@@ -116,6 +119,11 @@ class EDFQueue(Generic[PayloadT]):
     def total_popped(self) -> int:
         """Lifetime number of frames served (for statistics)."""
         return self._popped
+
+    @property
+    def max_depth(self) -> int:
+        """High-watermark of simultaneous queued frames (for statistics)."""
+        return self._max_depth
 
     def clear(self) -> None:
         self._heap.clear()

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from ..errors import ProtocolError, UnknownChannelError
 from ..protocol.ethernet import EthernetFrame, FrameKind
 from ..protocol.headers import encode_rt_header
+from ..sim.trace import TraceRecorder
 from ..units import ETH_MAX_PAYLOAD
 from .channel import ChannelSpec
 
@@ -93,13 +94,22 @@ class RTLayer:
     slot_ns:
         Duration of one timeslot, for converting the grant's slot-based
         deadlines into simulator nanoseconds.
+    trace:
+        Optional recorder; message segmentation emits ``rt.emit``
+        records (the birth event of every RT frame's lifecycle).
     """
 
-    def __init__(self, node_name: str, slot_ns: int) -> None:
+    def __init__(
+        self,
+        node_name: str,
+        slot_ns: int,
+        trace: TraceRecorder | None = None,
+    ) -> None:
         if slot_ns <= 0:
             raise ProtocolError(f"slot_ns must be positive, got {slot_ns}")
         self._node = node_name
         self._slot_ns = slot_ns
+        self._trace = trace if trace is not None else TraceRecorder()
         self._grants: dict[int, ChannelGrant] = {}
         self._message_seq: dict[int, int] = {}
 
@@ -169,6 +179,20 @@ class RTLayer:
         end_to_end_deadline = release_ns + grant.spec.deadline * self._slot_ns
         uplink_deadline = release_ns + grant.uplink_deadline_slots * self._slot_ns
         header = encode_rt_header(end_to_end_deadline, channel_id)
+        if self._trace.enabled_for("rt.emit"):
+            self._trace.record(
+                release_ns,
+                "rt.emit",
+                self._node,
+                f"ch{channel_id} msg#{seq} x{grant.spec.capacity}",
+                fields={
+                    "channel": channel_id,
+                    "seq": seq,
+                    "frames": grant.spec.capacity,
+                    "deadline_ns": end_to_end_deadline,
+                    "uplink_deadline_ns": uplink_deadline,
+                },
+            )
         frames = []
         for fragment in range(grant.spec.capacity):
             frame = EthernetFrame(

@@ -67,6 +67,12 @@ class AdmissionPerfConfig:
     #: deterministic workloads: every disturbance -- GC left-overs,
     #: scheduler preemption, thermal throttling -- only ever adds time).
     repeats: int = 3
+    #: When True, an extra *untimed* instrumented pass runs after the
+    #: timed loops and the registry snapshot (verdict counters +
+    #: feasibility-cache stats) is attached to the result. The timed
+    #: loops themselves always run telemetry-free, so enabling this
+    #: cannot perturb the reported numbers.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEMES:
@@ -92,6 +98,9 @@ class AdmissionPerfResult:
     #: True when cached and naive produced the identical decision stream.
     parity: bool
     cache_stats: dict[str, int]
+    #: flattened registry snapshot from the untimed instrumented pass
+    #: (None unless ``config.collect_metrics``).
+    registry_metrics: dict[str, float] | None = None
 
     @property
     def speedup(self) -> float:
@@ -111,6 +120,10 @@ class AdmissionPerfResult:
             f"parity {'OK' if self.parity else 'VIOLATED'}",
             f"  cache stats: {self.cache_stats}",
         ]
+        if self.registry_metrics is not None:
+            lines.append("  registry metrics:")
+            for key, value in sorted(self.registry_metrics.items()):
+                lines.append(f"    {key} = {value:g}")
         return "\n".join(lines)
 
     def to_json_dict(self) -> dict:
@@ -126,6 +139,11 @@ class AdmissionPerfResult:
             "accepts": self.accepts,
             "parity": self.parity,
             "cache_stats": self.cache_stats,
+            **(
+                {"registry_metrics": self.registry_metrics}
+                if self.registry_metrics is not None
+                else {}
+            ),
         }
 
 
@@ -201,6 +219,47 @@ def _run_side(
     return best, decisions, stats
 
 
+def _flatten_snapshot(snapshot: dict) -> dict[str, float]:
+    """``{"name{label=value}": value}`` view of a registry snapshot."""
+    flat: dict[str, float] = {}
+    for name, family in snapshot.items():
+        for series in family["series"]:
+            value = series.get("value")
+            if value is None:
+                continue
+            labels = series["labels"]
+            key = name
+            if labels:
+                inner = ",".join(f"{k}={v}" for k, v in labels.items())
+                key = f"{name}{{{inner}}}"
+            flat[key] = value
+    return flat
+
+
+def _instrumented_pass(
+    nodes: list[str],
+    sequences: list[list[ChannelRequest]],
+    config: AdmissionPerfConfig,
+) -> dict[str, float]:
+    """Replay the cached sweep once with a metrics registry attached."""
+    from ..obs import Telemetry, TelemetryConfig
+
+    telemetry = Telemetry(TelemetryConfig(tracing=False))
+    for requests in sequences:
+        controller = AdmissionController(
+            SystemState(nodes=nodes),
+            _SCHEMES[config.scheme](),
+            use_cache=True,
+            metrics=telemetry.registry,
+        )
+        telemetry.track_cache(controller.cache)
+        for request in requests:
+            controller.request(
+                request.source, request.destination, request.spec
+            )
+    return _flatten_snapshot(telemetry.snapshot())
+
+
 def run_admission_perf(
     config: AdmissionPerfConfig | None = None,
 ) -> AdmissionPerfResult:
@@ -213,6 +272,11 @@ def run_admission_perf(
     cached_s, cached_decisions, stats = _run_side(
         nodes, sequences, config, use_cache=True
     )
+    registry_metrics = (
+        _instrumented_pass(nodes, sequences, config)
+        if config.collect_metrics
+        else None
+    )
     return AdmissionPerfResult(
         config=config,
         naive_seconds=naive_s,
@@ -221,4 +285,5 @@ def run_admission_perf(
         accepts=sum(cached_decisions),
         parity=naive_decisions == cached_decisions,
         cache_stats=stats,
+        registry_metrics=registry_metrics,
     )

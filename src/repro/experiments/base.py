@@ -39,17 +39,27 @@ SchemeFactory = Callable[[], DeadlinePartitioningScheme]
 RequestFactory = Callable[[int, np.random.Generator], list[ChannelRequest]]
 
 
+#: Synthetic trace timeline for analytic (no data plane) admission runs:
+#: request ``i`` is stamped at ``i`` microseconds so verdict streams are
+#: browsable on the Chrome-trace timeline even without a simulator.
+_ANALYTIC_TICK_NS = 1_000_000
+
+
 def run_requests(
     node_names: Sequence[str],
     requests: Sequence[ChannelRequest],
     dps: DeadlinePartitioningScheme,
     checkpoints: Sequence[int] | None = None,
+    telemetry=None,
 ) -> list[int]:
     """Feed ``requests`` to a fresh admission controller.
 
     Returns the running acceptance count at each checkpoint (after that
     many requests have been offered). With ``checkpoints=None`` a single
-    final count is returned (as a one-element list).
+    final count is returned (as a one-element list). An optional
+    :class:`~repro.obs.Telemetry` bundle collects verdict counters,
+    feasibility-cache statistics and (when tracing is on) one
+    ``admission.decision`` trace event per request.
     """
     if checkpoints is None:
         checkpoints = [len(requests)]
@@ -60,7 +70,16 @@ def run_requests(
             f"({len(requests)})"
         )
     state = SystemState(nodes=node_names)
-    controller = AdmissionController(state=state, dps=dps)
+    controller = AdmissionController(
+        state=state,
+        dps=dps,
+        metrics=None if telemetry is None else telemetry.registry,
+    )
+    recorder = None
+    if telemetry is not None:
+        telemetry.track_cache(controller.cache)
+        if telemetry.recorder.enabled_for("admission.decision"):
+            recorder = telemetry.recorder
     counts: list[int] = []
     next_checkpoint = 0
     while (
@@ -70,7 +89,23 @@ def run_requests(
         counts.append(0)
         next_checkpoint += 1
     for offered, request in enumerate(requests, start=1):
-        controller.request(request.source, request.destination, request.spec)
+        decision = controller.request(
+            request.source, request.destination, request.spec
+        )
+        if recorder is not None:
+            verdict = (
+                "accept" if decision.accepted else decision.reason.value
+            )
+            recorder.record(
+                offered * _ANALYTIC_TICK_NS,
+                "admission.decision",
+                request.source,
+                f"{request.source}->{request.destination} {verdict}",
+                fields={
+                    "verdict": verdict,
+                    "accepted_so_far": controller.accept_count,
+                },
+            )
         while (
             next_checkpoint < len(checkpoints)
             and checkpoints[next_checkpoint] == offered
@@ -133,6 +168,7 @@ def acceptance_curve(
     requested_counts: Sequence[int],
     trials: int,
     seed: int,
+    telemetry=None,
 ) -> AcceptanceCurve:
     """Run the paired acceptance experiment.
 
@@ -160,7 +196,10 @@ def acceptance_curve(
             )
         for name, factory in schemes.items():
             per_scheme[name].append(
-                run_requests(node_names, requests, factory(), counts)
+                run_requests(
+                    node_names, requests, factory(), counts,
+                    telemetry=telemetry,
+                )
             )
     curves = []
     for name in schemes:

@@ -100,8 +100,16 @@ class Fig185Result:
         )
 
 
-def run_fig18_5(config: Fig185Config | None = None) -> Fig185Result:
-    """Run the full Figure 18.5 experiment (paper defaults)."""
+def run_fig18_5(
+    config: Fig185Config | None = None, telemetry=None
+) -> Fig185Result:
+    """Run the full Figure 18.5 experiment (paper defaults).
+
+    An optional :class:`~repro.obs.Telemetry` bundle aggregates verdict
+    counters and feasibility-cache statistics across every
+    (trial, scheme) controller and records one ``admission.decision``
+    trace event per offered request on a synthetic timeline.
+    """
     config = config or Fig185Config()
     masters, slaves = master_slave_names(config.n_masters, config.n_slaves)
     sampler = FixedSpecSampler(config.spec)
@@ -123,5 +131,6 @@ def run_fig18_5(config: Fig185Config | None = None) -> Fig185Result:
         requested_counts=config.requested_counts,
         trials=config.trials,
         seed=config.seed,
+        telemetry=telemetry,
     )
     return Fig185Result(config=config, curve=curve)

@@ -88,6 +88,7 @@ def run_validation(
     sampler: SpecSampler | None = None,
     seed: int = 55,
     use_wire_handshake: bool = True,
+    telemetry=None,
 ) -> ValidationReport:
     """Admit a workload, simulate it, and check every delivered frame.
 
@@ -108,6 +109,9 @@ def run_validation(
     use_wire_handshake:
         Establish channels through the simulated signalling protocol
         (slower, exercises more code) or analytically.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bundle; the network is
+        fully instrumented (see :func:`~repro.network.topology.build_star`).
     """
     if hyperperiods <= 0:
         raise ConfigurationError(
@@ -119,7 +123,9 @@ def run_validation(
     requests = master_slave_requests(
         masters, slaves, n_requests, sampler, rng
     )
-    net: StarNetwork = build_star(masters + slaves, dps=dps or AsymmetricDPS())
+    net: StarNetwork = build_star(
+        masters + slaves, dps=dps or AsymmetricDPS(), telemetry=telemetry
+    )
 
     for request in requests:
         if use_wire_handshake:

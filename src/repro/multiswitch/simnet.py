@@ -148,16 +148,21 @@ class FabricSwitchModel:
             # The fabric data plane models RT channels only; best-effort
             # routing over trees is out of this extension's scope.
             self.frames_dropped += 1
-            self._trace.record(
-                self._sim.now, "fabric.drop", self.name, frame.describe()
-            )
+            if self._trace.enabled_for("fabric.drop"):
+                self._trace.record(
+                    self._sim.now, "fabric.drop", self.name, frame.describe(),
+                    fields={"reason": "non-rt"},
+                )
             return
         entry = self._forwarding.get(frame.channel_id)
         if entry is None:
             self.frames_dropped += 1
-            self._trace.record(
-                self._sim.now, "fabric.drop", self.name, frame.describe()
-            )
+            if self._trace.enabled_for("fabric.drop"):
+                self._trace.record(
+                    self._sim.now, "fabric.drop", self.name, frame.describe(),
+                    fields={"reason": "unknown-channel",
+                            "channel": frame.channel_id},
+                )
             return
         hop_deadline_ns = (
             frame.created_at

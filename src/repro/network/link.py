@@ -136,7 +136,19 @@ class HalfLink:
         self.frames_carried += 1
         self.bytes_carried += frame.wire_size_bytes
         self.busy_ns += tx
-        self._trace.record(now, "link.start", self.name, frame.describe())
+        if self._trace.enabled_for("link.start"):
+            # duration_ns renders link.start as a span in the Chrome trace
+            self._trace.record(
+                now,
+                "link.start",
+                self.name,
+                frame.describe(),
+                fields={
+                    "duration_ns": tx,
+                    "channel": frame.channel_id,
+                    "bytes": frame.wire_size_bytes,
+                },
+            )
         self._sim.schedule(tx, self._wire_free, label=f"{self.name}:idle")
         arrival = tx + self._phy.propagation_ns
         self._sim.schedule(
@@ -147,18 +159,25 @@ class HalfLink:
         return done
 
     def _wire_free(self) -> None:
-        self._trace.record(self._sim.now, "link.idle", self.name)
+        if self._trace.enabled_for("link.idle"):
+            self._trace.record(self._sim.now, "link.idle", self.name)
         if self.on_idle is not None:
             self.on_idle()
 
     def _arrive(self, frame: EthernetFrame) -> None:
         if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
             self.frames_lost += 1
-            self._trace.record(
-                self._sim.now, "link.lost", self.name, frame.describe()
-            )
+            if self._trace.enabled_for("link.lost"):
+                self._trace.record(
+                    self._sim.now, "link.lost", self.name, frame.describe()
+                )
             return
-        self._trace.record(
-            self._sim.now, "link.deliver", self.name, frame.describe()
-        )
+        if self._trace.enabled_for("link.deliver"):
+            self._trace.record(
+                self._sim.now,
+                "link.deliver",
+                self.name,
+                frame.describe(),
+                fields={"channel": frame.channel_id},
+            )
         self._deliver(frame)

@@ -103,7 +103,9 @@ class EndNode:
         self._metrics = metrics
         self._policy = destination_policy
         self._trace = trace if trace is not None else TraceRecorder(enabled=False)
-        self.rt_layer = RTLayer(node_name=name, slot_ns=phy.slot_ns)
+        self.rt_layer = RTLayer(
+            node_name=name, slot_ns=phy.slot_ns, trace=self._trace
+        )
         self.signaling = SourceSignaling(
             node_mac=mac, switch_mac=switch_mac, node_ip=ip
         )
@@ -180,12 +182,17 @@ class EndNode:
                 label=f"{self.name}:req{request.connect_request_id}:timeout",
             )
         self._send_signaling(request, payload_bytes=REQUEST_FRAME_BYTES)
-        self._trace.record(
-            self._sim.now,
-            "signal.request",
-            self.name,
-            f"req={request.connect_request_id} -> {destination_name}",
-        )
+        if self._trace.enabled_for("signal.request"):
+            self._trace.record(
+                self._sim.now,
+                "signal.request",
+                self.name,
+                f"req={request.connect_request_id} -> {destination_name}",
+                fields={
+                    "request": request.connect_request_id,
+                    "destination": destination_name,
+                },
+            )
 
     def _request_timeout(self, connect_request_id: int) -> None:
         """Timer expiry for one outstanding request (no-op if completed)."""
@@ -193,12 +200,14 @@ class EndNode:
             record = self.signaling.timeout_request(connect_request_id)
         except ProtocolError:
             return  # the response won the race
-        self._trace.record(
-            self._sim.now,
-            "signal.timeout",
-            self.name,
-            f"req={connect_request_id}",
-        )
+        if self._trace.enabled_for("signal.timeout"):
+            self._trace.record(
+                self._sim.now,
+                "signal.timeout",
+                self.name,
+                f"req={connect_request_id}",
+                fields={"request": connect_request_id},
+            )
         callback = self._request_callbacks.pop(connect_request_id, None)
         if callback is not None:
             callback(record, None)
@@ -365,9 +374,17 @@ class EndNode:
             self._receive_signaling(frame)
             return
         self._metrics.on_delivery(frame, self._sim.now)
-        self._trace.record(
-            self._sim.now, "node.deliver", self.name, frame.describe()
-        )
+        if self._trace.enabled_for("node.deliver"):
+            self._trace.record(
+                self._sim.now,
+                "node.deliver",
+                self.name,
+                frame.describe(),
+                fields={
+                    "channel": frame.channel_id,
+                    "delay_ns": self._sim.now - frame.created_at,
+                },
+            )
 
     def _receive_signaling(self, frame: EthernetFrame) -> None:
         self._metrics.on_delivery(frame, self._sim.now)
@@ -406,12 +423,14 @@ class EndNode:
             self._metrics.register_channel(
                 request.rt_channel_id, request.capacity
             )
-        self._trace.record(
-            self._sim.now,
-            "signal.offer",
-            self.name,
-            f"ch={request.rt_channel_id} ok={response.ok}",
-        )
+        if self._trace.enabled_for("signal.offer"):
+            self._trace.record(
+                self._sim.now,
+                "signal.offer",
+                self.name,
+                f"ch={request.rt_channel_id} ok={response.ok}",
+                fields={"channel": request.rt_channel_id, "ok": response.ok},
+            )
         self._send_signaling(response, payload_bytes=RESPONSE_FRAME_BYTES)
 
     def _handle_response(
@@ -428,12 +447,14 @@ class EndNode:
                     rt_channel_id=response.rt_channel_id,
                 )
                 self._send_signaling(frame, payload_bytes=TEARDOWN_FRAME_BYTES)
-                self._trace.record(
-                    self._sim.now,
-                    "signal.late_response_teardown",
-                    self.name,
-                    f"ch={response.rt_channel_id}",
-                )
+                if self._trace.enabled_for("signal.late_response_teardown"):
+                    self._trace.record(
+                        self._sim.now,
+                        "signal.late_response_teardown",
+                        self.name,
+                        f"ch={response.rt_channel_id}",
+                        fields={"channel": response.rt_channel_id},
+                    )
             return
         if response.ok:
             if grant is None:
@@ -443,11 +464,16 @@ class EndNode:
                 )
             self.rt_layer.install_grant(grant)
         callback = self._request_callbacks.pop(response.connect_request_id, None)
-        self._trace.record(
-            self._sim.now,
-            "signal.response",
-            self.name,
-            f"req={response.connect_request_id} ok={response.ok}",
-        )
+        if self._trace.enabled_for("signal.response"):
+            self._trace.record(
+                self._sim.now,
+                "signal.response",
+                self.name,
+                f"req={response.connect_request_id} ok={response.ok}",
+                fields={
+                    "request": response.connect_request_id,
+                    "ok": response.ok,
+                },
+            )
         if callback is not None:
             callback(completed, grant)

@@ -151,9 +151,18 @@ class OutputPort:
         self.stats.rt_enqueued += 1
         if len(self._rt_queue) > self.stats.rt_backlog_max:
             self.stats.rt_backlog_max = len(self._rt_queue)
-        self._trace.record(
-            self._sim.now, "port.rt_enqueue", self.name, frame.describe()
-        )
+        if self._trace.enabled_for("port.rt_enqueue"):
+            self._trace.record(
+                self._sim.now,
+                "port.rt_enqueue",
+                self.name,
+                frame.describe(),
+                fields={
+                    "channel": frame.channel_id,
+                    "link_deadline_ns": link_deadline_ns,
+                    "depth": len(self._rt_queue),
+                },
+            )
         self._pump()
 
     def submit_be(self, frame: EthernetFrame) -> bool:
@@ -176,15 +185,25 @@ class OutputPort:
             self.stats.be_enqueued += 1
             if len(self._be_queue) > self.stats.be_backlog_max:
                 self.stats.be_backlog_max = len(self._be_queue)
-            self._trace.record(
-                self._sim.now, "port.be_enqueue", self.name, frame.describe()
-            )
+            if self._trace.enabled_for("port.be_enqueue"):
+                self._trace.record(
+                    self._sim.now,
+                    "port.be_enqueue",
+                    self.name,
+                    frame.describe(),
+                    fields={"depth": len(self._be_queue)},
+                )
             self._pump()
         else:
             self.stats.be_dropped += 1
-            self._trace.record(
-                self._sim.now, "port.be_drop", self.name, frame.describe()
-            )
+            if self._trace.enabled_for("port.be_drop"):
+                self._trace.record(
+                    self._sim.now,
+                    "port.be_drop",
+                    self.name,
+                    frame.describe(),
+                    fields={"dropped_total": self.stats.be_dropped},
+                )
         return accepted
 
     # -- service ---------------------------------------------------------
@@ -207,6 +226,11 @@ class OutputPort:
     def be_backlog(self) -> int:
         return len(self._be_queue)
 
+    @property
+    def rt_queue_max_depth(self) -> int:
+        """High-watermark of the deadline-sorted queue (frames)."""
+        return self._rt_queue.max_depth
+
     def _pump(self) -> None:
         """Start the next transmission if the wire is free (strict RT priority)."""
         if self._link.busy:
@@ -224,6 +248,18 @@ class OutputPort:
         self.stats.rt_queueing_delay_total_ns += delay
         if delay > self.stats.rt_queueing_delay_max_ns:
             self.stats.rt_queueing_delay_max_ns = delay
+        if self._trace.enabled_for("port.rt_dequeue"):
+            self._trace.record(
+                now,
+                "port.rt_dequeue",
+                self.name,
+                entry.payload.describe(),
+                fields={
+                    "channel": entry.channel_id,
+                    "wait_ns": delay,
+                    "link_deadline_ns": entry.absolute_deadline,
+                },
+            )
         completion = self._link.transmit(entry.payload)
         self.stats.rt_transmitted += 1
         allowance = (
@@ -233,13 +269,21 @@ class OutputPort:
         )
         if completion > entry.absolute_deadline + allowance:
             self.stats.rt_link_deadline_misses += 1
-            self._trace.record(
-                now,
-                "port.rt_miss",
-                self.name,
-                f"{entry.payload.describe()} completion={completion} "
-                f"deadline={entry.absolute_deadline}+{allowance}",
-            )
+            if self._trace.enabled_for("port.rt_miss"):
+                self._trace.record(
+                    now,
+                    "port.rt_miss",
+                    self.name,
+                    f"{entry.payload.describe()} completion={completion} "
+                    f"deadline={entry.absolute_deadline}+{allowance}",
+                    fields={
+                        "channel": entry.channel_id,
+                        "completion_ns": completion,
+                        "overrun_ns": completion
+                        - entry.absolute_deadline
+                        - allowance,
+                    },
+                )
         if self._on_rt_complete is not None:
             self._on_rt_complete(
                 entry.payload, completion, entry.absolute_deadline

@@ -139,9 +139,15 @@ class Switch:
         except UnknownChannelError:
             # Channel torn down while the frame was in flight: drop.
             self.frames_dropped += 1
-            self._trace.record(
-                self._sim.now, "switch.drop", SWITCH_NAME, frame.describe()
-            )
+            if self._trace.enabled_for("switch.drop"):
+                self._trace.record(
+                    self._sim.now,
+                    "switch.drop",
+                    SWITCH_NAME,
+                    frame.describe(),
+                    fields={"reason": "unknown-channel",
+                            "channel": frame.channel_id},
+                )
             return
         port = self.port_toward(destination)
         # Second hop: the miss check allows the full two-hop share of
@@ -158,12 +164,14 @@ class Switch:
         port = self._ports.get(frame.destination)
         if port is None:
             self.frames_dropped += 1
-            self._trace.record(
-                self._sim.now,
-                "switch.drop",
-                SWITCH_NAME,
-                f"no port toward {frame.destination!r}",
-            )
+            if self._trace.enabled_for("switch.drop"):
+                self._trace.record(
+                    self._sim.now,
+                    "switch.drop",
+                    SWITCH_NAME,
+                    f"no port toward {frame.destination!r}",
+                    fields={"reason": "unknown-destination"},
+                )
             return
         accepted = port.submit_be(frame)
         if accepted:
@@ -190,12 +198,15 @@ class Switch:
                 f"switch received unexpected signalling payload "
                 f"{type(payload).__name__}"
             )
-        self._trace.record(
-            self._sim.now,
-            "switch.signal",
-            SWITCH_NAME,
-            f"{type(payload).__name__} -> {len(actions)} action(s)",
-        )
+        if self._trace.enabled_for("switch.signal"):
+            self._trace.record(
+                self._sim.now,
+                "switch.signal",
+                SWITCH_NAME,
+                f"{type(payload).__name__} -> {len(actions)} action(s)",
+                fields={"payload": type(payload).__name__,
+                        "actions": len(actions)},
+            )
         for action in actions:
             self._emit_signaling(action)
 

@@ -63,6 +63,8 @@ class StarNetwork:
     trace: TraceRecorder
     grants: list[ChannelGrant] = field(default_factory=list)
     rejections: int = 0
+    #: the telemetry bundle this network reports into (None = none).
+    telemetry: object | None = None
 
     def node(self, name: str) -> EndNode:
         node = self.nodes.get(name)
@@ -191,6 +193,7 @@ def build_star(
     loss_rate: float = 0.0,
     loss_seed: int = 0,
     record_delays: bool = False,
+    telemetry=None,
 ) -> StarNetwork:
     """Build the paper's star network, fully wired and ready to run.
 
@@ -214,6 +217,12 @@ def build_star(
         Fault injection: per-frame corruption probability applied on
         every wire (see :class:`~repro.network.link.HalfLink`). Zero by
         default -- the paper's model is error-free.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bundle. When given, its
+        recorder becomes the network's trace (``trace_enabled`` is
+        ignored), admission verdicts are counted into its registry, and
+        the whole network is instrumented
+        (:meth:`~repro.obs.bundle.Telemetry.instrument_star`).
     """
     names = list(node_names)
     if not names:
@@ -228,7 +237,10 @@ def build_star(
     reset_frame_ids()
     sim = Simulator()
     phy = phy or PhyProfile.fast_ethernet()
-    trace = TraceRecorder(enabled=trace_enabled)
+    if telemetry is not None:
+        trace = telemetry.recorder
+    else:
+        trace = TraceRecorder(enabled=trace_enabled)
     loss_rng = (
         RngRegistry(loss_seed).stream("link-loss") if loss_rate > 0 else None
     )
@@ -237,7 +249,11 @@ def build_star(
     )
     directory = NodeDirectory()
     state = SystemState(nodes=names)
-    admission = AdmissionController(state=state, dps=dps or SymmetricDPS())
+    admission = AdmissionController(
+        state=state,
+        dps=dps or SymmetricDPS(),
+        metrics=None if telemetry is None else telemetry.registry,
+    )
     switch = Switch(
         sim=sim,
         phy=phy,
@@ -306,7 +322,7 @@ def build_star(
         )
         switch.attach_port(name, down_port)
 
-    return StarNetwork(
+    net = StarNetwork(
         sim=sim,
         phy=phy,
         metrics=metrics,
@@ -315,4 +331,8 @@ def build_star(
         admission=admission,
         directory=directory,
         trace=trace,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.instrument_star(net)
+    return net

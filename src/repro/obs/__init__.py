@@ -1,0 +1,47 @@
+"""Unified telemetry: metrics registry, trace export, probes, profiling.
+
+The one import most callers need is :class:`Telemetry` -- build one,
+pass it to :func:`~repro.network.topology.build_star` or an experiment
+runner, and call :meth:`~repro.obs.bundle.Telemetry.write` at the end
+to emit a bundle directory (metrics snapshot, probe time series, JSONL
+trace, Chrome/Perfetto trace). The pieces are importable on their own
+for targeted use.
+"""
+
+from .bundle import Telemetry, TelemetryConfig
+from .export import (
+    chrome_trace,
+    trace_jsonl_lines,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from .probes import ProbeSet
+from .profiling import KernelProfiler
+from .registry import DEFAULT_LATENCY_BUCKETS_NS, MetricsRegistry
+from .schema import (
+    CHROME_TRACE_SCHEMA,
+    METRICS_SCHEMA,
+    TIMESERIES_SCHEMA,
+    TRACE_RECORD_SCHEMA,
+    validate,
+    validate_bundle,
+)
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "ProbeSet",
+    "KernelProfiler",
+    "chrome_trace",
+    "trace_jsonl_lines",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "validate",
+    "validate_bundle",
+    "METRICS_SCHEMA",
+    "CHROME_TRACE_SCHEMA",
+    "TRACE_RECORD_SCHEMA",
+    "TIMESERIES_SCHEMA",
+]

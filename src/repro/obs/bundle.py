@@ -1,0 +1,299 @@
+"""The telemetry bundle: one object wiring registry, trace and probes.
+
+:class:`Telemetry` is the facade experiments and the CLI deal with.
+One instance owns
+
+* a :class:`~repro.obs.registry.MetricsRegistry` (always on -- metrics
+  are cheap enough to keep enabled),
+* a structured :class:`~repro.sim.trace.TraceRecorder` (on by default
+  in a bundle; capacity-capped),
+* optionally a :class:`~repro.obs.profiling.KernelProfiler` and a
+  :class:`~repro.obs.probes.ProbeSet` once a simulator is attached,
+
+and knows how to instrument the repo's building blocks:
+``attach_simulator`` for kernel counters/profiling,
+``instrument_star`` for a fully built
+:class:`~repro.network.topology.StarNetwork` (port/link/switch
+collectors, delay histograms, sim-time probes), ``track_cache`` for
+feasibility caches, and ``write`` to emit the bundle directory::
+
+    out/
+      metrics.json       MetricsRegistry.snapshot()
+      timeseries.json    probe samples (when probes ran)
+      trace.jsonl        one structured record per line
+      trace.chrome.json  Chrome trace_event JSON (open in Perfetto)
+
+Everything here is pull-based: instrumented components update their own
+cheap counters as before, and registered collectors harvest them only
+when a snapshot is taken, so the simulation hot path pays nothing for
+the registry's existence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
+from .export import write_chrome_trace, write_trace_jsonl
+from .probes import ProbeSet
+from .profiling import KernelProfiler
+from .registry import MetricsRegistry
+
+__all__ = ["TelemetryConfig", "Telemetry"]
+
+#: Delay histogram buckets also used for per-hop waits: 1 us .. ~1 s.
+_CACHE_STAT_PREFIX = "feasibility_cache."
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """What a bundle collects (metrics are always on)."""
+
+    #: Record structured trace events (frame lifecycle, signalling,
+    #: admission verdicts). Costs memory proportional to the capacity.
+    tracing: bool = True
+    #: Ring-buffer cap on retained trace records (None = unbounded).
+    trace_capacity: int | None = 200_000
+    #: Sim-time probe cadence; None disables the periodic probes.
+    probe_cadence_ns: int | None = 1_000_000
+    #: Time every kernel event callback (adds ~2 clock reads/event).
+    profile: bool = False
+
+
+class Telemetry:
+    """One experiment's telemetry session."""
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.registry = MetricsRegistry()
+        self.recorder = TraceRecorder(
+            enabled=self.config.tracing,
+            capacity=self.config.trace_capacity,
+        )
+        self.profiler: KernelProfiler | None = (
+            KernelProfiler() if self.config.profile else None
+        )
+        self.probes: ProbeSet | None = None
+        self._caches: list = []
+        self._cache_collector_installed = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach_simulator(self, sim: Simulator) -> None:
+        """Hook kernel counters (and the profiler, if any) into the bundle."""
+        if self.profiler is not None:
+            sim.profiler = self.profiler
+            self.profiler.publish(self.registry)
+        dispatched = self.registry.gauge(
+            "kernel.dispatched_events",
+            help="events the kernel has fired",
+        ).labels()
+        heap_max = self.registry.gauge(
+            "kernel.max_heap_depth",
+            help="event-queue high-water mark",
+        ).labels()
+        live = self.registry.gauge(
+            "kernel.live_pending_events",
+            help="non-cancelled events still queued",
+        ).labels()
+        clock = self.registry.gauge(
+            "kernel.now_ns", help="simulation clock",
+        ).labels()
+
+        def collect() -> None:
+            dispatched.set(sim.dispatched_events)
+            heap_max.set(sim.max_heap_depth)
+            live.set(sim.live_pending_events)
+            clock.set(sim.now)
+
+        self.registry.add_collector(collect)
+
+    def track_cache(self, cache) -> None:
+        """Surface a feasibility cache's private stats as metrics.
+
+        Several controllers (one per trial/scheme in a sweep) may be
+        tracked; the published gauges are sums over all of them, so a
+        sweep's snapshot reports total cache traffic.
+        """
+        if cache is None:
+            return
+        self._caches.append(cache)
+        if self._cache_collector_installed:
+            return
+        self._cache_collector_installed = True
+        gauges: dict[str, object] = {}
+
+        def collect() -> None:
+            totals: dict[str, int] = {}
+            for tracked in self._caches:
+                for key, value in tracked.stats.as_dict().items():
+                    totals[key] = totals.get(key, 0) + value
+            for key, value in totals.items():
+                gauge = gauges.get(key)
+                if gauge is None:
+                    gauge = self.registry.gauge(
+                        _CACHE_STAT_PREFIX + key,
+                        help="summed over tracked caches",
+                    ).labels()
+                    gauges[key] = gauge
+                gauge.set(value)
+
+        self.registry.add_collector(collect)
+
+    def instrument_star(self, net) -> None:
+        """Wire a built StarNetwork into this bundle.
+
+        Called by :func:`~repro.network.topology.build_star` when a
+        telemetry bundle is passed in; safe to call manually for
+        hand-built networks. Registers snapshot-time collectors for the
+        switch/port/link statistics, hooks the per-frame delay observer,
+        tracks the admission cache, and starts the sim-time probes.
+        """
+        self.attach_simulator(net.sim)
+        self.track_cache(net.admission.cache)
+        registry = self.registry
+
+        # per-frame delay histogram + miss counter, fed by the metrics
+        # collector's delivery hook (one bound-method call per RT frame)
+        delay_hist = registry.histogram(
+            "rt.frame_delay_ns",
+            help="end-to-end RT frame delay (Eq. 18.1 observable)",
+        ).labels()
+        miss_counter = registry.counter(
+            "rt.deadline_misses", labels=("channel",),
+            help="frames delivered after d_i*slot + T_latency",
+        )
+
+        def observe_delay(channel_id: int, delay_ns: int, missed: bool) -> None:
+            delay_hist.observe(delay_ns)
+            if missed:
+                miss_counter.labels(channel_id).inc()
+
+        net.metrics.delay_observer = observe_delay
+
+        switch_forwarded = registry.gauge(
+            "switch.frames_forwarded",
+        ).labels()
+        switch_dropped = registry.gauge("switch.frames_dropped").labels()
+        port_gauges = {
+            name: registry.gauge("port." + name, labels=("port",))
+            for name in (
+                "rt_enqueued", "rt_transmitted", "be_enqueued",
+                "be_transmitted", "be_dropped", "rt_link_deadline_misses",
+                "rt_backlog_max", "be_backlog_max", "rt_queue_max_depth",
+            )
+        }
+        link_gauges = {
+            name: registry.gauge("link." + name, labels=("link",))
+            for name in ("frames_carried", "bytes_carried", "busy_ns",
+                         "frames_lost")
+        }
+        link_util = registry.gauge("link.utilization", labels=("link",))
+
+        def ports():
+            for node in net.nodes.values():
+                if node.uplink is not None:
+                    yield node.uplink
+            yield from net.switch.ports.values()
+
+        def collect() -> None:
+            switch_forwarded.set(net.switch.frames_forwarded)
+            switch_dropped.set(net.switch.frames_dropped)
+            for port in ports():
+                stats = port.stats
+                name = port.name
+                for field in (
+                    "rt_enqueued", "rt_transmitted", "be_enqueued",
+                    "be_transmitted", "be_dropped",
+                    "rt_link_deadline_misses", "rt_backlog_max",
+                    "be_backlog_max",
+                ):
+                    port_gauges[field].labels(name).set(
+                        getattr(stats, field)
+                    )
+                port_gauges["rt_queue_max_depth"].labels(name).set(
+                    port.rt_queue_max_depth
+                )
+                link = port.link
+                for field in ("frames_carried", "bytes_carried",
+                              "busy_ns", "frames_lost"):
+                    link_gauges[field].labels(link.name).set(
+                        getattr(link, field)
+                    )
+                link_util.labels(link.name).set(link.utilization())
+
+        registry.add_collector(collect)
+
+        cadence = self.config.probe_cadence_ns
+        if cadence is not None:
+            probes = ProbeSet(net.sim, registry, cadence_ns=cadence)
+            uplinks = [
+                node.uplink for node in net.nodes.values()
+                if node.uplink is not None
+            ]
+            downlinks = list(net.switch.ports.values())
+            all_links = [p.link for p in uplinks] + [
+                p.link for p in downlinks
+            ]
+            probes.add(
+                "uplink_rt_backlog_frames",
+                lambda: sum(p.rt_backlog for p in uplinks),
+            )
+            probes.add(
+                "switch_rt_buffer_frames",
+                lambda: sum(p.rt_backlog for p in downlinks),
+            )
+            probes.add(
+                "switch_be_buffer_frames",
+                lambda: sum(p.be_backlog for p in downlinks),
+            )
+            probes.add(
+                "link_utilization_mean",
+                lambda: (
+                    sum(l.utilization() for l in all_links) / len(all_links)
+                    if all_links else 0.0
+                ),
+            )
+            probes.add(
+                "kernel_live_pending_events",
+                lambda: net.sim.live_pending_events,
+            )
+            probes.start()
+            self.probes = probes
+
+    # -- output ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Collect and return the registry's JSON-serializable state."""
+        return self.registry.snapshot()
+
+    def write(self, directory: str | Path) -> dict[str, Path]:
+        """Emit the bundle files; returns name -> written path."""
+        if self.profiler is not None:
+            self.profiler.stop()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: dict[str, Path] = {}
+
+        metrics_path = directory / "metrics.json"
+        metrics_path.write_text(json.dumps(self.snapshot(), indent=1))
+        written["metrics"] = metrics_path
+
+        if self.probes is not None:
+            series_path = directory / "timeseries.json"
+            series_path.write_text(
+                json.dumps(self.probes.to_dict(), indent=1)
+            )
+            written["timeseries"] = series_path
+
+        if self.recorder.enabled:
+            written["trace_jsonl"] = write_trace_jsonl(
+                self.recorder, directory / "trace.jsonl"
+            )
+            written["trace_chrome"] = write_chrome_trace(
+                self.recorder, directory / "trace.chrome.json"
+            )
+        return written

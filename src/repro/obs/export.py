@@ -1,0 +1,129 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+
+Two output formats for one :class:`~repro.sim.trace.TraceRecorder`:
+
+* **JSONL** -- one JSON object per record, stable field order, suitable
+  for ``jq``/pandas post-processing and the CI schema check.
+* **Chrome trace_event JSON** -- the ``{"traceEvents": [...]}`` format
+  understood by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``, so a full simulation (frame lifecycle, EDF
+  queueing, signalling handshakes, admission verdicts) can be browsed
+  on a zoomable timeline.
+
+Mapping to the Chrome format
+----------------------------
+The viewer groups events into *processes* (pid) and *threads* (tid).
+We map the category's top segment (``link``, ``port``, ``signal``,
+``admission``, ...) to a process and the record's subject (the link or
+port name, the node, ...) to a thread within it, emitting ``M``
+metadata events so the viewer shows real names. Records whose
+``fields`` carry ``duration_ns`` become complete ``X`` spans of that
+length; everything else becomes an instant ``i`` event. Timestamps are
+microseconds (the format's unit); simulation nanoseconds divide by
+1000 exactly in the common case and as a float otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..sim.trace import TraceRecord
+
+__all__ = [
+    "trace_jsonl_lines",
+    "write_trace_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def trace_jsonl_lines(records: Iterable[TraceRecord]) -> Iterator[str]:
+    """Serialize records to JSONL (one compact JSON object per line)."""
+    for r in records:
+        payload: dict[str, object] = {
+            "time": r.time,
+            "category": r.category,
+            "subject": r.subject,
+            "detail": r.detail,
+        }
+        if r.fields:
+            payload["fields"] = dict(r.fields)
+        yield json.dumps(payload, sort_keys=False, separators=(",", ":"))
+
+
+def write_trace_jsonl(records: Iterable[TraceRecord], path: str | Path) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for line in trace_jsonl_lines(records):
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
+def _ts_us(time_ns: int) -> float | int:
+    # exact division keeps timestamps integers (prettier in the viewer)
+    quotient, remainder = divmod(time_ns, 1000)
+    return quotient if remainder == 0 else time_ns / 1000
+
+
+def chrome_trace(records: Iterable[TraceRecord]) -> dict:
+    """Build a Chrome ``trace_event`` document from trace records."""
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+
+    for r in records:
+        group = r.category.split(".", 1)[0]
+        pid = pids.get(group)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[group] = pid
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": group},
+            })
+        tid_key = (pid, r.subject)
+        tid = tids.get(tid_key)
+        if tid is None:
+            tid = sum(1 for key in tids if key[0] == pid) + 1
+            tids[tid_key] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": r.subject or group},
+            })
+        args: dict[str, object] = {}
+        if r.detail:
+            args["detail"] = r.detail
+        duration_ns = None
+        if r.fields:
+            duration_ns = r.fields.get("duration_ns")
+            for key, value in r.fields.items():
+                if key != "duration_ns":
+                    args[key] = value
+        event: dict[str, object] = {
+            "name": r.category,
+            "cat": group,
+            "pid": pid,
+            "tid": tid,
+            "ts": _ts_us(r.time),
+            "args": args,
+        }
+        if duration_ns is not None:
+            event["ph"] = "X"
+            event["dur"] = _ts_us(int(duration_ns))
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    records: Iterable[TraceRecord], path: str | Path
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(records), indent=1))
+    return path

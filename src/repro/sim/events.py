@@ -23,13 +23,20 @@ __all__ = ["Event", "EventHandle"]
 
 @dataclass(slots=True)
 class Event:
-    """One scheduled callback. Library-internal; users see handles."""
+    """One scheduled callback. Library-internal; users see handles.
+
+    ``weak`` marks observer events (telemetry probes): the simulator
+    stops once only weak events remain, so probes never extend a run
+    nor change its final clock. Weak actions must not mutate model
+    state or schedule strong events.
+    """
 
     time: int
     seq: int
     action: Callable[[], None]
     label: str = ""
     cancelled: bool = False
+    weak: bool = False
 
     def sort_key(self) -> tuple[int, int]:
         return (self.time, self.seq)
@@ -40,10 +47,13 @@ class EventHandle:
     """Opaque token returned by :meth:`Simulator.schedule`.
 
     Holds a reference to the underlying event so cancellation works even
-    after the heap has been reorganized.
+    after the heap has been reorganized, plus the owning simulator so
+    cancelling a strong event immediately releases its keep-alive count
+    (the simulator must not idle-wait on an event that will never fire).
     """
 
     _event: Event = field(repr=False)
+    _sim: object = field(default=None, repr=False)
 
     @property
     def time(self) -> int:
@@ -68,7 +78,10 @@ class EventHandle:
         """Prevent the event from firing. Returns False if already fired."""
         if self._event.action is _fired:
             return False
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            if self._sim is not None and not self._event.weak:
+                self._sim._note_cancelled()
         return True
 
 

@@ -9,13 +9,33 @@ when disabled, so production benchmark runs pay almost nothing.
 
 Records are plain tuples-with-names, filterable by category, and the
 recorder can summarize itself for quick debugging.
+
+Hot-path discipline
+-------------------
+Formatting a ``detail`` string is often more expensive than storing the
+record, so instrumented call sites gate payload construction on
+:meth:`TraceRecorder.enabled_for`::
+
+    if trace.enabled_for("link.start"):
+        trace.record(now, "link.start", frame.describe(), f"tx={tx}")
+
+``enabled_for`` is a cheap predicate (one attribute read when tracing
+is off), so a disabled recorder never pays for f-strings.
+
+Structured payloads
+-------------------
+Beyond the free-form ``detail`` string, a record can carry ``fields``
+-- a small dict of typed values (``{"duration_ns": 12000, "ch": 3}``).
+The telemetry exporters (:mod:`repro.obs.export`) turn these into
+Chrome-trace arguments and span durations; components that predate the
+telemetry layer simply leave ``fields`` as ``None``.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping
 
 __all__ = ["TraceRecord", "TraceRecorder"]
 
@@ -36,12 +56,17 @@ class TraceRecord:
         or channel ID rendered into the free-form text by the caller).
     detail:
         Free-form human-readable detail.
+    fields:
+        Optional typed payload for exporters. ``duration_ns`` is special:
+        exporters render the record as a span of that length starting at
+        ``time`` rather than an instant.
     """
 
     time: int
     category: str
     subject: str
     detail: str = ""
+    fields: Mapping[str, object] | None = None
 
 
 class TraceRecorder:
@@ -54,34 +79,73 @@ class TraceRecorder:
     capacity:
         Optional cap on stored records; when exceeded, the *oldest*
         records are discarded (the most recent history is what one debugs
-        with). ``None`` means unbounded.
+        with). ``None`` means unbounded. Backed by
+        :class:`collections.deque` so eviction is O(1) per record.
+    prefixes:
+        Optional category filter: when given, only categories starting
+        with one of these prefixes are stored (and ``enabled_for``
+        reports False for the rest, so call sites skip formatting too).
     """
 
-    def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = False,
+        capacity: int | None = None,
+        prefixes: tuple[str, ...] | None = None,
+    ) -> None:
         self.enabled = enabled
         self._capacity = capacity
-        self._records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._dropped = 0
+        self._prefixes = tuple(prefixes) if prefixes else None
+
+    def enabled_for(self, category: str) -> bool:
+        """True when a record of this category would be stored.
+
+        Call sites use this to gate detail-string construction, so the
+        check must stay cheap: one attribute read when disabled.
+        """
+        if not self.enabled:
+            return False
+        prefixes = self._prefixes
+        return prefixes is None or category.startswith(prefixes)
 
     def record(
-        self, time: int, category: str, subject: str, detail: str = ""
+        self,
+        time: int,
+        category: str,
+        subject: str,
+        detail: str = "",
+        fields: Mapping[str, object] | None = None,
     ) -> None:
-        """Store one milestone (no-op when disabled)."""
+        """Store one milestone (no-op when disabled or filtered out)."""
         if not self.enabled:
             return
-        self._records.append(
-            TraceRecord(time=time, category=category, subject=subject, detail=detail)
+        prefixes = self._prefixes
+        if prefixes is not None and not category.startswith(prefixes):
+            return
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self._dropped += 1
+        records.append(
+            TraceRecord(
+                time=time,
+                category=category,
+                subject=subject,
+                detail=detail,
+                fields=fields,
+            )
         )
-        if self._capacity is not None and len(self._records) > self._capacity:
-            overflow = len(self._records) - self._capacity
-            del self._records[:overflow]
-            self._dropped += overflow
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
 
     @property
     def dropped(self) -> int:

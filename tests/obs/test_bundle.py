@@ -1,0 +1,104 @@
+"""Telemetry bundle end-to-end: emitted files and non-perturbation.
+
+The two contracts that make telemetry safe to recommend:
+
+* a fully instrumented validation run writes a bundle that passes the
+  schema check (``repro obs check`` relies on ``validate_bundle``);
+* attaching telemetry changes *nothing* about the simulation outcome --
+  the ValidationReport (including the final simulated clock) is
+  field-for-field identical with and without the bundle.
+"""
+
+import json
+
+from repro.core.feasibility_cache import CacheStats
+from repro.experiments.validation import run_validation
+from repro.obs import Telemetry, TelemetryConfig, validate_bundle
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schema import METRICS_SCHEMA, validate
+
+_SMALL = dict(n_masters=2, n_slaves=6, n_requests=12, hyperperiods=1)
+
+
+class TestBundleWrite:
+    def test_instrumented_run_emits_valid_bundle(self, tmp_path):
+        telemetry = Telemetry(
+            TelemetryConfig(profile=True, probe_cadence_ns=500_000)
+        )
+        report = run_validation(telemetry=telemetry, **_SMALL)
+        assert report.holds
+        written = telemetry.write(tmp_path)
+        assert set(written) == {
+            "metrics", "timeseries", "trace_jsonl", "trace_chrome"
+        }
+        assert validate_bundle(tmp_path) == []
+
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert validate(metrics, METRICS_SCHEMA) == []
+        # the Eq. 18.1 observable made it into the histogram
+        delay = metrics["rt.frame_delay_ns"]["series"][0]
+        assert delay["count"] == report.frames_delivered
+        # kernel gauges harvested by the attach_simulator collector
+        assert metrics["kernel.now_ns"]["series"][0]["value"] > 0
+        # profiler rows published
+        assert metrics["kernel.dispatch_rate_per_s"]["series"][0]["value"] > 0
+        # cache stats summed in from the admission controller
+        assert any(k.startswith("feasibility_cache.") for k in metrics)
+
+        series = json.loads((tmp_path / "timeseries.json").read_text())
+        assert "link_utilization_mean" in series
+        assert all(len(sample) == 2 for sample in series["link_utilization_mean"])
+
+        lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert lines, "instrumented run must record trace events"
+        categories = {json.loads(line)["category"] for line in lines}
+        assert "signal.request" in categories
+        assert "link.start" in categories
+        assert "rt.emit" in categories  # RT-layer segmentation traced
+
+    def test_tracing_disabled_omits_trace_files(self, tmp_path):
+        telemetry = Telemetry(
+            TelemetryConfig(tracing=False, probe_cadence_ns=None)
+        )
+        run_validation(telemetry=telemetry, **_SMALL)
+        written = telemetry.write(tmp_path)
+        assert set(written) == {"metrics"}
+        assert validate_bundle(tmp_path) == []
+
+
+class TestCacheStatsPublish:
+    def test_counters_mirrored_as_gauges(self):
+        reg = MetricsRegistry()
+        stats = CacheStats()
+        stats.publish(reg)
+        stats.checks = 7
+        stats.memo_hits = 3
+        snap = reg.snapshot()
+        assert snap["feasibility_cache.checks"]["series"][0]["value"] == 7
+        assert snap["feasibility_cache.memo_hits"]["series"][0]["value"] == 3
+        stats.checks = 9  # collector re-reads on every snapshot
+        snap = reg.snapshot()
+        assert snap["feasibility_cache.checks"]["series"][0]["value"] == 9
+
+
+class TestNonPerturbation:
+    def test_report_identical_with_and_without_telemetry(self):
+        bare = run_validation(**_SMALL)
+        instrumented = run_validation(
+            telemetry=Telemetry(TelemetryConfig(profile=True)), **_SMALL
+        )
+        assert instrumented == bare  # frozen dataclass: field-for-field
+        assert instrumented.simulated_ns == bare.simulated_ns
+
+    def test_bundle_runs_are_reproducible(self, tmp_path):
+        def capture(out):
+            telemetry = Telemetry(TelemetryConfig(probe_cadence_ns=250_000))
+            run_validation(telemetry=telemetry, **_SMALL)
+            return telemetry.write(out)
+
+        first = capture(tmp_path / "a")
+        second = capture(tmp_path / "b")
+        for name in first:
+            assert (
+                first[name].read_bytes() == second[name].read_bytes()
+            ), f"{name} differs between identical runs"

@@ -1,0 +1,97 @@
+"""Exporters: JSONL round-trip and Chrome trace_event conformance."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    trace_jsonl_lines,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.schema import CHROME_TRACE_SCHEMA, TRACE_RECORD_SCHEMA, validate
+from repro.sim.trace import TraceRecord
+
+
+def _records():
+    return [
+        TraceRecord(1_000, "link.start", "m0->switch", "frame#1",
+                    fields={"duration_ns": 12_000, "channel": 3}),
+        TraceRecord(13_000, "link.deliver", "m0->switch", "frame#1",
+                    fields={"channel": 3}),
+        TraceRecord(13_000, "port.rt_enqueue", "switch->s1", "ch3",
+                    fields={"depth": 1}),
+        TraceRecord(13_500, "signal.request", "m1", "req ch4"),
+    ]
+
+
+class TestJsonl:
+    def test_lines_round_trip_and_match_schema(self):
+        lines = list(trace_jsonl_lines(_records()))
+        assert len(lines) == 4
+        for line in lines:
+            obj = json.loads(line)
+            assert validate(obj, TRACE_RECORD_SCHEMA) == []
+        first = json.loads(lines[0])
+        assert first["time"] == 1_000
+        assert first["category"] == "link.start"
+        assert first["fields"] == {"duration_ns": 12_000, "channel": 3}
+        # records without fields omit the key entirely
+        assert "fields" not in json.loads(lines[3])
+
+    def test_write_trace_jsonl(self, tmp_path):
+        path = write_trace_jsonl(_records(), tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[-1])["subject"] == "m1"
+
+
+class TestChromeTrace:
+    def test_document_matches_schema(self):
+        doc = chrome_trace(_records())
+        assert validate(doc, CHROME_TRACE_SCHEMA) == []
+
+    def test_duration_ns_becomes_complete_span(self):
+        doc = chrome_trace(_records())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "link.start"
+        assert span["ts"] == 1  # 1000 ns -> 1 us, exact
+        assert span["dur"] == 12  # 12000 ns -> 12 us
+        # duration_ns is consumed by the span; other fields become args
+        assert span["args"] == {"detail": "frame#1", "channel": 3}
+
+    def test_instants_and_metadata(self):
+        doc = chrome_trace(_records())
+        events = doc["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+        meta = [e for e in events if e["ph"] == "M"]
+        proc_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        # one process per category top segment, in encounter order
+        assert proc_names == {"link", "port", "signal"}
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert {"m0->switch", "switch->s1", "m1"} <= thread_names
+
+    def test_subjects_share_tid_within_process(self):
+        doc = chrome_trace(_records())
+        link_events = [
+            e for e in doc["traceEvents"]
+            if e["ph"] != "M" and e["cat"] == "link"
+        ]
+        assert len({(e["pid"], e["tid"]) for e in link_events}) == 1
+
+    def test_inexact_timestamp_falls_back_to_float(self):
+        doc = chrome_trace([TraceRecord(1_500, "x.y", "s")])
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert event["ts"] == 1.5
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(_records(), tmp_path / "trace.chrome.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        assert validate(doc, CHROME_TRACE_SCHEMA) == []

@@ -1,0 +1,118 @@
+"""MetricsRegistry: label semantics, bucket edges, snapshot shape."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS_NS, MetricsRegistry
+from repro.obs.schema import METRICS_SCHEMA, validate
+
+
+class TestLabels:
+    def test_children_are_memoized_per_label_values(self):
+        reg = MetricsRegistry()
+        family = reg.counter("frames", labels=("link",))
+        assert family.labels("a") is family.labels("a")
+        assert family.labels("a") is not family.labels("b")
+
+    def test_label_values_are_str_coerced(self):
+        reg = MetricsRegistry()
+        family = reg.counter("by_channel", labels=("channel",))
+        family.labels(7).inc()
+        assert family.labels("7").value == 1
+
+    def test_wrong_label_count_rejected(self):
+        reg = MetricsRegistry()
+        family = reg.counter("c", labels=("a", "b"))
+        with pytest.raises(ConfigurationError):
+            family.labels("only-one")
+
+    def test_unlabeled_family_has_default_child(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc(3)
+        assert reg.value_of("plain") == 3
+
+    def test_reregistration_same_shape_returns_same_family(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x", labels=("l",))
+        assert reg.counter("x", labels=("l",)) is first
+
+    def test_reregistration_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_reregistration_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("a",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("x", labels=("b",))
+
+
+class TestCounterGauge:
+    def test_counter_rejects_negative_increment(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g").labels()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+        g.set_max(7)
+        assert g.value == 12
+        g.set_max(20)
+        assert g.value == 20
+
+
+class TestHistogramBuckets:
+    def test_observation_on_edge_counts_into_that_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(10, 20, 30)).labels()
+        h.observe(10)  # exactly on the first edge
+        h.observe(11)
+        h.observe(30)  # exactly on the last edge
+        h.observe(31)  # overflow -> +Inf
+        data = h.to_dict()
+        by_le = {b["le"]: b["count"] for b in data["buckets"]}
+        assert by_le[10] == 1
+        assert by_le[20] == 1
+        assert by_le[30] == 1
+        assert by_le["+Inf"] == 1
+        assert data["count"] == 4
+        assert data["sum"] == 10 + 11 + 30 + 31
+        assert data["min"] == 10 and data["max"] == 31
+
+    def test_default_buckets_are_strictly_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_NS) == sorted(
+            set(DEFAULT_LATENCY_BUCKETS_NS)
+        )
+
+    def test_invalid_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("bad", buckets=())
+        with pytest.raises(ConfigurationError):
+            reg.histogram("bad2", buckets=(5, 5))
+
+
+class TestSnapshot:
+    def test_snapshot_runs_collectors_and_matches_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("frames", labels=("link",)).labels("up").inc(4)
+        reg.histogram("delay", buckets=(100, 200)).observe(150)
+        gauge = reg.gauge("depth").labels()
+        reg.add_collector(lambda: gauge.set(42))
+        snap = reg.snapshot()
+        assert validate(snap, METRICS_SCHEMA) == []
+        assert snap["depth"]["series"][0]["value"] == 42
+        assert snap["frames"]["series"][0]["labels"] == {"link": "up"}
+
+    def test_value_of_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels=("kind",)).labels("memo").inc()
+        assert "hits" in reg
+        assert reg.value_of("hits", "memo") == 1

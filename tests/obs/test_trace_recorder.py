@@ -1,0 +1,72 @@
+"""Deque-backed TraceRecorder: drop accounting, gating, fields payload."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestCapacityEviction:
+    def test_oldest_records_evicted_and_counted(self):
+        rec = TraceRecorder(enabled=True, capacity=3)
+        for t in range(5):
+            rec.record(t, "cat", f"s{t}")
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [r.time for r in rec] == [2, 3, 4]
+
+    def test_unbounded_recorder_never_drops(self):
+        rec = TraceRecorder(enabled=True)
+        for t in range(100):
+            rec.record(t, "cat", "s")
+        assert len(rec) == 100
+        assert rec.dropped == 0
+        assert rec.capacity is None
+
+    def test_clear_resets_drop_count(self):
+        rec = TraceRecorder(enabled=True, capacity=1)
+        rec.record(0, "a", "s")
+        rec.record(1, "a", "s")
+        assert rec.dropped == 1
+        rec.clear()
+        assert rec.dropped == 0
+        assert len(rec) == 0
+
+
+class TestGating:
+    def test_disabled_recorder_stores_nothing(self):
+        rec = TraceRecorder(enabled=False)
+        rec.record(0, "cat", "s")
+        assert len(rec) == 0
+        assert not rec.enabled_for("cat")
+
+    def test_prefix_filter_gates_enabled_for(self):
+        rec = TraceRecorder(enabled=True, prefixes=("link.", "port."))
+        assert rec.enabled_for("link.start")
+        assert rec.enabled_for("port.rt_enqueue")
+        assert not rec.enabled_for("signal.request")
+        rec.record(0, "signal.request", "m0")
+        rec.record(1, "link.start", "up")
+        assert [r.category for r in rec] == ["link.start"]
+
+    def test_enabled_for_lets_call_sites_skip_formatting(self):
+        # the contract hot paths rely on: enabled_for False => record is
+        # a no-op, so callers may skip building detail/fields entirely
+        rec = TraceRecorder(enabled=False)
+        assert not rec.enabled_for("anything")
+
+
+class TestFields:
+    def test_fields_preserved_and_optional(self):
+        rec = TraceRecorder(enabled=True)
+        rec.record(5, "link.start", "up", "frame#1", fields={"duration_ns": 42})
+        rec.record(6, "link.idle", "up")
+        records = list(rec)
+        assert records[0].fields == {"duration_ns": 42}
+        assert records[1].fields is None
+
+    def test_by_category_and_summary_still_work(self):
+        rec = TraceRecorder(enabled=True, capacity=10)
+        rec.record(0, "a.x", "s")
+        rec.record(1, "a.y", "s")
+        rec.record(2, "b.z", "s")
+        assert len(rec.by_category("a.x")) == 1
+        assert len(rec.by_prefix("a.")) == 2
+        assert "3 records" in rec.summary() or rec.summary()

@@ -29,7 +29,9 @@ SEED = 1234
 
 def _trace_bytes(records) -> bytes:
     lines = [
-        f"{r.time}|{r.category}|{r.subject}|{r.detail}" for r in records
+        f"{r.time}|{r.category}|{r.subject}|{r.detail}"
+        f"|{sorted(r.fields.items()) if r.fields else ''}"
+        for r in records
     ]
     return "\n".join(lines).encode("utf-8")
 
@@ -80,7 +82,7 @@ def test_trace_serialization_is_lossless_per_record():
     # the serialization covers every TraceRecord field, so byte
     # equality of traces really is record equality.
     assert {f.name for f in fields(TraceRecord)} == {
-        "time", "category", "subject", "detail",
+        "time", "category", "subject", "detail", "fields",
     }
 
 
