@@ -14,7 +14,9 @@ Commands
                  control (EXP-A2)
 ``dps``          all five partitioning schemes (EXP-D1)
 ``multiswitch``  switch-tree extension (EXP-X1)
-``robustness``   phase / loss fault injection (EXP-R1)
+``robustness``   phase / loss fault injection (EXP-R1) and the
+                 signalling-loss liveness check (EXP-R2,
+                 ``--signal-loss``)
 ``oracle``       differential fuzz campaign: analytical admission vs
                  brute-force EDF timeline replay
 ``bench-admission`` admission fast-path timing, cached vs from-scratch
@@ -24,9 +26,10 @@ Commands
 ``obs``          telemetry bundles: ``capture`` a fully instrumented
                  run, ``check`` an emitted bundle against the schemas
 
-``fig18-5`` and ``validate`` accept ``--telemetry-out DIR`` to emit a
-telemetry bundle (metrics snapshot, probe time series, JSONL trace and
-a Chrome/Perfetto trace) alongside their normal output.
+``fig18-5``, ``validate`` and ``robustness --signal-loss`` accept
+``--telemetry-out DIR`` to emit a telemetry bundle (metrics snapshot,
+probe time series, JSONL trace and a Chrome/Perfetto trace) alongside
+their normal output.
 
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
@@ -144,9 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
     robustness = sub.add_parser(
         "robustness", help="fault injection outside the paper's model"
     )
-    robustness.add_argument("mode", choices=["phase", "loss"])
+    robustness.add_argument(
+        "mode", nargs="?", choices=["phase", "loss", "signal"], default=None,
+        help="phase/loss = EXP-R1, signal = EXP-R2 (may be omitted when "
+             "--signal-loss is given)",
+    )
     robustness.add_argument("--loss-rate", type=float, default=0.01)
+    robustness.add_argument(
+        "--signal-loss", type=float, default=None, metavar="RATE",
+        help="EXP-R2: drop this fraction of every signalling frame class "
+             "and check that no reservation leaks (implies mode "
+             "'signal'; default rate 0.2)",
+    )
+    robustness.add_argument(
+        "--requests", type=int, default=40,
+        help="channel requests for the signal mode (default 40)",
+    )
     robustness.add_argument("--seed", type=int, default=808)
+    robustness.add_argument(
+        "--telemetry-out", metavar="DIR",
+        help="signal mode: emit a telemetry bundle (retry/lease/stale "
+             "counters + traces) into DIR",
+    )
 
     oracle = sub.add_parser(
         "oracle",
@@ -491,8 +513,27 @@ def _cmd_robustness(args) -> int:
     from .experiments.robustness import (
         run_loss_robustness,
         run_phase_robustness,
+        run_signal_loss_robustness,
     )
 
+    if args.mode == "signal" or args.signal_loss is not None:
+        rate = 0.2 if args.signal_loss is None else args.signal_loss
+        telemetry = _telemetry_for(args)
+        report = run_signal_loss_robustness(
+            loss_rate=rate,
+            n_requests=args.requests,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+        _write_telemetry(telemetry, args)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.mode is None:
+        print(
+            "repro robustness: pass a mode (phase|loss|signal) or "
+            "--signal-loss RATE", file=sys.stderr,
+        )
+        return 2
     if args.mode == "phase":
         report = run_phase_robustness(seed=args.seed)
         print(

@@ -25,19 +25,50 @@ The reservation is taken *before* the destination answers (step 4), so
 two racing requests can never both pass feasibility into the same
 capacity; a declined offer releases it (step 5). This resolves a race
 the paper does not discuss but any implementation must.
+
+Loss tolerance
+--------------
+On lossy wires the manager must survive three situations the error-free
+paper never meets:
+
+* a **lost destination response** strands the step-4 reservation; with
+  ``lease_ns`` set, every pending offer carries a sim-time expiry and
+  :meth:`reclaim_expired` releases the capacity back to admission
+  control (counted as ``signal.lease_reclaims``);
+* a **retransmitted RequestFrame** must not run admission twice --
+  duplicates of a still-pending offer re-forward the stamped offer (and
+  refresh its lease), duplicates of an already-decided request are
+  re-answered from a bounded completed-verdict cache so the source
+  eventually hears the verdict even when the first response was lost;
+* **stale/duplicate ResponseFrames and TeardownFrames** (for channels
+  already resolved or released) are absorbed and counted
+  (``signal.stale_frames``), never raised.
+
+With ``lease_ns=None`` (the default) every one of these behaviours is
+disabled and the manager is byte-for-byte the paper's error-free state
+machine.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, UnknownChannelError
 from ..protocol.frames import RequestFrame, ResponseFrame, TeardownFrame
 from .admission import AdmissionController, AdmissionDecision
 from .channel import ChannelSpec, ChannelState, RTChannel
 from .rt_layer import ChannelGrant
 
 __all__ = ["NodeDirectory", "SignalAction", "SwitchChannelManager"]
+
+#: How long a completed verdict stays re-answerable (sim ns) when leases
+#: are enabled and no explicit ``response_cache_ns`` was configured.
+#: Source retry schedules must finish within this window.
+DEFAULT_RESPONSE_CACHE_NS = 1_000_000_000
+
+#: Completed-verdict cache capacity (entries); oldest evicted first.
+_RESPONSE_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +135,29 @@ class SignalAction:
     grant: ChannelGrant | None = None
 
 
+@dataclass(slots=True)
+class _PendingOffer:
+    """One channel reserved but awaiting the destination's verdict."""
+
+    channel: RTChannel
+    #: the stamped request forwarded to the destination (kept verbatim
+    #: so a retransmitted source request re-forwards the same offer).
+    request: RequestFrame
+    #: sim time at which the reservation lease expires (None = forever).
+    expires_at: int | None
+
+
+@dataclass(slots=True)
+class _CompletedVerdict:
+    """The final answer for one decided logical request, re-answerable."""
+
+    ok: bool
+    channel_id: int
+    grant: ChannelGrant | None
+    #: sim time after which a same-keyed request is treated as *new*.
+    expires_at: int
+
+
 class SwitchChannelManager:
     """The establishment/teardown state machine around admission control.
 
@@ -116,6 +170,19 @@ class SwitchChannelManager:
     switch_mac:
         The switch's own MAC, written into every ResponseFrame it
         originates (Figure 18.4's source field).
+    lease_ns:
+        Reservation-lease duration. ``None`` (default) disables every
+        loss-tolerance behaviour (see module docstring); the network
+        layer is then responsible for never losing signalling frames.
+    response_cache_ns:
+        How long completed verdicts stay re-answerable for duplicate
+        requests. Defaults to :data:`DEFAULT_RESPONSE_CACHE_NS` when
+        leases are enabled, disabled otherwise.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        given, ``signal.lease_reclaims``, ``signal.stale_frames``
+        (site="switch") and ``signal.duplicate_requests`` are pre-bound
+        so the per-frame cost is one ``is not None`` check.
     """
 
     def __init__(
@@ -123,14 +190,60 @@ class SwitchChannelManager:
         admission: AdmissionController,
         directory: NodeDirectory,
         switch_mac: int,
+        *,
+        lease_ns: int | None = None,
+        response_cache_ns: int | None = None,
+        metrics=None,
     ) -> None:
+        if lease_ns is not None and lease_ns <= 0:
+            raise ProtocolError(f"lease_ns must be positive, got {lease_ns}")
+        if response_cache_ns is None and lease_ns is not None:
+            response_cache_ns = DEFAULT_RESPONSE_CACHE_NS
+        if response_cache_ns is not None and response_cache_ns <= 0:
+            raise ProtocolError(
+                f"response_cache_ns must be positive, got {response_cache_ns}"
+            )
         self._admission = admission
         self._directory = directory
         self._switch_mac = switch_mac
+        self._lease_ns = lease_ns
+        self._response_cache_ns = response_cache_ns
         #: channels reserved but awaiting the destination's verdict,
-        #: keyed by channel ID; values remember the requesting source.
-        self._awaiting_destination: dict[int, tuple[RTChannel, RequestFrame]] = {}
+        #: keyed by channel ID.
+        self._awaiting_destination: dict[int, _PendingOffer] = {}
+        #: (source MAC, connect request ID) -> channel ID of the pending
+        #: offer, so a retransmitted request finds its reservation.
+        self._offer_by_request: dict[tuple[int, int], int] = {}
+        #: decided logical requests, re-answerable while fresh; ordered
+        #: oldest-first for O(1) expiry/eviction.
+        self._completed: OrderedDict[tuple[int, int], _CompletedVerdict] = (
+            OrderedDict()
+        )
         self.decisions: list[AdmissionDecision] = []
+        # loss-tolerance statistics (plain ints; always maintained)
+        self.stale_frames = 0
+        self.lease_reclaims = 0
+        self.duplicate_requests = 0
+        # optional pre-bound registry counters (None = no telemetry)
+        if metrics is not None:
+            self._m_stale = metrics.counter(
+                "signal.stale_frames",
+                help="duplicate/stale signalling frames absorbed",
+                labels=("site",),
+            ).labels("switch")
+            self._m_reclaims = metrics.counter(
+                "signal.lease_reclaims",
+                help="reservations reclaimed after lease expiry",
+            ).labels()
+            self._m_duplicates = metrics.counter(
+                "signal.duplicate_requests",
+                help="retransmitted RequestFrames answered without "
+                "re-running admission",
+            ).labels()
+        else:
+            self._m_stale = None
+            self._m_reclaims = None
+            self._m_duplicates = None
 
     @property
     def admission(self) -> AdmissionController:
@@ -141,12 +254,55 @@ class SwitchChannelManager:
         """Channels reserved but not yet confirmed by their destination."""
         return len(self._awaiting_destination)
 
+    @property
+    def lease_ns(self) -> int | None:
+        return self._lease_ns
+
     # -- request path -----------------------------------------------------
 
-    def handle_request(self, request: RequestFrame) -> list[SignalAction]:
-        """Process a source node's RequestFrame (steps 2-4 above)."""
+    def handle_request(
+        self, request: RequestFrame, now: int = 0
+    ) -> list[SignalAction]:
+        """Process a source node's RequestFrame (steps 2-4 above).
+
+        ``now`` is the switch's sim clock; it stamps lease expiries and
+        ages the completed-verdict cache. The default keeps direct
+        (simulator-less) unit-test drives working unchanged.
+        """
+        self._purge_completed(now)
         source = self._directory.by_mac(request.source_mac)
         destination = self._directory.by_mac(request.destination_mac)
+        key = (request.source_mac, request.connect_request_id)
+        # A retransmission of an offer still awaiting its destination:
+        # re-forward the identical stamped offer, refresh the lease, and
+        # do NOT run admission again (the reservation already exists).
+        offered_id = self._offer_by_request.get(key)
+        if offered_id is not None:
+            offer = self._awaiting_destination[offered_id]
+            if offer.expires_at is not None:
+                offer.expires_at = now + self._lease_ns
+            self.duplicate_requests += 1
+            if self._m_duplicates is not None:
+                self._m_duplicates.inc()
+            return [SignalAction(target=destination.name, frame=offer.request)]
+        # A retransmission of an already-decided request: re-answer from
+        # the cache (the first final response was evidently lost).
+        verdict = self._completed.get(key)
+        if verdict is not None:
+            self.duplicate_requests += 1
+            if self._m_duplicates is not None:
+                self._m_duplicates.inc()
+            reply = ResponseFrame(
+                connect_request_id=request.connect_request_id,
+                rt_channel_id=verdict.channel_id if verdict.ok else 0,
+                switch_mac=self._switch_mac,
+                ok=verdict.ok,
+            )
+            return [
+                SignalAction(
+                    target=source.name, frame=reply, grant=verdict.grant
+                )
+            ]
         spec = ChannelSpec(
             period=request.period,
             capacity=request.capacity,
@@ -155,6 +311,7 @@ class SwitchChannelManager:
         decision = self._admission.request(source.name, destination.name, spec)
         self.decisions.append(decision)
         if not decision.accepted:
+            self._record_verdict(key, ok=False, channel_id=0, grant=None, now=now)
             reject = ResponseFrame(
                 connect_request_id=request.connect_request_id,
                 rt_channel_id=0,
@@ -164,21 +321,39 @@ class SwitchChannelManager:
             return [SignalAction(target=source.name, frame=reject)]
         channel = decision.channel
         stamped = request.with_channel_id(channel.channel_id)
-        self._awaiting_destination[channel.channel_id] = (channel, stamped)
+        expires = None if self._lease_ns is None else now + self._lease_ns
+        self._awaiting_destination[channel.channel_id] = _PendingOffer(
+            channel=channel, request=stamped, expires_at=expires
+        )
+        self._offer_by_request[key] = channel.channel_id
         channel.state = ChannelState.OFFERED
         return [SignalAction(target=destination.name, frame=stamped)]
 
     # -- response path ------------------------------------------------------
 
-    def handle_response(self, response: ResponseFrame) -> list[SignalAction]:
-        """Process the destination's ResponseFrame (step 5 above)."""
+    def handle_response(
+        self, response: ResponseFrame, now: int = 0
+    ) -> list[SignalAction]:
+        """Process the destination's ResponseFrame (step 5 above).
+
+        A response for a channel that is not awaiting a verdict (already
+        resolved, or its lease was reclaimed) is absorbed and counted,
+        not raised: on lossy wires with retransmission it is expected
+        network behaviour, and duplicated verdicts are already handled
+        idempotently on the source side.
+        """
+        self._purge_completed(now)
         pending = self._awaiting_destination.pop(response.rt_channel_id, None)
         if pending is None:
-            raise ProtocolError(
-                f"response for channel {response.rt_channel_id}, which is "
-                "not awaiting a destination verdict"
-            )
-        channel, request = pending
+            self.stale_frames += 1
+            if self._m_stale is not None:
+                self._m_stale.inc()
+            return []
+        channel, request = pending.channel, pending.request
+        del self._offer_by_request[
+            (request.source_mac, request.connect_request_id)
+        ]
+        key = (request.source_mac, request.connect_request_id)
         source = self._directory.by_mac(request.source_mac)
         forwarded = ResponseFrame(
             connect_request_id=request.connect_request_id,
@@ -189,6 +364,7 @@ class SwitchChannelManager:
         if not response.ok:
             self._admission.release(channel.channel_id)
             channel.state = ChannelState.REJECTED
+            self._record_verdict(key, ok=False, channel_id=0, grant=None, now=now)
             return [SignalAction(target=source.name, frame=forwarded)]
         channel.state = ChannelState.ACTIVE
         grant = ChannelGrant(
@@ -197,6 +373,9 @@ class SwitchChannelManager:
             destination=channel.destination,
             spec=channel.spec,
             uplink_deadline_slots=channel.uplink_deadline,
+        )
+        self._record_verdict(
+            key, ok=True, channel_id=channel.channel_id, grant=grant, now=now
         )
         return [SignalAction(target=source.name, frame=forwarded, grant=grant)]
 
@@ -208,10 +387,89 @@ class SwitchChannelManager:
         Fire-and-forget: the source already dropped its grant before
         sending the teardown, so no confirmation flows back (a stray
         confirmation would collide with the connect-request ID space --
-        the paper defines no release handshake at all).
+        the paper defines no release handshake at all). Sources repeat
+        TeardownFrames on lossy wires, so an unknown / already-released
+        channel ID is absorbed and counted, never raised.
         """
-        self._admission.release(teardown.rt_channel_id)
+        try:
+            self._admission.release(teardown.rt_channel_id)
+        except UnknownChannelError:
+            self.stale_frames += 1
+            if self._m_stale is not None:
+                self._m_stale.inc()
+            return []
+        # The channel is gone: a duplicate request for the logical
+        # request that created it must not resurrect the dead grant.
+        self._forget_channel_verdicts(teardown.rt_channel_id)
         return []
+
+    # -- reservation leases -------------------------------------------------
+
+    def reclaim_expired(self, now: int) -> tuple[int, ...]:
+        """Release every pending offer whose lease expired by ``now``.
+
+        Returns the reclaimed channel IDs (empty when leases are off or
+        nothing expired). A late destination response for a reclaimed
+        channel is subsequently absorbed as stale; a retransmitted
+        source request re-runs admission from scratch.
+        """
+        expired = [
+            channel_id
+            for channel_id, offer in self._awaiting_destination.items()
+            if offer.expires_at is not None and now >= offer.expires_at
+        ]
+        for channel_id in expired:
+            offer = self._awaiting_destination.pop(channel_id)
+            del self._offer_by_request[
+                (offer.request.source_mac, offer.request.connect_request_id)
+            ]
+            self._admission.release(channel_id)
+            offer.channel.state = ChannelState.REJECTED
+            self.lease_reclaims += 1
+            if self._m_reclaims is not None:
+                self._m_reclaims.inc()
+        return tuple(expired)
+
+    # -- completed-verdict cache ---------------------------------------------
+
+    def _record_verdict(
+        self,
+        key: tuple[int, int],
+        *,
+        ok: bool,
+        channel_id: int,
+        grant: ChannelGrant | None,
+        now: int,
+    ) -> None:
+        if self._response_cache_ns is None:
+            return
+        self._completed.pop(key, None)
+        self._completed[key] = _CompletedVerdict(
+            ok=ok,
+            channel_id=channel_id,
+            grant=grant,
+            expires_at=now + self._response_cache_ns,
+        )
+        while len(self._completed) > _RESPONSE_CACHE_MAX:
+            self._completed.popitem(last=False)
+
+    def _purge_completed(self, now: int) -> None:
+        while self._completed:
+            key, verdict = next(iter(self._completed.items()))
+            if now < verdict.expires_at:
+                break
+            del self._completed[key]
+
+    def _forget_channel_verdicts(self, channel_id: int) -> None:
+        if not self._completed:
+            return
+        dead = [
+            key
+            for key, verdict in self._completed.items()
+            if verdict.ok and verdict.channel_id == channel_id
+        ]
+        for key in dead:
+            del self._completed[key]
 
     # -- forwarding-plane lookups -----------------------------------------------
 

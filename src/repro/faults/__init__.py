@@ -1,0 +1,20 @@
+"""Deterministic fault injection for robustness experiments.
+
+The paper's model is error-free; everything in this package is an
+**extension** used to demonstrate that the implementation degrades
+cleanly (EXP-R1/EXP-R2), never silently. See :mod:`repro.faults.plan`.
+"""
+
+from .plan import (
+    FRAME_CLASSES,
+    SIGNALLING_CLASSES,
+    FaultPlan,
+    LinkDownWindow,
+)
+
+__all__ = [
+    "FRAME_CLASSES",
+    "SIGNALLING_CLASSES",
+    "FaultPlan",
+    "LinkDownWindow",
+]

@@ -1,0 +1,242 @@
+"""Targeted, deterministic control-plane fault injection.
+
+:class:`~repro.network.link.HalfLink`'s ``loss_rate`` corrupts frames
+indiscriminately; robustness experiments for the *signalling* plane need
+sharper tools:
+
+* drop a **specific handshake step** (the paper's Figure 18.3/18.4
+  messages each have a distinct on-wire shape, so arrivals classify
+  without any out-of-band tagging);
+* drop the **n-th occurrence** of a frame class exactly once (the
+  "every handshake frame lost exactly once" test matrix);
+* apply per-class **Bernoulli loss** with independent, named RNG
+  streams (losing requests at 20% must not reshuffle the draws for
+  teardowns);
+* take a link down for a **scheduled time window** (cable pull /
+  switchover), matching links by ``fnmatch`` pattern.
+
+A :class:`FaultPlan` is consulted by every :class:`HalfLink` it is
+installed on (``build_star(fault_plan=...)`` installs one plan on every
+wire) at frame-arrival time, before the legacy Bernoulli draw. All
+randomness comes from a :class:`~repro.sim.rng.RngRegistry` seeded at
+construction, so a plan is a pure function of (seed, arrival sequence):
+two runs over the same traffic see identical drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..protocol.ethernet import EthernetFrame, FrameKind
+from ..protocol.frames import FrameType, RequestFrame, ResponseFrame, TeardownFrame
+from ..sim.rng import RngRegistry
+
+__all__ = [
+    "FRAME_CLASSES",
+    "SIGNALLING_CLASSES",
+    "FaultPlan",
+    "LinkDownWindow",
+]
+
+#: The switch's name in frame source/destination fields (mirrors
+#: :data:`repro.network.node.SWITCH_NAME`; duplicated to keep this
+#: module import-light).
+_SWITCH_SOURCE = "switch"
+
+#: Every frame class :meth:`FaultPlan.classify` can produce. The five
+#: signalling classes are the handshake steps of Figures 18.3/18.4 plus
+#: the teardown extension:
+#:
+#: * ``request``        -- source -> switch RequestFrame
+#: * ``offer``          -- switch -> destination stamped RequestFrame
+#: * ``dest-response``  -- destination -> switch ResponseFrame
+#: * ``final-response`` -- switch -> source ResponseFrame (verdict)
+#: * ``teardown``       -- source -> switch TeardownFrame
+FRAME_CLASSES = (
+    "request",
+    "offer",
+    "dest-response",
+    "final-response",
+    "teardown",
+    "rt-data",
+    "best-effort",
+)
+
+#: The control-plane subset of :data:`FRAME_CLASSES`.
+SIGNALLING_CLASSES = (
+    "request",
+    "offer",
+    "dest-response",
+    "final-response",
+    "teardown",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDownWindow:
+    """One scheduled outage: frames arriving in the window are dropped.
+
+    ``link`` is an ``fnmatch`` pattern over :class:`HalfLink` names
+    (``"m0->switch"``, ``"switch->*"``, ``"*"``). The window is
+    half-open: ``start_ns <= now < end_ns``.
+    """
+
+    link: str
+    start_ns: int
+    end_ns: int
+
+    def __post_init__(self) -> None:
+        if self.start_ns < 0 or self.end_ns <= self.start_ns:
+            raise ConfigurationError(
+                f"down window needs 0 <= start < end, got "
+                f"[{self.start_ns}, {self.end_ns})"
+            )
+
+    def covers(self, link_name: str, now: int) -> bool:
+        return self.start_ns <= now < self.end_ns and fnmatchcase(
+            link_name, self.link
+        )
+
+
+class FaultPlan:
+    """A deterministic drop schedule over classified frame arrivals.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the per-class RNG streams.
+    bernoulli:
+        ``{frame class: drop probability}``; classes absent drop never.
+    drop_occurrences:
+        ``{frame class: occurrence indices}`` -- drop the n-th arrival
+        (0-based, counted network-wide per class) of that class. The
+        deterministic tool behind "drop each handshake frame exactly
+        once" tests.
+    down_windows:
+        Scheduled :class:`LinkDownWindow` outages.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        bernoulli: Mapping[str, float] | None = None,
+        drop_occurrences: Mapping[str, Sequence[int]] | None = None,
+        down_windows: Sequence[LinkDownWindow] = (),
+    ) -> None:
+        bernoulli = dict(bernoulli or {})
+        drop_occurrences = {
+            cls: frozenset(indices)
+            for cls, indices in (drop_occurrences or {}).items()
+        }
+        for mapping in (bernoulli, drop_occurrences):
+            for cls in mapping:
+                if cls not in FRAME_CLASSES:
+                    raise ConfigurationError(
+                        f"unknown frame class {cls!r}; expected one of "
+                        f"{FRAME_CLASSES}"
+                    )
+        for cls, rate in bernoulli.items():
+            if not (0.0 <= rate < 1.0):
+                raise ConfigurationError(
+                    f"drop probability for {cls!r} must be in [0, 1), "
+                    f"got {rate}"
+                )
+        for cls, indices in drop_occurrences.items():
+            if any(i < 0 for i in indices):
+                raise ConfigurationError(
+                    f"occurrence indices for {cls!r} must be >= 0"
+                )
+        self._bernoulli = bernoulli
+        self._drop_occurrences = drop_occurrences
+        self._down_windows = tuple(down_windows)
+        registry = RngRegistry(seed)
+        self._rngs = {
+            cls: registry.stream(f"fault-{cls}") for cls in bernoulli
+        }
+        #: arrivals seen so far, per class (network-wide).
+        self.seen: dict[str, int] = {cls: 0 for cls in FRAME_CLASSES}
+        #: drops performed, per class.
+        self.drops_by_class: dict[str, int] = {cls: 0 for cls in FRAME_CLASSES}
+        #: drops attributable to down windows (also in drops_by_class).
+        self.window_drops = 0
+
+    @classmethod
+    def signalling_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Uniform Bernoulli loss over every signalling class (EXP-R2)."""
+        return cls(
+            seed=seed,
+            bernoulli={name: rate for name in SIGNALLING_CLASSES},
+        )
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops_by_class.values())
+
+    def signalling_drops(self) -> int:
+        """Drops across the five control-plane classes."""
+        return sum(self.drops_by_class[c] for c in SIGNALLING_CLASSES)
+
+    @staticmethod
+    def classify(frame: EthernetFrame) -> str:
+        """Name the handshake step (or traffic class) ``frame`` carries.
+
+        Signalling payloads normally travel as their bit-exact wire
+        encoding whose first byte is the FrameType tag; the switch's
+        grant-carrying final response is the one structured exception
+        (a ``(ResponseFrame, ChannelGrant)`` tuple). Direction
+        (node->switch vs switch->node) disambiguates the shared
+        CONNECT/RESPONSE formats into distinct handshake steps.
+        """
+        if frame.kind is FrameKind.RT_DATA:
+            return "rt-data"
+        if frame.kind is FrameKind.BEST_EFFORT:
+            return "best-effort"
+        payload = frame.payload_object
+        from_switch = frame.source == _SWITCH_SOURCE
+        if isinstance(payload, tuple):
+            return "final-response"
+        if isinstance(payload, (bytes, bytearray)):
+            tag = payload[0]
+        elif isinstance(payload, RequestFrame):
+            tag = int(FrameType.CONNECT)
+        elif isinstance(payload, ResponseFrame):
+            tag = int(FrameType.RESPONSE)
+        elif isinstance(payload, TeardownFrame):
+            tag = int(FrameType.TEARDOWN)
+        else:
+            raise ConfigurationError(
+                f"cannot classify signalling payload "
+                f"{type(payload).__name__}"
+            )
+        if tag == FrameType.CONNECT:
+            return "offer" if from_switch else "request"
+        if tag == FrameType.RESPONSE:
+            return "final-response" if from_switch else "dest-response"
+        if tag == FrameType.TEARDOWN:
+            return "teardown"
+        raise ConfigurationError(
+            f"unknown signalling type tag {tag}"
+        )
+
+    def should_drop(self, link_name: str, frame: EthernetFrame, now: int) -> bool:
+        """Decide the fate of one arrival (called by the link)."""
+        cls = self.classify(frame)
+        index = self.seen[cls]
+        self.seen[cls] = index + 1
+        for window in self._down_windows:
+            if window.covers(link_name, now):
+                self.window_drops += 1
+                self.drops_by_class[cls] += 1
+                return True
+        targeted = self._drop_occurrences.get(cls)
+        if targeted is not None and index in targeted:
+            self.drops_by_class[cls] += 1
+            return True
+        rate = self._bernoulli.get(cls, 0.0)
+        if rate > 0.0 and float(self._rngs[cls].random()) < rate:
+            self.drops_by_class[cls] += 1
+            return True
+        return False

@@ -61,6 +61,11 @@ class HalfLink:
     loss_rng:
         RNG for loss draws; required when ``loss_rate > 0`` so fault
         injection stays reproducible.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` consulted on every
+        arrival *before* the Bernoulli loss draw; it targets specific
+        frame classes (signalling handshake steps, RT data) and time
+        windows, where ``loss_rate`` corrupts indiscriminately.
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class HalfLink:
         trace: TraceRecorder | None = None,
         loss_rate: float = 0.0,
         loss_rng=None,
+        fault_plan=None,
     ) -> None:
         if not (0.0 <= loss_rate < 1.0):
             raise SimulationError(
@@ -91,11 +97,14 @@ class HalfLink:
         self._busy_until = -1
         self._loss_rate = loss_rate
         self._loss_rng = loss_rng
+        self._fault_plan = fault_plan
         # statistics
         self.frames_carried = 0
         self.bytes_carried = 0
         self.busy_ns = 0
         self.frames_lost = 0
+        #: subset of ``frames_lost`` dropped by the fault plan.
+        self.frames_faulted = 0
 
     @property
     def busy(self) -> bool:
@@ -108,11 +117,42 @@ class HalfLink:
         return self._busy_until
 
     def utilization(self, since_ns: int = 0) -> float:
-        """Fraction of wall-clock the wire has been busy since ``since_ns``."""
-        elapsed = self._sim.now - since_ns
+        """Fraction of wall-clock the wire has been busy since time zero.
+
+        Only ``since_ns=0`` is supported: ``busy_ns`` is a lifetime
+        total, so dividing it by a *window* would over-report (busy time
+        accumulated before the window start leaks into the numerator --
+        the old behaviour, masked by the ``min(1.0, ...)`` cap). For a
+        windowed measurement take a :meth:`busy_mark` at the window
+        start and ask :meth:`utilization_since`.
+        """
+        if since_ns != 0:
+            raise SimulationError(
+                "utilization(since_ns != 0) would divide lifetime busy time "
+                "by a window; use busy_mark()/utilization_since(mark) for "
+                "windowed utilization"
+            )
+        if self._sim.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / self._sim.now)
+
+    def busy_mark(self) -> tuple[int, int]:
+        """Snapshot ``(now, busy_ns)`` to start a utilization window."""
+        return (self._sim.now, self.busy_ns)
+
+    def utilization_since(self, mark: tuple[int, int]) -> float:
+        """Busy fraction since a :meth:`busy_mark` snapshot.
+
+        Both the elapsed time and the busy time are differenced against
+        the mark, so the result is exact for the window (transmissions
+        crossing the window start are credited to their start instant,
+        consistent with how ``busy_ns`` accrues).
+        """
+        mark_ns, mark_busy = mark
+        elapsed = self._sim.now - mark_ns
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_ns / elapsed)
+        return min(1.0, (self.busy_ns - mark_busy) / elapsed)
 
     def transmit(self, frame: EthernetFrame) -> int:
         """Put ``frame`` on the wire now. Returns the completion time (ns).
@@ -165,6 +205,20 @@ class HalfLink:
             self.on_idle()
 
     def _arrive(self, frame: EthernetFrame) -> None:
+        if self._fault_plan is not None and self._fault_plan.should_drop(
+            self.name, frame, self._sim.now
+        ):
+            self.frames_lost += 1
+            self.frames_faulted += 1
+            if self._trace.enabled_for("link.lost"):
+                self._trace.record(
+                    self._sim.now,
+                    "link.lost",
+                    self.name,
+                    frame.describe(),
+                    fields={"cause": "fault-plan"},
+                )
+            return
         if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
             self.frames_lost += 1
             if self._trace.enabled_for("link.lost"):

@@ -38,9 +38,12 @@ from ..protocol.frames import (
     TEARDOWN_FRAME_BYTES,
 )
 from ..protocol.signaling import (
+    EXPLICIT_TEARDOWN_ID,
     ConnectionRequestState,
     DestinationPolicy,
     PendingRequest,
+    ResponseKind,
+    RetryPolicy,
     SourceSignaling,
     accept_all,
     destination_response,
@@ -55,7 +58,24 @@ __all__ = ["EndNode"]
 #: Name used for the switch endpoint in frame source/destination fields.
 SWITCH_NAME = "switch"
 
+#: Default gap between repeated TeardownFrames (see
+#: :meth:`EndNode.teardown_channel`): long enough for the previous copy
+#: to clear the handshake RTT, short against any retry timeout.
+TEARDOWN_SPACING_NS = 250_000
+
 RequestCallback = Callable[[PendingRequest, ChannelGrant | None], None]
+
+
+class _RetryState:
+    """Live retransmission bookkeeping for one outstanding request."""
+
+    __slots__ = ("policy", "rng", "attempt", "frame")
+
+    def __init__(self, policy: RetryPolicy, rng, frame: RequestFrame) -> None:
+        self.policy = policy
+        self.rng = rng
+        self.attempt = 0
+        self.frame = frame
 
 
 class EndNode:
@@ -80,6 +100,11 @@ class EndNode:
         everything (the paper's evaluation never declines).
     trace:
         Optional trace recorder.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        given, ``signal.retries`` and ``signal.stale_frames``
+        (site="node") are pre-bound so the per-event cost is one
+        ``is not None`` check.
     """
 
     def __init__(
@@ -93,6 +118,7 @@ class EndNode:
         metrics: MetricsCollector,
         destination_policy: DestinationPolicy = accept_all,
         trace: TraceRecorder | None = None,
+        registry=None,
     ) -> None:
         self._sim = sim
         self._phy = phy
@@ -112,9 +138,32 @@ class EndNode:
         #: set by the topology builder once the uplink wire exists.
         self.uplink: OutputPort | None = None
         self._request_callbacks: dict[int, RequestCallback] = {}
+        #: retransmission state per outstanding request ID.
+        self._retry_state: dict[int, _RetryState] = {}
+        #: how many times each TeardownFrame is sent (lossy wires lose
+        #: fire-and-forget frames; repeats make the release survive).
+        self.teardown_repeats = 1
         #: channels this node receives on (destination side), id -> capacity.
         self.incoming_channels: dict[int, int] = {}
         self.frames_received = 0
+        #: RequestFrame retransmissions performed by this node.
+        self.signal_retries = 0
+        #: duplicate/stale responses absorbed by this node.
+        self.signal_stale_frames = 0
+        if registry is not None:
+            self._m_retries = registry.counter(
+                "signal.retries",
+                help="RequestFrame retransmissions",
+                labels=("node",),
+            ).labels(name)
+            self._m_stale = registry.counter(
+                "signal.stale_frames",
+                help="duplicate/stale signalling frames absorbed",
+                labels=("site",),
+            ).labels("node")
+        else:
+            self._m_retries = None
+            self._m_stale = None
         #: signalling frames that arrived as wire bytes and were decoded
         #: with the bit-exact codec (fidelity counter for tests).
         self.signaling_frames_decoded = 0
@@ -145,6 +194,8 @@ class EndNode:
         spec: ChannelSpec,
         on_complete: RequestCallback | None = None,
         timeout_ns: int | None = None,
+        retry: RetryPolicy | None = None,
+        retry_rng=None,
     ) -> None:
         """Send a RequestFrame for a new RT channel to the switch.
 
@@ -152,13 +203,30 @@ class EndNode:
         the completed :class:`PendingRequest` and, on acceptance, the
         installed :class:`ChannelGrant`.
 
-        ``timeout_ns`` arms a local timer: if no response arrives in
-        time (possible only on lossy wires -- the paper's model is
-        error-free), the request completes as ``TIMED_OUT`` with a
-        ``None`` grant, and a late positive response is automatically
-        answered with a teardown so the switch's reservation is not
-        leaked.
+        ``timeout_ns`` arms a one-shot local timer: if no response
+        arrives in time (possible only on lossy wires -- the paper's
+        model is error-free), the request completes as ``TIMED_OUT``
+        with a ``None`` grant, and a late positive response is
+        automatically answered with a teardown so the switch's
+        reservation is not leaked.
+
+        ``retry`` replaces the one-shot timer with retransmission: each
+        expiry within the policy's budget re-sends the identical
+        RequestFrame and re-arms with exponential backoff; the request
+        only becomes ``TIMED_OUT`` once ``max_retries`` retransmissions
+        went unanswered. ``retry_rng`` supplies the jitter draws
+        (required when the policy has jitter > 0). Mutually exclusive
+        with ``timeout_ns``.
         """
+        if retry is not None and timeout_ns is not None:
+            raise SimulationError(
+                "pass either timeout_ns (one-shot) or retry (policy), not both"
+            )
+        if retry is not None and retry.jitter > 0.0 and retry_rng is None:
+            raise SimulationError(
+                "a jittered RetryPolicy needs retry_rng "
+                "(retransmission must stay reproducible)"
+            )
         request = self.signaling.build_request(
             destination=destination_name,
             destination_mac=destination_mac,
@@ -167,19 +235,25 @@ class EndNode:
             capacity=spec.capacity,
             deadline=spec.deadline,
         )
+        rid = request.connect_request_id
         if on_complete is not None:
-            self._request_callbacks[request.connect_request_id] = on_complete
-        if timeout_ns is not None:
+            self._request_callbacks[rid] = on_complete
+        if retry is not None:
+            self._retry_state[rid] = _RetryState(retry, retry_rng, request)
+            self._sim.schedule(
+                retry.delay_ns(0, retry_rng),
+                lambda: self._request_timeout(rid),
+                label=f"{self.name}:req{rid}:timeout",
+            )
+        elif timeout_ns is not None:
             if timeout_ns <= 0:
                 raise SimulationError(
                     f"timeout_ns must be positive, got {timeout_ns}"
                 )
             self._sim.schedule(
                 timeout_ns,
-                lambda rid=request.connect_request_id: self._request_timeout(
-                    rid
-                ),
-                label=f"{self.name}:req{request.connect_request_id}:timeout",
+                lambda: self._request_timeout(rid),
+                label=f"{self.name}:req{rid}:timeout",
             )
         self._send_signaling(request, payload_bytes=REQUEST_FRAME_BYTES)
         if self._trace.enabled_for("signal.request"):
@@ -187,15 +261,48 @@ class EndNode:
                 self._sim.now,
                 "signal.request",
                 self.name,
-                f"req={request.connect_request_id} -> {destination_name}",
+                f"req={rid} -> {destination_name}",
                 fields={
-                    "request": request.connect_request_id,
+                    "request": rid,
                     "destination": destination_name,
                 },
             )
 
     def _request_timeout(self, connect_request_id: int) -> None:
         """Timer expiry for one outstanding request (no-op if completed)."""
+        state = self._retry_state.get(connect_request_id)
+        if state is not None:
+            if not self.signaling.is_pending(connect_request_id):
+                # the response won the race; nothing left to retry
+                self._retry_state.pop(connect_request_id, None)
+                return
+            if state.attempt < state.policy.max_retries:
+                state.attempt += 1
+                self.signal_retries += 1
+                if self._m_retries is not None:
+                    self._m_retries.inc()
+                self.signaling.pending_request(connect_request_id).retries += 1
+                if self._trace.enabled_for("signal.retry"):
+                    self._trace.record(
+                        self._sim.now,
+                        "signal.retry",
+                        self.name,
+                        f"req={connect_request_id} attempt={state.attempt}",
+                        fields={
+                            "request": connect_request_id,
+                            "attempt": state.attempt,
+                        },
+                    )
+                self._send_signaling(
+                    state.frame, payload_bytes=REQUEST_FRAME_BYTES
+                )
+                self._sim.schedule(
+                    state.policy.delay_ns(state.attempt, state.rng),
+                    lambda: self._request_timeout(connect_request_id),
+                    label=f"{self.name}:req{connect_request_id}:timeout",
+                )
+                return
+            self._retry_state.pop(connect_request_id, None)
         try:
             record = self.signaling.timeout_request(connect_request_id)
         except ProtocolError:
@@ -212,12 +319,49 @@ class EndNode:
         if callback is not None:
             callback(record, None)
 
-    def teardown_channel(self, channel_id: int) -> None:
-        """Release an established sending channel."""
+    def teardown_channel(
+        self,
+        channel_id: int,
+        repeats: int | None = None,
+        spacing_ns: int = TEARDOWN_SPACING_NS,
+    ) -> None:
+        """Release an established sending channel.
+
+        The TeardownFrame carries :data:`EXPLICIT_TEARDOWN_ID` in the
+        connect-request field (that ID is never allocated to a real
+        request, so traces can tell explicit teardowns apart). On lossy
+        wires a lost teardown would strand the switch's reservation
+        forever -- ``repeats`` (default :attr:`teardown_repeats`) sends
+        the frame that many times, ``spacing_ns`` apart; the switch
+        absorbs whichever duplicates survive.
+        """
+        repeats = self.teardown_repeats if repeats is None else repeats
+        if repeats < 1:
+            raise SimulationError(f"repeats must be >= 1, got {repeats}")
+        if spacing_ns <= 0:
+            raise SimulationError(
+                f"spacing_ns must be positive, got {spacing_ns}"
+            )
         self.rt_layer.remove_grant(channel_id)
         self._active_sources.discard(channel_id)
-        frame = TeardownFrame(connect_request_id=0, rt_channel_id=channel_id)
+        frame = TeardownFrame(
+            connect_request_id=EXPLICIT_TEARDOWN_ID, rt_channel_id=channel_id
+        )
+        self._repeat_teardown(frame, repeats, spacing_ns)
+
+    def _repeat_teardown(
+        self, frame: TeardownFrame, repeats: int, spacing_ns: int
+    ) -> None:
+        """Send ``frame`` now and ``repeats - 1`` more times afterwards."""
         self._send_signaling(frame, payload_bytes=TEARDOWN_FRAME_BYTES)
+        for i in range(1, repeats):
+            self._sim.schedule(
+                i * spacing_ns,
+                lambda f=frame: self._send_signaling(
+                    f, payload_bytes=TEARDOWN_FRAME_BYTES
+                ),
+                label=f"{self.name}:ch{frame.rt_channel_id}:teardown",
+            )
 
     def _send_signaling(self, payload, payload_bytes: int) -> None:
         """Encode a signalling frame to real bytes and queue it.
@@ -437,16 +581,38 @@ class EndNode:
         self, response: ResponseFrame, grant: ChannelGrant | None
     ) -> None:
         """The switch's final verdict on one of our requests arrived."""
-        completed = self.signaling.handle_response(response)
+        kind, completed = self.signaling.handle_response(response)
+        if kind is ResponseKind.STALE or kind is ResponseKind.DUPLICATE:
+            # Expected on lossy wires with retransmission (the switch
+            # re-answers duplicated requests): absorb and count.
+            self.signal_stale_frames += 1
+            if self._m_stale is not None:
+                self._m_stale.inc()
+            if self._trace.enabled_for("signal.stale"):
+                self._trace.record(
+                    self._sim.now,
+                    "signal.stale",
+                    self.name,
+                    f"req={response.connect_request_id} kind={kind.value}",
+                    fields={
+                        "request": response.connect_request_id,
+                        "kind": kind.value,
+                    },
+                )
+            return
+        self._retry_state.pop(response.connect_request_id, None)
         if completed.state is ConnectionRequestState.TIMED_OUT:
             # Late response for a request we already abandoned. If the
-            # switch accepted, its reservation is orphaned: release it.
+            # switch accepted, its reservation is orphaned: release it
+            # (repeated per teardown_repeats so loss cannot re-strand it).
             if response.ok:
                 frame = TeardownFrame(
                     connect_request_id=response.connect_request_id,
                     rt_channel_id=response.rt_channel_id,
                 )
-                self._send_signaling(frame, payload_bytes=TEARDOWN_FRAME_BYTES)
+                self._repeat_teardown(
+                    frame, self.teardown_repeats, TEARDOWN_SPACING_NS
+                )
                 if self._trace.enabled_for("signal.late_response_teardown"):
                     self._trace.record(
                         self._sim.now,

@@ -17,6 +17,12 @@ Downlink EDF keys come straight from the frame's mangled IP header: the
 48-bit end-to-end absolute deadline the source RT layer wrote. The
 switch needs no per-channel deadline state on the forwarding fast path
 -- exactly the property the paper's header trick buys.
+
+Reservation leases: with ``lease_ns`` set, every pending offer gets a
+strong timer event; if the destination's ResponseFrame resolves the
+offer first, the timer is cancelled (O(1), and a cancelled event never
+fires nor extends the run, so fault-free runs stay byte-identical).
+Otherwise the timer fires and the manager reclaims the reservation.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from ..protocol.frames import (
     REQUEST_FRAME_BYTES,
     RESPONSE_FRAME_BYTES,
 )
+from ..sim.events import EventHandle
 from ..sim.kernel import Simulator
 from ..sim.trace import TraceRecorder
 from .node import SWITCH_NAME
@@ -61,6 +68,16 @@ class Switch:
         Node address directory, shared with the topology builder.
     trace:
         Optional trace recorder.
+    lease_ns:
+        Reservation-lease duration for pending offers (None disables
+        leases and every other loss-tolerance behaviour -- see
+        :class:`~repro.core.channel_manager.SwitchChannelManager`).
+    response_cache_ns:
+        Completed-verdict retention for duplicate requests (see the
+        manager; only meaningful with leases enabled).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` for the
+        manager's ``signal.*`` counters.
     """
 
     def __init__(
@@ -71,14 +88,25 @@ class Switch:
         admission: AdmissionController,
         directory: NodeDirectory,
         trace: TraceRecorder | None = None,
+        lease_ns: int | None = None,
+        response_cache_ns: int | None = None,
+        registry=None,
     ) -> None:
         self._sim = sim
         self._phy = phy
         self.mac = mac
         self._trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.manager = SwitchChannelManager(
-            admission=admission, directory=directory, switch_mac=mac
+            admission=admission,
+            directory=directory,
+            switch_mac=mac,
+            lease_ns=lease_ns,
+            response_cache_ns=response_cache_ns,
+            metrics=registry,
         )
+        self._lease_ns = lease_ns
+        #: live lease timers keyed by pending-offer channel ID.
+        self._lease_events: dict[int, EventHandle] = {}
         self._ports: dict[str, OutputPort] = {}
         self.frames_forwarded = 0
         self.frames_dropped = 0
@@ -188,9 +216,14 @@ class Switch:
             payload = decode_signaling(bytes(payload))
             self.signaling_frames_decoded += 1
         if isinstance(payload, RequestFrame):
-            actions = self.manager.handle_request(payload)
+            actions = self.manager.handle_request(payload, now=self._sim.now)
+            if self._lease_ns is not None:
+                for action in actions:
+                    if isinstance(action.frame, RequestFrame):
+                        self._arm_lease(action.frame.rt_channel_id)
         elif isinstance(payload, ResponseFrame):
-            actions = self.manager.handle_response(payload)
+            actions = self.manager.handle_response(payload, now=self._sim.now)
+            self._disarm_lease(payload.rt_channel_id)
         elif isinstance(payload, TeardownFrame):
             actions = self.manager.handle_teardown(payload)
         else:
@@ -209,6 +242,43 @@ class Switch:
             )
         for action in actions:
             self._emit_signaling(action)
+
+    # -- reservation leases ----------------------------------------------------
+
+    def _arm_lease(self, channel_id: int) -> None:
+        """(Re)start the lease timer for one pending offer.
+
+        Duplicate requests refresh the lease: the old timer is cancelled
+        and a fresh one armed, matching the expiry the manager stamped.
+        """
+        old = self._lease_events.pop(channel_id, None)
+        if old is not None:
+            old.cancel()
+        self._lease_events[channel_id] = self._sim.schedule(
+            self._lease_ns,
+            lambda cid=channel_id: self._lease_check(cid),
+            label=f"switch:lease:{channel_id}",
+        )
+
+    def _disarm_lease(self, channel_id: int) -> None:
+        handle = self._lease_events.pop(channel_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _lease_check(self, channel_id: int) -> None:
+        self._lease_events.pop(channel_id, None)
+        reclaimed = self.manager.reclaim_expired(self._sim.now)
+        for cid in reclaimed:
+            if cid != channel_id:
+                self._disarm_lease(cid)
+            if self._trace.enabled_for("signal.lease_reclaim"):
+                self._trace.record(
+                    self._sim.now,
+                    "signal.lease_reclaim",
+                    SWITCH_NAME,
+                    f"ch={cid}",
+                    fields={"channel": cid},
+                )
 
     def _emit_signaling(self, action: SignalAction) -> None:
         if isinstance(action.frame, RequestFrame):

@@ -31,7 +31,7 @@ from ..core.partitioning import DeadlinePartitioningScheme, SymmetricDPS
 from ..core.rt_layer import ChannelGrant
 from ..errors import TopologyError
 from ..protocol.ethernet import reset_frame_ids
-from ..protocol.signaling import DestinationPolicy, accept_all
+from ..protocol.signaling import DestinationPolicy, RetryPolicy, accept_all
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from ..sim.trace import TraceRecorder
@@ -80,6 +80,8 @@ class StarNetwork:
         destination: str,
         spec: ChannelSpec,
         timeout_ns: int | None = None,
+        retry: RetryPolicy | None = None,
+        retry_rng=None,
     ) -> ChannelGrant | None:
         """Run the full Request/Response handshake on the simulated wire.
 
@@ -89,7 +91,9 @@ class StarNetwork:
         in that case events interleave correctly anyway).
 
         Returns the grant on acceptance, ``None`` on rejection or (with
-        ``timeout_ns`` set, for lossy networks) on timeout.
+        ``timeout_ns`` or ``retry`` set, for lossy networks) on timeout.
+        ``retry``/``retry_rng`` enable RequestFrame retransmission with
+        backoff (see :meth:`EndNode.request_channel`).
         """
         src = self.node(source)
         dst = self.node(destination)
@@ -105,6 +109,8 @@ class StarNetwork:
             spec=spec,
             on_complete=on_complete,
             timeout_ns=timeout_ns,
+            retry=retry,
+            retry_rng=retry_rng,
         )
         self.sim.run()
         if not result:
@@ -194,6 +200,8 @@ def build_star(
     loss_seed: int = 0,
     record_delays: bool = False,
     telemetry=None,
+    fault_plan=None,
+    signal_lease_ns: int | None = 50_000_000,
 ) -> StarNetwork:
     """Build the paper's star network, fully wired and ready to run.
 
@@ -223,6 +231,17 @@ def build_star(
         ignored), admission verdicts are counted into its registry, and
         the whole network is instrumented
         (:meth:`~repro.obs.bundle.Telemetry.instrument_star`).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`, installed on every
+        wire for targeted control-plane loss (EXP-R2).
+    signal_lease_ns:
+        Reservation-lease duration at the switch (default 50 ms). On
+        error-free wires every lease timer is cancelled when its offer
+        resolves, so the default costs nothing and changes no observable
+        behaviour; under loss it bounds how long a stranded reservation
+        can hold admission capacity. ``None`` disables leases and the
+        switch's duplicate-frame tolerance entirely (the pre-lease,
+        paper-exact state machine).
     """
     names = list(node_names)
     if not names:
@@ -254,6 +273,7 @@ def build_star(
         dps=dps or SymmetricDPS(),
         metrics=None if telemetry is None else telemetry.registry,
     )
+    registry = None if telemetry is None else telemetry.registry
     switch = Switch(
         sim=sim,
         phy=phy,
@@ -261,6 +281,8 @@ def build_star(
         admission=admission,
         directory=directory,
         trace=trace,
+        lease_ns=signal_lease_ns,
+        registry=registry,
     )
 
     nodes: dict[str, EndNode] = {}
@@ -278,6 +300,7 @@ def build_star(
             metrics=metrics,
             destination_policy=destination_policy,
             trace=trace,
+            registry=registry,
         )
         nodes[name] = node
 
@@ -290,6 +313,7 @@ def build_star(
             trace=trace,
             loss_rate=loss_rate,
             loss_rng=loss_rng,
+            fault_plan=fault_plan,
         )
         up_port = OutputPort(
             sim=sim,
@@ -311,6 +335,7 @@ def build_star(
             trace=trace,
             loss_rate=loss_rate,
             loss_rng=loss_rng,
+            fault_plan=fault_plan,
         )
         down_port = OutputPort(
             sim=sim,

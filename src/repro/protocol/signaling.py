@@ -18,24 +18,46 @@ agnostic objects: the network layer feeds them decoded frames and they
 return what to send next. Keeping them pure makes the protocol's corner
 cases (duplicate responses, unknown request IDs, request-ID exhaustion)
 unit-testable without any event loop.
+
+Loss tolerance
+--------------
+The paper's handshake assumes error-free wires. On lossy wires a source
+must *retransmit* its RequestFrame, which means the switch can see the
+same logical request twice and the source can see the same final
+response twice (once for the original, once for a retransmission the
+switch re-answered). :meth:`SourceSignaling.handle_response` therefore
+classifies every response (:class:`ResponseKind`) instead of raising on
+anything unexpected, and :class:`RetryPolicy` describes the
+deterministic exponential-backoff schedule the network layer drives.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
-from ..errors import ProtocolError
+from ..errors import ConfigurationError, ProtocolError
 from .frames import RequestFrame, ResponseFrame
 
 __all__ = [
+    "EXPLICIT_TEARDOWN_ID",
     "ConnectionRequestState",
     "PendingRequest",
+    "ResponseKind",
+    "ResponseOutcome",
+    "RetryPolicy",
     "SourceSignaling",
     "DestinationPolicy",
     "accept_all",
 ]
+
+#: Connection-request ID reserved for *explicit* (application-driven)
+#: TeardownFrames. The 8-bit field must carry something; 0 used to
+#: collide with a legal request ID, so the ID allocator now never hands
+#: out 0 and traces can tell an explicit teardown (ID 0) from the
+#: late-response teardown path (which echoes the request's real ID).
+EXPLICIT_TEARDOWN_ID = 0
 
 
 class ConnectionRequestState(enum.Enum):
@@ -61,6 +83,95 @@ class PendingRequest:
     deadline: int
     state: ConnectionRequestState = ConnectionRequestState.PENDING
     rt_channel_id: int = -1
+    #: RequestFrame retransmissions performed for this request.
+    retries: int = 0
+
+
+class ResponseKind(enum.Enum):
+    """Classification of one incoming ResponseFrame at the source."""
+
+    #: First response for a pending request: the handshake is complete.
+    COMPLETED = "completed"
+    #: First response for a locally timed-out request; if positive, the
+    #: switch's reservation is orphaned and must be torn down.
+    LATE = "late"
+    #: Repeat of a verdict already delivered (retransmitted request made
+    #: the switch answer twice, or the original and re-answer both got
+    #: through). Safe to absorb.
+    DUPLICATE = "duplicate"
+    #: Matches nothing this node knows about -- absorbed and counted,
+    #: never installed.
+    STALE = "stale"
+
+
+class ResponseOutcome(NamedTuple):
+    """What :meth:`SourceSignaling.handle_response` concluded."""
+
+    kind: ResponseKind
+    #: The matched request record (None only for ``STALE``).
+    request: PendingRequest | None
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Deterministic exponential backoff for RequestFrame retransmission.
+
+    Attempt ``k`` (0-based; attempt 0 is the initial send) waits
+    ``timeout_ns * backoff**k`` before retransmitting, clamped to
+    ``max_timeout_ns``, with a symmetric multiplicative jitter of
+    ``+/- jitter`` drawn from the caller-supplied RNG stream so
+    simultaneous requesters decorrelate without losing reproducibility.
+
+    ``max_retries`` counts *retransmissions*: a request is sent at most
+    ``1 + max_retries`` times before the source gives up (TIMED_OUT).
+    ``max_retries=0`` reproduces the old one-shot give-up timer.
+    """
+
+    timeout_ns: int
+    max_retries: int = 0
+    backoff: float = 2.0
+    jitter: float = 0.0
+    max_timeout_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_ns <= 0:
+            raise ConfigurationError(
+                f"timeout_ns must be positive, got {self.timeout_ns}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be >= 1 (delays must not shrink), "
+                f"got {self.backoff}"
+            )
+        if not (0.0 <= self.jitter < 1.0):
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.max_timeout_ns is not None and self.max_timeout_ns < self.timeout_ns:
+            raise ConfigurationError(
+                f"max_timeout_ns ({self.max_timeout_ns}) must be >= "
+                f"timeout_ns ({self.timeout_ns})"
+            )
+
+    def delay_ns(self, attempt: int, rng=None) -> int:
+        """Wait before declaring attempt ``attempt`` lost (integer ns)."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        delay = self.timeout_ns * (self.backoff ** attempt)
+        if self.max_timeout_ns is not None:
+            delay = min(delay, float(self.max_timeout_ns))
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ConfigurationError(
+                    "a jittered RetryPolicy needs an rng stream "
+                    "(retransmission must stay reproducible)"
+                )
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(1, int(delay))
 
 
 class SourceSignaling:
@@ -68,9 +179,10 @@ class SourceSignaling:
 
     The 8-bit *connection request ID* field exists so a node can tell
     apart responses to several concurrent requests (Section 18.2.2);
-    this class allocates those IDs, refuses to exceed 256 concurrent
-    outstanding requests (the field cannot express more), and pairs each
-    ResponseFrame with its request.
+    this class allocates those IDs, refuses to exceed 255 concurrent
+    outstanding requests (ID 0 is reserved for explicit teardowns, see
+    :data:`EXPLICIT_TEARDOWN_ID`), and pairs each ResponseFrame with its
+    request.
 
     Parameters
     ----------
@@ -82,7 +194,9 @@ class SourceSignaling:
         This node's 32-bit IP address.
     """
 
-    MAX_OUTSTANDING = 256  # 8-bit connection request ID space
+    #: 8-bit connection request ID space minus the reserved teardown ID.
+    MAX_OUTSTANDING = 255
+    _ID_SPACE = 256  # width of the wire field
 
     def __init__(self, node_mac: int, switch_mac: int, node_ip: int) -> None:
         self._node_mac = node_mac
@@ -92,7 +206,12 @@ class SourceSignaling:
         #: requests that timed out locally; a late response must still be
         #: recognizable so the orphaned switch reservation can be freed.
         self._timed_out: dict[int, PendingRequest] = {}
-        self._next_hint = 0
+        #: last delivered verdict per ID, so a duplicated final response
+        #: (the switch re-answers retransmitted requests) is recognized
+        #: instead of treated as a protocol violation. Entries are
+        #: dropped when their ID is reallocated to a fresh request.
+        self._completed_recent: dict[int, PendingRequest] = {}
+        self._next_hint = 1
         self.completed: list[PendingRequest] = []
 
     @property
@@ -100,20 +219,37 @@ class SourceSignaling:
         """Number of requests still awaiting a response."""
         return len(self._pending)
 
+    def is_pending(self, connect_request_id: int) -> bool:
+        """True while ``connect_request_id`` still awaits its response."""
+        return connect_request_id in self._pending
+
+    def pending_request(self, connect_request_id: int) -> PendingRequest:
+        """The live record for a pending request (raises if not pending)."""
+        request = self._pending.get(connect_request_id)
+        if request is None:
+            raise ProtocolError(
+                f"connection request {connect_request_id} is not pending"
+            )
+        return request
+
     def _allocate_request_id(self) -> int:
         # Timed-out IDs stay reserved until their late response arrives
         # (or forever, if it was truly lost) -- reusing one would pair a
-        # new request with a stale response.
+        # new request with a stale response. ID 0 is never allocated
+        # (EXPLICIT_TEARDOWN_ID).
         in_use = len(self._pending) + len(self._timed_out)
         if in_use >= self.MAX_OUTSTANDING:
             raise ProtocolError(
-                "all 256 connection-request IDs are outstanding; wait for "
+                "all 255 connection-request IDs are outstanding; wait for "
                 "responses before issuing more requests"
             )
         for offset in range(self.MAX_OUTSTANDING):
-            candidate = (self._next_hint + offset) % self.MAX_OUTSTANDING
+            candidate = 1 + (self._next_hint - 1 + offset) % self.MAX_OUTSTANDING
             if candidate not in self._pending and candidate not in self._timed_out:
-                self._next_hint = (candidate + 1) % self.MAX_OUTSTANDING
+                self._next_hint = 1 + candidate % self.MAX_OUTSTANDING
+                # the ID is being reused for a new logical request: a
+                # duplicate of the *old* verdict must no longer match.
+                self._completed_recent.pop(candidate, None)
                 return candidate
         raise ProtocolError("request ID space exhausted")  # pragma: no cover
 
@@ -151,37 +287,49 @@ class SourceSignaling:
             deadline=deadline,
         )
 
-    def handle_response(self, response: ResponseFrame) -> PendingRequest:
-        """Consume the switch's final ResponseFrame for one request.
+    def handle_response(self, response: ResponseFrame) -> ResponseOutcome:
+        """Classify and consume one ResponseFrame from the switch.
 
-        Returns the completed request record (state ``ACCEPTED`` with the
-        assigned channel ID, or ``REJECTED``). Raises
-        :class:`~repro.errors.ProtocolError` for responses that match no
-        outstanding request -- duplicates and strays must be surfaced,
-        not silently absorbed, because in a real deployment they indicate
-        switch or network misbehaviour.
+        Never raises for unexpected responses: on lossy wires with
+        retransmission, duplicated and stale responses are *expected*
+        network behaviour, so they are classified
+        (:class:`ResponseKind`) for the caller to count rather than
+        treated as protocol violations.
         """
-        stale = self._timed_out.pop(response.connect_request_id, None)
+        rid = response.connect_request_id
+        stale = self._timed_out.pop(rid, None)
         if stale is not None:
             # Late response for a locally abandoned request. Record the
             # channel ID so the caller can tear down the orphaned switch
             # reservation; the state stays TIMED_OUT.
             if response.ok:
                 stale.rt_channel_id = response.rt_channel_id
-            return stale
-        request = self._pending.pop(response.connect_request_id, None)
+            self._completed_recent[rid] = stale
+            return ResponseOutcome(ResponseKind.LATE, stale)
+        request = self._pending.pop(rid, None)
         if request is None:
-            raise ProtocolError(
-                f"response for unknown connection request ID "
-                f"{response.connect_request_id}"
-            )
+            last = self._completed_recent.get(rid)
+            if last is not None and self._matches_verdict(last, response):
+                return ResponseOutcome(ResponseKind.DUPLICATE, last)
+            return ResponseOutcome(ResponseKind.STALE, None)
         if response.ok:
             request.state = ConnectionRequestState.ACCEPTED
             request.rt_channel_id = response.rt_channel_id
         else:
             request.state = ConnectionRequestState.REJECTED
         self.completed.append(request)
-        return request
+        self._completed_recent[rid] = request
+        return ResponseOutcome(ResponseKind.COMPLETED, request)
+
+    @staticmethod
+    def _matches_verdict(last: PendingRequest, response: ResponseFrame) -> bool:
+        """Is ``response`` a repeat of the verdict already recorded?"""
+        if response.ok:
+            return last.rt_channel_id == response.rt_channel_id
+        return last.state in (
+            ConnectionRequestState.REJECTED,
+            ConnectionRequestState.TIMED_OUT,
+        )
 
     def timeout_request(self, connect_request_id: int) -> PendingRequest:
         """Abandon a pending request that received no response in time.

@@ -170,19 +170,23 @@ class TestHandleResponse:
         assert state.link_load(LinkRef.uplink("a")) == 0
         assert len(state) == 0
 
-    def test_unexpected_response_raises(self):
+    def test_unexpected_response_absorbed(self):
+        # A response for an unknown channel (already resolved or its
+        # lease reclaimed) is expected network behaviour under loss with
+        # retransmission: count it, emit nothing, never raise.
         manager = make_manager()
-        with pytest.raises(ProtocolError):
-            manager.handle_response(
-                ResponseFrame(
-                    connect_request_id=1,
-                    rt_channel_id=9,
-                    switch_mac=SWITCH_MAC,
-                    ok=True,
-                )
+        actions = manager.handle_response(
+            ResponseFrame(
+                connect_request_id=1,
+                rt_channel_id=9,
+                switch_mac=SWITCH_MAC,
+                ok=True,
             )
+        )
+        assert actions == []
+        assert manager.stale_frames == 1
 
-    def test_duplicate_response_raises(self):
+    def test_duplicate_response_absorbed(self):
         manager = make_manager()
         offered = manager.handle_request(request_frame())[0]
         response = ResponseFrame(
@@ -191,9 +195,16 @@ class TestHandleResponse:
             switch_mac=SWITCH_MAC,
             ok=True,
         )
-        manager.handle_response(response)
-        with pytest.raises(ProtocolError):
-            manager.handle_response(response)
+        first = manager.handle_response(response)
+        assert first[0].grant is not None
+        duplicate = manager.handle_response(response)
+        assert duplicate == []
+        assert manager.stale_frames == 1
+        # the channel stays ACTIVE; the duplicate released nothing
+        channel = manager.admission.state.channel(
+            offered.frame.rt_channel_id
+        )
+        assert channel.state is ChannelState.ACTIVE
 
 
 class TestTeardown:
@@ -216,6 +227,158 @@ class TestTeardown:
         assert len(manager.admission.state) == 0
         state = manager.admission.state
         assert state.link_load(LinkRef.uplink("a")) == 0
+
+    def test_duplicate_teardown_absorbed(self):
+        # Nodes repeat TeardownFrames on lossy wires; the second copy
+        # must be a counted no-op, not a crash.
+        manager = make_manager()
+        offered = manager.handle_request(request_frame())[0]
+        channel_id = offered.frame.rt_channel_id
+        manager.handle_response(
+            ResponseFrame(
+                connect_request_id=5,
+                rt_channel_id=channel_id,
+                switch_mac=SWITCH_MAC,
+                ok=True,
+            )
+        )
+        teardown = TeardownFrame(connect_request_id=0, rt_channel_id=channel_id)
+        assert manager.handle_teardown(teardown) == []
+        assert manager.handle_teardown(teardown) == []
+        assert manager.stale_frames == 1
+        assert len(manager.admission.state) == 0
+
+    def test_teardown_for_never_established_channel_absorbed(self):
+        manager = make_manager()
+        actions = manager.handle_teardown(
+            TeardownFrame(connect_request_id=0, rt_channel_id=999)
+        )
+        assert actions == []
+        assert manager.stale_frames == 1
+
+
+def make_lease_manager(lease_ns=1000):
+    directory = make_directory()
+    admission = AdmissionController(
+        SystemState(["a", "b", "c"]), SymmetricDPS()
+    )
+    return SwitchChannelManager(
+        admission=admission,
+        directory=directory,
+        switch_mac=SWITCH_MAC,
+        lease_ns=lease_ns,
+    )
+
+
+class TestReservationLeases:
+    def test_expired_offer_reclaims_capacity(self):
+        manager = make_lease_manager(lease_ns=1000)
+        manager.handle_request(request_frame(), now=0)
+        assert manager.pending_offers == 1
+        assert manager.reclaim_expired(now=999) == ()
+        assert manager.reclaim_expired(now=1000) == (1,)
+        assert manager.pending_offers == 0
+        assert manager.lease_reclaims == 1
+        state = manager.admission.state
+        assert len(state) == 0
+        assert state.link_load(LinkRef.uplink("a")) == 0
+
+    def test_late_response_after_reclaim_absorbed(self):
+        manager = make_lease_manager(lease_ns=1000)
+        offered = manager.handle_request(request_frame(), now=0)[0]
+        manager.reclaim_expired(now=2000)
+        actions = manager.handle_response(
+            ResponseFrame(
+                connect_request_id=5,
+                rt_channel_id=offered.frame.rt_channel_id,
+                switch_mac=SWITCH_MAC,
+                ok=True,
+            ),
+            now=2000,
+        )
+        assert actions == []
+        assert manager.stale_frames == 1
+
+    def test_duplicate_request_reforwards_offer_and_refreshes_lease(self):
+        manager = make_lease_manager(lease_ns=1000)
+        first = manager.handle_request(request_frame(), now=0)
+        again = manager.handle_request(request_frame(), now=500)
+        # identical stamped offer re-forwarded, no second admission run
+        assert again[0].frame == first[0].frame
+        assert len(manager.decisions) == 1
+        assert manager.duplicate_requests == 1
+        assert manager.pending_offers == 1
+        # the lease was refreshed: expiry moved from 1000 to 1500
+        assert manager.reclaim_expired(now=1000) == ()
+        assert manager.reclaim_expired(now=1500) == (1,)
+
+    def test_duplicate_request_after_verdict_reanswers(self):
+        manager = make_lease_manager(lease_ns=1000)
+        offered = manager.handle_request(request_frame(), now=0)[0]
+        channel_id = offered.frame.rt_channel_id
+        final = manager.handle_response(
+            ResponseFrame(
+                connect_request_id=5,
+                rt_channel_id=channel_id,
+                switch_mac=SWITCH_MAC,
+                ok=True,
+            ),
+            now=100,
+        )[0]
+        # the final response was lost; the source retransmits
+        replay = manager.handle_request(request_frame(), now=200)
+        assert len(manager.decisions) == 1  # no second admission run
+        assert replay[0].target == "a"
+        assert replay[0].frame.ok
+        assert replay[0].frame.rt_channel_id == channel_id
+        assert replay[0].grant == final.grant
+
+    def test_duplicate_request_after_rejection_reanswers(self):
+        manager = make_lease_manager(lease_ns=1000)
+        bad = request_frame(d=5)  # d < 2C: rejected outright
+        manager.handle_request(bad, now=0)
+        replay = manager.handle_request(bad, now=100)
+        assert len(manager.decisions) == 1
+        assert not replay[0].frame.ok
+        assert replay[0].grant is None
+
+    def test_teardown_purges_reanswer_cache(self):
+        manager = make_lease_manager(lease_ns=1000)
+        offered = manager.handle_request(request_frame(), now=0)[0]
+        channel_id = offered.frame.rt_channel_id
+        manager.handle_response(
+            ResponseFrame(
+                connect_request_id=5,
+                rt_channel_id=channel_id,
+                switch_mac=SWITCH_MAC,
+                ok=True,
+            ),
+            now=100,
+        )
+        manager.handle_teardown(
+            TeardownFrame(connect_request_id=0, rt_channel_id=channel_id)
+        )
+        # the channel is dead: a same-keyed request must be admitted
+        # fresh, never answered with the stale grant.
+        fresh = manager.handle_request(request_frame(), now=200)
+        assert len(manager.decisions) == 2
+        assert isinstance(fresh[0].frame, RequestFrame)
+
+    def test_verdict_cache_expires(self):
+        manager = make_lease_manager(lease_ns=1000)
+        bad = request_frame(d=5)
+        manager.handle_request(bad, now=0)
+        # past the response-cache TTL the key is treated as a new request
+        from repro.core.channel_manager import DEFAULT_RESPONSE_CACHE_NS
+
+        manager.handle_request(bad, now=DEFAULT_RESPONSE_CACHE_NS + 1)
+        assert len(manager.decisions) == 2
+
+    def test_no_lease_means_no_expiry(self):
+        manager = make_manager()
+        manager.handle_request(request_frame())
+        assert manager.reclaim_expired(now=10**15) == ()
+        assert manager.pending_offers == 1
 
 
 class TestForwardingLookup:

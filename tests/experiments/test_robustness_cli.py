@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.robustness import (
     run_loss_robustness,
     run_phase_robustness,
+    run_signal_loss_robustness,
 )
 
 
@@ -53,6 +54,42 @@ class TestLossRobustness:
     def test_invalid_loss_rate(self):
         with pytest.raises(ConfigurationError):
             run_loss_robustness(loss_rate=1.0)
+
+
+class TestSignalLossRobustness:
+    def test_liveness_and_zero_leaks_at_20_percent(self):
+        report = run_signal_loss_robustness(n_requests=16)
+        assert report.ok
+        assert report.timed_out == 0
+        assert report.resolved == report.requests == 16
+        assert report.leaked_reservations == 0
+        assert report.pending_offers == 0
+        # the run must actually have been stressed and have recovered
+        assert report.signalling_drops > 0
+        assert report.retries > 0
+        assert report.torn_down > 0
+        assert "OK" in report.summary()
+
+    def test_deterministic(self):
+        a = run_signal_loss_robustness(n_requests=12)
+        b = run_signal_loss_robustness(n_requests=12)
+        assert a == b
+
+    def test_zero_loss_needs_no_recovery(self):
+        report = run_signal_loss_robustness(loss_rate=0.0, n_requests=10)
+        assert report.ok
+        assert report.signalling_drops == 0
+        assert report.retries == 0
+        assert report.lease_reclaims == 0
+        # the only duplicates are the teardown repeats themselves
+        # (4 copies sent, 3 absorbed per torn-down channel)
+        assert report.stale_absorbed == 3 * report.torn_down
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_signal_loss_robustness(loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            run_signal_loss_robustness(teardown_fraction=1.5)
 
 
 class TestCliParser:
@@ -158,6 +195,39 @@ class TestCliExecution:
         status = main(["robustness", "loss", "--loss-rate", "0.02"])
         assert status == 0
         assert "loss robustness" in capsys.readouterr().out
+
+    def test_robustness_signal_mode(self, capsys):
+        status = main([
+            "robustness", "signal", "--requests", "12",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "EXP-R2" in out
+        assert "[OK]" in out
+
+    def test_robustness_signal_loss_flag_implies_mode(self, capsys):
+        status = main([
+            "robustness", "--signal-loss", "0.2", "--requests", "12",
+        ])
+        assert status == 0
+        assert "0 leaked reservations" in capsys.readouterr().out
+
+    def test_robustness_signal_telemetry_bundle(self, tmp_path, capsys):
+        from repro.obs import validate_bundle
+
+        out_dir = tmp_path / "exp_r2"
+        status = main([
+            "robustness", "signal", "--requests", "12",
+            "--telemetry-out", str(out_dir),
+        ])
+        assert status == 0
+        assert validate_bundle(out_dir) == []
+        metrics = json.loads((out_dir / "metrics.json").read_text())
+        assert "signal.retries" in metrics
+        assert "signal.stale_frames" in metrics
+
+    def test_robustness_without_mode_is_usage_error(self, capsys):
+        assert main(["robustness"]) == 2
 
     def test_audit_command(self, capsys):
         status = main([

@@ -118,6 +118,43 @@ class TestHalfLink:
         assert link.bytes_carried == 1538 + 84
         assert 0 < link.utilization() <= 1.0
 
+    def test_utilization_window_argument_rejected(self):
+        # regression: utilization(since_ns) used to divide *lifetime*
+        # busy time by the window, over-reporting whenever the wire was
+        # busy before the window started (masked by the min(1.0) cap)
+        sim, phy, link, _ = self.make()
+        link.transmit(be_frame())
+        sim.run()
+        with pytest.raises(SimulationError, match="busy_mark"):
+            link.utilization(since_ns=1)
+
+    def test_utilization_lifetime_fraction(self):
+        sim, phy, link, _ = self.make()
+        assert link.utilization() == 0.0  # before time advances
+        link.transmit(be_frame())
+        sim.run(until=2 * phy.slot_ns)
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_utilization_since_counts_only_the_window(self):
+        sim, phy, link, _ = self.make()
+        # one slot of busy time, then a long idle stretch
+        link.transmit(be_frame())
+        sim.run(until=10 * phy.slot_ns)
+        mark = link.busy_mark()
+        # window: one busy slot out of two
+        link.transmit(be_frame())
+        sim.run(until=12 * phy.slot_ns)
+        assert link.utilization_since(mark) == pytest.approx(0.5)
+        # the naive lifetime/window division would have claimed 100%:
+        # 2 slots of lifetime busy over a 2-slot window
+        assert link.utilization() == pytest.approx(2 / 12)
+
+    def test_utilization_since_empty_window(self):
+        sim, phy, link, _ = self.make()
+        link.transmit(be_frame())
+        sim.run()
+        assert link.utilization_since(link.busy_mark()) == 0.0
+
     def test_back_to_back_via_on_idle(self):
         sim, phy, link, delivered = self.make()
         pending = [be_frame(), be_frame()]
