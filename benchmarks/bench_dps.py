@@ -8,11 +8,12 @@ from repro.experiments.dps_comparison import run_dps_comparison
 from repro.traffic.spec import UniformSpecSampler
 
 
-def test_exp_d1_dps_comparison(benchmark, trials, capsys):
+def test_exp_d1_dps_comparison(benchmark, trials, workers, capsys):
     curve = benchmark.pedantic(
         run_dps_comparison,
         kwargs=dict(
-            requested_counts=tuple(range(20, 201, 20)), trials=trials
+            requested_counts=tuple(range(20, 201, 20)), trials=trials,
+            workers=workers,
         ),
         rounds=1, iterations=1,
     )
@@ -31,7 +32,7 @@ def test_exp_d1_dps_comparison(benchmark, trials, capsys):
 
 
 def test_exp_d1_mixed_sizes_separate_udps_from_adps(benchmark, trials,
-                                                    capsys):
+                                                    workers, capsys):
     """On mixed-size channels, channel count is a poor congestion proxy;
     utilization-weighting (UDPS) can differ from ADPS."""
     sampler = UniformSpecSampler(
@@ -45,6 +46,7 @@ def test_exp_d1_mixed_sizes_separate_udps_from_adps(benchmark, trials,
             requested_counts=(100, 200),
             trials=trials,
             sampler=sampler,
+            workers=workers,
         ),
         rounds=1, iterations=1,
     )

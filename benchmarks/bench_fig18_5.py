@@ -13,11 +13,12 @@ import pytest
 from repro.experiments.fig18_5 import Fig185Config, run_fig18_5
 
 
-def test_fig18_5_series(benchmark, trials, capsys):
+def test_fig18_5_series(benchmark, trials, workers, capsys):
     """Regenerate, print and verify the Figure 18.5 series."""
     fig_result = benchmark.pedantic(
-        run_fig18_5, args=(Fig185Config(trials=trials),), rounds=1,
-        iterations=1,
+        run_fig18_5,
+        args=(Fig185Config(trials=trials, workers=workers),),
+        rounds=1, iterations=1,
     )
     with capsys.disabled():
         print()

@@ -22,9 +22,24 @@ def pytest_addoption(parser):
             "(slower; default uses reduced trials with identical shape)"
         ),
     )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the acceptance sweeps (1 = serial, "
+            "0 = all CPUs; results are identical at any worker count)"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
 def trials(request) -> int:
     """Trials per randomized experiment (20 at full paper scale)."""
     return 20 if request.config.getoption("--full-paper-scale") else 8
+
+
+@pytest.fixture(scope="session")
+def workers(request) -> int:
+    """Sweep worker processes (the --workers benchmark option)."""
+    return request.config.getoption("--workers")

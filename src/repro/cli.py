@@ -31,6 +31,12 @@ Commands
 probe time series, JSONL trace and a Chrome/Perfetto trace) alongside
 their normal output.
 
+The acceptance sweeps (``fig18-5``, ``dps``, ``ablation``,
+``multiswitch``) and ``validate --trials N`` accept ``--workers N`` to
+fan their seeded work units across a process pool (1 = serial, 0 = one
+per CPU); every output -- tables, CSV/JSON exports, telemetry bundles
+-- is byte-identical at any worker count.
+
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
 ``bench-admission`` parity, ``admission-diff``, ``obs check``), 2 on
@@ -65,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trials", type=int, default=10,
                        help="trials per randomized point (default 10)")
         p.add_argument("--seed", type=int, default=2004)
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sweep (1 = serial, "
+                            "0 = all CPUs; results are identical at any "
+                            "worker count)")
         p.add_argument("--csv", metavar="PATH",
                        help="export the series as CSV")
         p.add_argument("--json", metavar="PATH",
@@ -85,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--requests", type=int, default=80)
     validate.add_argument("--hyperperiods", type=int, default=3)
     validate.add_argument("--seed", type=int, default=55)
+    validate.add_argument(
+        "--trials", type=int, default=1,
+        help="independent validation runs (trial 0 uses --seed, trial i "
+             "forks seed i); exit 0 only when every run holds",
+    )
+    validate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --trials > 1 (1 = serial, 0 = all "
+             "CPUs; reports are identical at any worker count)",
+    )
     validate.add_argument(
         "--scheme", choices=["sdps", "adps"], default="adps"
     )
@@ -308,7 +328,9 @@ def _cmd_fig18_5(args) -> int:
     # no simulator in the analytic sweep -> no probes to schedule
     telemetry = _telemetry_for(args, probe_cadence_ns=None)
     result = run_fig18_5(
-        Fig185Config(trials=args.trials, seed=args.seed),
+        Fig185Config(
+            trials=args.trials, seed=args.seed, workers=args.workers
+        ),
         telemetry=telemetry,
     )
     _write_telemetry(telemetry, args)
@@ -331,19 +353,40 @@ def _cmd_validate(args) -> int:
     from .experiments.validation import run_validation
 
     scheme = SymmetricDPS() if args.scheme == "sdps" else AsymmetricDPS()
-    telemetry = _telemetry_for(args, profile=args.profile)
-    report = run_validation(
+    if args.trials > 1 and getattr(args, "telemetry_out", None):
+        print(
+            "repro validate: --telemetry-out needs a single run "
+            "(--trials 1); per-worker simulator bundles cannot be "
+            "merged into one timeline", file=sys.stderr,
+        )
+        return 2
+    run_kwargs = dict(
         n_masters=args.masters,
         n_slaves=args.slaves,
         n_requests=args.requests,
         hyperperiods=args.hyperperiods,
         dps=scheme,
-        seed=args.seed,
         use_wire_handshake=False,
-        telemetry=telemetry,
     )
-    _write_telemetry(telemetry, args)
-    print(report.summary())
+    if args.trials > 1:
+        from .experiments.validation import run_validation_sweep
+
+        reports = run_validation_sweep(
+            args.trials, args.workers, seed=args.seed, **run_kwargs
+        )
+        for trial, trial_report in enumerate(reports):
+            print(f"trial {trial}: {trial_report.summary()}")
+        holding = sum(1 for r in reports if r.holds)
+        print(f"{holding}/{len(reports)} trials hold")
+        report_ok = holding == len(reports)
+    else:
+        telemetry = _telemetry_for(args, profile=args.profile)
+        report = run_validation(
+            seed=args.seed, telemetry=telemetry, **run_kwargs
+        )
+        _write_telemetry(telemetry, args)
+        print(report.summary())
+        report_ok = report.holds
     if args.decompose:
         from .experiments.validation import run_decomposition
 
@@ -370,7 +413,7 @@ def _cmd_validate(args) -> int:
             table,
             title="per-hop delay decomposition (slots, worst first)",
         ))
-    return 0 if report.holds else 1
+    return 0 if report_ok else 1
 
 
 def _cmd_audit(args) -> int:
@@ -444,7 +487,9 @@ def _cmd_ablation(args) -> int:
     )
 
     if args.axis == "symmetric":
-        curve = symmetric_traffic_curve(trials=args.trials, seed=args.seed)
+        curve = symmetric_traffic_curve(
+            trials=args.trials, seed=args.seed, workers=args.workers
+        )
         print(curve.to_table("EXP-A2 -- uniform all-to-all traffic"))
         series = {c.scheme: c.means for c in curve.curves}
         _export(args, "requested", list(curve.requested), series,
@@ -455,7 +500,7 @@ def _cmd_ablation(args) -> int:
         "capacity": capacity_sweep,
         "masters": master_ratio_sweep,
     }[args.axis]
-    points = sweep(trials=args.trials, seed=args.seed)
+    points = sweep(trials=args.trials, seed=args.seed, workers=args.workers)
     rows = [
         [p.value, round(p.sdps_mean, 1), round(p.adps_mean, 1),
          round(p.advantage, 2)]
@@ -477,7 +522,9 @@ def _cmd_ablation(args) -> int:
 def _cmd_dps(args) -> int:
     from .experiments.dps_comparison import run_dps_comparison
 
-    curve = run_dps_comparison(trials=args.trials, seed=args.seed)
+    curve = run_dps_comparison(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
     print(curve.to_table("EXP-D1 -- DPS design space"))
     series = {c.scheme: c.means for c in curve.curves}
     _export(args, "requested", list(curve.requested), series,
@@ -489,7 +536,8 @@ def _cmd_multiswitch(args) -> int:
     from .experiments.multiswitch_exp import run_multiswitch_comparison
 
     points = run_multiswitch_comparison(
-        n_switches=args.switches, trials=args.trials, seed=args.seed
+        n_switches=args.switches, trials=args.trials, seed=args.seed,
+        workers=args.workers,
     )
     rows = [
         [p.requested, round(p.symmetric_mean, 1),

@@ -2,6 +2,8 @@
 
 * :mod:`~repro.experiments.base` -- shared machinery: acceptance-curve
   runner, trial seeding, result containers.
+* :mod:`~repro.experiments.runner` -- deterministic parallel sweep
+  runner (``workers=N`` fan-out with byte-identical results).
 * :mod:`~repro.experiments.fig18_5` -- **EXP-F5**, the paper's
   Figure 18.5 (accepted vs requested channels, SDPS vs ADPS,
   10 masters / 50 slaves, C=3 P=100 d=40).
@@ -17,9 +19,11 @@
 from .base import (
     AcceptanceCurve,
     SchemeCurve,
+    TraceLane,
     acceptance_curve,
     run_requests,
 )
+from .runner import parallel_map, resolve_workers
 from .fig18_5 import Fig185Config, Fig185Result, run_fig18_5
 from .ablations import (
     SweepPoint,
@@ -28,7 +32,11 @@ from .ablations import (
     master_ratio_sweep,
     symmetric_traffic_curve,
 )
-from .validation import ValidationReport, run_validation
+from .validation import (
+    ValidationReport,
+    run_validation,
+    run_validation_sweep,
+)
 from .coexistence import CoexistenceReport, run_coexistence
 from .perf import PerfPoint, feasibility_cost_sweep, make_link_tasks
 from .multiswitch_exp import (
@@ -41,8 +49,11 @@ from .dps_comparison import DEFAULT_SCHEMES, run_dps_comparison
 __all__ = [
     "AcceptanceCurve",
     "SchemeCurve",
+    "TraceLane",
     "acceptance_curve",
     "run_requests",
+    "parallel_map",
+    "resolve_workers",
     "Fig185Config",
     "Fig185Result",
     "run_fig18_5",
@@ -53,6 +64,7 @@ __all__ = [
     "symmetric_traffic_curve",
     "ValidationReport",
     "run_validation",
+    "run_validation_sweep",
     "CoexistenceReport",
     "run_coexistence",
     "PerfPoint",

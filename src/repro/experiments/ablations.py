@@ -65,6 +65,7 @@ def _final_acceptance(
     requests: int,
     trials: int,
     seed: int,
+    workers: int = 1,
 ) -> tuple[float, float]:
     """(sdps, adps) mean accepted at ``requests`` offered channels."""
     masters, slaves = master_slave_names(n_masters, n_slaves)
@@ -78,6 +79,7 @@ def _final_acceptance(
         requested_counts=[requests],
         trials=trials,
         seed=seed,
+        workers=workers,
     )
     return curve.curve("sdps").means[-1], curve.curve("adps").means[-1]
 
@@ -87,6 +89,7 @@ def deadline_sweep(
     requests: int = 200,
     trials: int = 10,
     seed: int = 181,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """EXP-A1: vary the end-to-end deadline, other F5 parameters fixed."""
     if not deadlines:
@@ -94,7 +97,9 @@ def deadline_sweep(
     points = []
     for deadline in deadlines:
         spec = ChannelSpec(period=100, capacity=3, deadline=deadline)
-        sdps, adps = _final_acceptance(10, 50, spec, requests, trials, seed)
+        sdps, adps = _final_acceptance(
+            10, 50, spec, requests, trials, seed, workers
+        )
         points.append(SweepPoint(value=deadline, sdps_mean=sdps, adps_mean=adps))
     return points
 
@@ -104,6 +109,7 @@ def capacity_sweep(
     requests: int = 200,
     trials: int = 10,
     seed: int = 182,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """EXP-A3: vary the per-period capacity, deadline fixed at 40."""
     if not capacities:
@@ -111,7 +117,9 @@ def capacity_sweep(
     points = []
     for capacity in capacities:
         spec = ChannelSpec(period=100, capacity=capacity, deadline=40)
-        sdps, adps = _final_acceptance(10, 50, spec, requests, trials, seed)
+        sdps, adps = _final_acceptance(
+            10, 50, spec, requests, trials, seed, workers
+        )
         points.append(SweepPoint(value=capacity, sdps_mean=sdps, adps_mean=adps))
     return points
 
@@ -122,6 +130,7 @@ def master_ratio_sweep(
     requests: int = 200,
     trials: int = 10,
     seed: int = 183,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """EXP-A4: vary the master share of a fixed 60-node population."""
     points = []
@@ -133,7 +142,7 @@ def master_ratio_sweep(
             )
         spec = ChannelSpec(period=100, capacity=3, deadline=40)
         sdps, adps = _final_acceptance(
-            n_masters, n_slaves, spec, requests, trials, seed
+            n_masters, n_slaves, spec, requests, trials, seed, workers
         )
         points.append(
             SweepPoint(value=n_masters, sdps_mean=sdps, adps_mean=adps)
@@ -146,6 +155,7 @@ def symmetric_traffic_curve(
     requested_counts: tuple[int, ...] = tuple(range(20, 201, 20)),
     trials: int = 10,
     seed: int = 184,
+    workers: int = 1,
 ) -> AcceptanceCurve:
     """EXP-A2: uniform all-to-all traffic -- ADPS should match SDPS."""
     nodes = [f"n{i}" for i in range(n_nodes)]
@@ -159,6 +169,7 @@ def symmetric_traffic_curve(
         requested_counts=requested_counts,
         trials=trials,
         seed=seed,
+        workers=workers,
     )
 
 

@@ -27,6 +27,7 @@ from ..traffic.patterns import ChannelRequest
 
 __all__ = [
     "run_requests",
+    "TraceLane",
     "SchemeCurve",
     "AcceptanceCurve",
     "acceptance_curve",
@@ -45,12 +46,30 @@ RequestFactory = Callable[[int, np.random.Generator], list[ChannelRequest]]
 _ANALYTIC_TICK_NS = 1_000_000
 
 
+@dataclass(frozen=True, slots=True)
+class TraceLane:
+    """Distinct trace identity of one (trial, scheme) run in a sweep.
+
+    Without a lane, every run of a sweep stamps its ``admission.decision``
+    events at the same synthetic timestamps (``offered`` ticks), so a
+    20-trial two-scheme sweep collapses into one indistinguishable pile
+    on the Perfetto timeline. A lane shifts the run by ``offset_ns``
+    (sweeps space runs so their tick ranges never overlap) and tags each
+    event's ``fields`` with the trial and scheme.
+    """
+
+    trial: int
+    scheme: str
+    offset_ns: int = 0
+
+
 def run_requests(
     node_names: Sequence[str],
     requests: Sequence[ChannelRequest],
     dps: DeadlinePartitioningScheme,
     checkpoints: Sequence[int] | None = None,
     telemetry=None,
+    lane: TraceLane | None = None,
 ) -> list[int]:
     """Feed ``requests`` to a fresh admission controller.
 
@@ -59,7 +78,11 @@ def run_requests(
     final count is returned (as a one-element list). An optional
     :class:`~repro.obs.Telemetry` bundle collects verdict counters,
     feasibility-cache statistics and (when tracing is on) one
-    ``admission.decision`` trace event per request.
+    ``admission.decision`` trace event per request; the controller's
+    cache is retired into the bundle's running totals when the run
+    completes, so sweeps do not accumulate dead caches. ``lane`` gives
+    this run a distinct timeline in a multi-run sweep (see
+    :class:`TraceLane`).
     """
     if checkpoints is None:
         checkpoints = [len(requests)]
@@ -88,6 +111,7 @@ def run_requests(
     ):
         counts.append(0)
         next_checkpoint += 1
+    offset_ns = 0 if lane is None else lane.offset_ns
     for offered, request in enumerate(requests, start=1):
         decision = controller.request(
             request.source, request.destination, request.spec
@@ -96,15 +120,19 @@ def run_requests(
             verdict = (
                 "accept" if decision.accepted else decision.reason.value
             )
+            fields: dict[str, object] = {
+                "verdict": verdict,
+                "accepted_so_far": controller.accept_count,
+            }
+            if lane is not None:
+                fields["trial"] = lane.trial
+                fields["scheme"] = lane.scheme
             recorder.record(
-                offered * _ANALYTIC_TICK_NS,
+                offset_ns + offered * _ANALYTIC_TICK_NS,
                 "admission.decision",
                 request.source,
                 f"{request.source}->{request.destination} {verdict}",
-                fields={
-                    "verdict": verdict,
-                    "accepted_so_far": controller.accept_count,
-                },
+                fields=fields,
             )
         while (
             next_checkpoint < len(checkpoints)
@@ -115,6 +143,8 @@ def run_requests(
     while next_checkpoint < len(checkpoints):  # checkpoint 0, or empty input
         counts.append(controller.accept_count)
         next_checkpoint += 1
+    if telemetry is not None:
+        telemetry.retire_cache(controller.cache)
     return counts
 
 
@@ -161,6 +191,29 @@ class AcceptanceCurve:
         )
 
 
+def trial_requests(
+    request_factory: RequestFactory,
+    seed: int,
+    trial: int,
+    max_count: int,
+) -> list[ChannelRequest]:
+    """One trial's request sequence -- a pure function of (seed, trial).
+
+    Every sweep path (serial loop, parallel work unit) draws requests
+    through this helper, so a (trial, scheme) unit regenerated in a
+    worker process sees byte-for-byte the sequence the serial loop
+    would have fed it.
+    """
+    rng = RngRegistry(seed).fork(trial).stream("requests")
+    requests = request_factory(max_count, rng)
+    if len(requests) != max_count:
+        raise ConfigurationError(
+            f"request factory produced {len(requests)} requests, "
+            f"expected {max_count}"
+        )
+    return requests
+
+
 def acceptance_curve(
     node_names: Sequence[str],
     request_factory: RequestFactory,
@@ -169,6 +222,7 @@ def acceptance_curve(
     trials: int,
     seed: int,
     telemetry=None,
+    workers: int = 1,
 ) -> AcceptanceCurve:
     """Run the paired acceptance experiment.
 
@@ -176,6 +230,12 @@ def acceptance_curve(
     is drawn from the trial's RNG stream and fed to every scheme;
     acceptance counts are read at each checkpoint. Results are
     summarized over trials per (scheme, x) pair.
+
+    ``workers`` fans the (trial, scheme) work units across a process
+    pool (see :mod:`repro.experiments.runner`): 1 (the default) runs
+    today's in-process serial loop, 0 uses every available CPU, N > 1
+    uses N processes. The returned curve -- and, with ``telemetry``, the
+    merged metrics/trace bundle -- is identical at any worker count.
     """
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
@@ -184,23 +244,18 @@ def acceptance_curve(
         raise ConfigurationError(
             f"requested_counts must be non-negative, got {requested_counts!r}"
         )
-    max_count = counts[-1]
-    per_scheme: dict[str, list[list[int]]] = {name: [] for name in schemes}
-    for trial in range(trials):
-        rng = RngRegistry(seed).fork(trial).stream("requests")
-        requests = request_factory(max_count, rng)
-        if len(requests) != max_count:
-            raise ConfigurationError(
-                f"request factory produced {len(requests)} requests, "
-                f"expected {max_count}"
-            )
-        for name, factory in schemes.items():
-            per_scheme[name].append(
-                run_requests(
-                    node_names, requests, factory(), counts,
-                    telemetry=telemetry,
-                )
-            )
+    from .runner import sweep_counts
+
+    per_scheme = sweep_counts(
+        node_names=node_names,
+        request_factory=request_factory,
+        schemes=schemes,
+        checkpoints=counts,
+        trials=trials,
+        seed=seed,
+        telemetry=telemetry,
+        workers=workers,
+    )
     curves = []
     for name in schemes:
         matrix = np.asarray(per_scheme[name], dtype=np.float64)

@@ -45,8 +45,14 @@ def run_dps_comparison(
     trials: int = 10,
     seed: int = 405,
     schemes: dict | None = None,
+    telemetry=None,
+    workers: int = 1,
 ) -> AcceptanceCurve:
-    """Paired acceptance comparison across all DPS schemes."""
+    """Paired acceptance comparison across all DPS schemes.
+
+    ``workers`` fans the (trial, scheme) grid across processes (0 = all
+    CPUs); results are identical at any worker count.
+    """
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     masters, slaves = master_slave_names(n_masters, n_slaves)
@@ -60,4 +66,6 @@ def run_dps_comparison(
         requested_counts=requested_counts,
         trials=trials,
         seed=seed,
+        telemetry=telemetry,
+        workers=workers,
     )

@@ -46,6 +46,9 @@ class Fig185Config:
     seed: int = 2004
     #: fraction of requests flowing master -> slave (the paper's pattern).
     master_to_slave_fraction: float = 1.0
+    #: worker processes for the sweep (1 = serial, 0 = all CPUs); the
+    #: result is identical at any value.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_masters <= 0 or self.n_slaves <= 0:
@@ -132,5 +135,6 @@ def run_fig18_5(
         trials=config.trials,
         seed=config.seed,
         telemetry=telemetry,
+        workers=config.workers,
     )
     return Fig185Result(config=config, curve=curve)

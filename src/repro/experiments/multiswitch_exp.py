@@ -83,18 +83,26 @@ def run_multiswitch_comparison(
     spec: ChannelSpec | None = None,
     trials: int = 10,
     seed: int = 303,
+    workers: int = 1,
 ) -> list[MultiSwitchPoint]:
-    """Paired acceptance comparison of the two k-way schemes."""
+    """Paired acceptance comparison of the two k-way schemes.
+
+    ``workers`` fans the (trial, scheme) grid across processes (0 = all
+    CPUs). A work unit regenerates its trial's (master, slave) pairs
+    from ``RngRegistry(seed).fork(trial)`` -- a pure function of the
+    trial index -- so the points are identical at any worker count.
+    """
+    from .runner import parallel_map
+
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     spec = spec or ChannelSpec(period=100, capacity=3, deadline=60)
     counts = sorted(set(requested_counts))
     max_count = counts[-1]
-    totals = {
-        "sym": [[0.0] * len(counts) for _ in range(trials)],
-        "prop": [[0.0] * len(counts) for _ in range(trials)],
-    }
-    for trial in range(trials):
+    schemes = {"sym": MultiHopSymmetric, "prop": MultiHopProportional}
+
+    def run_unit(unit: tuple[int, str]) -> list[float]:
+        trial, key = unit
         rng = RngRegistry(seed).fork(trial).stream("multiswitch-requests")
         pairs = [
             (
@@ -103,22 +111,28 @@ def run_multiswitch_comparison(
             )
             for _ in range(max_count)
         ]
-        for key, scheme in (
-            ("sym", MultiHopSymmetric()),
-            ("prop", MultiHopProportional()),
-        ):
-            fabric, _, _ = build_master_slave_fabric(
-                n_switches, n_masters, n_slaves
-            )
-            admission = MultiSwitchAdmission(fabric=fabric, dps=scheme)
-            checkpoint = 0
-            for offered, (source, destination) in enumerate(pairs, start=1):
-                admission.request(source, destination, spec)
-                while (
-                    checkpoint < len(counts) and counts[checkpoint] == offered
-                ):
-                    totals[key][trial][checkpoint] = admission.accept_count
-                    checkpoint += 1
+        fabric, _, _ = build_master_slave_fabric(
+            n_switches, n_masters, n_slaves
+        )
+        admission = MultiSwitchAdmission(fabric=fabric, dps=schemes[key]())
+        row = [0.0] * len(counts)
+        checkpoint = 0
+        for offered, (source, destination) in enumerate(pairs, start=1):
+            admission.request(source, destination, spec)
+            while (
+                checkpoint < len(counts) and counts[checkpoint] == offered
+            ):
+                row[checkpoint] = admission.accept_count
+                checkpoint += 1
+        return row
+
+    units = [
+        (trial, key) for trial in range(trials) for key in schemes
+    ]
+    rows = parallel_map(run_unit, units, workers)
+    totals: dict[str, list[list[float]]] = {key: [] for key in schemes}
+    for (trial, key), row in zip(units, rows):
+        totals[key].append(row)
     points = []
     for i, requested in enumerate(counts):
         sym = sum(totals["sym"][t][i] for t in range(trials)) / trials

@@ -1,0 +1,193 @@
+"""Deterministic parallel sweep runner.
+
+Every acceptance-curve experiment is a grid of independent work units:
+one (trial, scheme) pair is a pure function of ``(root seed, trial
+index)`` -- the request sequence comes from
+``RngRegistry(seed).fork(trial)`` and the admission controller starts
+empty. That makes the sweep embarrassingly parallel *without* giving up
+reproducibility: this module fans the units across a ``multiprocessing``
+pool and reassembles results in work-unit order, so the
+:class:`~repro.experiments.base.AcceptanceCurve` (and, when telemetry is
+attached, the merged metrics snapshot and trace) is identical at any
+worker count.
+
+Determinism contract
+--------------------
+* Seeds: each unit re-derives its RNG stream from ``(seed, trial)``
+  exactly as the serial loop does -- no worker-local entropy.
+* Order: results are collected with an order-preserving ``Pool.map``
+  and folded trial-major / scheme-inner, the serial execution order.
+* Telemetry: each worker runs with its *own*
+  :class:`~repro.obs.Telemetry`; the parent absorbs the resulting
+  :class:`~repro.obs.TelemetryShard` per unit, in unit order. Counter
+  totals, cache-stat gauges, histogram buckets and the trace-record
+  sequence therefore match the serial bundle.
+
+Processes are started with the ``fork`` method so work units (closures
+over the experiment's request factory) reach the children by
+inheritance rather than pickling; on platforms without ``fork`` the
+runner silently degrades to the in-process serial loop, which is always
+a correct (just slower) execution of the same units.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Mapping, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = ["resolve_workers", "parallel_map", "sweep_counts"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The active (fn, items) job, published module-globally so forked pool
+#: workers inherit it at fork time; only small indices cross the pipe.
+_ACTIVE_JOB: tuple[Callable, list] | None = None
+
+
+def _run_indexed(index: int):
+    fn, items = _ACTIVE_JOB
+    return fn(items[index])
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a ``--workers`` value to a process count.
+
+    1 means the serial in-process path, N > 1 means N worker processes,
+    and 0 means one worker per CPU this process may run on.
+    """
+    if workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 0 (0 = all CPUs), got {workers}"
+        )
+    if workers == 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # platforms without affinity masks
+            return os.cpu_count() or 1
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], workers: int
+) -> list[R]:
+    """Order-preserving map over a fork pool (serial when it must be).
+
+    Falls back to the plain in-process loop when the effective worker
+    count is 1, the item list is trivial, the platform cannot fork, or
+    a parallel map is already running in this process (work units that
+    themselves sweep -- e.g. an ablation point calling a parallel
+    acceptance curve -- run their inner sweep serially instead of
+    forking from a forked worker). Results always come back in item
+    order; a work-unit exception propagates to the caller.
+    """
+    items = list(items)
+    count = min(resolve_workers(workers), len(items))
+    global _ACTIVE_JOB
+    if (
+        count <= 1
+        or _ACTIVE_JOB is not None
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        return [fn(item) for item in items]
+    _ACTIVE_JOB = (fn, items)
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=count) as pool:
+            return pool.map(_run_indexed, range(len(items)), chunksize=1)
+    finally:
+        _ACTIVE_JOB = None
+
+
+def sweep_counts(
+    *,
+    node_names: Sequence[str],
+    request_factory,
+    schemes: Mapping[str, Callable],
+    checkpoints: Sequence[int],
+    trials: int,
+    seed: int,
+    telemetry=None,
+    workers: int = 1,
+) -> dict[str, list[list[int]]]:
+    """Run an acceptance sweep's (trial, scheme) grid; collect counts.
+
+    The engine behind :func:`~repro.experiments.base.acceptance_curve`:
+    returns ``{scheme: [per-trial checkpoint-count lists]}`` with trials
+    in index order. ``checkpoints`` must be sorted and deduplicated
+    (the caller validates). With ``workers`` resolving to 1 this is the
+    classic serial loop -- one request sequence per trial, fed to every
+    scheme against the caller's telemetry bundle directly; otherwise
+    each (trial, scheme) unit regenerates its trial's sequence in a
+    worker (same bytes -- see
+    :func:`~repro.experiments.base.trial_requests`) and ships its
+    telemetry back as a shard.
+    """
+    from .base import _ANALYTIC_TICK_NS, TraceLane, run_requests, trial_requests
+
+    scheme_names = list(schemes)
+    max_count = checkpoints[-1] if checkpoints else 0
+    #: one run's synthetic trace span; lanes are spaced this far apart
+    span_ns = (max_count + 1) * _ANALYTIC_TICK_NS
+
+    def lane_for(trial: int, scheme_index: int) -> TraceLane:
+        run_index = trial * len(scheme_names) + scheme_index
+        return TraceLane(
+            trial=trial,
+            scheme=scheme_names[scheme_index],
+            offset_ns=run_index * span_ns,
+        )
+
+    per_scheme: dict[str, list[list[int]]] = {
+        name: [] for name in scheme_names
+    }
+    effective = min(resolve_workers(workers), trials * len(scheme_names))
+    if effective <= 1:
+        for trial in range(trials):
+            requests = trial_requests(
+                request_factory, seed, trial, max_count
+            )
+            for index, name in enumerate(scheme_names):
+                per_scheme[name].append(
+                    run_requests(
+                        node_names, requests, schemes[name](), checkpoints,
+                        telemetry=telemetry, lane=lane_for(trial, index),
+                    )
+                )
+        return per_scheme
+
+    config = None if telemetry is None else telemetry.config
+
+    def run_unit(unit: tuple[int, int]):
+        trial, index = unit
+        worker_telemetry = None
+        if config is not None:
+            from ..obs import Telemetry
+
+            worker_telemetry = Telemetry(config)
+        requests = trial_requests(request_factory, seed, trial, max_count)
+        counts = run_requests(
+            node_names, requests, schemes[scheme_names[index]](),
+            checkpoints, telemetry=worker_telemetry,
+            lane=lane_for(trial, index),
+        )
+        shard = (
+            None if worker_telemetry is None
+            else worker_telemetry.export_shard()
+        )
+        return counts, shard
+
+    units = [
+        (trial, index)
+        for trial in range(trials)
+        for index in range(len(scheme_names))
+    ]
+    results = parallel_map(run_unit, units, effective)
+    for (trial, index), (counts, shard) in zip(units, results):
+        per_scheme[scheme_names[index]].append(counts)
+        if telemetry is not None and shard is not None:
+            telemetry.absorb_shard(shard)
+    return per_scheme

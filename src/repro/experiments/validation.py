@@ -32,6 +32,7 @@ __all__ = [
     "ValidationReport",
     "ChannelDecomposition",
     "run_validation",
+    "run_validation_sweep",
     "run_decomposition",
 ]
 
@@ -173,6 +174,48 @@ def run_validation(
         guarantee_bound_ns=bound,
         simulated_ns=simulated_ns,
     )
+
+
+def run_validation_sweep(
+    trials: int,
+    workers: int = 1,
+    *,
+    seed: int = 55,
+    **kwargs,
+) -> list[ValidationReport]:
+    """Run :func:`run_validation` over ``trials`` seeds, optionally in
+    parallel.
+
+    Trial 0 uses ``seed`` itself (so a one-trial sweep is exactly the
+    classic single run); trial ``i > 0`` derives its seed as
+    ``RngRegistry(seed).fork(i).seed``, the same trial fan-out every
+    acceptance sweep uses. Each trial builds a complete simulated
+    network, so this is where extra workers pay off most; reports come
+    back in trial order and are identical at any worker count.
+
+    ``kwargs`` are forwarded to :func:`run_validation` (except
+    ``telemetry`` -- per-worker simulator bundles cannot be merged into
+    one timeline, so a sweep refuses it).
+    """
+    from .runner import parallel_map
+
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if kwargs.get("telemetry") is not None:
+        raise ConfigurationError(
+            "run_validation_sweep cannot merge simulator telemetry; "
+            "attach a bundle to a single run_validation instead"
+        )
+    kwargs.pop("telemetry", None)
+    seeds = [
+        seed if trial == 0 else RngRegistry(seed).fork(trial).seed
+        for trial in range(trials)
+    ]
+
+    def run_trial(trial_seed: int) -> ValidationReport:
+        return run_validation(seed=trial_seed, **kwargs)
+
+    return parallel_map(run_trial, seeds, workers)
 
 
 @dataclass(frozen=True, slots=True)

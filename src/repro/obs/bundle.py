@@ -36,13 +36,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..sim.kernel import Simulator
-from ..sim.trace import TraceRecorder
+from ..sim.trace import TraceRecord, TraceRecorder
 from .export import write_chrome_trace, write_trace_jsonl
 from .probes import ProbeSet
 from .profiling import KernelProfiler
 from .registry import MetricsRegistry
 
-__all__ = ["TelemetryConfig", "Telemetry"]
+__all__ = ["TelemetryConfig", "Telemetry", "TelemetryShard"]
 
 #: Delay histogram buckets also used for per-hop waits: 1 us .. ~1 s.
 _CACHE_STAT_PREFIX = "feasibility_cache."
@@ -63,6 +63,22 @@ class TelemetryConfig:
     profile: bool = False
 
 
+@dataclass(frozen=True, slots=True)
+class TelemetryShard:
+    """One worker's telemetry, exported for merging into a parent bundle.
+
+    The parallel sweep runner gives every worker process its own
+    :class:`Telemetry`; a shard is the picklable summary the worker
+    sends back: the registry snapshot plus the recorded trace. Absorbing
+    every shard in deterministic (work-unit) order reproduces the exact
+    bundle a serial run of the same sweep would have produced.
+    """
+
+    metrics: dict
+    trace: tuple[TraceRecord, ...] = ()
+    trace_dropped: int = 0
+
+
 class Telemetry:
     """One experiment's telemetry session."""
 
@@ -78,6 +94,7 @@ class Telemetry:
         )
         self.probes: ProbeSet | None = None
         self._caches: list = []
+        self._cache_totals: dict[str, int] = {}
         self._cache_collector_installed = False
 
     # -- wiring ----------------------------------------------------------
@@ -116,18 +133,45 @@ class Telemetry:
 
         Several controllers (one per trial/scheme in a sweep) may be
         tracked; the published gauges are sums over all of them, so a
-        sweep's snapshot reports total cache traffic.
+        sweep's snapshot reports total cache traffic. Callers that are
+        done with a controller should hand its cache to
+        :meth:`retire_cache`, which folds the final counts into a
+        running total and releases the reference -- otherwise a long
+        sweep retains one dead cache per (trial, scheme) and every
+        snapshot re-walks all of them.
         """
         if cache is None:
             return
         self._caches.append(cache)
+        self._ensure_cache_collector()
+
+    def retire_cache(self, cache) -> None:
+        """Fold a finished cache's stats into the totals and drop it.
+
+        Idempotent: retiring a cache that was never tracked (or was
+        already retired) is a no-op, so callers do not need to know
+        whether telemetry saw the controller. After retirement the
+        published ``feasibility_cache.*`` gauges are unchanged -- the
+        final counter values live on in ``_cache_totals`` -- but the
+        bundle holds O(1) state however many caches a sweep retires.
+        """
+        if cache is None:
+            return
+        try:
+            self._caches.remove(cache)
+        except ValueError:
+            return
+        for key, value in cache.stats.as_dict().items():
+            self._cache_totals[key] = self._cache_totals.get(key, 0) + value
+
+    def _ensure_cache_collector(self) -> None:
         if self._cache_collector_installed:
             return
         self._cache_collector_installed = True
         gauges: dict[str, object] = {}
 
         def collect() -> None:
-            totals: dict[str, int] = {}
+            totals = dict(self._cache_totals)
             for tracked in self._caches:
                 for key, value in tracked.stats.as_dict().items():
                     totals[key] = totals.get(key, 0) + value
@@ -142,6 +186,34 @@ class Telemetry:
                 gauge.set(value)
 
         self.registry.add_collector(collect)
+
+    # -- parallel-sweep merging ------------------------------------------
+
+    def export_shard(self) -> TelemetryShard:
+        """Summarize this bundle for a parent process to absorb.
+
+        Used by the parallel sweep runner: each worker snapshots its own
+        registry (collectors run, so retired-cache totals and any live
+        tracked caches are materialized as gauges) and ships the trace
+        records it recorded.
+        """
+        return TelemetryShard(
+            metrics=self.snapshot(),
+            trace=tuple(self.recorder),
+            trace_dropped=self.recorder.dropped,
+        )
+
+    def absorb_shard(self, shard: TelemetryShard) -> None:
+        """Merge one worker's :class:`TelemetryShard` into this bundle.
+
+        Counters/gauges/histograms fold via
+        :meth:`~repro.obs.registry.MetricsRegistry.merge`; trace records
+        append through the recorder (capacity and drop accounting apply
+        exactly as if the events had been recorded here). Absorbing
+        shards in work-unit order reproduces the serial bundle.
+        """
+        self.registry.merge(shard.metrics)
+        self.recorder.extend(shard.trace, dropped=shard.trace_dropped)
 
     def instrument_star(self, net) -> None:
         """Wire a built StarNetwork into this bundle.

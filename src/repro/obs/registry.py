@@ -342,3 +342,83 @@ class MetricsRegistry:
     def value_of(self, name: str, *label_values) -> object:
         """Shortcut: current value of one child (tests, assertions)."""
         return self.get(name).labels(*label_values).value
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Built for combining per-worker registries of one sharded sweep:
+        every numeric series is a disjoint piece of the same logical
+        total, so the merge is additive across the board --
+
+        * **counters** add their counts;
+        * **gauges** add their values (worker gauges hold per-shard
+          totals, e.g. summed feasibility-cache counters);
+        * **histograms** add per-bucket counts, ``count`` and ``sum``,
+          and fold ``min``/``max``.
+
+        Families and children absent here are created with the
+        snapshot's kind, help text and label names (histograms reuse the
+        snapshot's bucket edges), so merging into an empty registry
+        reproduces the source snapshot exactly. A kind or label mismatch
+        with an existing family is a :class:`ConfigurationError`, as in
+        normal registration.
+        """
+        for name, family_dict in snapshot.items():
+            kind = family_dict["type"]
+            help_text = family_dict.get("help", "")
+            label_names = tuple(family_dict.get("label_names", ()))
+            series = family_dict.get("series", [])
+            if kind == "counter":
+                family = self.counter(name, help_text, label_names)
+            elif kind == "gauge":
+                family = self.gauge(name, help_text, label_names)
+            elif kind == "histogram":
+                edges = DEFAULT_LATENCY_BUCKETS_NS
+                if series:
+                    edges = tuple(
+                        bucket["le"]
+                        for bucket in series[0]["buckets"]
+                        if bucket["le"] != "+Inf"
+                    )
+                family = self.histogram(name, edges, help_text, label_names)
+            else:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+            for entry in series:
+                labels = entry.get("labels", {})
+                values = tuple(labels[key] for key in label_names)
+                child = family.labels(*values)
+                if kind == "counter":
+                    child.inc(entry["value"])
+                elif kind == "gauge":
+                    child.inc(entry["value"])
+                else:
+                    self._merge_histogram(name, child, entry)
+
+    @staticmethod
+    def _merge_histogram(name: str, child: Histogram, entry: Mapping) -> None:
+        edges = tuple(
+            bucket["le"] for bucket in entry["buckets"]
+            if bucket["le"] != "+Inf"
+        )
+        if edges != child.uppers:
+            raise ConfigurationError(
+                f"histogram {name!r} bucket edges differ: have "
+                f"{child.uppers}, merging {edges}"
+            )
+        for i, bucket in enumerate(entry["buckets"]):
+            child.bucket_counts[i] += bucket["count"]
+        child.count += entry["count"]
+        child.total += entry["sum"]
+        for side, fold in (("min", min), ("max", max)):
+            incoming = entry.get(side)
+            if incoming is None:
+                continue
+            current = getattr(child, side)
+            setattr(
+                child, side,
+                incoming if current is None else fold(current, incoming),
+            )

@@ -22,7 +22,15 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "FORK_MODULUS"]
+
+#: Multiplier of the :meth:`RngRegistry.fork` derivation. ``fork`` maps
+#: ``(root_seed, sub_seed) -> root_seed * FORK_MODULUS + sub_seed``,
+#: which is injective only while ``sub_seed < FORK_MODULUS`` -- e.g.
+#: ``RngRegistry(s).fork(FORK_MODULUS)`` would equal
+#: ``RngRegistry(s + 1).fork(0)``. ``fork`` therefore rejects larger
+#: sub-seeds instead of silently aliasing another registry's streams.
+FORK_MODULUS = 1_000_003
 
 
 class RngRegistry:
@@ -72,10 +80,21 @@ class RngRegistry:
     def fork(self, sub_seed: int) -> "RngRegistry":
         """A registry for a sub-experiment (e.g. trial ``i`` of a sweep).
 
-        Derived as ``root_seed * large_prime + sub_seed`` so that trials
-        of the same experiment never share streams while remaining a
-        pure function of ``(root seed, trial index)``.
+        Derived as ``root_seed * FORK_MODULUS + sub_seed`` (a base-
+        ``FORK_MODULUS`` digit append), so that trials of the same
+        experiment never share streams while remaining a pure function
+        of ``(root seed, trial index)``. The derivation is injective
+        only for ``sub_seed`` in ``[0, FORK_MODULUS)``; anything larger
+        would collide with a different root seed's fork (e.g.
+        ``fork(FORK_MODULUS)`` == ``RngRegistry(seed + 1).fork(0)``)
+        and is rejected. Sub-seeds in range keep the exact streams they
+        have always produced.
         """
         if sub_seed < 0:
             raise ConfigurationError(f"sub_seed must be >= 0, got {sub_seed}")
-        return RngRegistry(self._seed * 1_000_003 + sub_seed)
+        if sub_seed >= FORK_MODULUS:
+            raise ConfigurationError(
+                f"sub_seed must be < {FORK_MODULUS} (larger values alias "
+                f"another root seed's forks), got {sub_seed}"
+            )
+        return RngRegistry(self._seed * FORK_MODULUS + sub_seed)

@@ -137,6 +137,20 @@ class TraceRecorder:
             )
         )
 
+    def extend(self, records, dropped: int = 0) -> None:
+        """Append already-built records (merging a worker's recorder).
+
+        Each record passes through :meth:`record`, so the enabled flag,
+        the prefix filter and the capacity cap apply exactly as if the
+        events had been recorded here; ``dropped`` adds the source
+        recorder's own drop count so capacity losses in a worker stay
+        visible after the merge.
+        """
+        for r in records:
+            self.record(r.time, r.category, r.subject, r.detail, r.fields)
+        if dropped:
+            self._dropped += dropped
+
     def __len__(self) -> int:
         return len(self._records)
 

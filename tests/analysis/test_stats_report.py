@@ -51,6 +51,34 @@ class TestSummarize:
         assert mean == 3.0
         assert half > 0
 
+    def test_mean_confidence_single_sample_zero_width(self):
+        mean, half = mean_confidence([9.0])
+        assert mean == 9.0
+        assert half == 0.0
+
+    def test_integer_samples_coerced_to_float(self):
+        summary = summarize([1, 2, 3])
+        assert summary.mean == 2.0
+        assert isinstance(summary.mean, float)
+
+    def test_numpy_array_input(self):
+        import numpy as np
+
+        summary = summarize(np.asarray([4.0, 6.0]))
+        assert summary.n == 2
+        assert summary.mean == 5.0
+
+    def test_negative_samples(self):
+        summary = summarize([-3.0, -1.0, 2.0])
+        assert summary.minimum == -3.0
+        assert summary.maximum == 2.0
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_two_identical_samples_zero_width(self):
+        summary = summarize([5.0, 5.0])
+        assert summary.std == 0.0
+        assert summary.ci_half_width == 0.0
+
 
 class TestFormatTable:
     def test_alignment_and_content(self):

@@ -8,7 +8,13 @@ import pytest
 from repro.core.channel import ChannelSpec
 from repro.core.partitioning import AsymmetricDPS, SymmetricDPS
 from repro.errors import ConfigurationError
-from repro.experiments.base import acceptance_curve, run_requests
+from repro.experiments.base import (
+    _ANALYTIC_TICK_NS,
+    TraceLane,
+    acceptance_curve,
+    run_requests,
+)
+from repro.obs import Telemetry, TelemetryConfig
 from repro.traffic.patterns import ChannelRequest
 
 SPEC = ChannelSpec(period=100, capacity=3, deadline=40)
@@ -51,6 +57,43 @@ class TestRunRequests:
 
     def test_empty_requests(self):
         assert run_requests(NODES, [], SymmetricDPS(), checkpoints=[0]) == [0]
+
+
+class TestTraceLane:
+    def decisions(self, lane):
+        telemetry = Telemetry(TelemetryConfig(probe_cadence_ns=None))
+        run_requests(
+            NODES, reqs(3), SymmetricDPS(), telemetry=telemetry, lane=lane
+        )
+        return telemetry.recorder.by_category("admission.decision")
+
+    def test_lane_offsets_timestamps_and_tags_fields(self):
+        lane = TraceLane(trial=2, scheme="sdps", offset_ns=7_000_000)
+        records = self.decisions(lane)
+        assert [r.time for r in records] == [
+            lane.offset_ns + offered * _ANALYTIC_TICK_NS
+            for offered in (1, 2, 3)
+        ]
+        for record in records:
+            assert record.fields["trial"] == 2
+            assert record.fields["scheme"] == "sdps"
+
+    def test_without_lane_classic_timestamps(self):
+        records = self.decisions(lane=None)
+        assert [r.time for r in records] == [
+            offered * _ANALYTIC_TICK_NS for offered in (1, 2, 3)
+        ]
+        for record in records:
+            assert "trial" not in record.fields
+
+    def test_distinct_lanes_never_collide(self):
+        a = self.decisions(TraceLane(trial=0, scheme="sdps", offset_ns=0))
+        b = self.decisions(
+            TraceLane(
+                trial=0, scheme="adps", offset_ns=4 * _ANALYTIC_TICK_NS
+            )
+        )
+        assert not {r.time for r in a} & {r.time for r in b}
 
 
 class TestAcceptanceCurve:

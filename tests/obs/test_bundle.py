@@ -81,6 +81,82 @@ class TestCacheStatsPublish:
         assert snap["feasibility_cache.checks"]["series"][0]["value"] == 9
 
 
+class _FakeCache:
+    """Minimal stand-in for a FeasibilityCache: just carries stats."""
+
+    def __init__(self, **counts):
+        self.stats = CacheStats(**counts)
+
+
+class TestCacheRetirement:
+    def test_retire_folds_totals_and_releases_reference(self):
+        telemetry = Telemetry(TelemetryConfig(tracing=False))
+        live = _FakeCache(checks=5, memo_hits=2)
+        telemetry.track_cache(live)
+        before = telemetry.snapshot()
+        telemetry.retire_cache(live)
+        assert telemetry._caches == []
+        # the published gauges are unchanged by retirement
+        after = telemetry.snapshot()
+        assert (
+            after["feasibility_cache.checks"]["series"][0]["value"]
+            == before["feasibility_cache.checks"]["series"][0]["value"]
+            == 5
+        )
+        assert after["feasibility_cache.memo_hits"]["series"][0]["value"] == 2
+
+    def test_retired_totals_sum_with_live_caches(self):
+        telemetry = Telemetry(TelemetryConfig(tracing=False))
+        done = _FakeCache(checks=3)
+        telemetry.track_cache(done)
+        telemetry.retire_cache(done)
+        telemetry.track_cache(_FakeCache(checks=4))
+        snap = telemetry.snapshot()
+        assert snap["feasibility_cache.checks"]["series"][0]["value"] == 7
+
+    def test_retire_is_idempotent_and_tolerates_unknown(self):
+        telemetry = Telemetry(TelemetryConfig(tracing=False))
+        cache = _FakeCache(checks=1)
+        telemetry.track_cache(cache)
+        telemetry.retire_cache(cache)
+        telemetry.retire_cache(cache)  # second retire: no double count
+        telemetry.retire_cache(_FakeCache(checks=99))  # never tracked
+        telemetry.retire_cache(None)
+        snap = telemetry.snapshot()
+        assert snap["feasibility_cache.checks"]["series"][0]["value"] == 1
+
+    def test_sweep_holds_constant_cache_state(self):
+        """A telemetry-attached sweep retires every controller's cache:
+        bundle state stays O(1) however many (trial, scheme) runs ran."""
+        from repro.core.partitioning import SymmetricDPS
+        from repro.experiments.base import acceptance_curve
+        from repro.traffic.patterns import (
+            master_slave_names,
+            master_slave_requests,
+        )
+        from repro.traffic.spec import FixedSpecSampler
+
+        masters, slaves = master_slave_names(2, 6)
+        sampler = FixedSpecSampler.paper_default()
+        telemetry = Telemetry(
+            TelemetryConfig(tracing=False, probe_cadence_ns=None)
+        )
+        acceptance_curve(
+            node_names=masters + slaves,
+            request_factory=lambda count, rng: master_slave_requests(
+                masters, slaves, count, sampler, rng
+            ),
+            schemes={"sdps": SymmetricDPS},
+            requested_counts=[5, 10],
+            trials=8,
+            seed=3,
+            telemetry=telemetry,
+        )
+        assert len(telemetry._caches) == 0
+        snap = telemetry.snapshot()
+        assert snap["feasibility_cache.checks"]["series"][0]["value"] > 0
+
+
 class TestNonPerturbation:
     def test_report_identical_with_and_without_telemetry(self):
         bare = run_validation(**_SMALL)

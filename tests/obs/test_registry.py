@@ -116,3 +116,76 @@ class TestSnapshot:
         reg.counter("hits", labels=("kind",)).labels("memo").inc()
         assert "hits" in reg
         assert reg.value_of("hits", "memo") == 1
+
+
+class TestMerge:
+    def populated(self):
+        reg = MetricsRegistry()
+        reg.counter("frames", labels=("link",)).labels("up").inc(4)
+        reg.gauge("depth").labels().set(10)
+        h = reg.histogram("delay", buckets=(100, 200)).labels()
+        h.observe(50)
+        h.observe(250)
+        return reg
+
+    def test_merge_into_empty_reproduces_snapshot(self):
+        source = self.populated()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_counters_and_gauges_add(self):
+        a = self.populated()
+        b = self.populated()
+        a.merge(b.snapshot())
+        assert a.value_of("frames", "up") == 8
+        assert a.value_of("depth") == 20
+
+    def test_histograms_add_buckets_and_fold_min_max(self):
+        a = MetricsRegistry()
+        a.histogram("delay", buckets=(100, 200)).observe(150)
+        b = MetricsRegistry()
+        hb = b.histogram("delay", buckets=(100, 200)).labels()
+        hb.observe(50)
+        hb.observe(250)
+        a.merge(b.snapshot())
+        data = a.snapshot()["delay"]["series"][0]
+        by_le = {bucket["le"]: bucket["count"] for bucket in data["buckets"]}
+        assert by_le == {100: 1, 200: 1, "+Inf": 1}
+        assert data["count"] == 3
+        assert data["sum"] == 150 + 50 + 250
+        assert data["min"] == 50 and data["max"] == 250
+
+    def test_merge_twice_doubles(self):
+        source = self.populated()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        target.merge(source.snapshot())
+        assert target.value_of("frames", "up") == 8
+
+    def test_kind_mismatch_rejected(self):
+        target = MetricsRegistry()
+        target.gauge("frames", labels=("link",))
+        source = MetricsRegistry()
+        source.counter("frames", labels=("link",)).labels("up").inc()
+        with pytest.raises(ConfigurationError):
+            target.merge(source.snapshot())
+
+    def test_bucket_edge_mismatch_rejected(self):
+        target = MetricsRegistry()
+        target.histogram("delay", buckets=(100, 200)).observe(1)
+        source = MetricsRegistry()
+        source.histogram("delay", buckets=(100, 300)).observe(1)
+        with pytest.raises(ConfigurationError):
+            target.merge(source.snapshot())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().merge(
+                {"weird": {"type": "summary", "series": []}}
+            )
+
+    def test_merged_snapshot_matches_schema(self):
+        target = MetricsRegistry()
+        target.merge(self.populated().snapshot())
+        assert validate(target.snapshot(), METRICS_SCHEMA) == []

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import FORK_MODULUS, RngRegistry
 from repro.sim.trace import TraceRecorder
 
 
@@ -58,6 +58,32 @@ class TestRngRegistry:
         with pytest.raises(ConfigurationError):
             RngRegistry(seed=1).fork(-2)
 
+    def test_fork_rejects_sub_seed_at_modulus(self):
+        """fork(FORK_MODULUS) would alias RngRegistry(seed+1).fork(0)."""
+        root = RngRegistry(seed=5)
+        with pytest.raises(ConfigurationError):
+            root.fork(FORK_MODULUS)
+        with pytest.raises(ConfigurationError):
+            root.fork(FORK_MODULUS + 17)
+
+    def test_in_range_forks_never_collide_across_registries(self):
+        # the exact collision the guard exists to prevent: without it,
+        # seed*M + M == (seed+1)*M + 0
+        last_valid = RngRegistry(seed=5).fork(FORK_MODULUS - 1)
+        neighbour = RngRegistry(seed=6).fork(0)
+        assert last_valid.seed != neighbour.seed
+
+    def test_fork_guard_keeps_existing_streams_byte_identical(self):
+        """The guard must not change any in-range fork's derived seed."""
+        assert RngRegistry(seed=9).fork(3).seed == 9 * FORK_MODULUS + 3
+        values = RngRegistry(seed=9).fork(3).stream("x").integers(
+            0, 10**9, size=4
+        )
+        again = RngRegistry(seed=9).fork(3).stream("x").integers(
+            0, 10**9, size=4
+        )
+        assert list(values) == list(again)
+
 
 class TestTraceRecorder:
     def test_disabled_recorder_stores_nothing(self):
@@ -100,6 +126,26 @@ class TestTraceRecorder:
         trace.clear()
         assert len(trace) == 0
         assert trace.dropped == 0
+
+    def test_extend_appends_in_order_with_drop_accounting(self):
+        source = TraceRecorder(enabled=True)
+        source.record(1, "a", "s1", fields={"k": 1})
+        source.record(2, "b", "s2")
+        target = TraceRecorder(enabled=True)
+        target.record(0, "pre", "s0")
+        target.extend(tuple(source), dropped=3)
+        assert [r.subject for r in target] == ["s0", "s1", "s2"]
+        assert target.by_category("a")[0].fields == {"k": 1}
+        assert target.dropped == 3
+
+    def test_extend_respects_capacity_cap(self):
+        source = TraceRecorder(enabled=True)
+        for i in range(4):
+            source.record(i, "x", f"s{i}")
+        target = TraceRecorder(enabled=True, capacity=2)
+        target.extend(tuple(source))
+        assert [r.subject for r in target] == ["s2", "s3"]
+        assert target.dropped == 2
 
     def test_summary_mentions_counts(self):
         trace = TraceRecorder(enabled=True)
