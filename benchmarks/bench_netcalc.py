@@ -1,0 +1,122 @@
+"""Network-calculus oracle benchmarks: bounds/second throughput.
+
+The second oracle earns its keep only if bound computation is cheap
+enough to run on every admitted channel of every campaign trial. These
+benchmarks pin the per-link residual cost, the network-wide propagated
+computation on a saturated star, and the end-to-end campaign trial
+rate, and print a bounds/second table for the CI log.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import AsymmetricDPS
+from repro.core.task import LinkRef, LinkTask
+from repro.netcalc import link_delay_bound, network_delay_bounds
+from repro.oracle.netcalc import run_netcalc_campaign
+
+_LINK = LinkRef.uplink("bench")
+
+
+def _paper_link_tasks(n: int) -> list[LinkTask]:
+    return [
+        LinkTask(
+            link=_LINK, period=100, capacity=3, deadline=40,
+            channel_id=index,
+        )
+        for index in range(n)
+    ]
+
+
+def _saturated_star() -> SystemState:
+    """An ADPS-admitted master-slave system near saturation."""
+    masters = [f"m{i}" for i in range(4)]
+    slaves = [f"s{i}" for i in range(12)]
+    state = SystemState(nodes=masters + slaves)
+    controller = AdmissionController(state=state, dps=AsymmetricDPS())
+    spec = ChannelSpec(period=100, capacity=3, deadline=40)
+    for index in range(120):
+        controller.request(
+            masters[index % len(masters)],
+            slaves[index % len(slaves)],
+            spec,
+        )
+    return state
+
+
+def test_bench_link_bound_saturated_link(benchmark):
+    """Per-link bound on a 13-channel (U ~ 0.39) paper-shaped link."""
+    tasks = _paper_link_tasks(13)
+    bound = benchmark(link_delay_bound, tasks, 6)
+    assert bound is not None
+
+
+def test_bench_network_bounds_saturated_star(benchmark):
+    """All-channel propagated bounds on a near-saturated ADPS star."""
+    state = _saturated_star()
+    flows = {
+        channel_id: (
+            LinkRef.uplink(channel.source),
+            LinkRef.downlink(channel.destination),
+        )
+        for channel_id, channel in state.channels.items()
+    }
+    link_tasks = {
+        link: state.tasks_on(link)
+        for path in flows.values()
+        for link in path
+    }
+    bounds = benchmark(network_delay_bounds, flows, link_tasks)
+    assert len(bounds) == len(flows)
+
+
+def test_bench_campaign_trials(benchmark):
+    """Four full simulation trials (2 star + 2 fabric) per round."""
+    report = benchmark(run_netcalc_campaign, 4, 0)
+    assert report.ok
+
+
+def test_netcalc_throughput_table(capsys):
+    """Bounds/second on the saturated star + campaign trials/second."""
+    state = _saturated_star()
+    flows = {
+        channel_id: (
+            LinkRef.uplink(channel.source),
+            LinkRef.downlink(channel.destination),
+        )
+        for channel_id, channel in state.channels.items()
+    }
+    link_tasks = {
+        link: state.tasks_on(link)
+        for path in flows.values()
+        for link in path
+    }
+    repeats = 50
+    start = time.perf_counter()
+    for _ in range(repeats):
+        bounds = network_delay_bounds(flows, link_tasks)
+    bound_elapsed = time.perf_counter() - start
+    bounds_per_sec = repeats * len(bounds) / bound_elapsed
+
+    trials = 60
+    start = time.perf_counter()
+    report = run_netcalc_campaign(trials, seed=0)
+    campaign_elapsed = time.perf_counter() - start
+    assert report.ok
+    rows = [
+        ["network_delay_bounds", len(bounds) * repeats,
+         f"{bound_elapsed:.2f}", f"{bounds_per_sec:.0f} bounds/s"],
+        ["netcalc campaign", trials, f"{campaign_elapsed:.2f}",
+         f"{trials / campaign_elapsed:.0f} trials/s"],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["workload", "units", "seconds", "throughput"],
+            rows,
+            title="network-calculus oracle throughput",
+        ))

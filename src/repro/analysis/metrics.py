@@ -208,6 +208,27 @@ class MetricsCollector:
             return 0.0
         return self.be_total_delay_ns / self.be_frames_delivered
 
+    def delay_samples(self, channel_id: int | None = None) -> list[int]:
+        """Raw per-frame delays (ns), in delivery order.
+
+        ``channel_id=None`` pools every channel (delivery order within a
+        channel is preserved; channels are concatenated in first-seen
+        order). Requires ``record_delays=True``; an unknown or silent
+        channel yields an empty list rather than an error -- campaigns
+        compare sample *sets* against trace extraction, where "nothing
+        delivered" is a legitimate outcome.
+        """
+        if not self.record_delays:
+            raise ConfigurationError(
+                "delay samples need record_delays=True at construction"
+            )
+        if channel_id is None:
+            pooled: list[int] = []
+            for values in self._delay_samples.values():
+                pooled.extend(values)
+            return pooled
+        return list(self._delay_samples.get(channel_id, ()))
+
     def delay_percentiles(
         self, channel_id: int | None = None,
         percentiles: tuple[float, ...] = (50.0, 95.0, 99.0, 100.0),

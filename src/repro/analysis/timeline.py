@@ -14,6 +14,13 @@ possible for sub-slot signalling frames).
 Built entirely from the :class:`~repro.sim.trace.TraceRecorder` records
 the links already emit (``link.start``), so it costs nothing unless
 tracing is enabled.
+
+The module is also the measured-delay source of the network-calculus
+oracle: :func:`extract_frame_delays` reads the per-frame ``node.deliver``
+records (every end node stamps channel and delay on final delivery) and
+returns them per channel, so a campaign can compare *every* measured
+frame delay against its analytical bound without touching the metrics
+collector -- an independent extraction path from the same simulation.
 """
 
 from __future__ import annotations
@@ -24,7 +31,13 @@ from dataclasses import dataclass
 from ..errors import ConfigurationError
 from ..sim.trace import TraceRecorder
 
-__all__ = ["LinkTimeline", "build_timelines", "render_timeline"]
+__all__ = [
+    "LinkTimeline",
+    "build_timelines",
+    "render_timeline",
+    "FrameDelivery",
+    "extract_frame_delays",
+]
 
 _CHANNEL_RE = re.compile(r" ch=(\d+) ")
 _KIND_RE = re.compile(r"frame#\d+ (\w+) ")
@@ -111,6 +124,47 @@ def build_timelines(
         channel = int(match.group(1)) if (match and is_rt) else -1
         timeline.slots[slot].append(channel)
     return timelines
+
+
+@dataclass(frozen=True, slots=True)
+class FrameDelivery:
+    """One RT frame's final delivery, as witnessed by the trace."""
+
+    #: destination node that received the frame.
+    node: str
+    channel_id: int
+    #: simulation time of the delivery (ns).
+    time_ns: int
+    #: release-to-delivery delay (ns), stamped by the receiving node.
+    delay_ns: int
+
+
+def extract_frame_delays(
+    trace: TraceRecorder,
+) -> dict[int, list[FrameDelivery]]:
+    """Per-frame RT delivery delays, per channel, from ``node.deliver``.
+
+    Best-effort deliveries (``channel == -1`` in the record fields) are
+    skipped; a channel torn down mid-run simply stops contributing
+    records, so its list holds exactly the frames delivered while it was
+    active. Lists are in record order, which is delivery-time order.
+    """
+    deliveries: dict[int, list[FrameDelivery]] = {}
+    for record in trace.by_category("node.deliver"):
+        fields = record.fields or {}
+        channel = fields.get("channel")
+        delay = fields.get("delay_ns")
+        if channel is None or delay is None or channel < 0:
+            continue
+        deliveries.setdefault(int(channel), []).append(
+            FrameDelivery(
+                node=record.subject,
+                channel_id=int(channel),
+                time_ns=record.time,
+                delay_ns=int(delay),
+            )
+        )
+    return deliveries
 
 
 def render_timeline(timeline: LinkTimeline, width: int = 80) -> str:

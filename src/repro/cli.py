@@ -23,6 +23,10 @@ Commands
                  (EXP-P2); ``--smoke`` for the quick CI variant
 ``admission-diff`` differential campaign: cached vs from-scratch
                  admission decisions under interleaved releases
+``netcalc-diff`` second-oracle fuzz campaign: network-calculus bounds
+                 vs paper bounds vs measured simulation delays
+``netcalc-bounds`` per-channel netcalc bound table for the Fig. 18.5
+                 workload (the checked-in regression CSV)
 ``obs``          telemetry bundles: ``capture`` a fully instrumented
                  run, ``check`` an emitted bundle against the schemas
 
@@ -39,8 +43,8 @@ per CPU); every output -- tables, CSV/JSON exports, telemetry bundles
 
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
-``bench-admission`` parity, ``admission-diff``, ``obs check``), 2 on
-usage errors.
+``bench-admission`` parity, ``admission-diff``, ``netcalc-diff``,
+``obs check``), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -249,6 +253,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="add an untimed instrumented pass and report the registry "
              "snapshot (verdict counters + cache hit/miss metrics)",
     )
+
+    ncdiff = sub.add_parser(
+        "netcalc-diff",
+        help="second-oracle fuzz campaign: measured per-frame delays "
+             "vs network-calculus and paper bounds, plus per-link "
+             "three-way admission checks",
+    )
+    ncdiff.add_argument("--trials", type=int, default=1000,
+                        help="seeded simulation trials (default 1000)")
+    ncdiff.add_argument("--seed", type=int, default=0)
+    ncdiff.add_argument(
+        "--topologies", nargs="+", metavar="NAME", default=None,
+        choices=["star", "fabric"],
+        help="topologies to cycle through (default: star fabric)",
+    )
+    ncdiff.add_argument("--json", metavar="PATH",
+                        help="export the campaign report as JSON")
+
+    ncbounds = sub.add_parser(
+        "netcalc-bounds",
+        help="per-channel network-calculus bound table for the "
+             "Fig. 18.5 workload (regenerates the checked-in CSV)",
+    )
+    ncbounds.add_argument(
+        "--checkpoints", type=int, nargs="+", default=None,
+        help="offered-request checkpoints (default: 20 100 200)",
+    )
+    ncbounds.add_argument("--csv", metavar="PATH",
+                          help="write the CSV (default: print the table)")
 
     obs = sub.add_parser(
         "obs",
@@ -678,6 +711,60 @@ def _cmd_admission_diff(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_netcalc_diff(args) -> int:
+    from .oracle.netcalc import TOPOLOGIES, run_netcalc_campaign
+
+    report = run_netcalc_campaign(
+        args.trials,
+        args.seed,
+        tuple(args.topologies) if args.topologies else TOPOLOGIES,
+    )
+    print(report.summary())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_json_dict(), indent=2))
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_netcalc_bounds(args) -> int:
+    from .experiments.netcalc_bounds import (
+        DEFAULT_CHECKPOINTS,
+        netcalc_bound_rows,
+        render_bounds_csv,
+    )
+
+    rows = netcalc_bound_rows(
+        checkpoints=(
+            tuple(args.checkpoints) if args.checkpoints
+            else DEFAULT_CHECKPOINTS
+        ),
+    )
+    if args.csv:
+        from pathlib import Path
+
+        path = Path(args.csv)
+        path.write_text(render_bounds_csv(rows))
+        print(f"wrote {path} ({len(rows)} rows)")
+        return 0
+    table = [
+        [r.scheme, r.checkpoint, r.channel_id,
+         f"{r.source}->{r.destination}", str(r.bound_slots),
+         r.bound_ns, r.paper_bound_ns]
+        for r in rows
+    ]
+    print(format_table(
+        ["scheme", "offered", "channel", "path", "bound (slots)",
+         "bound (ns)", "paper bound (ns)"],
+        table,
+        title="network-calculus bounds, Fig. 18.5 workload (trial 0)",
+    ))
+    return 0
+
+
 def _cmd_obs(args) -> int:
     if args.obs_command == "check":
         from .obs import validate_bundle
@@ -729,6 +816,8 @@ _COMMANDS = {
     "oracle": _cmd_oracle,
     "bench-admission": _cmd_bench_admission,
     "admission-diff": _cmd_admission_diff,
+    "netcalc-diff": _cmd_netcalc_diff,
+    "netcalc-bounds": _cmd_netcalc_bounds,
     "obs": _cmd_obs,
 }
 

@@ -27,7 +27,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping, NamedTuple
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..netcalc.bounds import PathBound
 
 from ..errors import (
     AdmissionError,
@@ -262,6 +265,33 @@ class SystemState:
             LinkRef.uplink(source),
             LinkRef.downlink(destination),
             spec,
+        )
+
+    def channel_delay_bounds(self) -> dict[int, "PathBound"]:
+        """Network-calculus end-to-end bound per active channel.
+
+        Independent of the EDF demand analysis that admitted the
+        channels: every channel becomes a token bucket, every occupied
+        link a rate-latency server, and the bound is the horizontal
+        deviation against the uplink (x) downlink residual convolution
+        with cross-traffic burstiness propagated through the switch
+        (see :mod:`repro.netcalc.bounds`). Values are
+        :class:`~repro.netcalc.bounds.PathBound` (slots, exact
+        fractions); every admitted channel gets a finite bound because
+        admitted links have ``U <= 1``.
+        """
+        from ..netcalc.bounds import network_delay_bounds
+
+        flows = {
+            channel_id: (
+                LinkRef.uplink(channel.source),
+                LinkRef.downlink(channel.destination),
+            )
+            for channel_id, channel in self._channels.items()
+        }
+        links = {link for path in flows.values() for link in path}
+        return network_delay_bounds(
+            flows, {link: self.tasks_on(link) for link in links}
         )
 
 

@@ -1,0 +1,154 @@
+"""Per-channel network-calculus bounds for the Fig. 18.5 workload.
+
+A *regression surface* for the curve algebra: replay the paper's
+Figure 18.5 request sequence (trial 0 of the published seed) into an
+admission controller for each scheme, stop at fixed checkpoints, and
+tabulate every admitted channel's end-to-end network-calculus bound
+exactly (:class:`~repro.netcalc.bounds.PathBound`). The rendered CSV is
+checked into ``results/netcalc_bounds.csv`` and compared byte-identical
+in CI, so any change to the curve algebra, the admission order, or the
+workload generator shows up as a diff instead of a silent drift.
+
+All bound arithmetic is exact (``fractions.Fraction``); the CSV renders
+``bound_slots`` via ``str(Fraction)`` ("47/3"), so the fixture is
+independent of float formatting across platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.admission import AdmissionController, SystemState
+from ..core.partitioning import AsymmetricDPS, SymmetricDPS
+from ..errors import ConfigurationError
+from ..netcalc.bounds import path_bound_ns
+from ..network.phy import PhyProfile
+from ..traffic.patterns import master_slave_names, master_slave_requests
+from ..traffic.spec import FixedSpecSampler
+from .base import trial_requests
+from .fig18_5 import Fig185Config
+
+__all__ = [
+    "DEFAULT_CHECKPOINTS",
+    "BoundRow",
+    "netcalc_bound_rows",
+    "render_bounds_csv",
+]
+
+#: Offered-request checkpoints: pre-saturation, mid-curve, full sweep.
+DEFAULT_CHECKPOINTS = (20, 100, 200)
+
+_SCHEMES = (("sdps", SymmetricDPS), ("adps", AsymmetricDPS))
+
+_CSV_HEADER = (
+    "scheme,checkpoint,channel,source,destination,hops,"
+    "bound_slots,bound_ns,paper_bound_ns"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BoundRow:
+    """One admitted channel's bounds at one (scheme, checkpoint)."""
+
+    scheme: str
+    checkpoint: int
+    channel_id: int
+    source: str
+    destination: str
+    hops: int
+    #: exact end-to-end curve bound, in slots.
+    bound_slots: Fraction
+    #: ceil'd physical bound including propagation and switch latency.
+    bound_ns: int
+    #: Eq. 18.1's promise for the same channel (``d*slot + T_latency``).
+    paper_bound_ns: int
+
+    def to_csv(self) -> str:
+        return (
+            f"{self.scheme},{self.checkpoint},{self.channel_id},"
+            f"{self.source},{self.destination},{self.hops},"
+            f"{self.bound_slots},{self.bound_ns},{self.paper_bound_ns}"
+        )
+
+
+def netcalc_bound_rows(
+    config: Fig185Config | None = None,
+    checkpoints: Sequence[int] = DEFAULT_CHECKPOINTS,
+    phy: PhyProfile | None = None,
+) -> list[BoundRow]:
+    """Bound table for trial 0 of the Fig. 18.5 workload.
+
+    Pure in its arguments: the request sequence is
+    :func:`~repro.experiments.base.trial_requests` at trial 0 of the
+    config's seed -- byte-for-byte what the acceptance-curve sweep
+    feeds its first trial.
+    """
+    config = config or Fig185Config()
+    checkpoints = sorted(set(checkpoints))
+    if not checkpoints or checkpoints[0] <= 0:
+        raise ConfigurationError(
+            f"checkpoints must be positive, got {checkpoints}"
+        )
+    phy = phy or PhyProfile.fast_ethernet()
+    masters, slaves = master_slave_names(config.n_masters, config.n_slaves)
+    sampler = FixedSpecSampler(config.spec)
+
+    def make_requests(count, rng):
+        return master_slave_requests(
+            masters,
+            slaves,
+            count,
+            sampler,
+            rng,
+            master_to_slave_fraction=config.master_to_slave_fraction,
+        )
+
+    requests = trial_requests(
+        make_requests, config.seed, 0, checkpoints[-1]
+    )
+    rows: list[BoundRow] = []
+    for scheme_name, scheme_cls in _SCHEMES:
+        state = SystemState(nodes=masters + slaves)
+        controller = AdmissionController(state=state, dps=scheme_cls())
+        remaining = list(checkpoints)
+        for offered, request in enumerate(requests, start=1):
+            controller.request(
+                request.source, request.destination, request.spec
+            )
+            if remaining and offered == remaining[0]:
+                remaining.pop(0)
+                bounds = state.channel_delay_bounds()
+                for channel_id in sorted(bounds):
+                    bound = bounds[channel_id]
+                    channel = state.channels[channel_id]
+                    rows.append(
+                        BoundRow(
+                            scheme=scheme_name,
+                            checkpoint=offered,
+                            channel_id=channel_id,
+                            source=channel.source,
+                            destination=channel.destination,
+                            hops=bound.hops,
+                            bound_slots=bound.bound_slots,
+                            bound_ns=path_bound_ns(
+                                bound,
+                                phy.slot_ns,
+                                phy.propagation_ns,
+                                phy.switch_processing_ns,
+                            ),
+                            paper_bound_ns=(
+                                channel.spec.deadline * phy.slot_ns
+                                + phy.t_latency_ns
+                            ),
+                        )
+                    )
+    return rows
+
+
+def render_bounds_csv(rows: Sequence[BoundRow]) -> str:
+    """Deterministic CSV text (trailing newline, ``\\n`` separators)."""
+    lines = [_CSV_HEADER]
+    lines.extend(row.to_csv() for row in rows)
+    return "\n".join(lines) + "\n"

@@ -15,6 +15,7 @@ which is the conservative critical instant (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.channel import ChannelSpec
 from ..core.feasibility import FeasibilityReport, is_feasible
@@ -23,6 +24,9 @@ from ..core.task import LinkRef, LinkDirection, LinkTask
 from ..errors import PartitioningError, UnknownChannelError
 from .fabric import FabricLink, SwitchFabric
 from .partitioning import MultiHopDPS
+
+if TYPE_CHECKING:
+    from ..netcalc.bounds import PathBound
 
 __all__ = ["MultiAdmissionDecision", "MultiSwitchAdmission"]
 
@@ -107,6 +111,39 @@ class MultiSwitchAdmission:
 
     def tasks_on(self, link: FabricLink) -> tuple[LinkTask, ...]:
         return tuple(self._tasks.get(link, ()))
+
+    @property
+    def decisions(self) -> dict[int, MultiAdmissionDecision]:
+        """Admitted channels' decisions, keyed by channel ID (copy)."""
+        return dict(self._channels)
+
+    def occupied_links(self) -> tuple[FabricLink, ...]:
+        """Directed fabric links currently carrying at least one task."""
+        return tuple(
+            sorted(link for link, tasks in self._tasks.items() if tasks)
+        )
+
+    def channel_delay_bounds(self) -> dict[int, "PathBound"]:
+        """Network-calculus end-to-end bound per admitted channel.
+
+        The multi-hop twin of
+        :meth:`repro.core.admission.SystemState.channel_delay_bounds`:
+        one rate-latency residual per traversed fabric link, convolved
+        along the routed path, with cross-traffic burstiness propagated
+        through upstream hops (sound for the tree fabric because its
+        directed link graph is feed-forward). Values are
+        :class:`~repro.netcalc.bounds.PathBound` in slots.
+        """
+        from ..netcalc.bounds import network_delay_bounds
+
+        flows = {
+            channel_id: decision.links
+            for channel_id, decision in self._channels.items()
+        }
+        links = {link for path in flows.values() for link in path}
+        return network_delay_bounds(
+            flows, {link: self.tasks_on(link) for link in links}
+        )
 
     # -- decision ------------------------------------------------------------
 

@@ -188,17 +188,35 @@ class _FabricEndNode:
         phy: PhyProfile,
         name: str,
         metrics: MetricsCollector,
+        trace: TraceRecorder | None = None,
     ) -> None:
         self._sim = sim
         self._phy = phy
         self.name = name
         self._metrics = metrics
+        self._trace = (
+            trace if trace is not None else TraceRecorder(enabled=False)
+        )
         self.rt_layer = RTLayer(node_name=name, slot_ns=phy.slot_ns)
         self.uplink: OutputPort | None = None
         self._active_sources: set[int] = set()
 
     def receive(self, frame: EthernetFrame) -> None:
         self._metrics.on_delivery(frame, self._sim.now)
+        # Same record the star's EndNode emits, so trace-based delay
+        # extraction (analysis.timeline.extract_frame_delays) works on
+        # fabric runs too.
+        if self._trace.enabled_for("node.deliver"):
+            self._trace.record(
+                self._sim.now,
+                "node.deliver",
+                self.name,
+                frame.describe(),
+                fields={
+                    "channel": frame.channel_id,
+                    "delay_ns": self._sim.now - frame.created_at,
+                },
+            )
 
     def send_message(self, channel_id: int) -> int:
         if self.uplink is None:
@@ -243,6 +261,7 @@ class FabricNetwork:
         admission: MultiSwitchAdmission,
         phy: PhyProfile,
         trace_enabled: bool = False,
+        record_delays: bool = False,
     ) -> None:
         fabric.validate_connected()
         self.fabric = fabric
@@ -253,7 +272,8 @@ class FabricNetwork:
         self.trace = TraceRecorder(enabled=trace_enabled)
         max_hops = self._max_hop_count()
         self.metrics = MetricsCollector(
-            t_latency_ns=self._t_latency_ns(max_hops)
+            t_latency_ns=self._t_latency_ns(max_hops),
+            record_delays=record_delays,
         )
         self.switches: dict[str, FabricSwitchModel] = {}
         self.nodes: dict[str, _FabricEndNode] = {}
@@ -287,7 +307,7 @@ class FabricNetwork:
         for node_name in sorted(self.fabric.nodes):
             self.nodes[node_name] = _FabricEndNode(
                 sim=self.sim, phy=self.phy, name=node_name,
-                metrics=self.metrics,
+                metrics=self.metrics, trace=self.trace,
             )
         # one duplex cable per fabric edge = two HalfLinks + two ports
         for node_name in sorted(self.fabric.nodes):
@@ -398,6 +418,7 @@ def build_fabric_network(
     dps: MultiHopDPS | None = None,
     phy: PhyProfile | None = None,
     trace_enabled: bool = False,
+    record_delays: bool = False,
 ) -> FabricNetwork:
     """Convenience builder pairing a fabric with admission and a kernel."""
     phy = phy or PhyProfile.fast_ethernet()
@@ -406,5 +427,5 @@ def build_fabric_network(
     )
     return FabricNetwork(
         fabric=fabric, admission=admission, phy=phy,
-        trace_enabled=trace_enabled,
+        trace_enabled=trace_enabled, record_delays=record_delays,
     )

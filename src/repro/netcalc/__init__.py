@@ -1,0 +1,49 @@
+"""Network-calculus curve algebra and delay bounds (second oracle).
+
+An independent analytical framework for the same switched-Ethernet
+system the paper analyzes with EDF processor-demand bounds: each
+admitted channel becomes a token-bucket (or staircase) *arrival curve*,
+each output port becomes a rate-latency *service curve*, and the
+worst-case delay of a channel is the horizontal deviation between its
+arrival curve and the (convolved, per-hop residual) service its frames
+receive. Because the residual-service argument holds for *any*
+work-conserving arbitration, the bounds are valid for the simulator's
+per-hop EDF -- every measured frame delay must sit below them, which is
+exactly what :mod:`repro.oracle.netcalc` fuzz-checks.
+
+:mod:`repro.netcalc.curves`
+    the min-plus algebra: arrival curves, service curves, residual
+    service under blind multiplexing, convolution, horizontal deviation.
+:mod:`repro.netcalc.bounds`
+    per-link and per-path delay bounds for ``LinkTask`` sets, including
+    burstiness propagation across hops (feed-forward, pay-bursts-only-
+    once via service-curve concatenation).
+"""
+
+from .bounds import (
+    DEFAULT_BLOCKING_FRAMES,
+    PathBound,
+    link_delay_bound,
+    link_residual_service,
+    network_delay_bounds,
+    path_bound_ns,
+)
+from .curves import (
+    RateLatency,
+    Staircase,
+    TokenBucket,
+    horizontal_deviation,
+)
+
+__all__ = [
+    "TokenBucket",
+    "Staircase",
+    "RateLatency",
+    "horizontal_deviation",
+    "DEFAULT_BLOCKING_FRAMES",
+    "PathBound",
+    "link_residual_service",
+    "link_delay_bound",
+    "network_delay_bounds",
+    "path_bound_ns",
+]

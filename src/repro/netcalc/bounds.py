@@ -1,0 +1,303 @@
+"""Delay bounds for admitted channels, from curve algebra.
+
+Per-link model
+--------------
+One output port is a work-conserving server at rate ``link_rate`` slots
+of work per slot of time (nominal 1: one maximum-size frame per
+timeslot) whose aggregate service curve is
+
+    ``beta(t) = link_rate * (t - blocking_frames/link_rate)+``
+
+-- the latency term is non-preemption blocking: a frame that just
+started transmitting finishes before anything else is considered, so
+any arrival can wait up to one frame time (``blocking_frames = 1``)
+before the arbiter even looks at it. The service a *single* channel
+receives is the blind-multiplexing residual after the token buckets of
+every other channel on the link (:meth:`RateLatency.residual`), valid
+for any work-conserving arbitration and therefore for the simulator's
+per-hop EDF. On an admitted link (``U <= 1``) every channel's residual
+has positive rate and its horizontal-deviation bound is finite.
+
+Across hops
+-----------
+A channel crossing links ``L1 .. Lk`` receives the *convolution* of its
+per-hop residuals (pay-bursts-only-once): latency adds, rate takes the
+min, and the end-to-end bound is one horizontal deviation of the
+*source* bucket against the convolved curve. The subtlety is cross
+traffic: a competing channel that already crossed its own uplink
+arrives at a shared downstream link *burstier* than at its source --
+its burst grows by ``rate x latency`` of every server it crossed
+(:meth:`RateLatency.output_burst`). :func:`network_delay_bounds`
+propagates these output bursts along every flow's path (the directed
+link graph of a switch tree is feed-forward, so the recursion is
+well-founded) before forming residuals, keeping the bounds sound
+network-wide, not just per-link.
+
+All bounds are in slots (exact :class:`~fractions.Fraction`);
+:func:`path_bound_ns` converts to wall-clock nanoseconds by adding the
+fixed per-hop propagation and per-switch processing delays exactly as
+Eq. 18.1's ``T_latency`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping, Sequence
+
+from ..core.task import LinkTask
+from ..errors import ConfigurationError
+from .curves import RateLatency, TokenBucket, horizontal_deviation
+
+__all__ = [
+    "DEFAULT_BLOCKING_FRAMES",
+    "PathBound",
+    "link_residual_service",
+    "link_delay_bound",
+    "network_delay_bounds",
+    "path_bound_ns",
+]
+
+#: Non-preemption blocking at each output port, in maximum-size frames:
+#: a frame whose transmission already started cannot be interrupted.
+DEFAULT_BLOCKING_FRAMES = 1
+
+
+def _base_service(link_rate: Fraction, blocking_frames: int) -> RateLatency:
+    if link_rate <= 0:
+        raise ConfigurationError(
+            f"link_rate must be positive, got {link_rate}"
+        )
+    if blocking_frames < 0:
+        raise ConfigurationError(
+            f"blocking_frames must be >= 0, got {blocking_frames}"
+        )
+    return RateLatency(
+        rate=link_rate, latency=Fraction(blocking_frames) / link_rate
+    )
+
+
+def link_residual_service(
+    tasks: Sequence[LinkTask],
+    channel_id: int,
+    *,
+    link_rate: Fraction | int = 1,
+    blocking_frames: int = DEFAULT_BLOCKING_FRAMES,
+) -> RateLatency | None:
+    """Residual service of ``channel_id`` on one isolated link.
+
+    Cross traffic is every *other* task's source token bucket (burst
+    ``C_j``), which is the per-link abstraction the EDF feasibility
+    test and the replay oracle use (synchronous release of fresh
+    bursts). Returns ``None`` when the cross rate saturates the link.
+    """
+    link_rate = Fraction(link_rate)
+    service = _base_service(link_rate, blocking_frames)
+    cross = TokenBucket(burst=Fraction(0), rate=Fraction(0))
+    found = False
+    for task in tasks:
+        if task.channel_id == channel_id:
+            found = True
+            continue
+        cross = cross + TokenBucket.from_task(task.capacity, task.period)
+    if not found:
+        raise ConfigurationError(
+            f"no task of channel {channel_id} in the given set"
+        )
+    return service.residual(cross)
+
+
+def link_delay_bound(
+    tasks: Sequence[LinkTask],
+    channel_id: int,
+    *,
+    link_rate: Fraction | int = 1,
+    blocking_frames: int = DEFAULT_BLOCKING_FRAMES,
+) -> Fraction | None:
+    """Per-link delay bound (slots) of ``channel_id``, or ``None``.
+
+    ``None`` means unbounded: the channel's own rate exceeds its
+    residual rate (equivalently, total utilization exceeds 1 -- an
+    admitted link never hits this).
+    """
+    residual = link_residual_service(
+        tasks,
+        channel_id,
+        link_rate=link_rate,
+        blocking_frames=blocking_frames,
+    )
+    if residual is None:
+        return None
+    own = next(t for t in tasks if t.channel_id == channel_id)
+    return horizontal_deviation(
+        TokenBucket.from_task(own.capacity, own.period), residual
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PathBound:
+    """End-to-end network-calculus delay bound of one admitted channel."""
+
+    channel_id: int
+    #: slots of work per message (the channel's C).
+    capacity: int
+    #: number of links traversed.
+    hops: int
+    #: residual latency ``T_i`` at each hop, in slot order.
+    hop_latencies: tuple[Fraction, ...]
+    #: residual rate ``R_i`` at each hop.
+    hop_rates: tuple[Fraction, ...]
+    #: horizontal deviation against the convolved residual (slots).
+    bound_slots: Fraction
+
+    def hop_bound_slots(self, index: int) -> Fraction:
+        """Stand-alone bound of hop ``index`` (diagnostic; the e2e
+        ``bound_slots`` is tighter than the sum of these)."""
+        return self.hop_latencies[index] + Fraction(
+            self.capacity
+        ) / self.hop_rates[index]
+
+
+def network_delay_bounds(
+    flows: Mapping[int, Sequence[Hashable]],
+    link_tasks: Mapping[Hashable, Sequence[LinkTask]],
+    *,
+    link_rate: Fraction | int = 1,
+    blocking_frames: int = DEFAULT_BLOCKING_FRAMES,
+) -> dict[int, PathBound]:
+    """End-to-end bounds for every flow of a feed-forward network.
+
+    Parameters
+    ----------
+    flows:
+        channel ID -> ordered link keys of its routed path.
+    link_tasks:
+        link key -> the tasks reserved on that link (each task names
+        its channel; channels absent from ``flows`` are rejected, since
+        their upstream history would be unknown).
+
+    Burstiness propagation makes this a joint computation: the residual
+    a flow sees at a link depends on the cross flows' bursts *there*,
+    which depend on the latencies those flows accumulated upstream. The
+    recursion follows flow paths only (feed-forward), memoized per
+    (channel, hop index).
+    """
+    link_rate = Fraction(link_rate)
+    paths: dict[int, tuple[Hashable, ...]] = {
+        channel: tuple(links) for channel, links in flows.items()
+    }
+    for channel, path in paths.items():
+        if not path:
+            raise ConfigurationError(f"channel {channel} has an empty path")
+    rates: dict[int, Fraction] = {}
+    capacities: dict[int, int] = {}
+    for link, tasks in link_tasks.items():
+        for task in tasks:
+            if task.channel_id not in paths:
+                raise ConfigurationError(
+                    f"link {link!r} carries channel {task.channel_id}, "
+                    "which is not in the flow map"
+                )
+            rates[task.channel_id] = Fraction(task.capacity, task.period)
+            capacities[task.channel_id] = task.capacity
+
+    #: (channel, hop index) -> residual RateLatency at that hop.
+    residuals: dict[tuple[int, int], RateLatency | None] = {}
+    in_progress: set[tuple[int, int]] = set()
+
+    def burst_at(channel: int, hop: int) -> Fraction | None:
+        """Burst of ``channel`` entering hop ``hop`` of its own path."""
+        burst = Fraction(capacities[channel])
+        for upstream in range(hop):
+            residual = residual_at(channel, upstream)
+            if residual is None:
+                return None
+            burst += rates[channel] * residual.latency
+        return burst
+
+    def residual_at(channel: int, hop: int) -> RateLatency | None:
+        key = (channel, hop)
+        if key in residuals:
+            return residuals[key]
+        if key in in_progress:  # pragma: no cover - trees are feed-forward
+            raise ConfigurationError(
+                f"cyclic flow dependency at channel {channel} hop {hop}"
+            )
+        in_progress.add(key)
+        link = paths[channel][hop]
+        cross = TokenBucket(burst=Fraction(0), rate=Fraction(0))
+        saturated = False
+        for task in link_tasks[link]:
+            if task.channel_id == channel:
+                continue
+            their_hop = paths[task.channel_id].index(link)
+            their_burst = burst_at(task.channel_id, their_hop)
+            if their_burst is None:
+                saturated = True
+                break
+            cross = cross + TokenBucket(
+                burst=their_burst, rate=rates[task.channel_id]
+            )
+        if saturated:
+            result = None
+        else:
+            result = _base_service(link_rate, blocking_frames).residual(
+                cross
+            )
+        in_progress.discard(key)
+        residuals[key] = result
+        return result
+
+    bounds: dict[int, PathBound] = {}
+    for channel, path in paths.items():
+        hop_curves: list[RateLatency] = []
+        for hop in range(len(path)):
+            residual = residual_at(channel, hop)
+            if residual is None:
+                break
+            hop_curves.append(residual)
+        if len(hop_curves) < len(path):
+            continue  # unbounded (never happens for admitted channels)
+        end_to_end = hop_curves[0]
+        for curve in hop_curves[1:]:
+            end_to_end = end_to_end.convolve(curve)
+        bound = horizontal_deviation(
+            TokenBucket(
+                burst=Fraction(capacities[channel]), rate=rates[channel]
+            ),
+            end_to_end,
+        )
+        if bound is None:
+            continue
+        bounds[channel] = PathBound(
+            channel_id=channel,
+            capacity=capacities[channel],
+            hops=len(path),
+            hop_latencies=tuple(c.latency for c in hop_curves),
+            hop_rates=tuple(c.rate for c in hop_curves),
+            bound_slots=bound,
+        )
+    return bounds
+
+
+def path_bound_ns(
+    bound: PathBound,
+    slot_ns: int,
+    propagation_ns: int,
+    switch_processing_ns: int,
+) -> int:
+    """Wall-clock bound: queueing/transmission slots + fixed path delays.
+
+    The curve bound already covers queueing, blocking and transmission
+    at every hop (all the variable parts); what remains is the fixed
+    wire propagation per link and the store-and-forward processing per
+    intermediate switch -- the same decomposition as Eq. 18.1's
+    ``T_latency``. Rounded up to whole nanoseconds, so ``measured <=
+    bound`` comparisons never fail on the integer conversion.
+    """
+    exact = (
+        bound.bound_slots * slot_ns
+        + bound.hops * propagation_ns
+        + (bound.hops - 1) * switch_processing_ns
+    )
+    return -((-exact.numerator) // exact.denominator)

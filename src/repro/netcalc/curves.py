@@ -1,0 +1,242 @@
+"""Min-plus curve algebra: arrival curves, service curves, deviations.
+
+Everything is exact: curve parameters are :class:`fractions.Fraction`
+(integers are accepted and widened), matching the repo-wide convention
+that feasibility boundaries are decided with rational arithmetic, never
+floats. Work is measured in *slots* (one maximum-size frame = one slot
+of work) and time in slots as well, so the nominal link service rate is
+``1`` slot of work per slot of time.
+
+The three shapes the oracle needs:
+
+:class:`TokenBucket`
+    the affine arrival curve ``alpha(t) = burst + rate * t`` (for
+    ``t > 0``; ``alpha(0) = 0``). A periodic channel ``(C, P)`` conforms
+    to ``TokenBucket(burst=C, rate=C/P)``: any window of length ``t``
+    contains at most ``C * (1 + t/P)`` slots of arrivals.
+:class:`Staircase`
+    the exact envelope ``alpha(t) = C * ceil(t / P)`` of a periodic
+    source that releases ``C`` frames at once. Tighter than its
+    token-bucket hull at small ``t``; for rate-latency service with
+    ``rate >= C/P`` both give the *same* horizontal deviation (proved in
+    THEORY.md section 8 and checked by the property suite).
+:class:`RateLatency`
+    the service curve ``beta(t) = rate * max(0, t - latency)``. Closed
+    under convolution (rates min, latencies add) and under taking the
+    residual left over after token-bucket cross traffic (blind
+    multiplexing -- valid for any work-conserving arbitration,
+    including per-hop EDF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TokenBucket",
+    "Staircase",
+    "RateLatency",
+    "horizontal_deviation",
+]
+
+
+def _fraction(value, name: str) -> Fraction:
+    """Widen to an exact Fraction; reject floats (silent precision loss)."""
+    if isinstance(value, float):
+        raise ConfigurationError(
+            f"{name} must be an int or Fraction, got float {value!r} "
+            "(curve algebra is exact)"
+        )
+    return Fraction(value)
+
+
+@dataclass(frozen=True, slots=True)
+class TokenBucket:
+    """Affine arrival curve ``alpha(t) = burst + rate * t`` for ``t > 0``."""
+
+    burst: Fraction
+    rate: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "burst", _fraction(self.burst, "burst"))
+        object.__setattr__(self, "rate", _fraction(self.rate, "rate"))
+        if self.burst < 0 or self.rate < 0:
+            raise ConfigurationError(
+                f"token bucket needs burst >= 0 and rate >= 0, got "
+                f"({self.burst}, {self.rate})"
+            )
+
+    @classmethod
+    def from_task(cls, capacity: int, period: int) -> "TokenBucket":
+        """The bucket a periodic ``(C, P)`` channel conforms to."""
+        if capacity <= 0 or period <= 0:
+            raise ConfigurationError(
+                f"need capacity > 0 and period > 0, got ({capacity}, {period})"
+            )
+        return cls(burst=Fraction(capacity), rate=Fraction(capacity, period))
+
+    def value(self, t) -> Fraction:
+        """``alpha(t)`` (0 at the origin, as required of arrival curves)."""
+        t = _fraction(t, "t")
+        if t < 0:
+            raise ConfigurationError(f"curves are defined for t >= 0, got {t}")
+        if t == 0:
+            return Fraction(0)
+        return self.burst + self.rate * t
+
+    def __add__(self, other: "TokenBucket") -> "TokenBucket":
+        """Aggregate of two flows: bursts and rates add."""
+        if not isinstance(other, TokenBucket):
+            return NotImplemented
+        return TokenBucket(
+            burst=self.burst + other.burst, rate=self.rate + other.rate
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Staircase:
+    """Exact periodic envelope ``alpha(t) = capacity * ceil(t / period)``."""
+
+    capacity: Fraction
+    period: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "capacity", _fraction(self.capacity, "capacity")
+        )
+        object.__setattr__(self, "period", _fraction(self.period, "period"))
+        if self.capacity <= 0 or self.period <= 0:
+            raise ConfigurationError(
+                f"staircase needs capacity > 0 and period > 0, got "
+                f"({self.capacity}, {self.period})"
+            )
+
+    def value(self, t) -> Fraction:
+        t = _fraction(t, "t")
+        if t < 0:
+            raise ConfigurationError(f"curves are defined for t >= 0, got {t}")
+        # ceil(t / period) in exact arithmetic
+        quotient = t / self.period
+        steps = quotient.numerator // quotient.denominator
+        if quotient > steps:
+            steps += 1
+        return self.capacity * steps
+
+    def token_bucket_hull(self) -> TokenBucket:
+        """The tightest affine curve dominating this staircase.
+
+        ``C * ceil(t/P) <= C + (C/P) * t`` for every ``t > 0``, with
+        equality at every multiple of ``P`` -- so the hull is
+        ``TokenBucket(C, C/P)`` and nothing tighter is affine.
+        """
+        return TokenBucket(
+            burst=self.capacity, rate=self.capacity / self.period
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RateLatency:
+    """Service curve ``beta(t) = rate * max(0, t - latency)``."""
+
+    rate: Fraction
+    latency: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rate", _fraction(self.rate, "rate"))
+        object.__setattr__(
+            self, "latency", _fraction(self.latency, "latency")
+        )
+        if self.rate <= 0 or self.latency < 0:
+            raise ConfigurationError(
+                f"rate-latency curve needs rate > 0 and latency >= 0, got "
+                f"({self.rate}, {self.latency})"
+            )
+
+    def value(self, t) -> Fraction:
+        t = _fraction(t, "t")
+        if t < 0:
+            raise ConfigurationError(f"curves are defined for t >= 0, got {t}")
+        if t <= self.latency:
+            return Fraction(0)
+        return self.rate * (t - self.latency)
+
+    def convolve(self, other: "RateLatency") -> "RateLatency":
+        """Min-plus convolution: concatenated servers.
+
+        ``beta1 (x) beta2`` is again rate-latency with the minimum rate
+        and the summed latencies -- the algebraic heart of
+        pay-bursts-only-once: a flow crossing both servers pays its
+        burst against ``min(R1, R2)`` once, not per hop.
+        """
+        return RateLatency(
+            rate=min(self.rate, other.rate),
+            latency=self.latency + other.latency,
+        )
+
+    def residual(self, cross: TokenBucket) -> "RateLatency | None":
+        """Service left to one flow after token-bucket cross traffic.
+
+        Blind-multiplexing leftover: if the server guarantees
+        ``beta = R(t - T)+`` to the aggregate and the *other* flows
+        jointly conform to ``(b_c, r_c)``, then in any backlogged
+        interval the flow of interest receives at least
+
+            ``beta_i(t) = (R - r_c) * (t - (R*T + b_c)/(R - r_c))+``
+
+        regardless of how the arbiter orders frames (it only needs to be
+        work-conserving), so it upper-bounds the simulator's per-hop
+        EDF. Returns ``None`` when ``r_c >= R`` (cross traffic can
+        starve the flow; no positive-rate residual exists).
+        """
+        if cross.rate >= self.rate:
+            return None
+        remaining = self.rate - cross.rate
+        return RateLatency(
+            rate=remaining,
+            latency=(self.rate * self.latency + cross.burst) / remaining,
+        )
+
+    def output_burst(self, arrival: TokenBucket) -> Fraction:
+        """Burst of ``arrival`` after crossing this server.
+
+        The output arrival curve is ``alpha (/) beta``; for a token
+        bucket through rate-latency service (``arrival.rate <= rate``)
+        that is again a token bucket with the same rate and burst
+        ``b + r * latency`` -- burstiness grows by rate x latency per
+        hop. Used to propagate cross-traffic curves downstream.
+        """
+        return arrival.burst + arrival.rate * self.latency
+
+
+def horizontal_deviation(
+    arrival: TokenBucket | Staircase, service: RateLatency
+) -> Fraction | None:
+    """Worst-case delay bound ``h(alpha, beta)``, or ``None`` if unbounded.
+
+    The horizontal deviation ``sup_t inf {d : alpha(t) <= beta(t + d)}``
+    is the delay bound of a flow with arrival curve ``alpha`` served
+    with service curve ``beta`` (FIFO per flow -- the simulator
+    transmits each channel's frames in release order per hop).
+
+    * token bucket ``(b, r)`` vs ``(R, T)``: ``T + b/R`` when
+      ``r <= R``, unbounded otherwise;
+    * staircase ``(C, P)`` vs ``(R, T)``: the deviation is largest just
+      after a step, giving ``sup_k [T + (k+1)C/R - kP]``; for
+      ``C/P <= R`` the supremum is at ``k = 0`` -- the same ``T + C/R``
+      as the bucket hull (checked by the property suite).
+    """
+    if isinstance(arrival, Staircase):
+        bucket = arrival.token_bucket_hull()
+        if bucket.rate > service.rate:
+            return None
+        return service.latency + bucket.burst / service.rate
+    if isinstance(arrival, TokenBucket):
+        if arrival.rate > service.rate:
+            return None
+        return service.latency + arrival.burst / service.rate
+    raise ConfigurationError(
+        f"unsupported arrival curve type {type(arrival).__name__}"
+    )

@@ -1,0 +1,150 @@
+"""Edge cases: delay percentiles/samples and trace delay extraction.
+
+The netcalc campaign compares two independent observations of the same
+run (metrics samples vs trace records), so the corners of both paths --
+empty streams, single samples, mid-window teardown -- need pinning
+down explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.analysis.timeline import extract_frame_delays
+from repro.core.channel import ChannelSpec
+from repro.core.partitioning import SymmetricDPS
+from repro.errors import ConfigurationError
+from repro.network.topology import build_star
+from repro.protocol.ethernet import EthernetFrame, FrameKind
+from repro.protocol.headers import encode_rt_header
+from repro.sim.trace import TraceRecorder
+
+
+def rt_frame(channel_id: int, created_at: int) -> EthernetFrame:
+    return EthernetFrame(
+        kind=FrameKind.RT_DATA,
+        source="m",
+        destination="s0",
+        payload_bytes=100,
+        rt_header=encode_rt_header(
+            absolute_deadline=created_at + 1_000_000,
+            channel_id=channel_id,
+        ),
+        channel_id=channel_id,
+        created_at=created_at,
+    )
+
+
+class TestDelayPercentiles:
+    def test_requires_record_delays(self):
+        collector = MetricsCollector(t_latency_ns=0)
+        with pytest.raises(ConfigurationError):
+            collector.delay_percentiles()
+        with pytest.raises(ConfigurationError):
+            collector.delay_samples()
+
+    def test_empty_stream_is_an_error(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        with pytest.raises(ConfigurationError):
+            collector.delay_percentiles()
+        with pytest.raises(ConfigurationError):
+            collector.delay_percentiles(channel_id=5)
+
+    def test_single_sample_pins_every_percentile(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        collector.on_delivery(rt_frame(1, created_at=0), now_ns=420)
+        result = collector.delay_percentiles(channel_id=1)
+        assert result == {50.0: 420.0, 95.0: 420.0, 99.0: 420.0,
+                          100.0: 420.0}
+
+    def test_all_equal_samples_are_flat(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        for seq in range(10):
+            collector.on_delivery(
+                rt_frame(1, created_at=seq * 1000), now_ns=seq * 1000 + 77
+            )
+        result = collector.delay_percentiles(channel_id=1)
+        assert set(result.values()) == {77.0}
+
+    def test_pooling_combines_channels(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        collector.on_delivery(rt_frame(1, created_at=0), now_ns=100)
+        collector.on_delivery(rt_frame(2, created_at=0), now_ns=300)
+        pooled = collector.delay_percentiles()
+        assert pooled[100.0] == 300.0
+        assert pooled[50.0] == 200.0
+        assert collector.delay_samples() == [100, 300]
+
+    def test_unknown_channel_samples_are_empty_not_an_error(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        assert collector.delay_samples(channel_id=99) == []
+
+
+class TestExtractFrameDelays:
+    def make_network(self):
+        net = build_star(
+            ["m", "s0", "s1"],
+            dps=SymmetricDPS(),
+            trace_enabled=True,
+            record_delays=True,
+        )
+        spec = ChannelSpec(period=100, capacity=2, deadline=40)
+        for dest in ("s0", "s1"):
+            net.establish_analytically("m", dest, spec)
+        return net
+
+    def test_matches_metrics_samples(self):
+        net = self.make_network()
+        net.start_all_sources(stop_after_messages=2)
+        net.sim.run()
+        deliveries = extract_frame_delays(net.trace)
+        assert set(deliveries) == {1, 2}
+        for channel_id, frames in deliveries.items():
+            assert [f.delay_ns for f in frames] == (
+                net.metrics.delay_samples(channel_id)
+            )
+            assert all(f.node in ("s0", "s1") for f in frames)
+            # record order is delivery-time order
+            times = [f.time_ns for f in frames]
+            assert times == sorted(times)
+
+    def test_teardown_mid_window_keeps_only_live_frames(self):
+        net = self.make_network()
+        net.start_all_sources()  # unbounded periodic sources
+        net.run_slots(150)  # past the first period: both channels live
+        before = {
+            channel: len(frames)
+            for channel, frames in extract_frame_delays(net.trace).items()
+        }
+        assert before.get(1, 0) > 0
+        net.node("m").teardown_channel(1)
+        net.run_slots(250)
+        net.node("m").teardown_channel(2)
+        net.sim.run()
+        after = extract_frame_delays(net.trace)
+        # channel 1 stopped contributing at teardown; channel 2 kept
+        # delivering for the extra window.
+        assert len(after[1]) == before[1]
+        assert len(after[2]) > before[2]
+
+    def test_malformed_and_best_effort_records_skipped(self):
+        trace = TraceRecorder(enabled=True)
+        trace.record(10, "node.deliver", "s0",
+                     fields={"channel": 1, "delay_ns": 5})
+        trace.record(11, "node.deliver", "s0",
+                     fields={"channel": -1, "delay_ns": 5})  # best-effort
+        trace.record(12, "node.deliver", "s0",
+                     fields={"delay_ns": 5})  # no channel
+        trace.record(13, "node.deliver", "s0",
+                     fields={"channel": 2})  # no delay
+        trace.record(14, "node.deliver", "s0")  # no fields at all
+        trace.record(15, "other.category", "s0",
+                     fields={"channel": 3, "delay_ns": 5})
+        deliveries = extract_frame_delays(trace)
+        assert set(deliveries) == {1}
+        only = deliveries[1][0]
+        assert (only.node, only.time_ns, only.delay_ns) == ("s0", 10, 5)
+
+    def test_empty_trace_yields_empty_mapping(self):
+        assert extract_frame_delays(TraceRecorder(enabled=True)) == {}

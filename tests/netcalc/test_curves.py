@@ -1,0 +1,132 @@
+"""Unit tests for the exact min-plus curve algebra."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netcalc import (
+    RateLatency,
+    Staircase,
+    TokenBucket,
+    horizontal_deviation,
+)
+
+
+class TestTokenBucket:
+    def test_from_task_is_capacity_and_rate(self):
+        bucket = TokenBucket.from_task(3, 100)
+        assert bucket.burst == 3
+        assert bucket.rate == Fraction(3, 100)
+
+    def test_value_is_zero_at_origin(self):
+        bucket = TokenBucket(burst=5, rate=Fraction(1, 2))
+        assert bucket.value(0) == 0
+        assert bucket.value(4) == 7
+
+    def test_aggregation_adds_bursts_and_rates(self):
+        total = TokenBucket.from_task(2, 10) + TokenBucket.from_task(3, 20)
+        assert total.burst == 5
+        assert total.rate == Fraction(2, 10) + Fraction(3, 20)
+
+    def test_floats_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(burst=1.5, rate=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(burst=1, rate=1).value(0.5)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(burst=-1, rate=0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket.from_task(0, 10)
+
+
+class TestStaircase:
+    def test_value_is_exact_ceiling(self):
+        stairs = Staircase(capacity=3, period=10)
+        assert stairs.value(0) == 0
+        assert stairs.value(1) == 3
+        assert stairs.value(10) == 3
+        assert stairs.value(Fraction(101, 10)) == 6
+        assert stairs.value(20) == 6
+
+    def test_hull_dominates_staircase(self):
+        stairs = Staircase(capacity=3, period=10)
+        hull = stairs.token_bucket_hull()
+        for t in (0, 1, Fraction(7, 3), 10, 15, 20, 33):
+            assert stairs.value(t) <= hull.value(t)
+        # the hull is tight: the gap vanishes just after each step
+        epsilon = Fraction(1, 1000)
+        gap = hull.value(10 + epsilon) - stairs.value(10 + epsilon)
+        assert gap == hull.rate * epsilon
+
+    def test_staircase_strictly_tighter_between_steps(self):
+        stairs = Staircase(capacity=3, period=10)
+        hull = stairs.token_bucket_hull()
+        assert stairs.value(5) < hull.value(5)
+
+
+class TestRateLatency:
+    def test_value(self):
+        service = RateLatency(rate=Fraction(1, 2), latency=4)
+        assert service.value(4) == 0
+        assert service.value(8) == 2
+
+    def test_convolution_min_rate_sum_latency(self):
+        a = RateLatency(rate=1, latency=2)
+        b = RateLatency(rate=Fraction(1, 3), latency=5)
+        c = a.convolve(b)
+        assert c.rate == Fraction(1, 3)
+        assert c.latency == 7
+
+    def test_residual_formula(self):
+        # R=1, T=1; cross (b=2, r=1/2) -> R'=1/2, T'=(1*1+2)/(1/2)=6
+        service = RateLatency(rate=1, latency=1)
+        residual = service.residual(TokenBucket(burst=2, rate=Fraction(1, 2)))
+        assert residual == RateLatency(rate=Fraction(1, 2), latency=6)
+
+    def test_residual_none_when_cross_saturates(self):
+        service = RateLatency(rate=1, latency=0)
+        assert service.residual(TokenBucket(burst=1, rate=1)) is None
+        assert service.residual(TokenBucket(burst=0, rate=2)) is None
+
+    def test_output_burst_grows_by_rate_times_latency(self):
+        service = RateLatency(rate=1, latency=4)
+        arrival = TokenBucket(burst=3, rate=Fraction(1, 2))
+        assert service.output_burst(arrival) == 5
+
+
+class TestHorizontalDeviation:
+    def test_token_bucket_bound(self):
+        bound = horizontal_deviation(
+            TokenBucket(burst=3, rate=Fraction(1, 10)),
+            RateLatency(rate=Fraction(1, 2), latency=5),
+        )
+        assert bound == 5 + Fraction(3) / Fraction(1, 2)
+
+    def test_unbounded_when_rate_exceeds_service(self):
+        assert horizontal_deviation(
+            TokenBucket(burst=1, rate=2), RateLatency(rate=1, latency=0)
+        ) is None
+
+    def test_bounded_at_exact_rate_match(self):
+        # r == R: backlog never drains below the burst, but the bound
+        # T + b/R is still finite (and tight).
+        bound = horizontal_deviation(
+            TokenBucket(burst=4, rate=1), RateLatency(rate=1, latency=2)
+        )
+        assert bound == 6
+
+    def test_staircase_matches_bucket_hull(self):
+        stairs = Staircase(capacity=3, period=10)
+        service = RateLatency(rate=Fraction(1, 2), latency=7)
+        assert horizontal_deviation(stairs, service) == horizontal_deviation(
+            stairs.token_bucket_hull(), service
+        )
+
+    def test_rejects_unknown_curve_type(self):
+        with pytest.raises(ConfigurationError):
+            horizontal_deviation(object(), RateLatency(rate=1, latency=0))

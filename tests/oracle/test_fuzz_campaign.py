@@ -107,6 +107,7 @@ class TestCampaign:
         assert "OK" in text or "DISAGREEMENTS" in text
 
 
+@pytest.mark.slow
 class TestRecordedCampaign:
     def test_10k_trials_zero_disagreements_at_recorded_seed(self):
         """The acceptance-criteria campaign, in-suite.

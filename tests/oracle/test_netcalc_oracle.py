@@ -1,0 +1,138 @@
+"""Tests for the network-calculus second oracle (per-link + campaign)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracle.netcalc import (
+    NetcalcAgreement,
+    netcalc_cross_check,
+    run_netcalc_campaign,
+    run_netcalc_trial,
+)
+
+from ..conftest import make_tasks
+
+
+class TestCrossCheck:
+    def test_feasible_set_agrees(self):
+        verdict = netcalc_cross_check(make_tasks([(100, 3, 40), (50, 2, 30)]))
+        assert verdict.agreement is NetcalcAgreement.AGREE_FEASIBLE
+        assert verdict.ok
+        assert verdict.netcalc_feasible
+        assert verdict.analytic.feasible
+        assert verdict.replay is not None and verdict.replay.schedulable
+        assert all(b is not None for b in verdict.bounds_slots)
+
+    def test_overload_agrees_infeasible_without_replay(self):
+        verdict = netcalc_cross_check(make_tasks([(4, 3, 4), (8, 3, 8)]))
+        assert verdict.agreement is NetcalcAgreement.AGREE_INFEASIBLE
+        assert verdict.ok
+        assert verdict.replay is None
+        assert all(b is None for b in verdict.bounds_slots)
+
+    def test_tight_deadline_is_expected_conservatism(self):
+        # d = C: exactly schedulable alone, but the curve bound pays a
+        # blocking slot it cannot prove away -> one-sided gap, not a bug.
+        verdict = netcalc_cross_check(make_tasks([(10, 5, 5)]))
+        assert verdict.agreement is NetcalcAgreement.NETCALC_CONSERVATIVE
+        assert verdict.ok
+        assert not verdict.netcalc_feasible
+        assert verdict.analytic.feasible
+
+    def test_replay_respects_bounds_even_when_infeasible(self):
+        # EDF-infeasible at U < 1: deadlines missed, yet every response
+        # stays under the (deadline-blind) curve bound.
+        verdict = netcalc_cross_check(make_tasks([(10, 3, 3), (10, 4, 6)]))
+        assert verdict.agreement is NetcalcAgreement.AGREE_INFEASIBLE
+        assert verdict.replay is not None
+        assert not verdict.replay.schedulable
+        for bound, stats in zip(
+            verdict.bounds_slots, verdict.replay.task_stats
+        ):
+            assert bound is not None
+            assert stats.worst_response <= bound
+
+    def test_horizon_cap(self):
+        verdict = netcalc_cross_check(
+            make_tasks([(10, 2, 10)]), max_horizon=1
+        )
+        assert verdict.agreement is NetcalcAgreement.HORIZON_CAPPED
+        assert verdict.ok
+        assert verdict.replay is None
+
+    def test_empty_and_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            netcalc_cross_check([])
+        tasks = make_tasks([(10, 1, 10)]) * 2
+        with pytest.raises(ConfigurationError):
+            netcalc_cross_check(tasks)
+
+
+class TestTrials:
+    def test_star_trial_is_deterministic(self):
+        first = run_netcalc_trial("star", seed=7, trial=3)
+        second = run_netcalc_trial("star", seed=7, trial=3)
+        assert first == second
+        assert first.frames_checked > 0
+
+    def test_fabric_trial_checks_multihop_paths(self):
+        result = run_netcalc_trial("fabric", seed=7, trial=4)
+        assert result.ok
+        assert result.channels_checked > 0
+        assert result.links_checked > 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_netcalc_trial("ring", seed=0, trial=0)
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean_and_deterministic(self):
+        report = run_netcalc_campaign(6, seed=0)
+        assert report.ok
+        assert report.bound_violation_count == 0
+        assert report.admission_disagreement_count == 0
+        assert report.frames_checked > 0
+        assert report.links_checked > 0
+        assert report == run_netcalc_campaign(6, seed=0)
+
+    def test_summary_and_json_round_trip(self):
+        report = run_netcalc_campaign(2, seed=1)
+        assert "OK" in report.summary()
+        payload = json.loads(json.dumps(report.to_json_dict()))
+        assert payload["ok"] is True
+        assert payload["trials"] == 2
+        assert payload["violations"] == []
+        assert payload["disagreements"] == []
+
+    def test_single_topology_selection(self):
+        report = run_netcalc_campaign(3, seed=0, topologies=("star",))
+        assert report.topologies == ("star",)
+        assert report.ok
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_netcalc_campaign(0, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_netcalc_campaign(1, seed=0, topologies=("ring",))
+
+
+@pytest.mark.slow
+class TestRecordedNetcalcCampaign:
+    """The acceptance-criteria campaign (see EXPERIMENTS.md)."""
+
+    RECORDED_TRIALS = 1000
+    RECORDED_SEED = 0
+
+    def test_1000_trials_zero_violations(self):
+        report = run_netcalc_campaign(
+            self.RECORDED_TRIALS, seed=self.RECORDED_SEED
+        )
+        assert report.bound_violation_count == 0, report.summary()
+        assert report.admission_disagreement_count == 0, report.summary()
+        assert report.capped == 0, report.summary()
+        assert report.frames_checked > 10_000

@@ -1,0 +1,161 @@
+"""Property suite: network-calculus bounds vs the EDF machinery.
+
+Hypothesis draws random task sets and random simulation trials and
+checks the inequalities the whole second-oracle construction rests on:
+
+* every replayed EDF worst response sits under the curve bound
+  (soundness of the blind-multiplexing residual);
+* bounds are monotone in a channel's capacity and antitone in the link
+  rate (the algebra moves the right way when parameters move);
+* the staircase arrival curve gives exactly the hull's delay bound
+  whenever the service rate covers the flow's rate (THEORY.md sec. 8);
+* full simulation trials on the star and the 2-switch chain never
+  deliver a frame later than the netcalc or the paper bound.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.feasibility import utilization
+from repro.core.task import LinkRef, LinkTask
+from repro.netcalc import (
+    RateLatency,
+    Staircase,
+    horizontal_deviation,
+    link_delay_bound,
+)
+from repro.oracle.netcalc import (
+    NetcalcAgreement,
+    netcalc_cross_check,
+    run_netcalc_trial,
+)
+
+_LINK = LinkRef.uplink("n0")
+
+
+@st.composite
+def task_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for channel in range(n):
+        period = draw(st.integers(min_value=4, max_value=40))
+        capacity = draw(
+            st.integers(min_value=1, max_value=min(period, 6))
+        )
+        deadline = draw(st.integers(min_value=capacity, max_value=2 * period))
+        tasks.append(
+            LinkTask(
+                link=_LINK,
+                period=period,
+                capacity=capacity,
+                deadline=deadline,
+                channel_id=channel,
+            )
+        )
+    return tasks
+
+
+class TestReplayUnderBound:
+    @given(tasks=task_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_three_way_check_never_disagrees(self, tasks):
+        # Covers U > 1 (both reject), feasible (all agree) and the
+        # conservative gap; BOUND_VIOLATED / SOUNDNESS_MISMATCH would
+        # fail here and shrink to a minimal task set.
+        verdict = netcalc_cross_check(tasks)
+        assert verdict.ok, verdict.detail
+
+    @given(tasks=task_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_worst_response_below_bound_at_admissible_load(self, tasks):
+        assume(utilization(tasks) <= 1)
+        verdict = netcalc_cross_check(tasks)
+        assume(verdict.replay is not None)  # not horizon-capped
+        for bound, stats in zip(
+            verdict.bounds_slots, verdict.replay.task_stats
+        ):
+            assert bound is not None
+            assert stats.worst_response <= bound
+
+
+class TestBoundShape:
+    @given(tasks=task_sets(), extra=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_bound_monotone_in_capacity(self, tasks, extra):
+        grown = LinkTask(
+            link=_LINK,
+            period=tasks[0].period,
+            capacity=min(tasks[0].capacity + extra, tasks[0].period),
+            deadline=tasks[0].period,
+            channel_id=tasks[0].channel_id,
+        )
+        assume(grown.capacity > tasks[0].capacity)
+        before = link_delay_bound(tasks, 0)
+        after = link_delay_bound([grown] + tasks[1:], 0)
+        assume(before is not None)
+        # own burst grew, cross traffic unchanged: never a tighter bound
+        assert after is None or after >= before
+        # every other channel sees more cross traffic: same direction
+        for task in tasks[1:]:
+            other_before = link_delay_bound(tasks, task.channel_id)
+            other_after = link_delay_bound(
+                [grown] + tasks[1:], task.channel_id
+            )
+            if other_before is None:
+                assert other_after is None
+            else:
+                assert other_after is None or other_after >= other_before
+
+    @given(
+        tasks=task_sets(),
+        faster=st.fractions(
+            min_value=Fraction(11, 10), max_value=Fraction(4)
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bound_antitone_in_link_rate(self, tasks, faster):
+        slow = link_delay_bound(tasks, 0, link_rate=1)
+        fast = link_delay_bound(tasks, 0, link_rate=faster)
+        if slow is None:
+            return  # a faster link may or may not recover a bound
+        assert fast is not None
+        assert fast <= slow
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        period=st.integers(min_value=1, max_value=50),
+        latency=st.fractions(min_value=0, max_value=10),
+        rate=st.fractions(
+            min_value=Fraction(1, 10), max_value=Fraction(3)
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_staircase_bound_equals_hull_bound(
+        self, capacity, period, latency, rate
+    ):
+        stairs = Staircase(capacity=capacity, period=period)
+        service = RateLatency(rate=rate, latency=latency)
+        via_stairs = horizontal_deviation(stairs, service)
+        via_hull = horizontal_deviation(
+            stairs.token_bucket_hull(), service
+        )
+        assert via_stairs == via_hull
+
+
+class TestSimulatedTrials:
+    @given(trial=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=25, deadline=None)
+    def test_star_measured_delays_under_both_bounds(self, trial):
+        result = run_netcalc_trial("star", seed=0, trial=trial)
+        assert result.ok, result
+        assert result.capped == 0
+
+    @given(trial=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=25, deadline=None)
+    def test_fabric_measured_delays_under_both_bounds(self, trial):
+        result = run_netcalc_trial("fabric", seed=0, trial=trial)
+        assert result.ok, result
+        assert result.capped == 0
