@@ -15,12 +15,37 @@ only in the summary properties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Callable
 
 from ..errors import ConfigurationError
 from ..protocol.ethernet import EthernetFrame, FrameKind
 
 __all__ = ["ChannelDeliveryStats", "MetricsCollector"]
+
+
+def _percentile_exact(ordered: list[int], p: float) -> int | float:
+    """Exact linear-interpolation percentile over sorted integer samples.
+
+    The rank ``p/100 * (n-1)`` is evaluated in :class:`~fractions.Fraction`
+    arithmetic so no sample value passes through ``float64`` unless the
+    rank genuinely falls between two order statistics; integral ranks
+    (p0, p100, and exact hits) return the sample itself, untouched.
+    """
+    if not 0 <= p <= 100:
+        raise ConfigurationError(
+            f"percentile must be within [0, 100], got {p}"
+        )
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    rank = Fraction(p) * (n - 1) / 100
+    lower = int(rank)
+    remainder = rank - lower
+    if not remainder:
+        return ordered[lower]
+    low, high = ordered[lower], ordered[lower + 1]
+    return float(low + (high - low) * remainder)
 
 
 @dataclass(slots=True)
@@ -237,27 +262,34 @@ class MetricsCollector:
 
         ``channel_id=None`` pools the samples of every channel. The 100th
         percentile equals the observed worst case the guarantee bounds.
+
+        Percentiles follow the linear-interpolation definition (the
+        rank is ``p/100 * (n-1)``; an integral rank returns that order
+        statistic, otherwise the two neighbours are interpolated) but
+        are computed exactly in rational arithmetic rather than through
+        ``float64``: delay samples are nanosecond integers, and a
+        float64 round-trip silently corrupts values past 2**53 and can
+        return a p100 that differs from ``max(delay_samples)`` in the
+        last bits. Integral ranks -- p0, p100, and any percentile that
+        lands on an order statistic -- are returned as the exact sample
+        value; only genuinely interpolated results are floats.
         """
         if not self.record_delays:
             raise ConfigurationError(
                 "delay percentiles need record_delays=True at construction"
             )
-        import numpy as np
-
         if channel_id is None:
             samples: list[int] = []
             for values in self._delay_samples.values():
                 samples.extend(values)
         else:
-            samples = self._delay_samples.get(channel_id, [])
+            samples = list(self._delay_samples.get(channel_id, ()))
         if not samples:
             raise ConfigurationError(
                 f"no delay samples recorded for channel {channel_id!r}"
             )
-        data = np.asarray(samples, dtype=np.float64)
-        return {
-            p: float(np.percentile(data, p)) for p in percentiles
-        }
+        samples.sort()
+        return {p: _percentile_exact(samples, p) for p in percentiles}
 
     def be_goodput_bps(self, elapsed_ns: int) -> float:
         """Best-effort goodput (payload bits per second) over ``elapsed_ns``."""

@@ -253,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="add an untimed instrumented pass and report the registry "
              "snapshot (verdict counters + cache hit/miss metrics)",
     )
+    bench.add_argument(
+        "--batch", action="store_true",
+        help="EXP-P7 variant: time the batched admit_many engine "
+             "(cold burst + saturated storm) against the cached "
+             "scalar path instead of cached-vs-naive",
+    )
 
     ncdiff = sub.add_parser(
         "netcalc-diff",
@@ -320,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     adiff.add_argument("--ops", type=int, default=40,
                        help="request/release operations per trial "
                             "(default 40)")
+    adiff.add_argument(
+        "--batch", action="store_true",
+        help="three-way mode: additionally replay every trial's "
+             "request bursts through admit_many() on a third "
+             "controller and require the identical decision stream",
+    )
     adiff.add_argument("--json", metavar="PATH",
                        help="export the campaign report as JSON")
 
@@ -662,6 +674,7 @@ def _cmd_bench_admission(args) -> int:
     from .experiments.admission_perf import (
         AdmissionPerfConfig,
         run_admission_perf,
+        run_batch_perf,
     )
 
     if args.smoke:
@@ -682,7 +695,12 @@ def _cmd_bench_admission(args) -> int:
             repeats=args.repeats,
             collect_metrics=args.metrics,
         )
-    result = run_admission_perf(config)
+    if args.batch:
+        result = run_batch_perf(config)
+        ok = result.batch_parity and result.storm_parity
+    else:
+        result = run_admission_perf(config)
+        ok = result.parity
     print(result.summary())
     if args.json:
         import json
@@ -691,14 +709,15 @@ def _cmd_bench_admission(args) -> int:
         path = Path(args.json)
         path.write_text(json.dumps(result.to_json_dict(), indent=2))
         print(f"wrote {path}")
-    return 0 if result.parity else 1
+    return 0 if ok else 1
 
 
 def _cmd_admission_diff(args) -> int:
     from .oracle.admission_diff import run_admission_campaign
 
     report = run_admission_campaign(
-        args.trials, args.seed, ops_per_trial=args.ops
+        args.trials, args.seed, ops_per_trial=args.ops,
+        batch=getattr(args, "batch", False),
     )
     print(report.summary())
     if args.json:

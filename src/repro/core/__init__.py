@@ -63,6 +63,7 @@ from .persistence import (
     dumps as snapshot_dumps,
     loads as snapshot_loads,
     restore,
+    restore_signalling,
     snapshot,
 )
 from .channel_manager import NodeDirectory, SignalAction, SwitchChannelManager
@@ -109,6 +110,7 @@ __all__ = [
     "OfflineLinkSchedule",
     "TaskResponse",
     "build_schedule",
+    "restore_signalling",
     "snapshot",
     "restore",
     "snapshot_dumps",

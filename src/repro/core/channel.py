@@ -69,6 +69,11 @@ class ChannelSpec:
     period: int
     capacity: int
     deadline: int
+    #: Precomputed hash. Specs key every admission memo (assessment
+    #: memos, batch templates, request dedup) and the generated
+    #: three-field tuple hash is measurable at 10^6 decisions/sec;
+    #: excluded from ordering and equality.
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for name, value in (
@@ -88,6 +93,13 @@ class ChannelSpec:
                 f"capacity {self.capacity} exceeds period {self.period}; the "
                 "channel would demand more than the full link bandwidth"
             )
+        object.__setattr__(
+            self, "_hash",
+            hash((self.period, self.capacity, self.deadline)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def utilization(self) -> float:

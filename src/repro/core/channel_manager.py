@@ -471,6 +471,151 @@ class SwitchChannelManager:
         for key in dead:
             del self._completed[key]
 
+    # -- persistence ---------------------------------------------------------
+
+    def export_signalling_state(self) -> dict:
+        """Serialize the in-flight signalling state for a snapshot.
+
+        Covers everything a switch reboot would otherwise forget: the
+        pending offers (reserved channels still awaiting the
+        destination's ResponseFrame, with their lease expiries and the
+        stamped request frames needed to re-forward on a retransmit),
+        the completed-verdict cache (in eviction order, so duplicate
+        suppression behaves identically after restore), and the
+        loss-tolerance counters. Configuration (``lease_ns``,
+        ``response_cache_ns``, ``switch_mac``) is recorded for
+        cross-checking at import time -- it is code-supplied, not
+        restored.
+        """
+        offers = []
+        for channel_id in sorted(self._awaiting_destination):
+            offer = self._awaiting_destination[channel_id]
+            request = offer.request
+            offers.append(
+                {
+                    "channel_id": channel_id,
+                    "expires_at": offer.expires_at,
+                    "request": {
+                        "connect_request_id": request.connect_request_id,
+                        "rt_channel_id": request.rt_channel_id,
+                        "source_mac": request.source_mac,
+                        "destination_mac": request.destination_mac,
+                        "source_ip": request.source_ip,
+                        "destination_ip": request.destination_ip,
+                        "period": request.period,
+                        "capacity": request.capacity,
+                        "deadline": request.deadline,
+                    },
+                }
+            )
+        completed = []
+        for key, verdict in self._completed.items():
+            grant = verdict.grant
+            completed.append(
+                {
+                    "source_mac": key[0],
+                    "connect_request_id": key[1],
+                    "ok": verdict.ok,
+                    "channel_id": verdict.channel_id,
+                    "expires_at": verdict.expires_at,
+                    "grant": None
+                    if grant is None
+                    else {
+                        "channel_id": grant.channel_id,
+                        "source": grant.source,
+                        "destination": grant.destination,
+                        "period": grant.spec.period,
+                        "capacity": grant.spec.capacity,
+                        "deadline": grant.spec.deadline,
+                        "uplink_deadline_slots": grant.uplink_deadline_slots,
+                    },
+                }
+            )
+        return {
+            "switch_mac": self._switch_mac,
+            "lease_ns": self._lease_ns,
+            "response_cache_ns": self._response_cache_ns,
+            "pending_offers": offers,
+            "completed": completed,
+            "counters": {
+                "stale_frames": self.stale_frames,
+                "lease_reclaims": self.lease_reclaims,
+                "duplicate_requests": self.duplicate_requests,
+            },
+        }
+
+    def import_signalling_state(self, data: dict) -> None:
+        """Rebuild the signalling state from :meth:`export_signalling_state`.
+
+        The manager must be freshly constructed around the *restored*
+        admission controller (pending offers reference its channel
+        objects by ID) with the same configuration the snapshot was
+        taken under; a config mismatch is refused because lease and
+        cache expiries stamped under one timing regime are meaningless
+        under another.
+        """
+        from ..errors import ConfigurationError
+
+        for field in ("switch_mac", "lease_ns", "response_cache_ns"):
+            recorded = data.get(field)
+            configured = getattr(self, f"_{field}")
+            if recorded != configured:
+                raise ConfigurationError(
+                    f"signalling snapshot was taken with {field}="
+                    f"{recorded!r} but this manager is configured with "
+                    f"{configured!r}; construct the manager with the "
+                    f"snapshot's configuration before importing"
+                )
+        if self._awaiting_destination or self._completed:
+            raise ConfigurationError(
+                "import_signalling_state requires a fresh manager "
+                "(pending offers or cached verdicts already present)"
+            )
+        for record in data.get("pending_offers", ()):
+            channel_id = record["channel_id"]
+            channel = self._admission.state.channel(channel_id)
+            channel.state = ChannelState.OFFERED
+            request = RequestFrame(**record["request"])
+            self._awaiting_destination[channel_id] = _PendingOffer(
+                channel=channel,
+                request=request,
+                expires_at=record["expires_at"],
+            )
+            self._offer_by_request[
+                (request.source_mac, request.connect_request_id)
+            ] = channel_id
+        for record in data.get("completed", ()):
+            grant_data = record["grant"]
+            grant = (
+                None
+                if grant_data is None
+                else ChannelGrant(
+                    channel_id=grant_data["channel_id"],
+                    source=grant_data["source"],
+                    destination=grant_data["destination"],
+                    spec=ChannelSpec(
+                        period=grant_data["period"],
+                        capacity=grant_data["capacity"],
+                        deadline=grant_data["deadline"],
+                    ),
+                    uplink_deadline_slots=grant_data[
+                        "uplink_deadline_slots"
+                    ],
+                )
+            )
+            self._completed[
+                (record["source_mac"], record["connect_request_id"])
+            ] = _CompletedVerdict(
+                ok=record["ok"],
+                channel_id=record["channel_id"],
+                grant=grant,
+                expires_at=record["expires_at"],
+            )
+        counters = data.get("counters", {})
+        self.stale_frames = int(counters.get("stale_frames", 0))
+        self.lease_reclaims = int(counters.get("lease_reclaims", 0))
+        self.duplicate_requests = int(counters.get("duplicate_requests", 0))
+
     # -- forwarding-plane lookups -----------------------------------------------
 
     def destination_of(self, channel_id: int) -> str:

@@ -202,6 +202,13 @@ class CacheStats:
     resyncs: int = 0
     installs: int = 0
     releases: int = 0
+    #: :meth:`FeasibilityCache.batch_check` invocations.
+    batch_calls: int = 0
+    #: Distinct un-memoized candidates evaluated through the pooled
+    #: (vectorized) batch kernel. Each also counts into ``checks`` and
+    #: one of the classification buckets above, exactly as a scalar
+    #: check would.
+    batch_candidates: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -213,6 +220,8 @@ class CacheStats:
             "resyncs": self.resyncs,
             "installs": self.installs,
             "releases": self.releases,
+            "batch_calls": self.batch_calls,
+            "batch_candidates": self.batch_candidates,
         }
 
     def publish(self, registry, prefix: str = "feasibility_cache.") -> None:
@@ -507,13 +516,17 @@ class LinkCacheEntry:
                 total += (1 + (t - d) // p) * c
         return total
 
-    def overlay_check(self, candidate: LinkTask) -> _Overlay:
-        """Feasibility of ``tasks + [candidate]``, recomputing only what
-        the candidate can change. Verdict-equal to
-        ``is_feasible(tasks + [candidate])`` in every field except
-        ``points_checked`` (which counts the points actually evaluated).
+    def _shortcut_overlay(
+        self, util: Fraction, cand_p: int, cand_c: int, cand_d: int
+    ) -> _Overlay | None:
+        """Branches that decide without the cached base arrays.
+
+        Utilization overload, the all-implicit Liu & Layland accept and
+        the density sufficient accept; ``None`` means "inconclusive,
+        run the exact overlay". Shared verbatim by the scalar
+        :meth:`overlay_check` and :meth:`batch_overlay_check` so both
+        produce field-identical overlays.
         """
-        util = _util_sum(self.util, candidate.capacity, candidate.period)
         # util > 1, as a plain-int compare (Fraction.__gt__ dispatch is
         # measurable here): num/den > 1  <=>  num > den.
         if util.numerator > util.denominator:
@@ -521,17 +534,11 @@ class LinkCacheEntry:
                 report=_shortcut_report(False, util, 0, False),
                 busy=0, hyper=0, cut=0, points=None, demands=None,
             )
-        if self.all_implicit and candidate.deadline == candidate.period:
+        if self.all_implicit and cand_d == cand_p:
             return _Overlay(
                 report=_shortcut_report(True, util, 0, True),
                 busy=0, hyper=0, cut=0, points=None, demands=None,
             )
-        cand_p = candidate.period
-        cand_c = candidate.capacity
-        cand_d = candidate.deadline
-        plist = self.plist
-        clist = self.clist
-
         # Density sufficient test: sum C/min(d, P) <= 1 proves EDF
         # feasibility outright (THEORY.md §7), turning the accept path
         # on lightly loaded links into O(n)-fixpoint-only work with no
@@ -541,44 +548,36 @@ class LinkCacheEntry:
             cand_d if cand_d < cand_p else cand_p
         )
         if fdens <= _DENSITY_MARGIN:
-            hyper = self.hyper
-            hyper2 = hyper if hyper % cand_p == 0 else math.lcm(hyper, cand_p)
-            start = self.busy if self.busy is not None else 0
-            length = max(start + cand_c, self.cap_sum + cand_c)
-            for _ in range(max_busy_period_iterations):
-                if length >= hyper2:
-                    break
-                nxt = (length + cand_p - 1) // cand_p * cand_c
-                for p, c in zip(plist, clist):
-                    nxt += (length + p - 1) // p * c
-                if nxt == length:
-                    break
-                length = nxt
-            else:  # pragma: no cover - unreachable for U <= 1
-                raise ConfigurationError(
-                    "busy-period iteration failed to converge within "
-                    f"{max_busy_period_iterations} steps"
-                )
+            busy2, hyper2 = self._combined_busy(cand_p, cand_c)
             return _Overlay(
                 report=_shortcut_report(
-                    True, util, length if length < hyper2 else hyper2, False
+                    True, util, busy2 if busy2 < hyper2 else hyper2, False
                 ),
-                busy=length, hyper=hyper2, cut=0, points=None, demands=None,
+                busy=busy2, hyper=hyper2, cut=0, points=None, demands=None,
             )
+        return None
 
-        if not self._ensure_base():
-            # Base unknown-feasible (or too big to cache): reference test.
-            return _Overlay(
-                report=is_feasible(list(self.tasks) + [candidate]),
-                busy=0, hyper=0, cut=0, points=None, demands=None,
-            )
+    def _fallback_overlay(self, candidate: LinkTask) -> _Overlay:
+        """Reference-test overlay (base unknown-feasible or too big)."""
+        return _Overlay(
+            report=is_feasible(list(self.tasks) + [candidate]),
+            busy=0, hyper=0, cut=0, points=None, demands=None,
+        )
 
+    def _combined_busy(self, cand_p: int, cand_c: int) -> tuple[int, int]:
+        """Busy period and hyperperiod of ``tasks + [candidate]``.
+
+        Warm-started fixpoint with the candidate folded in
+        (allocation-free; see :func:`_busy_period_capped` for the
+        theory). ``W_new(busy) >= busy + C_cand``, so the cached base
+        busy period (when materialized) is a valid warm start.
+        """
         hyper = self.hyper
         hyper2 = hyper if hyper % cand_p == 0 else math.lcm(hyper, cand_p)
-        # Warm-started busy-period fixpoint with the candidate folded in
-        # (allocation-free; see _busy_period_capped for the theory).
-        # W_new(busy) >= busy + C_cand, so that is a valid warm start.
-        length = max(self.busy + cand_c, self.cap_sum + cand_c)
+        start = self.busy if self.busy is not None else 0
+        length = max(start + cand_c, self.cap_sum + cand_c)
+        plist = self.plist
+        clist = self.clist
         for _ in range(max_busy_period_iterations):
             if length >= hyper2:
                 break
@@ -593,29 +592,34 @@ class LinkCacheEntry:
                 "busy-period iteration failed to converge within "
                 f"{max_busy_period_iterations} steps"
             )
-        busy2 = length
-        horizon2 = min(busy2, hyper2)
-        if cand_d > horizon2:
-            # The candidate's first control point lies beyond the
-            # combined checking horizon. Every point within it then
-            # carries zero candidate demand, and the feasible base has
-            # h(t) <= t at *all* t (THEORY.md §7 fact 1) -- including
-            # horizon-growth points -- so no violation is possible.
-            return _Overlay(
-                report=_shortcut_report(True, util, horizon2, False),
-                busy=busy2, hyper=hyper2, cut=0, points=None, demands=None,
-            )
+        return length, hyper2
+
+    def _new_points(
+        self, cand_p: int, cand_d: int, horizon2: int
+    ) -> tuple[int, list[int]] | None:
+        """Control points of the combined set not in the cached base.
+
+        Returns ``(lo_idx, new_pts)`` where ``lo_idx`` is the base-array
+        index of the first point ``>= cand_d`` and ``new_pts`` is the
+        sorted, deduplicated list of (b) base tasks' horizon-growth
+        points in ``(base_h, horizon2]`` and (c) the candidate's own
+        points ``d + m P`` not coinciding with a cached base point.
+        ``None`` when the size guard overflows ``MAX_CACHED_POINTS``
+        (caller falls back to the reference test). Requires a
+        materialized feasible base (``_ensure_base() == True``) and
+        ``cand_d <= horizon2``.
+        """
         base_h = self.horizon
         pts = self.points
-        dems = self.demands
+        plist = self.plist
         lo_idx = bisect_left(pts, cand_d)
 
         # Size guard before generating anything: points the candidate
         # can affect plus horizon-growth points of the base tasks. Try
         # an O(1) conservative bound (min-period) first; only when that
         # overshoots the cap, pay the exact O(n) count.
-        # cand_d <= horizon2 holds here (the shortcut above returned
-        # otherwise), so the candidate contributes at least one point.
+        # cand_d <= horizon2 holds here, so the candidate contributes
+        # at least one point.
         estimated = len(pts) - lo_idx
         estimated += (horizon2 - cand_d) // cand_p + 1
         if horizon2 > base_h and plist:
@@ -632,16 +636,8 @@ class LinkCacheEntry:
                         if lo <= horizon2:
                             estimated += (horizon2 - lo) // p + 1
             if estimated > MAX_CACHED_POINTS:
-                return _Overlay(
-                    report=is_feasible(list(self.tasks) + [candidate]),
-                    busy=0, hyper=0, cut=0, points=None, demands=None,
-                )
+                return None
 
-        # Points not yet in the cached base arrays:
-        # (b) base tasks' points in (base_h, horizon2] (horizon growth),
-        # (c) the candidate's own points d + m P not coinciding with a
-        #     cached base point. Everything else the candidate can
-        #     affect -- region (a) -- is pts[lo_idx:] with known demand.
         new_pts: list[int] = []
         next_pt = self.next_pt
         if (
@@ -668,25 +664,31 @@ class LinkCacheEntry:
             t += cand_p
         if new_pts:
             new_pts = sorted(set(new_pts))
-            if len(new_pts) * len(self.tasks) > _VECTOR_THRESHOLD * 64:
-                new_dems = _demand_at(
-                    self.dlist,
-                    plist,
-                    clist,
-                    np.asarray(new_pts, dtype=np.int64),
-                ).tolist()
-            else:
-                new_dems = [self._base_demand_at(t) for t in new_pts]
-        else:
-            new_dems = []
+        return lo_idx, new_pts
 
-        # Merge region (a) with the new points (both sorted, disjoint)
-        # while adding the candidate's contribution and scanning for the
-        # first violation in global point order. The dominant shape --
-        # the candidate's points all coincide with cached base points
-        # and the horizon grew past every deadline, i.e. no new points
-        # at all -- gets a slice-and-comprehension fast path (every
-        # region-(a) point is >= cand_d by construction of lo_idx).
+    def _merge_overlay(
+        self,
+        util: Fraction,
+        cand_p: int,
+        cand_c: int,
+        cand_d: int,
+        busy2: int,
+        hyper2: int,
+        lo_idx: int,
+        new_pts: list[int],
+        new_dems: list[int],
+    ) -> _Overlay:
+        """Merge region (a) with the new points (both sorted, disjoint)
+        while adding the candidate's contribution and scanning for the
+        first violation in global point order. The dominant shape --
+        the candidate's points all coincide with cached base points
+        and the horizon grew past every deadline, i.e. no new points
+        at all -- gets a slice-and-comprehension fast path (every
+        region-(a) point is >= cand_d by construction of lo_idx).
+        """
+        pts = self.points
+        dems = self.demands
+        horizon2 = min(busy2, hyper2)
         violation: tuple[int, int] | None = None
         if not new_pts:
             merged_pts = pts[lo_idx:]
@@ -702,6 +704,7 @@ class LinkCacheEntry:
             merged_pts = []
             merged_dems = []
             i, j = lo_idx, 0
+            n_pts = len(pts)
             n_new = len(new_pts)
             while i < n_pts or j < n_new:
                 if j >= n_new or (i < n_pts and pts[i] < new_pts[j]):
@@ -738,10 +741,139 @@ class LinkCacheEntry:
             report=report,
             busy=busy2,
             hyper=hyper2,
-            cut=min(cand_d, base_h + 1),
+            cut=min(cand_d, self.horizon + 1),
             points=merged_pts,
             demands=merged_dems,
         )
+
+    def overlay_check(self, candidate: LinkTask) -> _Overlay:
+        """Feasibility of ``tasks + [candidate]``, recomputing only what
+        the candidate can change. Verdict-equal to
+        ``is_feasible(tasks + [candidate])`` in every field except
+        ``points_checked`` (which counts the points actually evaluated).
+        """
+        cand_p = candidate.period
+        cand_c = candidate.capacity
+        cand_d = candidate.deadline
+        util = _util_sum(self.util, cand_c, cand_p)
+        shortcut = self._shortcut_overlay(util, cand_p, cand_c, cand_d)
+        if shortcut is not None:
+            return shortcut
+
+        if not self._ensure_base():
+            # Base unknown-feasible (or too big to cache): reference test.
+            return self._fallback_overlay(candidate)
+
+        busy2, hyper2 = self._combined_busy(cand_p, cand_c)
+        horizon2 = min(busy2, hyper2)
+        if cand_d > horizon2:
+            # The candidate's first control point lies beyond the
+            # combined checking horizon. Every point within it then
+            # carries zero candidate demand, and the feasible base has
+            # h(t) <= t at *all* t (THEORY.md §7 fact 1) -- including
+            # horizon-growth points -- so no violation is possible.
+            return _Overlay(
+                report=_shortcut_report(True, util, horizon2, False),
+                busy=busy2, hyper=hyper2, cut=0, points=None, demands=None,
+            )
+        sized = self._new_points(cand_p, cand_d, horizon2)
+        if sized is None:
+            return self._fallback_overlay(candidate)
+        lo_idx, new_pts = sized
+        if new_pts:
+            if len(new_pts) * len(self.tasks) > _VECTOR_THRESHOLD * 64:
+                new_dems = _demand_at(
+                    self.dlist,
+                    self.plist,
+                    self.clist,
+                    np.asarray(new_pts, dtype=np.int64),
+                ).tolist()
+            else:
+                new_dems = [self._base_demand_at(t) for t in new_pts]
+        else:
+            new_dems = []
+        return self._merge_overlay(
+            util, cand_p, cand_c, cand_d, busy2, hyper2,
+            lo_idx, new_pts, new_dems,
+        )
+
+    def batch_overlay_check(
+        self, candidates: Sequence[LinkTask]
+    ) -> list[_Overlay]:
+        """Overlay-check many candidates against one frozen base state.
+
+        Returns one overlay per candidate, each field-identical to what
+        :meth:`overlay_check` would have returned for it (the property
+        suite enforces this), but with the base-demand evaluation of
+        every exact-path candidate pooled into a *single* vectorized
+        ``h(n, t)`` pass over the union of their new control points --
+        the batched Eq. 18.3 evaluation the batch admission engine is
+        built on. Must not be interleaved with installs or releases on
+        this entry; demand values are exact integers on both paths, so
+        pooling cannot change any verdict.
+        """
+        results: list[_Overlay | None] = [None] * len(candidates)
+        #: exact-path candidates: (index, util, p, c, d, busy2, hyper2,
+        #: lo_idx, new_pts)
+        exact: list[
+            tuple[int, Fraction, int, int, int, int, int, int, list[int]]
+        ] = []
+        pool: set[int] = set()
+        base_ok: bool | None = None
+        for index, candidate in enumerate(candidates):
+            cand_p = candidate.period
+            cand_c = candidate.capacity
+            cand_d = candidate.deadline
+            util = _util_sum(self.util, cand_c, cand_p)
+            shortcut = self._shortcut_overlay(util, cand_p, cand_c, cand_d)
+            if shortcut is not None:
+                results[index] = shortcut
+                continue
+            if base_ok is None:
+                base_ok = self._ensure_base()
+            if not base_ok:
+                results[index] = self._fallback_overlay(candidate)
+                continue
+            busy2, hyper2 = self._combined_busy(cand_p, cand_c)
+            horizon2 = min(busy2, hyper2)
+            if cand_d > horizon2:
+                results[index] = _Overlay(
+                    report=_shortcut_report(True, util, horizon2, False),
+                    busy=busy2, hyper=hyper2,
+                    cut=0, points=None, demands=None,
+                )
+                continue
+            sized = self._new_points(cand_p, cand_d, horizon2)
+            if sized is None:
+                results[index] = self._fallback_overlay(candidate)
+                continue
+            lo_idx, new_pts = sized
+            exact.append(
+                (index, util, cand_p, cand_c, cand_d,
+                 busy2, hyper2, lo_idx, new_pts)
+            )
+            pool.update(new_pts)
+        if exact:
+            if pool:
+                points = np.asarray(sorted(pool), dtype=np.int64)
+                demands = _demand_at(
+                    self.dlist, self.plist, self.clist, points
+                )
+                demand_of = dict(
+                    zip(points.tolist(), demands.tolist())
+                )
+            else:
+                demand_of = {}
+            for (
+                index, util, cand_p, cand_c, cand_d,
+                busy2, hyper2, lo_idx, new_pts,
+            ) in exact:
+                new_dems = [demand_of[t] for t in new_pts]
+                results[index] = self._merge_overlay(
+                    util, cand_p, cand_c, cand_d, busy2, hyper2,
+                    lo_idx, new_pts, new_dems,
+                )
+        return results
 
     # -- mutation --------------------------------------------------------
 
@@ -950,6 +1082,68 @@ class FeasibilityCache:
         else:
             entry.memo_i[key] = overlay
         return report
+
+    def batch_check(
+        self, link: LinkRef, candidates: Sequence[LinkTask]
+    ) -> list[FeasibilityReport]:
+        """Feasibility of many candidates against one link, memo-seeding.
+
+        Every candidate receives exactly the report :meth:`check` would
+        return, and the per-``(P, C, d)`` verdict memos are seeded
+        identically -- a later scalar ``check()`` of any of these
+        candidates is a guaranteed memo hit (that is how ``admit_many``
+        amortizes its prefetch). Distinct un-memoized candidates run
+        through the pooled vectorized kernel
+        (:meth:`LinkCacheEntry.batch_overlay_check`); each counts one
+        ``check`` and classifies exactly as the scalar path would, while
+        within-batch repeats count as memo hits.
+        """
+        stats = self.stats
+        stats.batch_calls += 1
+        entry = self.entry(link)
+        memo_f = entry.memo_f
+        memo_i = entry.memo_i
+        fresh: dict[tuple[int, int, int], LinkTask] = {}
+        for candidate in candidates:
+            key = candidate.pcd
+            if key in memo_f or key in memo_i or key in fresh:
+                continue
+            fresh[key] = candidate
+        if fresh:
+            batch = list(fresh.values())
+            stats.batch_candidates += len(batch)
+            overlays = entry.batch_overlay_check(batch)
+            for candidate, overlay in zip(batch, overlays):
+                report = overlay.report
+                stats.checks += 1
+                if overlay.points is not None:
+                    stats.incremental_checks += 1
+                elif report.feasible and overlay.busy > 0:
+                    stats.shortcut_accepts += 1
+                elif report.used_liu_layland or report.link_utilization > 1:
+                    stats.incremental_checks += 1
+                else:
+                    stats.full_fallbacks += 1
+                if report.feasible:
+                    memo_f[candidate.pcd] = overlay
+                else:
+                    memo_i[candidate.pcd] = overlay
+        reports: list[FeasibilityReport] = []
+        pending = set(fresh)
+        for candidate in candidates:
+            key = candidate.pcd
+            overlay = memo_f.get(key)
+            if overlay is None:
+                overlay = memo_i[key]
+            if key in pending:
+                # First occurrence of a fresh key: its stats were
+                # already counted at batch-evaluation time.
+                pending.discard(key)
+            else:
+                stats.checks += 1
+                stats.memo_hits += 1
+            reports.append(overlay.report)
+        return reports
 
     def link_utilization(self, link: LinkRef) -> Fraction:
         return self.entry(link).util

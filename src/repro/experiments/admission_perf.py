@@ -40,7 +40,9 @@ from ..traffic.spec import FixedSpecSampler
 __all__ = [
     "AdmissionPerfConfig",
     "AdmissionPerfResult",
+    "BatchPerfResult",
     "run_admission_perf",
+    "run_batch_perf",
 ]
 
 _SCHEMES: dict[str, type[DeadlinePartitioningScheme]] = {
@@ -258,6 +260,212 @@ def _instrumented_pass(
                 request.source, request.destination, request.spec
             )
     return _flatten_snapshot(telemetry.snapshot())
+
+
+@dataclass(frozen=True, slots=True)
+class BatchPerfResult:
+    """EXP-P7 timing: scalar-cached vs ``admit_many`` on one workload.
+
+    Three measurements over identical request sequences:
+
+    ``scalar_seconds``
+        the PR 2 cached path -- a loop of ``request()`` calls against a
+        fresh controller per sequence;
+    ``batched_seconds``
+        one ``admit_many()`` burst per fresh controller (the cold case:
+        every distinct candidate is assessed at least once);
+    ``storm_seconds``
+        one ``admit_many()`` burst against an *already saturated*
+        controller (the steady-state request storm the ROADMAP's
+        10^6 decisions/sec target is about: links full, every repeat
+        answered from an epoch-validated template).
+
+    Parity here compares accepted/rejected streams; the byte-level
+    stream equality (reasons, channel IDs, reports, serialized state)
+    is enforced by ``repro admission-diff --batch`` and the batch test
+    suite.
+    """
+
+    config: AdmissionPerfConfig
+    scalar_seconds: float
+    batched_seconds: float
+    storm_seconds: float
+    decisions: int
+    accepts: int
+    batch_parity: bool
+    storm_parity: bool
+    template_hits: int
+    storm_template_hits: int
+    cache_stats: dict[str, int]
+
+    @property
+    def scalar_rate(self) -> float:
+        """Scalar cached decisions/sec (cold controllers)."""
+        return self.decisions / self.scalar_seconds
+
+    @property
+    def batched_rate(self) -> float:
+        """admit_many decisions/sec, cold controllers."""
+        return self.decisions / self.batched_seconds
+
+    @property
+    def storm_rate(self) -> float:
+        """admit_many decisions/sec against saturated controllers."""
+        return self.decisions / self.storm_seconds
+
+    @property
+    def batch_speedup(self) -> float:
+        if self.batched_seconds == 0:
+            return float("inf")
+        return self.scalar_seconds / self.batched_seconds
+
+    @property
+    def storm_speedup(self) -> float:
+        if self.storm_seconds == 0:
+            return float("inf")
+        return self.scalar_seconds / self.storm_seconds
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                "batch admission timing "
+                f"({self.config.scheme}, {self.config.requests} requests x "
+                f"{self.config.trials} trials, seed {self.config.seed})",
+                f"  scalar cached : {self.scalar_seconds * 1000:9.1f} ms "
+                f"({self.scalar_rate:,.0f} dec/s)",
+                f"  admit_many    : {self.batched_seconds * 1000:9.1f} ms "
+                f"({self.batched_rate:,.0f} dec/s, "
+                f"{self.batch_speedup:.2f}x)",
+                f"  storm (sat.)  : {self.storm_seconds * 1000:9.1f} ms "
+                f"({self.storm_rate:,.0f} dec/s, "
+                f"{self.storm_speedup:.2f}x)",
+                f"  decisions {self.decisions} ({self.accepts} accepted), "
+                f"template hits {self.template_hits} cold / "
+                f"{self.storm_template_hits} storm",
+                "  parity "
+                f"{'OK' if self.batch_parity and self.storm_parity else 'VIOLATED'}",
+                f"  cache stats: {self.cache_stats}",
+            ]
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "scheme": self.config.scheme,
+            "requests": self.config.requests,
+            "trials": self.config.trials,
+            "seed": self.config.seed,
+            "scalar_seconds": self.scalar_seconds,
+            "batched_seconds": self.batched_seconds,
+            "storm_seconds": self.storm_seconds,
+            "scalar_rate": self.scalar_rate,
+            "batched_rate": self.batched_rate,
+            "storm_rate": self.storm_rate,
+            "batch_speedup": self.batch_speedup,
+            "storm_speedup": self.storm_speedup,
+            "decisions": self.decisions,
+            "accepts": self.accepts,
+            "batch_parity": self.batch_parity,
+            "storm_parity": self.storm_parity,
+            "template_hits": self.template_hits,
+            "storm_template_hits": self.storm_template_hits,
+            "cache_stats": self.cache_stats,
+        }
+
+
+def _controller(
+    nodes: list[str], config: AdmissionPerfConfig
+) -> AdmissionController:
+    return AdmissionController(
+        SystemState(nodes=nodes), _SCHEMES[config.scheme](), use_cache=True
+    )
+
+
+def run_batch_perf(
+    config: AdmissionPerfConfig | None = None,
+) -> BatchPerfResult:
+    """Time scalar-cached vs batched admission on identical sequences.
+
+    Every side sees the same sequences via fresh controllers; the storm
+    side additionally pre-saturates its controller with one untimed
+    pass of the same burst, then times a second burst (steady state:
+    the links are full, so the whole burst is template/memo traffic --
+    the regime the 10^6 decisions/sec ROADMAP target describes).
+    """
+    config = config or AdmissionPerfConfig()
+    nodes, sequences = _request_sequences(config)
+    bursts = [
+        [(r.source, r.destination, r.spec) for r in requests]
+        for requests in sequences
+    ]
+    scalar_s, scalar_decisions, _ = _run_side(
+        nodes, sequences, config, use_cache=True
+    )
+
+    best_batch = float("inf")
+    best_storm = float("inf")
+    batch_decisions: list[bool] = []
+    storm_decisions: list[bool] = []
+    storm_scalar: list[bool] = []
+    template_hits = 0
+    storm_hits = 0
+    stats: dict[str, int] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(config.repeats):
+            batch_decisions = []
+            elapsed = 0.0
+            stats = {}
+            template_hits = 0
+            for burst in bursts:
+                controller = _controller(nodes, config)
+                start = time.perf_counter()
+                decided = controller.admit_many(burst)
+                elapsed += time.perf_counter() - start
+                batch_decisions.extend(d.accepted for d in decided)
+                template_hits += controller.batch_template_hits
+                for key, value in controller.cache.stats.as_dict().items():
+                    stats[key] = stats.get(key, 0) + value
+            best_batch = min(best_batch, elapsed)
+        for _ in range(config.repeats):
+            storm_decisions = []
+            elapsed = 0.0
+            storm_hits = 0
+            for burst in bursts:
+                controller = _controller(nodes, config)
+                controller.admit_many(burst)  # saturate, untimed
+                before = controller.batch_template_hits
+                start = time.perf_counter()
+                decided = controller.admit_many(burst)
+                elapsed += time.perf_counter() - start
+                storm_decisions.extend(d.accepted for d in decided)
+                storm_hits += controller.batch_template_hits - before
+            best_storm = min(best_storm, elapsed)
+        # Storm reference: the scalar loop against an identically
+        # pre-saturated controller must produce the same stream.
+        for burst in bursts:
+            controller = _controller(nodes, config)
+            controller.admit_many(burst)
+            storm_scalar.extend(
+                controller.request(s, d, spec).accepted
+                for s, d, spec in burst
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return BatchPerfResult(
+        config=config,
+        scalar_seconds=scalar_s,
+        batched_seconds=best_batch,
+        storm_seconds=best_storm,
+        decisions=len(batch_decisions),
+        accepts=sum(batch_decisions),
+        batch_parity=batch_decisions == scalar_decisions,
+        storm_parity=storm_decisions == storm_scalar,
+        template_hits=template_hits,
+        storm_template_hits=storm_hits,
+        cache_stats=stats,
+    )
 
 
 def run_admission_perf(

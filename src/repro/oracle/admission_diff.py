@@ -120,6 +120,9 @@ class AdmissionDiffReport:
     releases: int
     disagreements: tuple[AdmissionDisagreement, ...]
     disagreement_count: int
+    #: True when the trials additionally replayed every burst through
+    #: admit_many() on a third controller (three-way mode).
+    batch: bool = False
 
     @property
     def ok(self) -> bool:
@@ -128,9 +131,10 @@ class AdmissionDiffReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else "DISAGREEMENTS FOUND"
+        mode = " [three-way: cached vs naive vs batched]" if self.batch else ""
         lines = [
             f"admission diff campaign {status}: {self.trials} trials, "
-            f"seed {self.seed}, {self.ops_per_trial} ops/trial",
+            f"seed {self.seed}, {self.ops_per_trial} ops/trial{mode}",
             f"  {self.decisions} decisions compared "
             f"({self.accepts} accepts, {self.rejects} rejects, "
             f"{self.releases} releases)",
@@ -151,6 +155,7 @@ class AdmissionDiffReport:
             "trials": self.trials,
             "seed": self.seed,
             "ops_per_trial": self.ops_per_trial,
+            "batch": self.batch,
             "decisions": self.decisions,
             "accepts": self.accepts,
             "rejects": self.rejects,
@@ -203,13 +208,85 @@ def _compare_links(
     return None
 
 
+def _check_batch_flush(
+    batched: AdmissionController,
+    burst: list[tuple[str, str, ChannelSpec]],
+    expected: list,
+    trial: int,
+    op_index: int,
+    dps: DeadlinePartitioningScheme,
+) -> AdmissionDisagreement | None:
+    """Feed the pending burst to admit_many and diff the streams."""
+    if not burst:
+        return None
+    decided = batched.admit_many(list(burst))
+    burst.clear()
+    want = list(expected)
+    expected.clear()
+    for index, (got, ref) in enumerate(zip(decided, want)):
+        if (
+            got.accepted != ref.accepted
+            or got.reason != ref.reason
+            or got.channel.channel_id != ref.channel.channel_id
+            or got.partition != ref.partition
+        ):
+            return AdmissionDisagreement(
+                trial=trial,
+                op_index=op_index,
+                dps=dps.name,
+                detail=(
+                    f"batched burst element {index}: batched "
+                    f"(accepted={got.accepted}, reason={got.reason}, "
+                    f"id={got.channel.channel_id}, "
+                    f"partition={got.partition}) vs cached "
+                    f"(accepted={ref.accepted}, reason={ref.reason}, "
+                    f"id={ref.channel.channel_id}, "
+                    f"partition={ref.partition})"
+                ),
+            )
+    return None
+
+
+def _compare_batched_links(
+    cached: AdmissionController,
+    batched: AdmissionController,
+    links: tuple[LinkRef, ...],
+) -> str | None:
+    """Per-link parity of the batched controller against the cached one."""
+    for link in links:
+        if batched.state.link_load(link) != cached.state.link_load(link):
+            return (
+                f"batched link_load({link}) "
+                f"{batched.state.link_load(link)} != "
+                f"{cached.state.link_load(link)}"
+            )
+        if (
+            batched.state.link_utilization(link)
+            != cached.state.link_utilization(link)
+        ):
+            return (
+                f"batched link_utilization({link}) "
+                f"{batched.state.link_utilization(link)} != "
+                f"{cached.state.link_utilization(link)}"
+            )
+    return None
+
+
 def run_trial(
-    seed: int, trial: int, ops: int = 40
+    seed: int, trial: int, ops: int = 40, *, batch: bool = False
 ) -> tuple[AdmissionDisagreement | None, dict[str, int]]:
     """Replay one trial; returns (first disagreement or None, op counts).
 
     Pure in ``(seed, trial, ops)``: the coordinates recorded in an
     :class:`AdmissionDisagreement` reproduce the exact divergence.
+
+    With ``batch=True`` a *third* controller replays the identical
+    operation sequence through :meth:`AdmissionController.admit_many`:
+    consecutive request ops accumulate into a burst that is flushed
+    (and diffed element by element against the cached decisions)
+    whenever a release interrupts it and at trial end, so the batched
+    engine is exercised against bursts of every length the op mix
+    produces, interleaved with releases.
     """
     rng = RngRegistry(seed).fork(trial).stream("admission-diff")
     dps = _schemes()[trial % len(_schemes())]
@@ -219,6 +296,13 @@ def run_trial(
     naive = AdmissionController(
         SystemState(nodes=_NODES), dps, use_cache=False
     )
+    batched = (
+        AdmissionController(SystemState(nodes=_NODES), dps, use_cache=True)
+        if batch
+        else None
+    )
+    burst: list[tuple[str, str, ChannelSpec]] = []
+    burst_expected: list = []
     counts = {"decisions": 0, "accepts": 0, "rejects": 0, "releases": 0}
     touched: set[LinkRef] = set()
     for op_index in range(ops):
@@ -226,6 +310,13 @@ def run_trial(
         active = sorted(cached.state.channels)
         if roll < 3 and active:
             victim = int(active[int(rng.integers(0, len(active)))])
+            if batched is not None:
+                disagreement = _check_batch_flush(
+                    batched, burst, burst_expected, trial, op_index, dps
+                )
+                if disagreement is not None:
+                    return disagreement, counts
+                batched.release(victim)
             cached.release(victim)
             naive.release(victim)
             counts["releases"] += 1
@@ -239,6 +330,9 @@ def run_trial(
             spec = _draw_spec(rng)
             decision_c = cached.request(source, destination, spec)
             decision_n = naive.request(source, destination, spec)
+            if batched is not None:
+                burst.append((source, destination, spec))
+                burst_expected.append(decision_c)
             counts["decisions"] += 1
             if decision_c.accepted != decision_n.accepted:
                 return (
@@ -301,6 +395,33 @@ def run_trial(
                 ),
                 counts,
             )
+    if batched is not None:
+        disagreement = _check_batch_flush(
+            batched, burst, burst_expected, trial, ops, dps
+        )
+        if disagreement is not None:
+            return disagreement, counts
+        mismatch = _compare_batched_links(
+            cached, batched, tuple(sorted(touched))
+        )
+        if mismatch is None and (
+            batched.accept_count != cached.accept_count
+            or batched.reject_count != cached.reject_count
+            or batched.rejections_by_reason != cached.rejections_by_reason
+        ):
+            mismatch = (
+                f"batched counters ({batched.accept_count}, "
+                f"{batched.reject_count}, {batched.rejections_by_reason}) "
+                f"!= cached ({cached.accept_count}, "
+                f"{cached.reject_count}, {cached.rejections_by_reason})"
+            )
+        if mismatch is not None:
+            return (
+                AdmissionDisagreement(
+                    trial=trial, op_index=ops, dps=dps.name, detail=mismatch
+                ),
+                counts,
+            )
     # End-of-trial: the rejection histograms must agree too.
     if (
         cached.accept_count != naive.accept_count
@@ -330,8 +451,14 @@ def run_admission_campaign(
     *,
     ops_per_trial: int = 40,
     disagreement_limit: int = 20,
+    batch: bool = False,
 ) -> AdmissionDiffReport:
-    """Run an N-trial cached-vs-from-scratch admission campaign."""
+    """Run an N-trial cached-vs-from-scratch admission campaign.
+
+    ``batch=True`` turns every trial into a three-way diff: cached,
+    from-scratch, and a third controller replaying the request bursts
+    through :meth:`~repro.core.admission.AdmissionController.admit_many`.
+    """
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     if ops_per_trial <= 0:
@@ -342,7 +469,9 @@ def run_admission_campaign(
     disagreement_count = 0
     totals = {"decisions": 0, "accepts": 0, "rejects": 0, "releases": 0}
     for trial in range(trials):
-        disagreement, counts = run_trial(seed, trial, ops=ops_per_trial)
+        disagreement, counts = run_trial(
+            seed, trial, ops=ops_per_trial, batch=batch
+        )
         for key in totals:
             totals[key] += counts[key]
         if disagreement is not None:
@@ -359,4 +488,5 @@ def run_admission_campaign(
         releases=totals["releases"],
         disagreements=tuple(disagreements),
         disagreement_count=disagreement_count,
+        batch=batch,
     )

@@ -80,6 +80,63 @@ class TestDelayPercentiles:
         collector = MetricsCollector(t_latency_ns=0, record_delays=True)
         assert collector.delay_samples(channel_id=99) == []
 
+    def test_p100_is_exactly_the_maximum(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        # Delays past 2**53 are unrepresentable in float64; the exact
+        # path must still return the maximum sample verbatim.
+        huge = 2**53 + 1
+        for delay in (huge, huge + 3, 7, 12345):
+            collector.on_delivery(rt_frame(1, created_at=0), now_ns=delay)
+        result = collector.delay_percentiles(channel_id=1)
+        assert result[100.0] == huge + 3
+        assert isinstance(result[100.0], int)
+
+    def test_integral_ranks_return_exact_samples(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        for delay in (10, 20, 30, 40, 50):  # ranks land on samples at
+            collector.on_delivery(rt_frame(1, created_at=0), now_ns=delay)
+        result = collector.delay_percentiles(
+            channel_id=1, percentiles=(0.0, 25.0, 50.0, 75.0, 100.0)
+        )
+        assert result == {0.0: 10, 25.0: 20, 50.0: 30, 75.0: 40,
+                          100.0: 50}
+
+    def test_interpolation_matches_the_linear_definition(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        for delay in (100, 200):
+            collector.on_delivery(rt_frame(1, created_at=0), now_ns=delay)
+        result = collector.delay_percentiles(
+            channel_id=1, percentiles=(25.0, 95.0)
+        )
+        assert result[25.0] == 125.0
+        assert result[95.0] == 195.0
+
+    def test_matches_statistics_quantiles_cross_check(self):
+        import random
+        import statistics
+
+        rng = random.Random(42)
+        samples = [rng.randrange(1, 10**9) for _ in range(101)]
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        for delay in samples:
+            collector.on_delivery(rt_frame(1, created_at=0), now_ns=delay)
+        result = collector.delay_percentiles(
+            channel_id=1, percentiles=tuple(float(p) for p in range(1, 100))
+        )
+        # statistics.quantiles(..., method="inclusive") implements the
+        # same linear definition on the n-1 denominator.
+        reference = statistics.quantiles(samples, n=100, method="inclusive")
+        for p, ref in zip(range(1, 100), reference):
+            assert result[float(p)] == pytest.approx(ref, rel=1e-12)
+
+    def test_percentile_out_of_range_rejected(self):
+        collector = MetricsCollector(t_latency_ns=0, record_delays=True)
+        collector.on_delivery(rt_frame(1, created_at=0), now_ns=5)
+        with pytest.raises(ConfigurationError, match="within"):
+            collector.delay_percentiles(channel_id=1, percentiles=(101.0,))
+        with pytest.raises(ConfigurationError, match="within"):
+            collector.delay_percentiles(channel_id=1, percentiles=(-1.0,))
+
 
 class TestExtractFrameDelays:
     def make_network(self):

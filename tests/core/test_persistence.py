@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core.admission import AdmissionController, SystemState
-from repro.core.channel import ChannelSpec
+from repro.core.channel import ChannelSpec, ChannelState
+from repro.core.channel_manager import NodeDirectory, SwitchChannelManager
 from repro.core.partitioning import AsymmetricDPS, SymmetricDPS
-from repro.core.persistence import dumps, loads, restore, snapshot
+from repro.core.persistence import (
+    dumps,
+    loads,
+    restore,
+    restore_signalling,
+    snapshot,
+)
 from repro.core.task import LinkRef
 from repro.errors import ConfigurationError
+from repro.protocol.frames import RequestFrame, ResponseFrame
 
 SPEC = ChannelSpec(period=100, capacity=3, deadline=40)
 
@@ -114,3 +124,195 @@ class TestValidation:
         restored = restore(snapshot(ctrl), SymmetricDPS())
         assert len(restored.state) == 0
         assert restored.request("a", "b", SPEC).channel.channel_id == 1
+
+    def test_version_1_refused_with_migration_message(self):
+        data = snapshot(loaded_controller())
+        data["version"] = 1
+        with pytest.raises(ConfigurationError, match="version 1"):
+            restore(data, AsymmetricDPS())
+
+    def test_bad_channel_state_refused(self):
+        data = snapshot(loaded_controller())
+        data["channels"][0]["state"] = "torn_down"
+        with pytest.raises(ConfigurationError, match="snapshot state"):
+            restore(data, AsymmetricDPS())
+
+
+SWITCH_MAC = 0xFF_EE_DD_CC_BB_AA
+LEASE_NS = 5_000
+
+
+def make_directory() -> NodeDirectory:
+    directory = NodeDirectory()
+    directory.register("a", mac=0x01, ip=0x0A000001)
+    directory.register("b", mac=0x02, ip=0x0A000002)
+    directory.register("c", mac=0x03, ip=0x0A000003)
+    return directory
+
+
+def make_manager(admission=None, lease_ns=LEASE_NS) -> SwitchChannelManager:
+    if admission is None:
+        admission = AdmissionController(
+            SystemState(["a", "b", "c"]), SymmetricDPS()
+        )
+    return SwitchChannelManager(
+        admission=admission,
+        directory=make_directory(),
+        switch_mac=SWITCH_MAC,
+        lease_ns=lease_ns,
+    )
+
+
+def request_frame(req_id, src=0x01, dst=0x02):
+    return RequestFrame(
+        connect_request_id=req_id,
+        rt_channel_id=0,
+        source_mac=src,
+        destination_mac=dst,
+        source_ip=0x0A000001,
+        destination_ip=0x0A000002,
+        period=SPEC.period,
+        capacity=SPEC.capacity,
+        deadline=SPEC.deadline,
+    )
+
+
+def busy_manager() -> SwitchChannelManager:
+    """A manager with established channels, pending offers and cached
+    verdicts -- every kind of state the v2 schema must round-trip."""
+    manager = make_manager()
+    # Two established channels (leave completed verdicts with grants).
+    for req_id in (1, 2):
+        offered = manager.handle_request(request_frame(req_id), now=100)[0]
+        manager.handle_response(
+            ResponseFrame(
+                connect_request_id=req_id,
+                rt_channel_id=offered.frame.rt_channel_id,
+                switch_mac=SWITCH_MAC,
+                ok=True,
+            ),
+            now=200,
+        )
+    # One destination-declined request (verdict with ok=False).
+    offered = manager.handle_request(request_frame(3, dst=0x03), now=300)[0]
+    manager.handle_response(
+        ResponseFrame(
+            connect_request_id=3,
+            rt_channel_id=offered.frame.rt_channel_id,
+            switch_mac=SWITCH_MAC,
+            ok=False,
+        ),
+        now=350,
+    )
+    # Two offers still awaiting the destination's verdict (leases live).
+    manager.handle_request(request_frame(4, src=0x02, dst=0x03), now=400)
+    manager.handle_request(request_frame(5, src=0x03, dst=0x01), now=450)
+    return manager
+
+
+def restored_twin(manager: SwitchChannelManager) -> SwitchChannelManager:
+    """Snapshot ``manager``, JSON round-trip, restore into a fresh twin."""
+    data = json.loads(
+        dumps(manager.admission, manager=manager)
+    )
+    controller = restore(data, SymmetricDPS())
+    twin = make_manager(admission=controller)
+    restore_signalling(data, twin)
+    return twin
+
+
+class TestSignallingRoundTrip:
+    def test_snapshot_records_offered_state(self):
+        manager = busy_manager()
+        data = snapshot(manager.admission, manager=manager)
+        states = {c["id"]: c["state"] for c in data["channels"]}
+        assert sorted(states.values()) == [
+            "active", "active", "offered", "offered",
+        ]
+
+    def test_round_trip_is_byte_identical(self):
+        manager = busy_manager()
+        twin = restored_twin(manager)
+        assert dumps(manager.admission, manager=manager) == dumps(
+            twin.admission, manager=twin
+        )
+
+    def test_pending_offers_and_states_survive(self):
+        manager = busy_manager()
+        twin = restored_twin(manager)
+        assert twin.pending_offers == manager.pending_offers == 2
+        for channel_id, channel in manager.admission.state.channels.items():
+            assert (
+                twin.admission.state.channel(channel_id).state
+                == channel.state
+            )
+
+    def test_duplicate_request_still_answered_from_cache(self):
+        manager = busy_manager()
+        twin = restored_twin(manager)
+        before = twin.admission.accept_count
+        actions = twin.handle_request(request_frame(1), now=500)
+        # Re-answered from the restored verdict cache, not re-admitted.
+        assert twin.duplicate_requests == manager.duplicate_requests + 1
+        assert twin.admission.accept_count == before
+        assert actions[0].grant is not None
+
+    def test_pending_offer_completes_after_restore(self):
+        manager = busy_manager()
+        twin = restored_twin(manager)
+        # Complete a still-pending offer on the twin exactly as the
+        # original would: find it via the exported state.
+        record = manager.export_signalling_state()["pending_offers"][0]
+        actions = twin.handle_response(
+            ResponseFrame(
+                connect_request_id=record["request"]["connect_request_id"],
+                rt_channel_id=record["channel_id"],
+                switch_mac=SWITCH_MAC,
+                ok=True,
+            ),
+            now=460,
+        )
+        assert actions[0].frame.ok
+        assert actions[0].grant is not None
+        assert (
+            twin.admission.state.channel(record["channel_id"]).state
+            is ChannelState.ACTIVE
+        )
+
+    def test_lease_expiry_survives_restore(self):
+        manager = busy_manager()
+        twin = restored_twin(manager)
+        reclaimed = twin.reclaim_expired(now=400 + LEASE_NS)
+        assert len(reclaimed) == 1  # offer stamped at 400 expired
+        assert twin.lease_reclaims == manager.lease_reclaims + 1
+        assert twin.reclaim_expired(now=450 + LEASE_NS) != ()
+
+    def test_counters_survive(self):
+        manager = busy_manager()
+        manager.handle_request(request_frame(1), now=500)  # duplicate
+        twin = restored_twin(manager)
+        assert twin.duplicate_requests == manager.duplicate_requests
+        assert twin.stale_frames == manager.stale_frames
+        assert twin.lease_reclaims == manager.lease_reclaims
+
+    def test_signalling_absent_raises(self):
+        ctrl = AdmissionController(SystemState(["a", "b"]), SymmetricDPS())
+        data = snapshot(ctrl)
+        assert data["signalling"] is None
+        restored = restore(data, SymmetricDPS())
+        with pytest.raises(ConfigurationError, match="no signalling"):
+            restore_signalling(data, make_manager(admission=restored))
+
+    def test_config_mismatch_refused(self):
+        manager = busy_manager()
+        data = snapshot(manager.admission, manager=manager)
+        controller = restore(data, SymmetricDPS())
+        other = make_manager(admission=controller, lease_ns=LEASE_NS * 2)
+        with pytest.raises(ConfigurationError, match="lease_ns"):
+            restore_signalling(data, other)
+
+    def test_import_into_dirty_manager_refused(self):
+        manager = busy_manager()
+        data = snapshot(manager.admission, manager=manager)
+        with pytest.raises(ConfigurationError, match="fresh manager"):
+            restore_signalling(data, manager)
