@@ -131,3 +131,124 @@ def test_bench_metrics_overhead_under_ceiling(capsys):
     verdicts = flat["admission.decisions"]["series"]
     counted = sum(s["value"] for s in verdicts)
     assert counted == len(inst_decisions) * config.repeats
+
+
+#: Maximum (spans+monitor)/(metrics-only) ratio (EXP-O4 acceptance).
+_SPAN_OVERHEAD_CEILING = 1.05
+
+
+def _one_sweep_run_requests(nodes, sequences, telemetry):
+    """One pass of the Fig. 18.5 sweep through ``run_requests`` (the
+    production hot path: admit_many bursts, span/monitor hooks live)."""
+    from repro.experiments.base import run_requests
+
+    elapsed = 0.0
+    counts: list[int] = []
+    for requests in sequences:
+        start = time.perf_counter()
+        counts.extend(
+            run_requests(nodes, requests, SymmetricDPS(), telemetry=telemetry)
+        )
+        elapsed += time.perf_counter() - start
+    return elapsed, counts
+
+
+def test_bench_spans_monitor_overhead_under_ceiling(capsys, bench_record):
+    """Spans + invariant monitor cost <= 5% over metrics-only (EXP-O4).
+
+    Both sides run with telemetry attached; the delta isolates exactly
+    what the observability PR added to the hot path -- the per-burst
+    span emission and the monitor's (idle, on this workload) hooks.
+    Alternating best-of-N, GC paused, same discipline as the metrics
+    gate above. Decision parity is asserted: attribution must never
+    change outcomes.
+    """
+    config = AdmissionPerfConfig(requests=200, trials=5, repeats=5)
+    nodes, sequences = _request_sequences(config)
+
+    base_best = inst_best = float("inf")
+    base_counts: list[int] = []
+    inst_counts: list[int] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(config.repeats):
+            elapsed, base_counts = _one_sweep_run_requests(
+                nodes, sequences, Telemetry(TelemetryConfig(tracing=False))
+            )
+            base_best = min(base_best, elapsed)
+            elapsed, inst_counts = _one_sweep_run_requests(
+                nodes, sequences,
+                Telemetry(TelemetryConfig(
+                    tracing=False, spans=True, monitor=True
+                )),
+            )
+            inst_best = min(inst_best, elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overhead = inst_best / base_best if base_best else 1.0
+    total_decisions = config.requests * config.trials
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["side", "best ms", "final counts"],
+            [
+                ["metrics only", f"{base_best * 1000:.1f}",
+                 str(base_counts)],
+                ["spans+monitor", f"{inst_best * 1000:.1f}",
+                 str(inst_counts)],
+                ["overhead", f"{(overhead - 1) * 100:+.1f}%", ""],
+            ],
+            title="EXP-O4: span+monitor overhead -- Fig. 18.5 sweep",
+        ))
+    bench_record(
+        throughput=total_decisions / inst_best if inst_best else 0.0,
+        overhead_pct=(overhead - 1) * 100,
+    )
+
+    assert inst_counts == base_counts, (
+        "enabling spans+monitor changed acceptance counts"
+    )
+    assert overhead <= _SPAN_OVERHEAD_CEILING, (
+        f"span+monitor overhead {overhead:.3f}x exceeds the "
+        f"{_SPAN_OVERHEAD_CEILING}x ceiling (metrics-only "
+        f"{base_best * 1000:.1f} ms, spans+monitor "
+        f"{inst_best * 1000:.1f} ms)"
+    )
+
+
+def test_bench_spans_disabled_byte_identical():
+    """With spans/monitor off, nothing observable changes (EXP-O4).
+
+    The zero-cost claim, held to bytes: a telemetry bundle with the
+    span tracker and monitor DISABLED must produce the identical
+    decision stream and the identical ``trace.jsonl`` byte stream as a
+    bundle with them ENABLED -- spans ride a separate stream and the
+    hooks never influence simulation behaviour -- and, a fortiori, as
+    the pre-observability code path.
+    """
+    from repro.experiments.validation import run_validation
+    from repro.obs import trace_jsonl_lines
+
+    def run(spans: bool):
+        telemetry = Telemetry(TelemetryConfig(
+            spans=spans, monitor=spans, probe_cadence_ns=None,
+        ))
+        report = run_validation(
+            n_masters=3, n_slaves=6, n_requests=16, hyperperiods=1,
+            seed=55, use_wire_handshake=True, telemetry=telemetry,
+        )
+        trace = "\n".join(trace_jsonl_lines(telemetry.recorder))
+        return report, trace, telemetry
+
+    report_off, trace_off, tel_off = run(False)
+    report_on, trace_on, tel_on = run(True)
+
+    assert tel_off.spans is None and tel_on.spans is not None
+    assert trace_on == trace_off, (
+        "enabling spans+monitor changed the trace byte stream"
+    )
+    assert report_on.summary() == report_off.summary()
+    assert len(tel_on.spans) > 0  # the enabled side did record spans

@@ -5,11 +5,78 @@ format) so a ``pytest benchmarks/ --benchmark-only -s`` run leaves the
 full reproduced evaluation in the terminal, and asserts the paper-shape
 checks so a drifted implementation fails loudly rather than silently
 producing a different figure.
+
+Artifacts: every ``bench_<name>.py`` module that ran leaves a
+``BENCH_bench_<name>.json`` file (schema:
+:data:`repro.obs.schema.BENCH_SCHEMA`) in ``$BENCH_OUT`` (default
+``out/bench``) -- per-test wall times plus whatever throughput /
+overhead numbers the benchmark recorded through the ``bench_record``
+fixture. ``repro bench-report DIR [--baseline DIR]`` renders and
+compares them.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+#: per-module collected test timings: module stem -> [{test, wall_s, outcome}]
+_BENCH_RESULTS: dict[str, list[dict]] = {}
+#: per-module numbers recorded via the bench_record fixture
+_BENCH_EXTRA: dict[str, dict] = {}
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record headline numbers into this module's ``BENCH_*.json``.
+
+    ``bench_record(throughput=..., overhead_pct=...)`` fills the
+    schema's top-level optional fields; any other keyword lands under
+    ``extra``. Later calls override earlier ones key-by-key.
+    """
+    module = Path(str(request.node.fspath)).stem
+
+    def record(**numbers) -> None:
+        slot = _BENCH_EXTRA.setdefault(module, {})
+        for key, value in numbers.items():
+            if key in ("throughput", "overhead_pct"):
+                slot[key] = float(value)
+            else:
+                slot.setdefault("extra", {})[key] = value
+
+    return record
+
+
+def pytest_runtest_logreport(report):
+    if report.when != "call":
+        return
+    path = Path(str(report.fspath))
+    if not path.name.startswith("bench_"):
+        return
+    _BENCH_RESULTS.setdefault(path.stem, []).append({
+        "test": report.nodeid.rsplit("::", 1)[-1],
+        "wall_s": round(report.duration, 6),
+        "outcome": report.outcome,
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RESULTS:
+        return
+    out = Path(os.environ.get("BENCH_OUT", "out/bench"))
+    out.mkdir(parents=True, exist_ok=True)
+    for module, tests in sorted(_BENCH_RESULTS.items()):
+        record: dict = {
+            "name": module,
+            "wall_s": round(sum(t["wall_s"] for t in tests), 6),
+            "tests": tests,
+        }
+        record.update(_BENCH_EXTRA.get(module, {}))
+        path = out / f"BENCH_{module}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def pytest_addoption(parser):

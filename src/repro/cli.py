@@ -28,7 +28,13 @@ Commands
 ``netcalc-bounds`` per-channel netcalc bound table for the Fig. 18.5
                  workload (the checked-in regression CSV)
 ``obs``          telemetry bundles: ``capture`` a fully instrumented
-                 run, ``check`` an emitted bundle against the schemas
+                 run, ``check`` an emitted bundle against the schemas,
+                 ``report`` a bundle's spans/anomalies/flight dumps
+``spans``        causal span capture: attribute each request's latency
+                 to queue/wire/processing/backoff, with an online
+                 invariant monitor and flight recorder riding along
+``bench-report`` summarize the benchmark suite's ``BENCH_*.json``
+                 artifacts, optionally against a baseline directory
 
 ``fig18-5``, ``validate`` and ``robustness --signal-loss`` accept
 ``--telemetry-out DIR`` to emit a telemetry bundle (metrics snapshot,
@@ -44,7 +50,8 @@ per CPU); every output -- tables, CSV/JSON exports, telemetry bundles
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
 ``bench-admission`` parity, ``admission-diff``, ``netcalc-diff``,
-``obs check``), 2 on usage errors.
+``obs check``, the ``spans`` coverage gate, ``bench-report`` schema
+conformance), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -314,6 +321,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("bundle", metavar="DIR",
                        help="bundle directory to validate")
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="summarize an emitted bundle: span phases, per-request "
+             "latency attribution, anomalies and flight dumps",
+    )
+    obs_report.add_argument("bundle", metavar="DIR",
+                            help="bundle directory to summarize")
+
+    spans_cmd = sub.add_parser(
+        "spans",
+        help="causal span capture: run an instrumented handshake "
+             "workload and attribute every request's end-to-end latency "
+             "to queue/wire/processing/backoff phases",
+    )
+    spans_cmd.add_argument(
+        "--summary", action="store_true",
+        help="print the per-request attribution table",
+    )
+    spans_cmd.add_argument(
+        "--signal-loss", type=float, default=None, metavar="RATE",
+        help="run the EXP-R2 signalling-loss workload at RATE instead "
+             "of the clean validation run (exercises backoff "
+             "attribution)",
+    )
+    spans_cmd.add_argument("--masters", type=int, default=4)
+    spans_cmd.add_argument("--slaves", type=int, default=12)
+    spans_cmd.add_argument("--requests", type=int, default=40)
+    spans_cmd.add_argument("--hyperperiods", type=int, default=2)
+    spans_cmd.add_argument("--seed", type=int, default=55)
+    spans_cmd.add_argument(
+        "--out", metavar="DIR",
+        help="write the telemetry bundle (spans.jsonl, anomalies.jsonl, "
+             "flight dumps) into DIR",
+    )
+    spans_cmd.add_argument(
+        "--min-coverage", type=float, default=0.99,
+        help="fail (exit 1) when any resolved request attributes less "
+             "than this fraction of its latency to named phases "
+             "(default 0.99)",
+    )
+
+    breport = sub.add_parser(
+        "bench-report",
+        help="summarize BENCH_*.json artifacts emitted by the benchmark "
+             "suite; optionally compare wall times against a baseline "
+             "directory",
+    )
+    breport.add_argument("dir", metavar="DIR",
+                         help="directory holding BENCH_*.json files")
+    breport.add_argument(
+        "--baseline", metavar="DIR", default=None,
+        help="earlier BENCH_*.json directory to diff against",
+    )
 
     adiff = sub.add_parser(
         "admission-diff",
@@ -784,6 +844,21 @@ def _cmd_netcalc_bounds(args) -> int:
     return 0
 
 
+def _format_attribution_table(attrs) -> str:
+    rows = [
+        [a.trace_id, a.subject, a.status, a.total_ns, a.queue_ns,
+         a.wire_ns, a.processing_ns, a.backoff_ns, a.retries,
+         f"{a.coverage:.3f}"]
+        for a in attrs
+    ]
+    return format_table(
+        ["trace", "source", "status", "total ns", "queue", "wire",
+         "processing", "backoff", "retries", "coverage"],
+        rows,
+        title="per-request latency attribution",
+    )
+
+
 def _cmd_obs(args) -> int:
     if args.obs_command == "check":
         from .obs import validate_bundle
@@ -795,6 +870,52 @@ def _cmd_obs(args) -> int:
             print(f"{len(errors)} schema error(s) in {args.bundle}")
             return 1
         print(f"bundle {args.bundle} conforms to the telemetry schemas")
+        return 0
+
+    if args.obs_command == "report":
+        import json
+        from pathlib import Path
+
+        from .obs import span_from_dict, summarize_requests
+
+        bundle = Path(args.bundle)
+        spans_path = bundle / "spans.jsonl"
+        if not spans_path.exists():
+            print(f"repro obs report: no spans.jsonl in {bundle} "
+                  "(capture with 'repro spans --out DIR')",
+                  file=sys.stderr)
+            return 2
+        spans = [
+            span_from_dict(json.loads(line))
+            for line in spans_path.read_text().splitlines()
+            if line
+        ]
+        by_name: dict[str, int] = {}
+        for span in spans:
+            by_name[span.name] = by_name.get(span.name, 0) + 1
+        print(f"{len(spans)} spans in {spans_path}")
+        for name in sorted(by_name):
+            print(f"  {name}: {by_name[name]}")
+        attrs = summarize_requests(spans)
+        if attrs:
+            print()
+            print(_format_attribution_table(attrs))
+        anomalies_path = bundle / "anomalies.jsonl"
+        if anomalies_path.exists():
+            by_invariant: dict[str, int] = {}
+            for line in anomalies_path.read_text().splitlines():
+                if line:
+                    record = json.loads(line)
+                    key = record.get("invariant", "?")
+                    by_invariant[key] = by_invariant.get(key, 0) + 1
+            total = sum(by_invariant.values())
+            print(f"\n{total} anomalies")
+            for name in sorted(by_invariant):
+                print(f"  {name}: {by_invariant[name]}")
+        dumps = sorted(bundle.glob("flight*.json"))
+        for dump in dumps:
+            reason = json.loads(dump.read_text()).get("reason", "?")
+            print(f"flight dump {dump.name}: {reason}")
         return 0
 
     # capture: one fully instrumented validation run
@@ -822,6 +943,114 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_spans(args) -> int:
+    from .obs import Telemetry, TelemetryConfig, summarize_requests
+
+    telemetry = Telemetry(TelemetryConfig(
+        spans=True,
+        monitor=True,
+        measure_compute=True,
+        flight_dir=args.out,
+    ))
+    if args.signal_loss is not None:
+        from .experiments.robustness import run_signal_loss_robustness
+
+        report = run_signal_loss_robustness(
+            loss_rate=args.signal_loss,
+            n_requests=args.requests,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+        print(report.summary())
+    else:
+        from .experiments.validation import run_validation
+
+        report = run_validation(
+            n_masters=args.masters,
+            n_slaves=args.slaves,
+            n_requests=args.requests,
+            hyperperiods=args.hyperperiods,
+            seed=args.seed,
+            use_wire_handshake=True,
+            telemetry=telemetry,
+        )
+        print(report.summary())
+    attrs = summarize_requests(telemetry.spans)
+    if args.summary and attrs:
+        print()
+        print(_format_attribution_table(attrs))
+    anomalies = 0 if telemetry.monitor is None else len(
+        telemetry.monitor.anomalies
+    )
+    worst = min((a.coverage for a in attrs), default=1.0)
+    compute = sum(a.admission_compute_ns for a in attrs)
+    print(
+        f"\n{len(telemetry.spans)} spans, {len(attrs)} requests "
+        f"attributed, worst coverage {worst:.3f}, admission compute "
+        f"{compute} ns, {anomalies} anomalies"
+    )
+    if args.out:
+        written = telemetry.write(args.out)
+        for path in written.values():
+            print(f"wrote {path}")
+    if worst < args.min_coverage:
+        print(
+            f"ATTRIBUTION GAP: worst coverage {worst:.3f} < "
+            f"--min-coverage {args.min_coverage}", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import BENCH_SCHEMA, validate
+
+    directory = Path(args.dir)
+    paths = sorted(directory.glob("BENCH_*.json"))
+    if not paths:
+        print(f"repro bench-report: no BENCH_*.json in {directory}",
+              file=sys.stderr)
+        return 2
+    baseline: dict[str, dict] = {}
+    if args.baseline:
+        for path in sorted(Path(args.baseline).glob("BENCH_*.json")):
+            record = json.loads(path.read_text())
+            baseline[record.get("name", path.stem)] = record
+    errors = 0
+    rows = []
+    for path in paths:
+        record = json.loads(path.read_text())
+        for error in validate(record, BENCH_SCHEMA, str(path.name)):
+            print(f"SCHEMA ERROR: {error}")
+            errors += 1
+        name = record.get("name", path.stem)
+        wall = record.get("wall_s", 0.0)
+        row = [
+            name,
+            len(record.get("tests", [])),
+            f"{wall:.3f}",
+            ("-" if record.get("throughput") is None
+             else f"{record['throughput']:.0f}"),
+            ("-" if record.get("overhead_pct") is None
+             else f"{record['overhead_pct']:.1f}%"),
+        ]
+        if baseline:
+            base = baseline.get(name)
+            if base is None or not base.get("wall_s"):
+                row.append("-")
+            else:
+                row.append(f"{wall / base['wall_s']:.2f}x")
+        rows.append(row)
+    headers = ["bench", "tests", "wall s", "throughput", "overhead"]
+    if baseline:
+        headers.append("vs baseline")
+    print(format_table(headers, rows, title="benchmark artifacts"))
+    return 1 if errors else 0
+
+
 _COMMANDS = {
     "fig18-5": _cmd_fig18_5,
     "validate": _cmd_validate,
@@ -838,6 +1067,8 @@ _COMMANDS = {
     "netcalc-diff": _cmd_netcalc_diff,
     "netcalc-bounds": _cmd_netcalc_bounds,
     "obs": _cmd_obs,
+    "spans": _cmd_spans,
+    "bench-report": _cmd_bench_report,
 }
 
 

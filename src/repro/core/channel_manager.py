@@ -258,6 +258,23 @@ class SwitchChannelManager:
     def lease_ns(self) -> int | None:
         return self._lease_ns
 
+    def pending_offer_leases(self) -> tuple[tuple[int, int], ...]:
+        """``(channel_id, lease_expiry_ns)`` of every leased pending offer.
+
+        Sorted by channel ID for determinism. Offers without a lease
+        (``lease_ns=None``) are omitted -- they cannot leak by
+        construction because the error-free state machine always
+        resolves them. The invariant monitor polls this to assert no
+        expiry lies in the past.
+        """
+        return tuple(
+            (channel_id, offer.expires_at)
+            for channel_id, offer in sorted(
+                self._awaiting_destination.items()
+            )
+            if offer.expires_at is not None
+        )
+
     # -- request path -----------------------------------------------------
 
     def handle_request(

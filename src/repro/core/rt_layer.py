@@ -110,6 +110,9 @@ class RTLayer:
         self._node = node_name
         self._slot_ns = slot_ns
         self._trace = trace if trace is not None else TraceRecorder()
+        #: optional :class:`~repro.obs.spans.SpanTracker` (set by the
+        #: telemetry bundle); every hook is gated on ``is not None``.
+        self.spans = None
         self._grants: dict[int, ChannelGrant] = {}
         self._message_seq: dict[int, int] = {}
 
@@ -193,6 +196,10 @@ class RTLayer:
                     "uplink_deadline_ns": uplink_deadline,
                 },
             )
+        spans = self.spans
+        root = None
+        if spans is not None:
+            root = spans.channel_root(channel_id, release_ns, self._node)
         frames = []
         for fragment in range(grant.spec.capacity):
             frame = EthernetFrame(
@@ -206,6 +213,10 @@ class RTLayer:
                 fragment_index=fragment,
                 created_at=release_ns,
             )
+            if root is not None:
+                spans.attach_frame(
+                    frame.frame_id, root.trace_id, root.span_id
+                )
             frames.append(
                 OutgoingFrame(frame=frame, uplink_deadline_ns=uplink_deadline)
             )

@@ -38,6 +38,7 @@ __all__ = [
     "FieldRangeError",
     "SimulationError",
     "SchedulingError",
+    "InvariantViolation",
     "TopologyError",
     "RoutingError",
 ]
@@ -146,6 +147,21 @@ class SchedulingError(SimulationError):
     feasibility analysis or the scheduler and is therefore an error, not
     a statistic.
     """
+
+
+class InvariantViolation(SimulationError):
+    """An online-monitored invariant failed during a run.
+
+    Raised only in the monitor's fail-fast mode
+    (:class:`repro.obs.monitor.InvariantMonitor`): a delivered frame
+    exceeded its network-calculus or paper delay bound, a link was
+    overbooked past unit utilization, or a signalling lease leaked.
+    The anomaly record that triggered it rides on the exception.
+    """
+
+    def __init__(self, message: str, anomaly: dict | None = None) -> None:
+        super().__init__(message)
+        self.anomaly = anomaly
 
 
 class TopologyError(ReproError, ValueError):

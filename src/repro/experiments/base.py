@@ -70,6 +70,7 @@ def run_requests(
     checkpoints: Sequence[int] | None = None,
     telemetry=None,
     lane: TraceLane | None = None,
+    batch: bool = True,
 ) -> list[int]:
     """Feed ``requests`` to a fresh admission controller.
 
@@ -83,6 +84,15 @@ def run_requests(
     completes, so sweeps do not accumulate dead caches. ``lane`` gives
     this run a distinct timeline in a multi-run sweep (see
     :class:`TraceLane`).
+
+    ``batch=True`` (the default) drives the hot path through
+    :meth:`~repro.core.admission.AdmissionController.admit_many`, one
+    burst per inter-checkpoint segment, so sweeps benefit from pooled
+    prefetching and the saturated-tail decision template. The decision
+    stream, trace records, counts and span stream are byte-identical to
+    the scalar path (``batch=False``) -- the batch engine's own stream
+    equality guarantee plus checkpoint-aligned segmentation make the
+    two indistinguishable to every observer.
     """
     if checkpoints is None:
         checkpoints = [len(requests)]
@@ -99,10 +109,21 @@ def run_requests(
         metrics=None if telemetry is None else telemetry.registry,
     )
     recorder = None
+    spans = None
     if telemetry is not None:
         telemetry.track_cache(controller.cache)
         if telemetry.recorder.enabled_for("admission.decision"):
             recorder = telemetry.recorder
+        spans = telemetry.spans
+    offset_ns = 0 if lane is None else lane.offset_ns
+    root = None
+    if spans is not None:
+        if lane is None:
+            subject, fields = "sweep", None
+        else:
+            subject = f"trial{lane.trial}:{lane.scheme}"
+            fields = {"trial": lane.trial, "scheme": lane.scheme}
+        root = spans.begin_trace("sweep.run", subject, offset_ns, fields)
     counts: list[int] = []
     next_checkpoint = 0
     while (
@@ -111,18 +132,52 @@ def run_requests(
     ):
         counts.append(0)
         next_checkpoint += 1
-    offset_ns = 0 if lane is None else lane.offset_ns
-    for offered, request in enumerate(requests, start=1):
-        decision = controller.request(
-            request.source, request.destination, request.spec
-        )
+
+    # Burst boundaries: one admit_many() per inter-checkpoint segment
+    # (and a final tail segment past the last checkpoint). The scalar
+    # path observes the same boundaries so its span stream -- one
+    # "admission" span per segment -- is byte-identical.
+    bounds = [c for c in checkpoints if c > 0]
+    if not bounds or bounds[-1] < len(requests):
+        bounds.append(len(requests))
+    segment_ends = set(bounds)
+
+    def decisions():
+        if not batch:
+            for request in requests:
+                yield controller.request(
+                    request.source, request.destination, request.spec
+                )
+            return
+        # Counts are observed at exactly the controller states the
+        # scalar loop would see, because the generator is lazy -- a
+        # checkpoint is read after its segment's burst and before the
+        # next one starts.
+        start = 0
+        for stop in bounds:
+            if stop > start:
+                yield from controller.admit_many(
+                    (r.source, r.destination, r.spec)
+                    for r in requests[start:stop]
+                )
+                start = stop
+
+    accepted_running = 0
+    segment_start = 0
+    segment_accepted = 0
+    for offered, (request, decision) in enumerate(
+        zip(requests, decisions()), start=1
+    ):
+        if decision.accepted:
+            accepted_running += 1
+            segment_accepted += 1
         if recorder is not None:
             verdict = (
                 "accept" if decision.accepted else decision.reason.value
             )
-            fields: dict[str, object] = {
+            fields = {
                 "verdict": verdict,
-                "accepted_so_far": controller.accept_count,
+                "accepted_so_far": accepted_running,
             }
             if lane is not None:
                 fields["trial"] = lane.trial
@@ -134,15 +189,35 @@ def run_requests(
                 f"{request.source}->{request.destination} {verdict}",
                 fields=fields,
             )
+        if offered in segment_ends:
+            if root is not None:
+                spans.child(
+                    root.trace_id, root.span_id, "admission",
+                    root.subject,
+                    offset_ns + (segment_start + 1) * _ANALYTIC_TICK_NS,
+                    offset_ns + offered * _ANALYTIC_TICK_NS,
+                    {
+                        "offered": offered - segment_start,
+                        "accepted": segment_accepted,
+                        "accepted_so_far": accepted_running,
+                    },
+                )
+            segment_start = offered
+            segment_accepted = 0
         while (
             next_checkpoint < len(checkpoints)
             and checkpoints[next_checkpoint] == offered
         ):
-            counts.append(controller.accept_count)
+            counts.append(accepted_running)
             next_checkpoint += 1
     while next_checkpoint < len(checkpoints):  # checkpoint 0, or empty input
-        counts.append(controller.accept_count)
+        counts.append(accepted_running)
         next_checkpoint += 1
+    if root is not None:
+        root.end_ns = offset_ns + len(requests) * _ANALYTIC_TICK_NS
+        root.fields = dict(root.fields or {})
+        root.fields["accepted"] = accepted_running
+        root.fields["offered"] = len(requests)
     if telemetry is not None:
         telemetry.retire_cache(controller.cache)
     return counts

@@ -101,6 +101,8 @@ class FabricSwitchModel:
         self._forwarding: dict[int, _ForwardingEntry] = {}
         self.frames_forwarded = 0
         self.frames_dropped = 0
+        #: optional SpanTracker (set by Telemetry.instrument_fabric).
+        self.spans = None
 
     @property
     def ports(self) -> dict[str, OutputPort]:
@@ -137,6 +139,12 @@ class FabricSwitchModel:
 
     def receive(self, frame: EthernetFrame) -> None:
         """Frame fully arrived; route after the processing delay."""
+        if self.spans is not None:
+            now = self._sim.now
+            self.spans.frame_processing(
+                frame.frame_id, now, now + self._phy.switch_processing_ns,
+                self.name,
+            )
         self._sim.schedule(
             self._phy.switch_processing_ns,
             lambda f=frame: self._forward(f),
@@ -148,6 +156,10 @@ class FabricSwitchModel:
             # The fabric data plane models RT channels only; best-effort
             # routing over trees is out of this extension's scope.
             self.frames_dropped += 1
+            if self.spans is not None:
+                self.spans.frame_dropped(
+                    frame.frame_id, self._sim.now, self.name
+                )
             if self._trace.enabled_for("fabric.drop"):
                 self._trace.record(
                     self._sim.now, "fabric.drop", self.name, frame.describe(),
@@ -157,6 +169,10 @@ class FabricSwitchModel:
         entry = self._forwarding.get(frame.channel_id)
         if entry is None:
             self.frames_dropped += 1
+            if self.spans is not None:
+                self.spans.frame_dropped(
+                    frame.frame_id, self._sim.now, self.name
+                )
             if self._trace.enabled_for("fabric.drop"):
                 self._trace.record(
                     self._sim.now, "fabric.drop", self.name, frame.describe(),
@@ -200,9 +216,13 @@ class _FabricEndNode:
         self.rt_layer = RTLayer(node_name=name, slot_ns=phy.slot_ns)
         self.uplink: OutputPort | None = None
         self._active_sources: set[int] = set()
+        #: optional SpanTracker (set by Telemetry.instrument_fabric).
+        self.spans = None
 
     def receive(self, frame: EthernetFrame) -> None:
         self._metrics.on_delivery(frame, self._sim.now)
+        if self.spans is not None:
+            self.spans.frame_done(frame.frame_id)
         # Same record the star's EndNode emits, so trace-based delay
         # extraction (analysis.timeline.extract_frame_delays) works on
         # fabric runs too.
@@ -262,14 +282,19 @@ class FabricNetwork:
         phy: PhyProfile,
         trace_enabled: bool = False,
         record_delays: bool = False,
+        telemetry=None,
     ) -> None:
         fabric.validate_connected()
         self.fabric = fabric
         self.admission = admission
         self.phy = phy
+        self.telemetry = telemetry
         reset_frame_ids()
         self.sim = Simulator()
-        self.trace = TraceRecorder(enabled=trace_enabled)
+        if telemetry is not None:
+            self.trace = telemetry.recorder
+        else:
+            self.trace = TraceRecorder(enabled=trace_enabled)
         max_hops = self._max_hop_count()
         self.metrics = MetricsCollector(
             t_latency_ns=self._t_latency_ns(max_hops),
@@ -279,6 +304,8 @@ class FabricNetwork:
         self.nodes: dict[str, _FabricEndNode] = {}
         self.channels: list[FabricChannel] = []
         self._wire_everything()
+        if telemetry is not None:
+            telemetry.instrument_fabric(self)
 
     # -- construction ------------------------------------------------------
 
@@ -379,6 +406,20 @@ class FabricNetwork:
                 hop_index=hop_index,
             )
         self.metrics.register_channel(decision.channel_id, spec.capacity)
+        spans = None if self.telemetry is None else self.telemetry.spans
+        if spans is not None:
+            root = spans.channel_root(
+                decision.channel_id, self.sim.now, source
+            )
+            spans.event(
+                root.trace_id, root.span_id, "admission", source,
+                self.sim.now,
+                {
+                    "verdict": "accept",
+                    "destination": destination,
+                    "hops": len(links),
+                },
+            )
         channel = FabricChannel(decision=decision)
         self.channels.append(channel)
         return channel
@@ -419,8 +460,15 @@ def build_fabric_network(
     phy: PhyProfile | None = None,
     trace_enabled: bool = False,
     record_delays: bool = False,
+    telemetry=None,
 ) -> FabricNetwork:
-    """Convenience builder pairing a fabric with admission and a kernel."""
+    """Convenience builder pairing a fabric with admission and a kernel.
+
+    ``telemetry`` is an optional :class:`~repro.obs.Telemetry` bundle:
+    its recorder becomes the network's trace and the fabric is fully
+    instrumented (kernel counters, per-hop spans, delay observer) via
+    :meth:`~repro.obs.bundle.Telemetry.instrument_fabric`.
+    """
     phy = phy or PhyProfile.fast_ethernet()
     admission = MultiSwitchAdmission(
         fabric=fabric, dps=dps or MultiHopProportional()
@@ -428,4 +476,5 @@ def build_fabric_network(
     return FabricNetwork(
         fabric=fabric, admission=admission, phy=phy,
         trace_enabled=trace_enabled, record_delays=record_delays,
+        telemetry=telemetry,
     )

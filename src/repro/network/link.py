@@ -95,6 +95,9 @@ class HalfLink:
         self.on_idle: Callable[[], None] | None = None
         self._trace = trace if trace is not None else TraceRecorder(enabled=False)
         self._busy_until = -1
+        #: optional :class:`~repro.obs.spans.SpanTracker` (set by the
+        #: telemetry bundle); every hook is gated on ``is not None``.
+        self.spans = None
         self._loss_rate = loss_rate
         self._loss_rng = loss_rng
         self._fault_plan = fault_plan
@@ -191,6 +194,10 @@ class HalfLink:
             )
         self._sim.schedule(tx, self._wire_free, label=f"{self.name}:idle")
         arrival = tx + self._phy.propagation_ns
+        if self.spans is not None:
+            self.spans.frame_transmit(
+                frame.frame_id, now, now + arrival, self.name
+            )
         self._sim.schedule(
             arrival,
             lambda f=frame: self._arrive(f),
@@ -218,12 +225,20 @@ class HalfLink:
                     frame.describe(),
                     fields={"cause": "fault-plan"},
                 )
+            if self.spans is not None:
+                self.spans.frame_lost(
+                    frame.frame_id, self._sim.now, self.name, "fault-plan"
+                )
             return
         if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
             self.frames_lost += 1
             if self._trace.enabled_for("link.lost"):
                 self._trace.record(
                     self._sim.now, "link.lost", self.name, frame.describe()
+                )
+            if self.spans is not None:
+                self.spans.frame_lost(
+                    frame.frame_id, self._sim.now, self.name, "corruption"
                 )
             return
         if self._trace.enabled_for("link.deliver"):

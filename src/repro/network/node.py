@@ -129,6 +129,9 @@ class EndNode:
         self._metrics = metrics
         self._policy = destination_policy
         self._trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: optional :class:`~repro.obs.spans.SpanTracker` (set by the
+        #: telemetry bundle); every hook is gated on ``is not None``.
+        self.spans = None
         self.rt_layer = RTLayer(
             node_name=name, slot_ns=phy.slot_ns, trace=self._trace
         )
@@ -238,6 +241,15 @@ class EndNode:
         rid = request.connect_request_id
         if on_complete is not None:
             self._request_callbacks[rid] = on_complete
+        span_ctx = None
+        if self.spans is not None:
+            root = self.spans.begin_request(
+                self.name,
+                rid,
+                self._sim.now,
+                {"destination": destination_name, "request": rid},
+            )
+            span_ctx = (root.trace_id, root.span_id)
         if retry is not None:
             self._retry_state[rid] = _RetryState(retry, retry_rng, request)
             self._sim.schedule(
@@ -255,7 +267,9 @@ class EndNode:
                 lambda: self._request_timeout(rid),
                 label=f"{self.name}:req{rid}:timeout",
             )
-        self._send_signaling(request, payload_bytes=REQUEST_FRAME_BYTES)
+        self._send_signaling(
+            request, payload_bytes=REQUEST_FRAME_BYTES, span_ctx=span_ctx
+        )
         if self._trace.enabled_for("signal.request"):
             self._trace.record(
                 self._sim.now,
@@ -293,8 +307,25 @@ class EndNode:
                             "attempt": state.attempt,
                         },
                     )
+                span_ctx = None
+                if self.spans is not None:
+                    root = self.spans.request_root(
+                        self.name, connect_request_id
+                    )
+                    if root is not None:
+                        span_ctx = (root.trace_id, root.span_id)
+                        self.spans.event(
+                            root.trace_id,
+                            root.span_id,
+                            "retry",
+                            self.name,
+                            self._sim.now,
+                            {"attempt": state.attempt},
+                        )
                 self._send_signaling(
-                    state.frame, payload_bytes=REQUEST_FRAME_BYTES
+                    state.frame,
+                    payload_bytes=REQUEST_FRAME_BYTES,
+                    span_ctx=span_ctx,
                 )
                 self._sim.schedule(
                     state.policy.delay_ns(state.attempt, state.rng),
@@ -307,6 +338,10 @@ class EndNode:
             record = self.signaling.timeout_request(connect_request_id)
         except ProtocolError:
             return  # the response won the race
+        if self.spans is not None:
+            self.spans.end_request(
+                self.name, connect_request_id, self._sim.now, "timed-out"
+            )
         if self._trace.enabled_for("signal.timeout"):
             self._trace.record(
                 self._sim.now,
@@ -353,17 +388,27 @@ class EndNode:
         self, frame: TeardownFrame, repeats: int, spacing_ns: int
     ) -> None:
         """Send ``frame`` now and ``repeats - 1`` more times afterwards."""
-        self._send_signaling(frame, payload_bytes=TEARDOWN_FRAME_BYTES)
+        span_ctx = None
+        if self.spans is not None:
+            root = self.spans.begin_teardown(
+                frame.rt_channel_id, self.name, self._sim.now
+            )
+            span_ctx = (root.trace_id, root.span_id)
+        self._send_signaling(
+            frame, payload_bytes=TEARDOWN_FRAME_BYTES, span_ctx=span_ctx
+        )
         for i in range(1, repeats):
             self._sim.schedule(
                 i * spacing_ns,
-                lambda f=frame: self._send_signaling(
-                    f, payload_bytes=TEARDOWN_FRAME_BYTES
+                lambda f=frame, ctx=span_ctx: self._send_signaling(
+                    f, payload_bytes=TEARDOWN_FRAME_BYTES, span_ctx=ctx
                 ),
                 label=f"{self.name}:ch{frame.rt_channel_id}:teardown",
             )
 
-    def _send_signaling(self, payload, payload_bytes: int) -> None:
+    def _send_signaling(
+        self, payload, payload_bytes: int, span_ctx=None
+    ) -> None:
         """Encode a signalling frame to real bytes and queue it.
 
         Every node-originated signalling frame travels as its bit-exact
@@ -381,6 +426,8 @@ class EndNode:
             created_at=self._sim.now,
             payload_object=encoded,
         )
+        if self.spans is not None and span_ctx is not None:
+            self.spans.attach_frame(frame.frame_id, span_ctx[0], span_ctx[1])
         self._require_uplink().submit_be(frame)
 
     # -- RT data path (application API) -----------------------------------------
@@ -518,6 +565,8 @@ class EndNode:
             self._receive_signaling(frame)
             return
         self._metrics.on_delivery(frame, self._sim.now)
+        if self.spans is not None:
+            self.spans.frame_done(frame.frame_id)
         if self._trace.enabled_for("node.deliver"):
             self._trace.record(
                 self._sim.now,
@@ -532,6 +581,10 @@ class EndNode:
 
     def _receive_signaling(self, frame: EthernetFrame) -> None:
         self._metrics.on_delivery(frame, self._sim.now)
+        span_ctx = None
+        if self.spans is not None:
+            span_ctx = self.spans.frame_context(frame.frame_id)
+            self.spans.frame_done(frame.frame_id)
         payload = frame.payload_object
         if isinstance(payload, (bytes, bytearray)):
             # bit-exact wire encoding: run the real decoder
@@ -550,7 +603,7 @@ class EndNode:
                 )
             self._handle_response(response, grant)
         elif isinstance(payload, RequestFrame):
-            self._handle_offer(payload)
+            self._handle_offer(payload, span_ctx)
         elif isinstance(payload, ResponseFrame):
             self._handle_response(payload, None)
         else:
@@ -559,7 +612,7 @@ class EndNode:
                 f"{type(payload).__name__}"
             )
 
-    def _handle_offer(self, request: RequestFrame) -> None:
+    def _handle_offer(self, request: RequestFrame, span_ctx=None) -> None:
         """An offered channel (switch-stamped RequestFrame) arrived."""
         response = destination_response(request, self._switch_mac, self._policy)
         if response.ok:
@@ -575,7 +628,9 @@ class EndNode:
                 f"ch={request.rt_channel_id} ok={response.ok}",
                 fields={"channel": request.rt_channel_id, "ok": response.ok},
             )
-        self._send_signaling(response, payload_bytes=RESPONSE_FRAME_BYTES)
+        self._send_signaling(
+            response, payload_bytes=RESPONSE_FRAME_BYTES, span_ctx=span_ctx
+        )
 
     def _handle_response(
         self, response: ResponseFrame, grant: ChannelGrant | None
@@ -601,6 +656,13 @@ class EndNode:
                 )
             return
         self._retry_state.pop(response.connect_request_id, None)
+        if self.spans is not None:
+            self.spans.end_request(
+                self.name,
+                response.connect_request_id,
+                self._sim.now,
+                "accepted" if response.ok else "rejected",
+            )
         if completed.state is ConnectionRequestState.TIMED_OUT:
             # Late response for a request we already abandoned. If the
             # switch accepted, its reservation is orphaned: release it

@@ -107,6 +107,9 @@ class OutputPort:
         )
         self._on_rt_complete = on_rt_complete
         self._trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: optional :class:`~repro.obs.spans.SpanTracker` (set by the
+        #: telemetry bundle); every hook is gated on ``is not None``.
+        self.spans = None
         self.stats = PortStats()
         link.on_idle = self._pump
 
@@ -151,6 +154,8 @@ class OutputPort:
         self.stats.rt_enqueued += 1
         if len(self._rt_queue) > self.stats.rt_backlog_max:
             self.stats.rt_backlog_max = len(self._rt_queue)
+        if self.spans is not None:
+            self.spans.frame_enqueued(frame.frame_id, self._sim.now, self.name)
         if self._trace.enabled_for("port.rt_enqueue"):
             self._trace.record(
                 self._sim.now,
@@ -185,6 +190,10 @@ class OutputPort:
             self.stats.be_enqueued += 1
             if len(self._be_queue) > self.stats.be_backlog_max:
                 self.stats.be_backlog_max = len(self._be_queue)
+            if self.spans is not None:
+                self.spans.frame_enqueued(
+                    frame.frame_id, self._sim.now, self.name
+                )
             if self._trace.enabled_for("port.be_enqueue"):
                 self._trace.record(
                     self._sim.now,
@@ -196,6 +205,10 @@ class OutputPort:
             self._pump()
         else:
             self.stats.be_dropped += 1
+            if self.spans is not None:
+                self.spans.frame_dropped(
+                    frame.frame_id, self._sim.now, self.name
+                )
             if self._trace.enabled_for("port.be_drop"):
                 self._trace.record(
                     self._sim.now,

@@ -27,6 +27,8 @@ Otherwise the timer fires and the manager reclaims the reservation.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from ..core.channel_manager import (
     NodeDirectory,
     SignalAction,
@@ -105,6 +107,9 @@ class Switch:
             metrics=registry,
         )
         self._lease_ns = lease_ns
+        #: optional :class:`~repro.obs.spans.SpanTracker` (set by the
+        #: telemetry bundle); every hook is gated on ``is not None``.
+        self.spans = None
         #: live lease timers keyed by pending-offer channel ID.
         self._lease_events: dict[int, EventHandle] = {}
         self._ports: dict[str, OutputPort] = {}
@@ -145,6 +150,14 @@ class Switch:
         Processing (routing + queueing) happens after the switch's
         processing delay, modelling lookup latency.
         """
+        if self.spans is not None:
+            now = self._sim.now
+            self.spans.frame_processing(
+                frame.frame_id,
+                now,
+                now + self._phy.switch_processing_ns,
+                SWITCH_NAME,
+            )
         self._sim.schedule(
             self._phy.switch_processing_ns,
             lambda f=frame: self._process(f),
@@ -167,6 +180,10 @@ class Switch:
         except UnknownChannelError:
             # Channel torn down while the frame was in flight: drop.
             self.frames_dropped += 1
+            if self.spans is not None:
+                self.spans.frame_dropped(
+                    frame.frame_id, self._sim.now, SWITCH_NAME
+                )
             if self._trace.enabled_for("switch.drop"):
                 self._trace.record(
                     self._sim.now,
@@ -192,6 +209,10 @@ class Switch:
         port = self._ports.get(frame.destination)
         if port is None:
             self.frames_dropped += 1
+            if self.spans is not None:
+                self.spans.frame_dropped(
+                    frame.frame_id, self._sim.now, SWITCH_NAME
+                )
             if self._trace.enabled_for("switch.drop"):
                 self._trace.record(
                     self._sim.now,
@@ -215,17 +236,39 @@ class Switch:
             # bit-exact wire encoding from an end node: real decoder
             payload = decode_signaling(bytes(payload))
             self.signaling_frames_decoded += 1
+        spans = self.spans
+        span_ctx = None
+        if spans is not None:
+            span_ctx = spans.frame_context(frame.frame_id)
+            spans.frame_done(frame.frame_id)
         if isinstance(payload, RequestFrame):
-            actions = self.manager.handle_request(payload, now=self._sim.now)
+            if spans is None:
+                actions = self.manager.handle_request(
+                    payload, now=self._sim.now
+                )
+            else:
+                actions = self._handle_request_traced(payload, span_ctx)
             if self._lease_ns is not None:
                 for action in actions:
                     if isinstance(action.frame, RequestFrame):
                         self._arm_lease(action.frame.rt_channel_id)
+                        if spans is not None and span_ctx is not None:
+                            spans.lease_armed(
+                                action.frame.rt_channel_id,
+                                span_ctx[0],
+                                span_ctx[1],
+                                self._sim.now,
+                                self._sim.now + self._lease_ns,
+                            )
         elif isinstance(payload, ResponseFrame):
             actions = self.manager.handle_response(payload, now=self._sim.now)
             self._disarm_lease(payload.rt_channel_id)
+            if spans is not None:
+                spans.lease_resolved(payload.rt_channel_id, self._sim.now)
         elif isinstance(payload, TeardownFrame):
             actions = self.manager.handle_teardown(payload)
+            if spans is not None:
+                spans.end_teardown(payload.rt_channel_id, self._sim.now)
         else:
             raise ProtocolError(
                 f"switch received unexpected signalling payload "
@@ -241,7 +284,50 @@ class Switch:
                         "actions": len(actions)},
             )
         for action in actions:
-            self._emit_signaling(action)
+            self._emit_signaling(action, span_ctx)
+
+    def _handle_request_traced(
+        self, payload: RequestFrame, span_ctx
+    ) -> list[SignalAction]:
+        """``manager.handle_request`` plus the admission verdict event.
+
+        Only runs when a span tracker is attached. The verdict event is
+        emitted on the request's trace when admission actually ran (a
+        fresh decision was appended); retransmitted requests answered
+        from the pending-offer table or the verdict cache are marked
+        ``duplicate`` instead. Wall-clock admission compute is measured
+        only when the tracker asks for it (non-deterministic by nature,
+        so deterministic sweep runs keep it off).
+        """
+        spans = self.spans
+        before = len(self.manager.decisions)
+        if spans.measure_compute:
+            start = perf_counter_ns()
+            actions = self.manager.handle_request(payload, now=self._sim.now)
+            compute = perf_counter_ns() - start
+        else:
+            actions = self.manager.handle_request(payload, now=self._sim.now)
+            compute = -1
+        if span_ctx is not None:
+            if len(self.manager.decisions) > before:
+                decision = self.manager.decisions[-1]
+                fields: dict = {
+                    "verdict": "accept" if decision.accepted else "reject",
+                }
+                if not decision.accepted and decision.reason is not None:
+                    fields["reason"] = decision.reason.name
+                if compute >= 0:
+                    fields["compute_ns"] = compute
+                spans.event(
+                    span_ctx[0], span_ctx[1], "admission", SWITCH_NAME,
+                    self._sim.now, fields,
+                )
+            else:
+                spans.event(
+                    span_ctx[0], span_ctx[1], "admission", SWITCH_NAME,
+                    self._sim.now, {"verdict": "duplicate"},
+                )
+        return actions
 
     # -- reservation leases ----------------------------------------------------
 
@@ -271,6 +357,8 @@ class Switch:
         for cid in reclaimed:
             if cid != channel_id:
                 self._disarm_lease(cid)
+            if self.spans is not None:
+                self.spans.lease_reclaimed(cid, self._sim.now)
             if self._trace.enabled_for("signal.lease_reclaim"):
                 self._trace.record(
                     self._sim.now,
@@ -280,7 +368,7 @@ class Switch:
                     fields={"channel": cid},
                 )
 
-    def _emit_signaling(self, action: SignalAction) -> None:
+    def _emit_signaling(self, action: SignalAction, span_ctx=None) -> None:
         if isinstance(action.frame, RequestFrame):
             payload_bytes = REQUEST_FRAME_BYTES
             # forwarded (stamped) requests travel as wire bytes too
@@ -302,4 +390,6 @@ class Switch:
             created_at=self._sim.now,
             payload_object=payload_object,
         )
+        if self.spans is not None and span_ctx is not None:
+            self.spans.attach_frame(out.frame_id, span_ctx[0], span_ctx[1])
         self.port_toward(action.target).submit_be(out)

@@ -37,10 +37,17 @@ from pathlib import Path
 
 from ..sim.kernel import Simulator
 from ..sim.trace import TraceRecord, TraceRecorder
-from .export import write_chrome_trace, write_trace_jsonl
+from .export import (
+    chrome_trace,
+    write_span_jsonl,
+    write_trace_jsonl,
+)
+from .flight import FlightRecorder
+from .monitor import InvariantMonitor, star_bound_provider
 from .probes import ProbeSet
 from .profiling import KernelProfiler
 from .registry import MetricsRegistry
+from .spans import Span, SpanTracker
 
 __all__ = ["TelemetryConfig", "Telemetry", "TelemetryShard"]
 
@@ -61,6 +68,27 @@ class TelemetryConfig:
     probe_cadence_ns: int | None = 1_000_000
     #: Time every kernel event callback (adds ~2 clock reads/event).
     profile: bool = False
+    #: Collect causal spans (per-request / per-channel latency
+    #: attribution; see :mod:`repro.obs.spans`).
+    spans: bool = False
+    #: Ring-buffer cap on retained spans.
+    span_capacity: int = 200_000
+    #: Measure wall-clock admission compute into verdict spans. Off by
+    #: default: wall times are non-deterministic, and deterministic
+    #: merges (parallel sweeps) require byte-identical span streams.
+    measure_compute: bool = False
+    #: Run the online invariant monitor (delay bounds, overbooking,
+    #: lease leaks; see :mod:`repro.obs.monitor`).
+    monitor: bool = False
+    #: Raise :class:`~repro.errors.InvariantViolation` on the first
+    #: anomaly instead of only recording it.
+    fail_fast: bool = False
+    #: Span records retained per flight-recorder dump.
+    flight_capacity: int = 2048
+    #: Directory for automatic flight dumps (on the first anomaly and
+    #: on a kernel crash). ``None`` disables automatic dumping; the
+    #: recorder can still be dumped explicitly.
+    flight_dir: str | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +105,12 @@ class TelemetryShard:
     metrics: dict
     trace: tuple[TraceRecord, ...] = ()
     trace_dropped: int = 0
+    #: causal spans recorded by the worker (IDs in worker-local space;
+    #: :meth:`Telemetry.absorb_shard` re-bases them).
+    spans: tuple[Span, ...] = ()
+    #: span IDs the worker allocated (the merge offset advance).
+    span_next_id: int = 0
+    span_dropped: int = 0
 
 
 class Telemetry:
@@ -93,9 +127,42 @@ class Telemetry:
             KernelProfiler() if self.config.profile else None
         )
         self.probes: ProbeSet | None = None
+        self.spans: SpanTracker | None = (
+            SpanTracker(
+                capacity=self.config.span_capacity,
+                measure_compute=self.config.measure_compute,
+            )
+            if self.config.spans
+            else None
+        )
+        self.monitor: InvariantMonitor | None = None
+        self.flight: FlightRecorder | None = None
+        if self.config.monitor or self.config.spans:
+            self.flight = FlightRecorder(
+                capacity=self.config.flight_capacity,
+                span_provider=self._flight_spans,
+                metrics_provider=self.snapshot,
+                anomaly_provider=self._flight_anomalies,
+            )
+        if self.config.monitor:
+            self.monitor = InvariantMonitor(
+                fail_fast=self.config.fail_fast,
+                flight=self.flight,
+                flight_dir=self.config.flight_dir,
+            )
         self._caches: list = []
         self._cache_totals: dict[str, int] = {}
         self._cache_collector_installed = False
+
+    def _flight_spans(self) -> list[dict]:
+        if self.spans is None:
+            return []
+        return [span.as_dict() for span in self.spans]
+
+    def _flight_anomalies(self) -> list[dict]:
+        if self.monitor is None:
+            return []
+        return list(self.monitor.anomalies)
 
     # -- wiring ----------------------------------------------------------
 
@@ -104,6 +171,18 @@ class Telemetry:
         if self.profiler is not None:
             sim.profiler = self.profiler
             self.profiler.publish(self.registry)
+        if self.flight is not None and self.config.flight_dir is not None:
+            flight = self.flight
+            flight_dir = self.config.flight_dir
+
+            def on_crash(exc: BaseException) -> None:
+                flight.dump(
+                    flight_dir,
+                    reason=f"crash:{type(exc).__name__}",
+                    time_ns=sim.now,
+                )
+
+            sim.on_crash = on_crash
         dispatched = self.registry.gauge(
             "kernel.dispatched_events",
             help="events the kernel has fired",
@@ -197,10 +276,14 @@ class Telemetry:
         tracked caches are materialized as gauges) and ships the trace
         records it recorded.
         """
+        tracker = self.spans
         return TelemetryShard(
             metrics=self.snapshot(),
             trace=tuple(self.recorder),
             trace_dropped=self.recorder.dropped,
+            spans=() if tracker is None else tracker.spans,
+            span_next_id=0 if tracker is None else tracker.next_id,
+            span_dropped=0 if tracker is None else tracker.dropped,
         )
 
     def absorb_shard(self, shard: TelemetryShard) -> None:
@@ -214,6 +297,10 @@ class Telemetry:
         """
         self.registry.merge(shard.metrics)
         self.recorder.extend(shard.trace, dropped=shard.trace_dropped)
+        if self.spans is not None and shard.span_next_id:
+            self.spans.absorb(
+                shard.spans, shard.span_next_id, dropped=shard.span_dropped
+            )
 
     def instrument_star(self, net) -> None:
         """Wire a built StarNetwork into this bundle.
@@ -239,12 +326,42 @@ class Telemetry:
             help="frames delivered after d_i*slot + T_latency",
         )
 
-        def observe_delay(channel_id: int, delay_ns: int, missed: bool) -> None:
-            delay_hist.observe(delay_ns)
-            if missed:
-                miss_counter.labels(channel_id).inc()
+        monitor = self.monitor
+        if monitor is not None and monitor.bound_provider is None:
+            monitor.bound_provider = star_bound_provider(net)
+
+        if monitor is None:
+            def observe_delay(
+                channel_id: int, delay_ns: int, missed: bool
+            ) -> None:
+                delay_hist.observe(delay_ns)
+                if missed:
+                    miss_counter.labels(channel_id).inc()
+        else:
+            sim = net.sim
+
+            def observe_delay(
+                channel_id: int, delay_ns: int, missed: bool
+            ) -> None:
+                delay_hist.observe(delay_ns)
+                if missed:
+                    miss_counter.labels(channel_id).inc()
+                monitor.on_rt_delivery(channel_id, delay_ns, missed, sim.now)
 
         net.metrics.delay_observer = observe_delay
+
+        tracker = self.spans
+        if tracker is not None:
+            net.switch.spans = tracker
+            for node in net.nodes.values():
+                node.spans = tracker
+                node.rt_layer.spans = tracker
+                if node.uplink is not None:
+                    node.uplink.spans = tracker
+                    node.uplink.link.spans = tracker
+            for port in net.switch.ports.values():
+                port.spans = tracker
+                port.link.spans = tracker
 
         switch_forwarded = registry.gauge(
             "switch.frames_forwarded",
@@ -336,6 +453,96 @@ class Telemetry:
             probes.start()
             self.probes = probes
 
+    def instrument_fabric(self, net) -> None:
+        """Wire a built multi-switch :class:`FabricNetwork` in.
+
+        Mirrors :meth:`instrument_star` for the extension data plane:
+        kernel counters, the per-frame delay histogram + paper-bound
+        monitor hook, and span tracking on every port, wire, switch
+        model and RT layer (so a fabric run's per-hop transit shows up
+        as ``queue``/``wire``/``processing`` children of each channel's
+        trace, exactly like the star). Netcalc bounds are per-topology;
+        callers with a fabric bound provider can set
+        ``monitor.bound_provider`` themselves.
+        """
+        self.attach_simulator(net.sim)
+        registry = self.registry
+        delay_hist = registry.histogram(
+            "rt.frame_delay_ns",
+            help="end-to-end RT frame delay (generalized Eq. 18.1)",
+        ).labels()
+        miss_counter = registry.counter(
+            "rt.deadline_misses", labels=("channel",),
+            help="frames delivered after d_i*slot + T_latency(k)",
+        )
+
+        monitor = self.monitor
+        if monitor is None:
+            def observe_delay(
+                channel_id: int, delay_ns: int, missed: bool
+            ) -> None:
+                delay_hist.observe(delay_ns)
+                if missed:
+                    miss_counter.labels(channel_id).inc()
+        else:
+            sim = net.sim
+
+            def observe_delay(
+                channel_id: int, delay_ns: int, missed: bool
+            ) -> None:
+                delay_hist.observe(delay_ns)
+                if missed:
+                    miss_counter.labels(channel_id).inc()
+                monitor.on_rt_delivery(channel_id, delay_ns, missed, sim.now)
+
+        net.metrics.delay_observer = observe_delay
+
+        tracker = self.spans
+        if tracker is not None:
+            for node in net.nodes.values():
+                node.spans = tracker
+                node.rt_layer.spans = tracker
+                if node.uplink is not None:
+                    node.uplink.spans = tracker
+                    node.uplink.link.spans = tracker
+            for switch in net.switches.values():
+                switch.spans = tracker
+                for port in switch.ports.values():
+                    port.spans = tracker
+                    port.link.spans = tracker
+
+        forwarded = registry.gauge(
+            "fabric.frames_forwarded", labels=("switch",),
+        )
+        dropped = registry.gauge(
+            "fabric.frames_dropped", labels=("switch",),
+        )
+
+        def collect() -> None:
+            for name, switch in net.switches.items():
+                forwarded.labels(name).set(switch.frames_forwarded)
+                dropped.labels(name).set(switch.frames_dropped)
+
+        registry.add_collector(collect)
+
+    def check_invariants(self, net) -> int:
+        """Run the monitor's structural checks against a star network.
+
+        Returns the number of anomalies emitted (0 when the monitor is
+        off or everything holds). Delivery-time bound checks run
+        continuously through the delay observer; this adds the
+        on-demand link-overbooking and lease-leak assertions.
+        """
+        if self.monitor is None:
+            return 0
+        emitted = self.monitor.check_links(
+            net.admission.state, now_ns=net.sim.now
+        )
+        emitted += self.monitor.check_leases(
+            net.switch.manager, now_ns=net.sim.now
+        )
+        return emitted
+
     # -- output ----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -361,11 +568,35 @@ class Telemetry:
             )
             written["timeseries"] = series_path
 
+        if self.spans is not None:
+            written["spans_jsonl"] = write_span_jsonl(
+                self.spans, directory / "spans.jsonl"
+            )
+        if self.monitor is not None:
+            anomalies_path = directory / "anomalies.jsonl"
+            anomalies_path.write_text(
+                "".join(
+                    json.dumps(record, sort_keys=False, separators=(",", ":"))
+                    + "\n"
+                    for record in self.monitor.anomalies
+                ),
+                encoding="utf-8",
+            )
+            written["anomalies_jsonl"] = anomalies_path
+
         if self.recorder.enabled:
             written["trace_jsonl"] = write_trace_jsonl(
                 self.recorder, directory / "trace.jsonl"
             )
-            written["trace_chrome"] = write_chrome_trace(
-                self.recorder, directory / "trace.chrome.json"
+            chrome_path = directory / "trace.chrome.json"
+            chrome_path.write_text(
+                json.dumps(
+                    chrome_trace(
+                        self.recorder,
+                        spans=() if self.spans is None else self.spans,
+                    ),
+                    indent=1,
+                )
             )
+            written["trace_chrome"] = chrome_path
         return written

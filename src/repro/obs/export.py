@@ -21,19 +21,31 @@ metadata events so the viewer shows real names. Records whose
 length; everything else becomes an instant ``i`` event. Timestamps are
 microseconds (the format's unit); simulation nanoseconds divide by
 1000 exactly in the common case and as a float otherwise.
+
+Causal spans (:mod:`repro.obs.spans`) additionally export as *async*
+events (``ph`` ``b``/``n``/``e``) keyed by their trace ID, so Perfetto
+renders each trace -- one connection request, one channel's data phase
+-- as a nested async track: pass the spans to :func:`chrome_trace` or
+serialize them standalone with :func:`span_jsonl_lines`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..sim.trace import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .spans import Span
 
 __all__ = [
     "trace_jsonl_lines",
     "write_trace_jsonl",
+    "span_jsonl_lines",
+    "write_span_jsonl",
+    "span_chrome_events",
     "chrome_trace",
     "write_chrome_trace",
 ]
@@ -62,14 +74,94 @@ def write_trace_jsonl(records: Iterable[TraceRecord], path: str | Path) -> Path:
     return path
 
 
+def span_jsonl_lines(spans: Iterable["Span"]) -> Iterator[str]:
+    """Serialize causal spans to JSONL (schema: ``SPAN_SCHEMA``)."""
+    for span in spans:
+        yield json.dumps(
+            span.as_dict(), sort_keys=False, separators=(",", ":")
+        )
+
+
+def write_span_jsonl(spans: Iterable["Span"], path: str | Path) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for line in span_jsonl_lines(spans):
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
 def _ts_us(time_ns: int) -> float | int:
     # exact division keeps timestamps integers (prettier in the viewer)
     quotient, remainder = divmod(time_ns, 1000)
     return quotient if remainder == 0 else time_ns / 1000
 
 
-def chrome_trace(records: Iterable[TraceRecord]) -> dict:
-    """Build a Chrome ``trace_event`` document from trace records."""
+def span_chrome_events(
+    spans: Iterable["Span"], pid: int = 1000
+) -> list[dict]:
+    """Render spans as Perfetto *async* events under one process.
+
+    Every trace becomes one async track (``id`` = trace ID); spans of
+    the trace open with ``b`` and close with ``e`` (Perfetto nests
+    same-id begin/end pairs, reproducing the parent/child tree as long
+    as children close before their parents -- which holds by
+    construction here: hop segments end before the root resolves).
+    Spans still open at export and zero-duration events render as
+    instant ``n`` marks on their track. Threads within the process are
+    the span subjects, so the port/link/switch a segment belongs to
+    stays visible.
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "spans"},
+    }]
+    tids: dict[str, int] = {}
+    for span in spans:
+        tid = tids.get(span.subject)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[span.subject] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": span.subject or "spans"},
+            })
+        args: dict[str, object] = {"span": span.span_id}
+        if span.parent_id >= 0:
+            args["parent"] = span.parent_id
+        if span.fields:
+            args.update(span.fields)
+        base = {
+            "name": span.name,
+            "cat": "spans",
+            "pid": pid,
+            "tid": tid,
+            "id": span.trace_id,
+        }
+        if span.end_ns < 0 or span.end_ns == span.start_ns:
+            events.append({
+                **base, "ph": "n", "ts": _ts_us(span.start_ns), "args": args,
+            })
+            continue
+        events.append({
+            **base, "ph": "b", "ts": _ts_us(span.start_ns), "args": args,
+        })
+        events.append({
+            **base, "ph": "e", "ts": _ts_us(span.end_ns), "args": {},
+        })
+    return events
+
+
+def chrome_trace(
+    records: Iterable[TraceRecord], spans: Iterable["Span"] = ()
+) -> dict:
+    """Build a Chrome ``trace_event`` document from trace records.
+
+    When ``spans`` are given, they ride along as async events (see
+    :func:`span_chrome_events`) in a dedicated ``spans`` process, so
+    one Perfetto load shows both the flat event stream and the causal
+    trees.
+    """
     events: list[dict] = []
     pids: dict[str, int] = {}
     tids: dict[tuple[int, str], int] = {}
@@ -117,6 +209,10 @@ def chrome_trace(records: Iterable[TraceRecord]) -> dict:
             event["ph"] = "i"
             event["s"] = "t"
         events.append(event)
+
+    span_events = span_chrome_events(spans, pid=len(pids) + 1)
+    if len(span_events) > 1:  # more than the process_name metadata
+        events.extend(span_events)
 
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 

@@ -1,0 +1,96 @@
+"""Flight recorder: a bounded post-mortem dump of recent activity.
+
+Aviation-style black box for the simulator: when an invariant trips or
+an exception escapes the kernel's dispatch loop, the recorder writes a
+single ``flight.json`` capturing the *recent past* -- the tail of the
+span stream, the anomaly records, and a metrics snapshot -- so the
+failure can be debugged without re-running the scenario.
+
+Zero steady-state cost: the recorder holds *providers* (callables that
+read the span tracker / metrics registry / monitor at dump time)
+instead of copying events as they happen. The only per-event work in
+the system remains the span tracker's own bounded deque.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Dumps a bounded window of recent spans plus a metrics snapshot.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of span records included in a dump (the most
+        recent ones win).
+    span_provider:
+        Callable returning the current span records (dicts); typically
+        a bound method of the :class:`~repro.obs.spans.SpanTracker`.
+    metrics_provider:
+        Callable returning the metrics snapshot dict.
+    anomaly_provider:
+        Callable returning the anomaly records list.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        *,
+        span_provider: Callable[[], Iterable[dict]] | None = None,
+        metrics_provider: Callable[[], dict] | None = None,
+        anomaly_provider: Callable[[], list[dict]] | None = None,
+    ) -> None:
+        self.capacity = capacity
+        self.span_provider = span_provider
+        self.metrics_provider = metrics_provider
+        self.anomaly_provider = anomaly_provider
+        #: paths of every dump written, in order.
+        self.dumps: list[Path] = []
+
+    def snapshot(self, reason: str, time_ns: int = -1) -> dict:
+        """Assemble the dump payload without writing it."""
+        spans = list(self.span_provider()) if self.span_provider else []
+        if len(spans) > self.capacity:
+            spans = spans[-self.capacity:]
+        return {
+            "reason": reason,
+            "time_ns": time_ns,
+            "events": spans,
+            "anomalies": (
+                list(self.anomaly_provider()) if self.anomaly_provider else []
+            ),
+            "metrics": (
+                self.metrics_provider() if self.metrics_provider else {}
+            ),
+        }
+
+    def dump(
+        self, directory: str | Path, reason: str, time_ns: int = -1
+    ) -> Path:
+        """Write ``flight.json`` into ``directory`` and return its path.
+
+        Repeated dumps into the same directory get numbered suffixes
+        (``flight.json``, ``flight.1.json``, ...) so an anomaly storm
+        never overwrites the first -- usually most informative --
+        capture.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "flight.json"
+        index = 1
+        while path.exists():
+            path = directory / f"flight.{index}.json"
+            index += 1
+        payload = self.snapshot(reason, time_ns)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self.dumps.append(path)
+        return path

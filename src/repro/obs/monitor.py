@@ -1,0 +1,236 @@
+"""Online invariant monitor: check guarantees while the run happens.
+
+The reproduction has two *offline* oracles (the EDF replay of PR 1 and
+the network-calculus bounds of PR 6). This module moves the checks
+online: every delivered RT frame is compared, at delivery time, against
+
+* the paper's bound ``d_i * slot + T_latency`` (Eq. 18.1), and
+* its channel's network-calculus :class:`~repro.netcalc.bounds.PathBound`
+  (an independent second bound; for admitted channels it is finite, so
+  a measured delay above it is a bug in either the scheduler or the
+  curve algebra),
+
+plus two structural invariants checked on demand:
+
+* **link overbooking** -- no occupied link's reserved utilization may
+  exceed 1 (admission must never accept past capacity);
+* **lease leaks** -- no switch-side pending offer may outlive its
+  lease (the reclaim timer must have fired).
+
+Each violation becomes a structured anomaly record, validated against
+:data:`~repro.obs.schema.ANOMALY_SCHEMA` at emission. In fail-fast
+mode the first anomaly raises :class:`~repro.errors.InvariantViolation`
+after the flight recorder (if any) has dumped.
+
+Cost discipline: with no monitor attached the delivery path pays
+nothing (the hook simply isn't installed); with one attached, the
+per-delivery cost is two integer compares plus one dict lookup -- the
+netcalc bounds are computed once per channel set and cached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import InvariantViolation
+from .schema import ANOMALY_SCHEMA, validate
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.admission import SystemState
+    from ..core.channel_manager import SwitchChannelManager
+    from .flight import FlightRecorder
+
+__all__ = ["InvariantMonitor"]
+
+
+class InvariantMonitor:
+    """Evaluates delivery and structural invariants as the run proceeds.
+
+    Parameters
+    ----------
+    bound_provider:
+        Callable returning the current ``{channel_id: bound_ns}`` map of
+        network-calculus end-to-end bounds. Called once per unknown
+        channel (results are cached until an unknown channel appears,
+        which signals the channel set changed).
+    fail_fast:
+        Raise :class:`InvariantViolation` on the first anomaly instead
+        of only recording it.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`; an anomaly
+        triggers one automatic dump into ``flight_dir`` (first anomaly
+        only -- later ones are recorded but do not re-dump).
+    flight_dir:
+        Target directory for the automatic dump.
+    """
+
+    def __init__(
+        self,
+        *,
+        bound_provider: Callable[[], dict[int, int]] | None = None,
+        fail_fast: bool = False,
+        flight: "FlightRecorder | None" = None,
+        flight_dir: str | None = None,
+    ) -> None:
+        self.bound_provider = bound_provider
+        self.fail_fast = fail_fast
+        self.flight = flight
+        self.flight_dir = flight_dir
+        self.anomalies: list[dict] = []
+        self._bounds: dict[int, int] = {}
+        self._dumped = False
+
+    # -- anomaly plumbing --------------------------------------------------
+
+    def _emit(
+        self,
+        time_ns: int,
+        invariant: str,
+        subject: str,
+        severity: str,
+        detail: str,
+        fields: dict | None = None,
+    ) -> dict:
+        record = {
+            "time": time_ns,
+            "invariant": invariant,
+            "subject": subject,
+            "severity": severity,
+            "detail": detail,
+        }
+        if fields is not None:
+            record["fields"] = fields
+        validate(record, ANOMALY_SCHEMA)
+        self.anomalies.append(record)
+        if (
+            not self._dumped
+            and self.flight is not None
+            and self.flight_dir is not None
+        ):
+            self._dumped = True
+            self.flight.dump(
+                self.flight_dir, reason=f"anomaly:{invariant}", time_ns=time_ns
+            )
+        if self.fail_fast:
+            raise InvariantViolation(
+                f"{invariant} violated at t={time_ns}: {detail}",
+                anomaly=record,
+            )
+        return record
+
+    # -- per-delivery bound checks ----------------------------------------
+
+    def netcalc_bound_ns(self, channel_id: int) -> int | None:
+        """The cached netcalc bound of ``channel_id`` (refreshing the
+        cache from the provider when the channel is unknown)."""
+        bound = self._bounds.get(channel_id)
+        if bound is None and self.bound_provider is not None:
+            self._bounds = dict(self.bound_provider())
+            bound = self._bounds.get(channel_id)
+        return bound
+
+    def on_rt_delivery(
+        self, channel_id: int, delay_ns: int, missed: bool, now_ns: int
+    ) -> None:
+        """Check one delivered RT frame against both delay bounds.
+
+        ``missed`` is the paper-bound verdict the metrics collector
+        already computed (``delivery > d*slot + T_latency``), so the
+        common case costs one branch plus one dict probe here.
+        """
+        if missed:
+            self._emit(
+                now_ns,
+                "paper-bound",
+                f"channel-{channel_id}",
+                "critical",
+                f"frame delay {delay_ns} ns exceeded the paper bound "
+                f"d*slot + T_latency",
+                {"channel": channel_id, "delay_ns": delay_ns},
+            )
+        bound = self.netcalc_bound_ns(channel_id)
+        if bound is not None and delay_ns > bound:
+            self._emit(
+                now_ns,
+                "netcalc-bound",
+                f"channel-{channel_id}",
+                "critical",
+                f"frame delay {delay_ns} ns exceeded the network-calculus "
+                f"bound {bound} ns",
+                {"channel": channel_id, "delay_ns": delay_ns,
+                 "bound_ns": bound},
+            )
+
+    # -- structural invariants --------------------------------------------
+
+    def check_links(self, state: "SystemState", now_ns: int = -1) -> int:
+        """Assert no occupied link is booked past unit utilization.
+
+        Returns the number of anomalies emitted (0 on a healthy state).
+        """
+        emitted = 0
+        for link in state.occupied_links():
+            utilization = state.link_utilization(link)
+            if utilization > 1:
+                emitted += 1
+                self._emit(
+                    max(now_ns, 0),
+                    "link-overbooking",
+                    str(link),
+                    "critical",
+                    f"link reserved utilization {utilization} exceeds 1",
+                    {
+                        "utilization": str(utilization),
+                        "load": state.link_load(link),
+                    },
+                )
+        return emitted
+
+    def check_leases(
+        self, manager: "SwitchChannelManager", now_ns: int
+    ) -> int:
+        """Assert no pending offer has outlived its lease.
+
+        A pending offer whose ``expires_at`` already passed means the
+        reclaim machinery failed -- admission capacity is leaked until
+        someone notices. Returns the number of anomalies emitted.
+        """
+        emitted = 0
+        for channel_id, expires_at in manager.pending_offer_leases():
+            if expires_at <= now_ns:
+                emitted += 1
+                self._emit(
+                    now_ns,
+                    "lease-leak",
+                    f"channel-{channel_id}",
+                    "critical",
+                    f"pending offer lease expired at {expires_at} ns but "
+                    f"was never reclaimed",
+                    {"channel": channel_id, "expires_ns": expires_at},
+                )
+        return emitted
+
+
+def star_bound_provider(net) -> Callable[[], dict[int, int]]:
+    """Bound provider closure for a :class:`StarNetwork`.
+
+    Converts every admitted channel's :class:`PathBound` to wall-clock
+    nanoseconds with the star's PHY constants (one switch hop: two
+    propagations, one store-and-forward processing).
+    """
+    from ..netcalc.bounds import path_bound_ns
+
+    def provider() -> dict[int, int]:
+        phy = net.phy
+        return {
+            channel_id: path_bound_ns(
+                bound,
+                phy.slot_ns,
+                phy.propagation_ns,
+                phy.switch_processing_ns,
+            )
+            for channel_id, bound in
+            net.admission.state.channel_delay_bounds().items()
+        }
+
+    return provider

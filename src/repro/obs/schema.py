@@ -15,7 +15,13 @@ The schemas here are the written contract for the bundle files:
 * :data:`CHROME_TRACE_SCHEMA` -- ``trace.chrome.json`` (the Chrome
   ``trace_event`` document Perfetto loads),
 * :data:`TRACE_RECORD_SCHEMA` -- one line of ``trace.jsonl``,
-* :data:`TIMESERIES_SCHEMA` -- ``timeseries.json`` (probe samples).
+* :data:`TIMESERIES_SCHEMA` -- ``timeseries.json`` (probe samples),
+* :data:`SPAN_SCHEMA` -- one line of ``spans.jsonl`` (causal spans),
+* :data:`ANOMALY_SCHEMA` -- one line of ``anomalies.jsonl`` (invariant
+  monitor output),
+* :data:`FLIGHT_SCHEMA` -- a flight-recorder ``flight.json`` dump,
+* :data:`BENCH_SCHEMA` -- a standardized ``BENCH_<name>.json`` record
+  emitted by the benchmark suite.
 """
 
 from __future__ import annotations
@@ -30,6 +36,10 @@ __all__ = [
     "CHROME_TRACE_SCHEMA",
     "TRACE_RECORD_SCHEMA",
     "TIMESERIES_SCHEMA",
+    "SPAN_SCHEMA",
+    "ANOMALY_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "BENCH_SCHEMA",
 ]
 
 _TYPES = {
@@ -142,11 +152,17 @@ CHROME_TRACE_SCHEMA = {
                 "required": ["name", "ph", "pid", "tid"],
                 "properties": {
                     "name": {"type": "string"},
-                    "ph": {"enum": ["X", "i", "M", "B", "E", "C"]},
+                    # b/n/e are the async-span phases the Perfetto
+                    # span export emits (one async track per trace).
+                    "ph": {
+                        "enum": ["X", "i", "M", "B", "E", "C", "b", "n", "e"]
+                    },
                     "pid": {"type": "integer", "minimum": 0},
                     "tid": {"type": "integer", "minimum": 0},
                     "ts": {"type": "number", "minimum": 0},
                     "dur": {"type": "number", "minimum": 0},
+                    "id": {"type": "integer", "minimum": 0},
+                    "cat": {"type": "string"},
                     "args": {"type": "object"},
                 },
             },
@@ -176,6 +192,93 @@ TIMESERIES_SCHEMA = {
             "type": "array",
             "items": {"type": "number"},
         },
+    },
+}
+
+#: One line of ``spans.jsonl`` (a :class:`~repro.obs.spans.Span`).
+#: ``end_ns == -1`` marks a span still open at export; ``parent == -1``
+#: marks a trace root (where ``span == trace``).
+SPAN_SCHEMA = {
+    "type": "object",
+    "required": [
+        "span", "trace", "parent", "name", "subject", "start_ns", "end_ns",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "span": {"type": "integer", "minimum": 0},
+        "trace": {"type": "integer", "minimum": 0},
+        "parent": {"type": "integer", "minimum": -1},
+        "name": {"type": "string"},
+        "subject": {"type": "string"},
+        "start_ns": {"type": "integer", "minimum": 0},
+        "end_ns": {"type": "integer", "minimum": -1},
+        "fields": {"type": "object"},
+    },
+}
+
+#: One line of ``anomalies.jsonl`` (an invariant-monitor record).
+ANOMALY_SCHEMA = {
+    "type": "object",
+    "required": ["time", "invariant", "subject", "severity", "detail"],
+    "additionalProperties": False,
+    "properties": {
+        "time": {"type": "integer", "minimum": 0},
+        "invariant": {
+            "enum": [
+                "paper-bound",
+                "netcalc-bound",
+                "link-overbooking",
+                "lease-leak",
+            ]
+        },
+        "subject": {"type": "string"},
+        "severity": {"enum": ["warning", "critical"]},
+        "detail": {"type": "string"},
+        "fields": {"type": "object"},
+    },
+}
+
+#: A flight-recorder dump (``flight.json``).
+FLIGHT_SCHEMA = {
+    "type": "object",
+    "required": ["reason", "time_ns", "events", "anomalies", "metrics"],
+    "additionalProperties": False,
+    "properties": {
+        "reason": {"type": "string"},
+        "time_ns": {"type": "integer", "minimum": -1},
+        "events": {"type": "array", "items": SPAN_SCHEMA},
+        "anomalies": {"type": "array", "items": ANOMALY_SCHEMA},
+        "metrics": {"type": "object"},
+    },
+}
+
+#: A standardized benchmark record (``BENCH_<name>.json``), one per
+#: ``benchmarks/bench_*.py`` module per run, written by the benchmarks'
+#: conftest plugin (wall time always; throughput / overhead when the
+#: bench reports them via the ``bench_record`` fixture).
+BENCH_SCHEMA = {
+    "type": "object",
+    "required": ["name", "wall_s", "tests"],
+    "additionalProperties": False,
+    "properties": {
+        "name": {"type": "string"},
+        "wall_s": {"type": "number", "minimum": 0},
+        "throughput": {"type": "number", "minimum": 0},
+        "overhead_pct": {"type": "number"},
+        "tests": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["test", "wall_s", "outcome"],
+                "additionalProperties": False,
+                "properties": {
+                    "test": {"type": "string"},
+                    "wall_s": {"type": "number", "minimum": 0},
+                    "outcome": {"type": "string"},
+                },
+            },
+        },
+        "extra": {"type": "object"},
     },
 }
 
@@ -238,6 +341,36 @@ def validate_bundle(directory: str | Path) -> list[str]:
                 json.loads(series_path.read_text()),
                 TIMESERIES_SCHEMA,
                 "timeseries.json",
+            )
+        )
+
+    for name, line_schema in (
+        ("spans.jsonl", SPAN_SCHEMA),
+        ("anomalies.jsonl", ANOMALY_SCHEMA),
+    ):
+        jsonl = directory / name
+        if not jsonl.exists():
+            continue
+        with jsonl.open(encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"{name}:{lineno}: not JSON ({exc})")
+                    continue
+                errors.extend(
+                    validate(record, line_schema, f"{name}:{lineno}")
+                )
+
+    for flight_path in sorted(directory.glob("flight*.json")):
+        errors.extend(
+            validate(
+                json.loads(flight_path.read_text()),
+                FLIGHT_SCHEMA,
+                flight_path.name,
             )
         )
 

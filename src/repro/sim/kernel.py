@@ -277,6 +277,11 @@ class Simulator:
         self._strong = 0  # live (not cancelled, not fired) non-weak events
         self._max_heap_depth = 0
         self.profiler = None
+        #: optional callback ``(exc)`` fired when an exception escapes
+        #: the dispatch loop, before it propagates -- the flight
+        #: recorder's crash-dump hook. ``None`` (default) keeps the
+        #: loop's failure path identical to an uninstrumented kernel.
+        self.on_crash = None
 
     @property
     def now(self) -> int:
@@ -426,6 +431,10 @@ class Simulator:
                     profiler.account(event.label, perf_counter_ns() - start)
                 fired += 1
                 self._dispatched += 1
+        except BaseException as exc:
+            if self.on_crash is not None:
+                self.on_crash(exc)
+            raise
         finally:
             self._running = False
         if until is not None and self._now < until:

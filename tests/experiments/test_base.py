@@ -201,3 +201,88 @@ class TestAcceptanceCurve:
         )
         text = curve.to_table("title")
         assert "title" in text and "sdps" in text
+
+
+class TestBatchEngine:
+    """run_requests' admit_many hot path vs the scalar reference loop.
+
+    The batch engine must be invisible to every observer: counts, trace
+    records and span streams are byte-identical, because admit_many
+    guarantees stream equality and the burst boundaries align with the
+    checkpoints the scalar loop reads at.
+    """
+
+    def observe(self, batch, checkpoints=(3, 7, 12), n=12):
+        from repro.obs import span_jsonl_lines, trace_jsonl_lines
+
+        telemetry = Telemetry(TelemetryConfig(
+            spans=True, probe_cadence_ns=None,
+        ))
+        counts = run_requests(
+            NODES, reqs(n), AsymmetricDPS(),
+            checkpoints=None if checkpoints is None else list(checkpoints),
+            telemetry=telemetry,
+            lane=TraceLane(trial=0, scheme="adps"),
+            batch=batch,
+        )
+        return (
+            counts,
+            "\n".join(trace_jsonl_lines(telemetry.recorder)),
+            "\n".join(span_jsonl_lines(telemetry.spans)),
+        )
+
+    def test_batch_matches_scalar_byte_for_byte(self):
+        assert self.observe(batch=True) == self.observe(batch=False)
+
+    def test_batch_matches_scalar_without_checkpoints(self):
+        assert self.observe(batch=True, checkpoints=None) == self.observe(
+            batch=False, checkpoints=None
+        )
+
+    def test_batch_path_actually_calls_admit_many(self, monkeypatch):
+        from repro.core.admission import AdmissionController
+
+        calls = []
+        original = AdmissionController.admit_many
+
+        def spy(self, requests):
+            calls.append(1)
+            return original(self, requests)
+
+        monkeypatch.setattr(AdmissionController, "admit_many", spy)
+        run_requests(NODES, reqs(8), SymmetricDPS(), checkpoints=[4, 8])
+        assert len(calls) == 2  # one burst per inter-checkpoint segment
+
+    def test_scalar_path_never_calls_admit_many(self, monkeypatch):
+        from repro.core.admission import AdmissionController
+
+        def forbidden(self, requests):
+            raise AssertionError("scalar path must not batch")
+
+        monkeypatch.setattr(AdmissionController, "admit_many", forbidden)
+        counts = run_requests(
+            NODES, reqs(8), SymmetricDPS(), checkpoints=[4, 8], batch=False
+        )
+        assert len(counts) == 2
+
+    def test_sweep_root_span_summarizes_run(self):
+        telemetry = Telemetry(TelemetryConfig(
+            spans=True, probe_cadence_ns=None,
+        ))
+        run_requests(
+            NODES, reqs(10), SymmetricDPS(), checkpoints=[5, 10],
+            telemetry=telemetry, lane=TraceLane(trial=2, scheme="sdps"),
+        )
+        roots = [s for s in telemetry.spans if s.name == "sweep.run"]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.subject == "trial2:sdps"
+        assert root.fields["offered"] == 10
+        assert root.fields["trial"] == 2
+        segments = [s for s in telemetry.spans if s.name == "admission"]
+        assert len(segments) == 2  # one per checkpoint segment
+        assert all(s.parent_id == root.span_id for s in segments)
+        assert sum(s.fields["offered"] for s in segments) == 10
+        assert segments[-1].fields["accepted_so_far"] == root.fields[
+            "accepted"
+        ]

@@ -117,6 +117,41 @@ class TestWorkerInvariance:
         assert list(serial.recorder) == list(parallel.recorder)
         assert serial.recorder.dropped == parallel.recorder.dropped
 
+    def test_merged_spans_identical(self):
+        from repro.obs import span_jsonl_lines
+
+        config = TelemetryConfig(spans=True, probe_cadence_ns=None)
+        serial = Telemetry(config)
+        parallel = Telemetry(config)
+        assert small_curve(1, telemetry=serial) == small_curve(
+            4, telemetry=parallel
+        )
+        # span IDs, parent links and fields all re-base to the serial
+        # stream: the merged file is byte-identical
+        assert "\n".join(span_jsonl_lines(parallel.spans)) == "\n".join(
+            span_jsonl_lines(serial.spans)
+        )
+        assert len(serial.spans) > 0
+        # 3 trials x 2 schemes = 6 sweep roots, causality intact
+        roots = [s for s in serial.spans if s.name == "sweep.run"]
+        assert len(roots) == 6
+        for span in serial.spans:
+            if span.parent_id >= 0:
+                assert span.trace_id in {r.trace_id for r in roots}
+
+    def test_exported_csv_identical(self, tmp_path):
+        from repro.analysis.export import series_to_csv
+
+        def csv_of(workers):
+            curve = small_curve(workers)
+            return series_to_csv(
+                "requested",
+                list(curve.requested),
+                {c.scheme: c.means for c in curve.curves},
+            )
+
+        assert csv_of(1) == csv_of(3)
+
     def test_fig18_5_identical(self):
         small = dict(
             n_masters=3, n_slaves=9, trials=3,

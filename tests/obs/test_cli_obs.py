@@ -1,0 +1,114 @@
+"""CLI surface of the observability stack: spans / obs report / bench-report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestSpansCommand:
+    def test_clean_run_full_coverage(self, capsys, tmp_path):
+        out = tmp_path / "bundle"
+        status = main([
+            "spans", "--summary", "--masters", "2", "--slaves", "4",
+            "--requests", "8", "--hyperperiods", "1",
+            "--out", str(out),
+        ])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "worst coverage 1.000" in text
+        assert "0 anomalies" in text
+        assert "wire" in text  # the attribution table printed
+        assert (out / "spans.jsonl").exists()
+        assert (out / "anomalies.jsonl").exists()
+        # the emitted bundle passes its own schema gate
+        assert main(["obs", "check", str(out)]) == 0
+
+    def test_lossy_run_attributes_backoff(self, capsys):
+        status = main([
+            "spans", "--summary", "--signal-loss", "0.2",
+            "--requests", "12", "--seed", "55",
+        ])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "worst coverage 1.000" in text
+
+    def test_min_coverage_gate_can_fail(self, capsys):
+        # an impossible threshold flips the exit status, nothing else
+        status = main([
+            "spans", "--masters", "2", "--slaves", "4", "--requests", "4",
+            "--hyperperiods", "1", "--min-coverage", "1.01",
+        ])
+        assert status == 1
+        assert "ATTRIBUTION GAP" in capsys.readouterr().err
+
+
+class TestObsReport:
+    def test_report_renders_bundle(self, capsys, tmp_path):
+        out = tmp_path / "bundle"
+        assert main([
+            "spans", "--masters", "2", "--slaves", "4", "--requests", "6",
+            "--hyperperiods", "1", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        status = main(["obs", "report", str(out)])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "spans in" in text
+        assert "signal.request" in text
+        assert "wire" in text
+
+    def test_report_without_spans_errors(self, capsys, tmp_path):
+        status = main(["obs", "report", str(tmp_path)])
+        assert status == 2
+        assert "no spans.jsonl" in capsys.readouterr().err
+
+
+class TestBenchReport:
+    @staticmethod
+    def _write(directory, name, wall_s, **extra):
+        directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "name": name,
+            "wall_s": wall_s,
+            "tests": [
+                {"test": "test_x", "wall_s": wall_s, "outcome": "passed"},
+            ],
+            **extra,
+        }
+        (directory / f"BENCH_{name}.json").write_text(
+            json.dumps(record) + "\n"
+        )
+
+    def test_renders_table(self, capsys, tmp_path):
+        self._write(tmp_path, "bench_one", 1.5, throughput=2000.0)
+        self._write(tmp_path, "bench_two", 0.5, overhead_pct=3.2)
+        status = main(["bench-report", str(tmp_path)])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "bench_one" in text and "bench_two" in text
+        assert "2000" in text and "3.2%" in text
+
+    def test_baseline_ratio_column(self, capsys, tmp_path):
+        current, base = tmp_path / "now", tmp_path / "before"
+        self._write(current, "bench_one", 2.0)
+        self._write(base, "bench_one", 1.0)
+        status = main([
+            "bench-report", str(current), "--baseline", str(base),
+        ])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "vs baseline" in text
+        assert "2.00x" in text
+
+    def test_empty_dir_exits_2(self, capsys, tmp_path):
+        assert main(["bench-report", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_schema_violation_exits_1(self, capsys, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text(
+            json.dumps({"name": "broken"})
+        )
+        assert main(["bench-report", str(tmp_path)]) == 1
+        assert "SCHEMA ERROR" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Differential test: the calendar kernel's telemetry is the heap's.
+
+``tests/sim/test_calendar_queue.py`` proves the two event queues
+dispatch identical ``(time, seq)`` streams on synthetic programs. This
+test holds the stronger, user-facing claim on a real workload: a full
+signalling-plus-data run under control-frame loss, observed through a
+*fully loaded* telemetry bundle (trace recorder, causal spans, probes,
+invariant monitor, kernel profiler), produces byte-identical trace and
+span streams, identical probe sample series, identical metric values,
+and the same profiler label rows on either kernel. Anything less means
+the queue choice leaks into observables -- which would make calendar
+runs non-reproducible against heap baselines.
+"""
+
+from __future__ import annotations
+
+from repro.core.partitioning import AsymmetricDPS
+from repro.faults import FaultPlan
+from repro.network.topology import build_star
+from repro.obs import (
+    Telemetry,
+    TelemetryConfig,
+    span_jsonl_lines,
+    trace_jsonl_lines,
+)
+from repro.experiments.robustness import SIGNAL_RETRY_POLICY
+from repro.sim.rng import RngRegistry
+from repro.traffic.patterns import master_slave_names, master_slave_requests
+from repro.traffic.spec import FixedSpecSampler
+
+_SEED = 909
+
+
+def _run(queue: str):
+    """One lossy handshake + data-phase run on the given kernel."""
+    telemetry = Telemetry(TelemetryConfig(
+        spans=True, monitor=True, profile=True, probe_cadence_ns=1_000_000,
+    ))
+    masters, slaves = master_slave_names(2, 4)
+    net = build_star(
+        masters + slaves,
+        dps=AsymmetricDPS(),
+        fault_plan=FaultPlan.signalling_loss(0.2, seed=_SEED),
+        telemetry=telemetry,
+        queue=queue,
+    )
+    assert net.sim.queue_kind == queue
+
+    outcomes = []
+    retry_rng = RngRegistry(_SEED).stream("signal-retry-jitter")
+    request_rng = RngRegistry(_SEED).stream("parity-requests")
+    for request in master_slave_requests(
+        masters, slaves, 10, FixedSpecSampler.paper_default(), request_rng
+    ):
+        destination = net.node(request.destination)
+        net.node(request.source).request_channel(
+            destination_mac=destination.mac,
+            destination_ip=destination.ip,
+            destination_name=request.destination,
+            spec=request.spec,
+            on_complete=lambda record, grant: outcomes.append(
+                (record, grant)
+            ),
+            retry=SIGNAL_RETRY_POLICY,
+            retry_rng=retry_rng,
+        )
+        net.sim.run()
+
+    grants = [g for _, g in outcomes if g is not None]
+    for grant in grants:
+        net.node(grant.source).start_periodic_source(
+            grant.channel_id, stop_after_messages=2
+        )
+    net.sim.run()
+    # tear half the channels down so teardown spans are exercised too
+    for grant in grants[: len(grants) // 2]:
+        net.node(grant.source).teardown_channel(grant.channel_id)
+    net.sim.run()
+
+    telemetry.check_invariants(net)
+    return net, telemetry
+
+
+def _strip_wall_times(snapshot: dict) -> dict:
+    """Metrics snapshot minus the wall-clock profiler timings.
+
+    Profiler *values* are host wall times (legitimately different per
+    run); the label rows and event counts must still match exactly.
+    """
+    cleaned = {}
+    for name, family in snapshot.items():
+        if name in ("kernel.profile.wall_ns", "kernel.profile.max_ns",
+                    "kernel.profile.share", "kernel.dispatch_rate_per_s"):
+            cleaned[name] = {
+                "labels": sorted(
+                    str(s["labels"]) for s in family["series"]
+                ),
+            }
+        else:
+            cleaned[name] = family
+    return cleaned
+
+
+def test_calendar_kernel_telemetry_matches_heap():
+    net_heap, tel_heap = _run("heap")
+    net_cal, tel_cal = _run("calendar")
+
+    # decision-stream parity first: same channels installed, same clock
+    assert (
+        set(net_cal.admission.state.channels)
+        == set(net_heap.admission.state.channels)
+    )
+    assert net_cal.sim.now == net_heap.sim.now
+    assert net_cal.sim.dispatched_events == net_heap.sim.dispatched_events
+
+    # byte-identical structured trace
+    trace_heap = "\n".join(trace_jsonl_lines(tel_heap.recorder))
+    trace_cal = "\n".join(trace_jsonl_lines(tel_cal.recorder))
+    assert trace_cal == trace_heap
+    assert len(tel_heap.recorder) > 0
+
+    # byte-identical span stream (IDs included -- allocation order is
+    # part of the determinism contract)
+    spans_heap = "\n".join(span_jsonl_lines(tel_heap.spans))
+    spans_cal = "\n".join(span_jsonl_lines(tel_cal.spans))
+    assert spans_cal == spans_heap
+    assert len(tel_heap.spans) > 0
+
+    # identical probe sample series (same cadence, same values)
+    assert tel_cal.probes.to_dict() == tel_heap.probes.to_dict()
+
+    # identical anomaly streams (clean run: both empty)
+    assert tel_cal.monitor.anomalies == tel_heap.monitor.anomalies == []
+
+    # metric families identical except profiler wall times, whose label
+    # rows must still agree (same callbacks fired under either queue)
+    assert _strip_wall_times(tel_cal.snapshot()) == _strip_wall_times(
+        tel_heap.snapshot()
+    )

@@ -1,0 +1,241 @@
+"""Invariant-monitor behaviour, including the ISSUE's mutation tests.
+
+The monitor's job is to notice when the system breaks a guarantee it
+was built to uphold. Since the healthy code never breaks them, these
+tests *inject* the violations -- an inflated delivery delay past the
+network-calculus bound, a leaked switch-side lease, an overbooked link
+-- and assert the full response: a schema-valid anomaly record, one
+automatic flight-recorder dump, and (in fail-fast mode) an
+:class:`InvariantViolation` that aborts the run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.channel import ChannelSpec, DeadlinePartition, RTChannel
+from repro.core.partitioning import SymmetricDPS
+from repro.errors import InvariantViolation
+from repro.experiments.validation import run_validation
+from repro.obs import (
+    ANOMALY_SCHEMA,
+    FLIGHT_SCHEMA,
+    InvariantMonitor,
+    Telemetry,
+    TelemetryConfig,
+    validate,
+)
+
+
+def _deliveries(monitor, channel_id=1, delay_ns=500, missed=False, now=1000):
+    monitor.on_rt_delivery(channel_id, delay_ns, missed, now)
+
+
+# -- delivery-time bound checks --------------------------------------------
+
+
+def test_clean_delivery_emits_nothing():
+    monitor = InvariantMonitor(bound_provider=lambda: {1: 1000})
+    _deliveries(monitor, delay_ns=999)
+    assert monitor.anomalies == []
+
+
+def test_inflated_delay_trips_netcalc_bound():
+    monitor = InvariantMonitor(bound_provider=lambda: {1: 1000})
+    _deliveries(monitor, delay_ns=1001)
+    (anomaly,) = monitor.anomalies
+    assert anomaly["invariant"] == "netcalc-bound"
+    assert anomaly["severity"] == "critical"
+    assert anomaly["fields"]["delay_ns"] == 1001
+    assert anomaly["fields"]["bound_ns"] == 1000
+    assert validate(anomaly, ANOMALY_SCHEMA) == []
+
+
+def test_paper_bound_miss_trips_independently():
+    # no bound provider at all: the paper-bound check still fires
+    monitor = InvariantMonitor()
+    _deliveries(monitor, missed=True)
+    (anomaly,) = monitor.anomalies
+    assert anomaly["invariant"] == "paper-bound"
+    assert validate(anomaly, ANOMALY_SCHEMA) == []
+
+
+def test_bound_cache_refreshes_on_unknown_channel():
+    calls = []
+
+    def provider():
+        calls.append(1)
+        return {1: 1000, 2: 2000}
+
+    monitor = InvariantMonitor(bound_provider=provider)
+    _deliveries(monitor, channel_id=1, delay_ns=10)
+    _deliveries(monitor, channel_id=2, delay_ns=10)
+    assert len(calls) == 1  # second channel was already in the cache
+    assert monitor.netcalc_bound_ns(2) == 2000
+
+
+def test_fail_fast_raises_with_anomaly_attached():
+    monitor = InvariantMonitor(
+        bound_provider=lambda: {1: 1000}, fail_fast=True
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        _deliveries(monitor, delay_ns=5000)
+    assert excinfo.value.anomaly["invariant"] == "netcalc-bound"
+    # the record was kept even though the check raised
+    assert monitor.anomalies == [excinfo.value.anomaly]
+
+
+# -- structural invariants -------------------------------------------------
+
+
+def _overbooked_state() -> SystemState:
+    """A SystemState mutated past what admission would ever allow.
+
+    Channels are installed directly (bypassing the controller), each
+    reserving 6/8 of its links -- two of them overbook node ``a``'s
+    uplink to 12/8.
+    """
+    state = SystemState(nodes=["a", "b", "c"])
+    for channel_id, destination in ((1, "b"), (2, "c")):
+        channel = RTChannel(
+            source="a",
+            destination=destination,
+            spec=ChannelSpec(period=8, capacity=6, deadline=16),
+            channel_id=channel_id,
+            partition=DeadlinePartition(uplink=8, downlink=8),
+        )
+        state.install(channel)
+    return state
+
+
+def test_overbooked_link_trips_check_links():
+    monitor = InvariantMonitor()
+    emitted = monitor.check_links(_overbooked_state(), now_ns=123)
+    assert emitted == 1
+    (anomaly,) = monitor.anomalies
+    assert anomaly["invariant"] == "link-overbooking"
+    assert anomaly["subject"] == "a->sw"  # str(LinkRef) of a's uplink
+    assert validate(anomaly, ANOMALY_SCHEMA) == []
+
+
+def test_admitted_state_passes_check_links():
+    state = SystemState(nodes=["a", "b", "c"])
+    controller = AdmissionController(state, SymmetricDPS())
+    spec = ChannelSpec(period=8, capacity=1, deadline=8)
+    assert controller.request("a", "b", spec).accepted
+    assert controller.request("a", "c", spec).accepted
+    monitor = InvariantMonitor()
+    assert monitor.check_links(state, now_ns=0) == 0
+    assert monitor.anomalies == []
+
+
+class _LeakyManager:
+    """Stand-in exposing the one method ``check_leases`` consumes."""
+
+    def __init__(self, leases):
+        self._leases = leases
+
+    def pending_offer_leases(self):
+        return tuple(self._leases)
+
+
+def test_expired_lease_trips_check_leases():
+    monitor = InvariantMonitor()
+    emitted = monitor.check_leases(
+        _LeakyManager([(7, 100), (8, 900)]), now_ns=500
+    )
+    assert emitted == 1
+    (anomaly,) = monitor.anomalies
+    assert anomaly["invariant"] == "lease-leak"
+    assert anomaly["subject"] == "channel-7"
+    assert anomaly["fields"]["expires_ns"] == 100
+    assert validate(anomaly, ANOMALY_SCHEMA) == []
+
+
+def test_live_lease_passes_check_leases():
+    monitor = InvariantMonitor()
+    assert monitor.check_leases(_LeakyManager([(7, 900)]), now_ns=500) == 0
+
+
+# -- flight-dump coupling --------------------------------------------------
+
+
+def test_first_anomaly_dumps_flight_once(tmp_path):
+    telemetry = Telemetry(TelemetryConfig(
+        spans=True, monitor=True, flight_dir=str(tmp_path),
+    ))
+    telemetry.monitor.bound_provider = lambda: {1: 1000}
+    telemetry.monitor.on_rt_delivery(1, 2000, False, 100)
+    telemetry.monitor.on_rt_delivery(1, 3000, False, 200)
+    dump = tmp_path / "flight.json"
+    assert dump.exists()
+    assert not (tmp_path / "flight.1.json").exists()  # no re-dump storm
+    payload = json.loads(dump.read_text())
+    assert validate(payload, FLIGHT_SCHEMA) == []
+    assert payload["reason"] == "anomaly:netcalc-bound"
+    assert payload["time_ns"] == 100
+    # the dump captured the first anomaly (the second postdates it)
+    assert [a["time"] for a in payload["anomalies"]] == [100]
+    assert len(telemetry.monitor.anomalies) == 2
+
+
+# -- end-to-end mutation: a sabotaged bound aborts a real run --------------
+
+
+def test_mutation_inflated_delay_aborts_simulated_run(tmp_path):
+    """EXP-O3's mutation gate, end to end.
+
+    A clean validation run is silent. The same run with the netcalc
+    bounds sabotaged to 1 ns (so every delivered frame's delay is
+    "inflated past its bound") must emit the anomaly, write the flight
+    dump, and -- in fail-fast mode -- abort the simulation with
+    :class:`InvariantViolation`.
+    """
+    clean = Telemetry(TelemetryConfig(spans=True, monitor=True))
+    run_validation(
+        n_masters=2, n_slaves=4, n_requests=6, hyperperiods=1, seed=55,
+        use_wire_handshake=True, telemetry=clean,
+    )
+    assert clean.monitor.anomalies == []
+
+    mutated = Telemetry(TelemetryConfig(
+        spans=True, monitor=True, fail_fast=True, flight_dir=str(tmp_path),
+    ))
+    # instrument_star only installs the real provider when none is set,
+    # so pre-seeding a poisoned one is exactly the supported override
+    # point (channel IDs are small ints from the switch's counter)
+    mutated.monitor.bound_provider = lambda: {
+        cid: 1 for cid in range(1, 4096)
+    }
+    with pytest.raises(InvariantViolation):
+        run_validation(
+            n_masters=2, n_slaves=4, n_requests=6, hyperperiods=1, seed=55,
+            use_wire_handshake=True, telemetry=mutated,
+        )
+    (first, *_rest) = mutated.monitor.anomalies
+    assert first["invariant"] == "netcalc-bound"
+    dump = json.loads((tmp_path / "flight.json").read_text())
+    assert validate(dump, FLIGHT_SCHEMA) == []
+    assert dump["reason"] == "anomaly:netcalc-bound"
+    assert dump["events"]  # spans were captured into the black box
+    # the kernel's crash hook wrote a second capture as the exception
+    # unwound the dispatch loop
+    assert (tmp_path / "flight.1.json").exists()
+    crash = json.loads((tmp_path / "flight.1.json").read_text())
+    assert crash["reason"] == "crash:InvariantViolation"
+
+
+def test_mutation_leaked_lease_emits_and_dumps(tmp_path):
+    telemetry = Telemetry(TelemetryConfig(
+        spans=True, monitor=True, flight_dir=str(tmp_path),
+    ))
+    emitted = telemetry.monitor.check_leases(
+        _LeakyManager([(3, 1_000)]), now_ns=2_000
+    )
+    assert emitted == 1
+    dump = json.loads((tmp_path / "flight.json").read_text())
+    assert dump["reason"] == "anomaly:lease-leak"
+    assert validate(dump, FLIGHT_SCHEMA) == []
