@@ -1,0 +1,99 @@
+"""EXP-X3 benchmark: acceptance sweeps on graph fabrics (fat-tree)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.experiments.fabric_sweep import (
+    FabricSweepConfig,
+    run_fabric_sweep,
+)
+
+
+def test_exp_x3_fat_tree_sweep(benchmark, trials, workers, bench_record,
+                               capsys):
+    """The headline fat-tree k=4 curve at the >= 100-node scale."""
+    config = FabricSweepConfig(
+        topology="fat-tree:4",
+        requests=400,
+        checkpoints=10,
+        trials=trials,
+        workers=workers,
+    )
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        run_fabric_sweep, args=(config,), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+    rows = [
+        [p.requested, round(p.symmetric_mean, 1),
+         round(p.proportional_mean, 1), round(p.advantage, 2)]
+        for p in result.points
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["requested", "msym", "mprop", "ratio"],
+            rows,
+            title=f"EXP-X3 -- fat-tree:4: {result.n_nodes} nodes / "
+                  f"{result.n_switches} switches / max "
+                  f"{result.max_hops} hops (extension)",
+        ))
+    # admissions per second over every (trial, scheme) unit
+    admissions = 2 * trials * config.requests
+    bench_record(
+        throughput=admissions / elapsed,
+        nodes=result.n_nodes,
+        switches=result.n_switches,
+        max_hops=result.max_hops,
+        workers=workers,
+    )
+    assert result.n_nodes >= 100
+    assert result.max_hops == 6
+    final = result.points[-1]
+    # mprop keeps its advantage on the multipath fabric.
+    assert final.proportional_mean >= final.symmetric_mean
+
+
+def test_bench_fat_tree_routing(benchmark):
+    """Multipath route computation + caching on the k=4 fat-tree."""
+    from repro.multiswitch.graph import build_fat_tree
+
+    def run():
+        graph = build_fat_tree(4, hosts_per_edge=13)
+        names = graph.node_order
+        hops = 0
+        for i in range(0, len(names) - 1, 2):
+            hops += len(graph.path_links(names[i], names[i + 1]))
+        return hops
+
+    hops = benchmark(run)
+    assert hops > 0
+
+
+def test_bench_fat_tree_admission(benchmark):
+    """Admission throughput along 6-hop paths with the per-link cache."""
+    from repro.core.channel import ChannelSpec
+    from repro.multiswitch.admission import MultiSwitchAdmission
+    from repro.multiswitch.graph import build_fat_tree
+    from repro.multiswitch.partitioning import MultiHopProportional
+
+    spec = ChannelSpec(period=100, capacity=3, deadline=60)
+
+    def run():
+        graph = build_fat_tree(4)
+        admission = MultiSwitchAdmission(
+            fabric=graph, dps=MultiHopProportional()
+        )
+        names = graph.node_order
+        for i in range(100):
+            admission.request(
+                names[i % len(names)],
+                names[(i * 7 + 1) % len(names)],
+                spec,
+            )
+        return admission.accept_count
+
+    accepted = benchmark(run)
+    assert accepted > 0

@@ -14,6 +14,9 @@ Commands
                  control (EXP-A2)
 ``dps``          all five partitioning schemes (EXP-D1)
 ``multiswitch``  switch-tree extension (EXP-X1)
+``fabric-sweep`` graph-fabric acceptance curves (EXP-X3): fat-tree /
+                 chain / tree / star topologies at 100+ end nodes,
+                 msym vs mprop, seeded multipath routing
 ``robustness``   phase / loss fault injection (EXP-R1) and the
                  signalling-loss liveness check (EXP-R2,
                  ``--signal-loss``)
@@ -42,7 +45,8 @@ probe time series, JSONL trace and a Chrome/Perfetto trace) alongside
 their normal output.
 
 The acceptance sweeps (``fig18-5``, ``dps``, ``ablation``,
-``multiswitch``) and ``validate --trials N`` accept ``--workers N`` to
+``multiswitch``, ``fabric-sweep``) and ``validate --trials N`` accept
+``--workers N`` to
 fan their seeded work units across a process pool (1 = serial, 0 = one
 per CPU); every output -- tables, CSV/JSON exports, telemetry bundles
 -- is byte-identical at any worker count.
@@ -50,6 +54,7 @@ per CPU); every output -- tables, CSV/JSON exports, telemetry bundles
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
 ``bench-admission`` parity, ``admission-diff``, ``netcalc-diff``,
+``fabric-sweep --cross-check``,
 ``obs check``, the ``spans`` coverage gate, ``bench-report`` schema
 conformance), 2 on usage errors.
 """
@@ -175,6 +180,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     multiswitch.add_argument("--switches", type=int, default=3)
 
+    fabric = common(sub.add_parser(
+        "fabric-sweep",
+        help="graph-fabric acceptance curves (EXP-X3): msym vs mprop "
+             "over a fat-tree/chain/tree/star at 100+ end nodes",
+    ))
+    fabric.set_defaults(trials=5)
+    fabric.add_argument(
+        "--topology", default="fat-tree:4", metavar="SPEC",
+        help="fat-tree:K, chain:N, tree:DEPTH:FANOUT or star:N "
+             "(default fat-tree:4)",
+    )
+    fabric.add_argument(
+        "--hosts-per-edge", type=int, default=None, metavar="N",
+        help="hosts per edge/leaf switch (default: topology-specific; "
+             "the fat-tree default scales to >= 100 end nodes)",
+    )
+    fabric.add_argument(
+        "--requests", type=int, default=400,
+        help="channel requests offered per trial (default 400)",
+    )
+    fabric.add_argument(
+        "--checkpoints", type=int, default=10,
+        help="evenly spaced acceptance checkpoints (default 10)",
+    )
+    fabric.add_argument(
+        "--routing-seed", type=int, default=0,
+        help="seed of the equal-cost multipath tie-break (default 0)",
+    )
+    fabric.add_argument(
+        "--cross-check", action="store_true",
+        help="replay trial 0 serially and run the three-way netcalc / "
+             "demand-test / EDF-replay oracle on every occupied link "
+             "(exit 1 on any disagreement)",
+    )
+
     robustness = sub.add_parser(
         "robustness", help="fault injection outside the paper's model"
     )
@@ -278,8 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
     ncdiff.add_argument("--seed", type=int, default=0)
     ncdiff.add_argument(
         "--topologies", nargs="+", metavar="NAME", default=None,
-        choices=["star", "fabric"],
-        help="topologies to cycle through (default: star fabric)",
+        choices=["star", "fabric", "fat-tree"],
+        help="topologies to cycle through "
+             "(default: star fabric fat-tree)",
     )
     ncdiff.add_argument("--json", metavar="PATH",
                         help="export the campaign report as JSON")
@@ -660,6 +701,66 @@ def _cmd_multiswitch(args) -> int:
         {"experiment": "multiswitch", "switches": args.switches},
     )
     return 0
+
+
+def _cmd_fabric_sweep(args) -> int:
+    from .errors import ConfigurationError
+    from .experiments.fabric_sweep import FabricSweepConfig, run_fabric_sweep
+
+    try:
+        result = _run_fabric_sweep_checked(args, FabricSweepConfig,
+                                           run_fabric_sweep)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [p.requested, round(p.symmetric_mean, 1),
+         round(p.proportional_mean, 1), round(p.advantage, 2)]
+        for p in result.points
+    ]
+    print(format_table(
+        ["requested", "msym", "mprop", "ratio"], rows,
+        title=(
+            f"EXP-X3 -- {result.topology}: {result.n_nodes} nodes / "
+            f"{result.n_switches} switches / max {result.max_hops} hops"
+        ),
+    ))
+    _export(
+        args, "requested", [p.requested for p in result.points],
+        {"msym": [p.symmetric_mean for p in result.points],
+         "mprop": [p.proportional_mean for p in result.points]},
+        {"experiment": "fabric_sweep", "topology": result.topology,
+         "nodes": result.n_nodes, "switches": result.n_switches,
+         "max_hops": result.max_hops, "trials": args.trials,
+         "seed": args.seed, "routing_seed": args.routing_seed},
+    )
+    if args.cross_check:
+        for scheme, check in zip(sorted(("msym", "mprop")),
+                                 result.cross_checks):
+            status = "clean" if check.ok else "DISAGREEMENTS"
+            print(
+                f"cross-check [{scheme}]: {check.links_checked} links, "
+                f"{check.capped} horizon-capped -- {status}"
+            )
+            for line in check.disagreements:
+                print(f"  {line}")
+        if not result.cross_check_ok:
+            return 1
+    return 0
+
+
+def _run_fabric_sweep_checked(args, FabricSweepConfig, run_fabric_sweep):
+    return run_fabric_sweep(FabricSweepConfig(
+        topology=args.topology,
+        hosts_per_edge=args.hosts_per_edge,
+        requests=args.requests,
+        checkpoints=args.checkpoints,
+        trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
+        routing_seed=args.routing_seed,
+        cross_check=args.cross_check,
+    ))
 
 
 def _cmd_robustness(args) -> int:
@@ -1060,6 +1161,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "dps": _cmd_dps,
     "multiswitch": _cmd_multiswitch,
+    "fabric-sweep": _cmd_fabric_sweep,
     "robustness": _cmd_robustness,
     "oracle": _cmd_oracle,
     "bench-admission": _cmd_bench_admission,

@@ -13,6 +13,8 @@
 * :mod:`~repro.experiments.coexistence` -- EXP-B1, RT + best-effort.
 * :mod:`~repro.experiments.perf` -- EXP-P1, feasibility-test cost.
 * :mod:`~repro.experiments.multiswitch_exp` -- EXP-X1, switch trees.
+* :mod:`~repro.experiments.fabric_sweep` -- EXP-X3, graph fabrics
+  (fat-tree headline sweep at 100+ end nodes).
 * :mod:`~repro.experiments.dps_comparison` -- EXP-D1, all DPS schemes.
 """
 
@@ -44,6 +46,15 @@ from .multiswitch_exp import (
     build_master_slave_fabric,
     run_multiswitch_comparison,
 )
+from .fabric_sweep import (
+    FabricCrossCheck,
+    FabricSweepConfig,
+    FabricSweepPoint,
+    FabricSweepResult,
+    build_fabric_topology,
+    cross_check_fabric_admission,
+    run_fabric_sweep,
+)
 from .dps_comparison import DEFAULT_SCHEMES, run_dps_comparison
 
 __all__ = [
@@ -73,6 +84,13 @@ __all__ = [
     "MultiSwitchPoint",
     "build_master_slave_fabric",
     "run_multiswitch_comparison",
+    "FabricCrossCheck",
+    "FabricSweepConfig",
+    "FabricSweepPoint",
+    "FabricSweepResult",
+    "build_fabric_topology",
+    "cross_check_fabric_admission",
+    "run_fabric_sweep",
     "DEFAULT_SCHEMES",
     "run_dps_comparison",
 ]

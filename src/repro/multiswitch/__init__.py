@@ -3,16 +3,24 @@
 Section 18.5: "Future work into this area should include investigating
 the use of more complex network topologies, i.e., networks consisting of
 many interconnected switches". This subpackage generalizes the paper's
-analysis machinery from one switch (two links per channel) to a *tree*
-of switches (k >= 2 links per channel):
+analysis machinery from one switch (two links per channel) to arbitrary
+switch graphs (k >= 2 links per channel):
 
-* :mod:`~repro.multiswitch.fabric` -- the switch-tree topology and path
-  routing (trees keep routing unique, matching how industrial Ethernet
-  is actually cabled; cycles would need a spanning-tree protocol the
-  paper never touches).
+* :mod:`~repro.multiswitch.graph` -- the general topology subsystem:
+  :class:`FabricGraph` (cycles allowed, deterministic seeded multipath
+  routing), the build-the-graph-then-run-passes builders
+  (:func:`build_fat_tree`, :func:`build_tree_graph`,
+  :func:`build_chain_graph`, :func:`build_star_graph`) and the
+  address / admission / wiring passes.
+* :mod:`~repro.multiswitch.fabric` -- the tree-restricted
+  specialization (:class:`SwitchFabric`): trees keep routing unique,
+  matching how small industrial Ethernet islands are actually cabled;
+  the graph layer handles the redundant fabrics (fat-tree) that would
+  otherwise need a spanning-tree protocol the paper never touches.
 * :mod:`~repro.multiswitch.partitioning` -- multi-hop deadline
   partitioning: the k-way generalizations of SDPS (equal split) and
-  ADPS (LinkLoad-proportional split).
+  ADPS (LinkLoad-proportional split), exact-rational and
+  bit-reproducible.
 * :mod:`~repro.multiswitch.admission` -- per-link EDF feasibility over
   all links of the routed path, reusing
   :mod:`repro.core.feasibility` unchanged -- the per-link theory is
@@ -20,11 +28,24 @@ of switches (k >= 2 links per channel):
 
 This is an **extension beyond the paper**: there is no published result
 to compare against. EXP-X1 reports acceptance curves for 2- and 3-switch
-trees to show the machinery works and that the ADPS advantage carries
-over to longer paths.
+trees; EXP-X3 sweeps fat-tree fabrics at hundreds of end nodes to show
+the machinery scales and that the ADPS advantage carries over to longer
+paths.
 """
 
-from .fabric import FabricLink, SwitchFabric
+from .graph import (
+    FabricGraph,
+    FabricLink,
+    NodeAddress,
+    address_pass,
+    admission_pass,
+    wiring_pass,
+    build_star_graph,
+    build_chain_graph,
+    build_tree_graph,
+    build_fat_tree,
+)
+from .fabric import SwitchFabric
 from .partitioning import (
     MultiHopDPS,
     MultiHopSymmetric,
@@ -44,7 +65,16 @@ __all__ = [
     "FabricNetwork",
     "FabricSwitchModel",
     "build_fabric_network",
+    "FabricGraph",
     "FabricLink",
+    "NodeAddress",
+    "address_pass",
+    "admission_pass",
+    "wiring_pass",
+    "build_star_graph",
+    "build_chain_graph",
+    "build_tree_graph",
+    "build_fat_tree",
     "SwitchFabric",
     "MultiHopDPS",
     "MultiHopSymmetric",

@@ -22,7 +22,7 @@ from ..core.feasibility import FeasibilityReport, is_feasible
 from ..core.feasibility_cache import FeasibilityCache
 from ..core.task import LinkRef, LinkDirection, LinkTask
 from ..errors import PartitioningError, UnknownChannelError
-from .fabric import FabricLink, SwitchFabric
+from .graph import FabricGraph, FabricLink
 from .partitioning import MultiHopDPS
 
 if TYPE_CHECKING:
@@ -61,12 +61,17 @@ def _link_ref(link: FabricLink) -> LinkRef:
 
 
 class MultiSwitchAdmission:
-    """Admit-or-reject over a :class:`SwitchFabric`.
+    """Admit-or-reject over a fabric graph.
 
     Parameters
     ----------
     fabric:
-        The (validated) switch tree.
+        The (validated) topology -- a tree
+        :class:`~repro.multiswitch.fabric.SwitchFabric` or any
+        multipath :class:`~repro.multiswitch.graph.FabricGraph`
+        (fat-tree, ring); routing determinism is the fabric's
+        responsibility (seeded equal-cost tie-break), admission just
+        analyses the links of the path it is handed.
     dps:
         A k-way deadline-partitioning scheme.
     use_cache:
@@ -78,7 +83,7 @@ class MultiSwitchAdmission:
 
     def __init__(
         self,
-        fabric: SwitchFabric,
+        fabric: FabricGraph,
         dps: MultiHopDPS,
         *,
         use_cache: bool = True,
@@ -98,7 +103,7 @@ class MultiSwitchAdmission:
         return self._cache is not None
 
     @property
-    def fabric(self) -> SwitchFabric:
+    def fabric(self) -> FabricGraph:
         return self._fabric
 
     @property

@@ -1,47 +1,31 @@
 """Switch-tree topology and routing for the multi-switch extension.
 
-A :class:`SwitchFabric` is a tree whose internal vertices are switches
-and whose leaves are end nodes. Every edge is a full-duplex cable, i.e.
-two independent unidirectional links for the analysis -- exactly the
-paper's "two CPUs per cable" view, generalized.
+A :class:`SwitchFabric` is the tree-restricted specialization of
+:class:`~repro.multiswitch.graph.FabricGraph`: internal vertices are
+switches, leaves are end nodes, and redundant switch cables are
+rejected at construction time -- no spanning-tree protocol is
+modelled, so a tree is the only shape with well-defined single-path
+routing.  Every edge is a full-duplex cable, i.e. two independent
+unidirectional links for the analysis -- exactly the paper's "two CPUs
+per cable" view, generalized.
 
 A channel from node A to node B traverses the unique tree path
 ``A -> sw_1 -> ... -> sw_k -> B``; :meth:`SwitchFabric.path_links`
 returns the ordered *directed* links of that path, which is everything
-the multi-switch admission control needs.
+the multi-switch admission control needs.  For multipath fabrics
+(fat-trees, rings) use :class:`FabricGraph` directly -- same API, with
+the seeded equal-cost tie-break resolving the path ambiguity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import networkx as nx
-
-from ..errors import RoutingError, TopologyError
+from ..errors import TopologyError
+from .graph import FabricGraph, FabricLink
 
 __all__ = ["FabricLink", "SwitchFabric"]
 
 
-@dataclass(frozen=True, slots=True, order=True)
-class FabricLink:
-    """One directed link of the fabric: the unit of feasibility analysis.
-
-    ``tail`` transmits, ``head`` receives. The reverse direction of the
-    same cable is a distinct :class:`FabricLink` (full duplex).
-    """
-
-    tail: str
-    head: str
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.tail}->{self.head}"
-
-    @property
-    def reverse(self) -> "FabricLink":
-        return FabricLink(tail=self.head, head=self.tail)
-
-
-class SwitchFabric:
+class SwitchFabric(FabricGraph):
     """A tree of switches with end nodes at the leaves.
 
     Build incrementally with :meth:`add_switch`, :meth:`add_node` and
@@ -50,114 +34,24 @@ class SwitchFabric:
     routing is first used.
     """
 
-    def __init__(self) -> None:
-        self._graph = nx.Graph()
-        self._switches: set[str] = set()
-        self._nodes: set[str] = set()
-
-    # -- construction --------------------------------------------------------
-
-    def add_switch(self, name: str) -> None:
-        """Add an (initially unconnected) switch."""
-        self._check_fresh(name)
-        self._switches.add(name)
-        self._graph.add_node(name)
-
-    def add_node(self, name: str, switch: str) -> None:
-        """Attach an end node to a switch by one cable."""
-        self._check_fresh(name)
-        if switch not in self._switches:
-            raise TopologyError(f"unknown switch {switch!r}")
-        self._nodes.add(name)
-        self._graph.add_edge(name, switch)
-
     def connect_switches(self, a: str, b: str) -> None:
         """Cable two switches together (must not create a cycle)."""
-        if a not in self._switches or b not in self._switches:
-            raise TopologyError(f"both {a!r} and {b!r} must be switches")
-        if a == b:
-            raise TopologyError(f"cannot cable switch {a!r} to itself")
-        if self._graph.has_edge(a, b):
-            raise TopologyError(f"switches {a!r} and {b!r} are already cabled")
-        if nx.has_path(self._graph, a, b):
+        self._pre_connect_checks(a, b)
+        if self._reachable(a, b):
             raise TopologyError(
                 f"cabling {a!r}-{b!r} would create a cycle; the fabric must "
                 "remain a tree (no spanning-tree protocol is modelled)"
             )
-        self._graph.add_edge(a, b)
-
-    def _check_fresh(self, name: str) -> None:
-        if not name:
-            raise TopologyError("names must be non-empty")
-        if name in self._switches or name in self._nodes:
-            raise TopologyError(f"{name!r} is already in the fabric")
-
-    # -- queries ------------------------------------------------------------------
-
-    @property
-    def switches(self) -> frozenset[str]:
-        return frozenset(self._switches)
-
-    @property
-    def nodes(self) -> frozenset[str]:
-        return frozenset(self._nodes)
-
-    def is_node(self, name: str) -> bool:
-        return name in self._nodes
+        self._add_edge(a, b)
 
     def validate_connected(self) -> None:
         """Raise unless the fabric is one connected tree."""
-        if self._graph.number_of_nodes() == 0:
-            raise TopologyError("the fabric is empty")
-        if not nx.is_connected(self._graph):
-            raise TopologyError("the fabric is not connected")
+        super().validate_connected()
         # A connected graph with n-1 edges is a tree; construction
         # already prevents cycles, this is a belt-and-braces check.
-        if self._graph.number_of_edges() != self._graph.number_of_nodes() - 1:
+        if not self.is_tree():
+            self._validated = False
             raise TopologyError("the fabric contains a cycle")
-
-    def path_links(self, source: str, destination: str) -> list[FabricLink]:
-        """Ordered directed links of the unique source->destination path.
-
-        The first link is the source's uplink into its switch, the last
-        is the destination's downlink; any links in between are
-        inter-switch hops.
-        """
-        if source not in self._nodes:
-            raise RoutingError(f"source {source!r} is not an end node")
-        if destination not in self._nodes:
-            raise RoutingError(f"destination {destination!r} is not an end node")
-        if source == destination:
-            raise RoutingError("source and destination must differ")
-        self.validate_connected()
-        vertices = nx.shortest_path(self._graph, source, destination)
-        return [
-            FabricLink(tail=a, head=b)
-            for a, b in zip(vertices, vertices[1:])
-        ]
-
-    def hop_count(self, source: str, destination: str) -> int:
-        """Number of links a channel between these nodes traverses."""
-        return len(self.path_links(source, destination))
-
-    def attachment(self, node: str) -> str:
-        """The switch an end node is cabled to (leaves have exactly one)."""
-        if node not in self._nodes:
-            raise RoutingError(f"{node!r} is not an end node")
-        neighbours = list(self._graph.neighbors(node))
-        if len(neighbours) != 1:  # pragma: no cover - construction forbids
-            raise TopologyError(
-                f"end node {node!r} has {len(neighbours)} cables"
-            )
-        return neighbours[0]
-
-    def switch_adjacencies(self) -> list[tuple[str, str]]:
-        """All switch-to-switch cables, each once, deterministically ordered."""
-        edges = []
-        for a, b in self._graph.edges():
-            if a in self._switches and b in self._switches:
-                edges.append((min(a, b), max(a, b)))
-        return sorted(edges)
 
     @classmethod
     def single_switch(cls, node_names: list[str]) -> "SwitchFabric":

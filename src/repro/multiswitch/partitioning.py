@@ -13,14 +13,21 @@ Two schemes mirror the paper's pair:
 * :class:`MultiHopProportional` -- shares proportional to each link's
   LinkLoad including the candidate (ADPS generalization).
 
-Integer splitting uses the largest-remainder method so the parts always
-sum exactly to ``d`` with deterministic tie-breaking, then a repair pass
-lifts any part below ``C`` by taking slack from the largest parts.
+Integer splitting uses the largest-remainder method in **exact
+rational arithmetic** (:class:`fractions.Fraction`, the repo-wide
+determinism idiom) so the parts always sum exactly to ``d`` with
+deterministic tie-breaking and the split is bit-reproducible across
+platforms for any weights; a single-pass threshold-drain repair then
+lifts any part below ``C`` by taking slack from the largest parts
+(see :func:`_repair_floor` -- provably identical to the historical
+one-unit-per-iteration loop, in O(k log max_part) instead of O(k*delta)
+with quadratic donor scans).
 """
 
 from __future__ import annotations
 
 import abc
+from fractions import Fraction
 from typing import Callable, Sequence
 
 from ..core.channel import ChannelSpec
@@ -39,13 +46,20 @@ LinkLoadFn = Callable[[FabricLink], int]
 
 
 def split_deadline(
-    deadline: int, capacity: int, weights: Sequence[float]
+    deadline: int, capacity: int, weights: Sequence[int | Fraction]
 ) -> list[int]:
     """Split ``deadline`` into ``len(weights)`` integer parts.
 
-    Parts are proportional to ``weights`` (largest-remainder rounding),
-    then repaired so every part is at least ``capacity`` while the total
-    stays exactly ``deadline``.
+    Parts are proportional to ``weights`` (largest-remainder rounding,
+    remainder ties broken toward the lowest index), then repaired so
+    every part is at least ``capacity`` while the total stays exactly
+    ``deadline``.
+
+    The apportionment is exact: every share is computed as a
+    :class:`~fractions.Fraction`, so the result is a pure function of
+    the integer problem with no platform/rounding dependence.  Float
+    weights are accepted for compatibility and converted to their exact
+    binary rational value.
 
     Raises
     ------
@@ -63,12 +77,13 @@ def split_deadline(
         )
     if any(w < 0 for w in weights):
         raise PartitioningError(f"negative weight in {weights!r}")
-    total_weight = float(sum(weights))
+    exact_weights = [Fraction(w) for w in weights]
+    total_weight = sum(exact_weights)
     if total_weight <= 0:
-        weights = [1.0] * k
-        total_weight = float(k)
-    # Largest-remainder apportionment of `deadline` units.
-    exact = [deadline * w / total_weight for w in weights]
+        exact_weights = [Fraction(1)] * k
+        total_weight = Fraction(k)
+    # Largest-remainder apportionment of `deadline` units, all rational.
+    exact = [deadline * w / total_weight for w in exact_weights]
     parts = [int(x) for x in exact]
     shortfall = deadline - sum(parts)
     remainders = sorted(
@@ -76,22 +91,57 @@ def split_deadline(
     )
     for i in remainders[:shortfall]:
         parts[i] += 1
-    # Repair: lift parts below the capacity floor, taking from the rich.
-    for i in range(k):
-        while parts[i] < capacity:
-            donor = max(
-                (j for j in range(k) if parts[j] > capacity),
-                key=lambda j: parts[j],
-                default=None,
-            )
-            if donor is None:  # pragma: no cover - impossible when d >= k*C
-                raise PartitioningError(
-                    f"cannot repair split {parts!r} to floor {capacity}"
-                )
-            parts[donor] -= 1
-            parts[i] += 1
+    parts = _repair_floor(parts, capacity)
     assert sum(parts) == deadline
     return parts
+
+
+def _repair_floor(parts: list[int], capacity: int) -> list[int]:
+    """Lift parts below ``capacity`` to it, draining the largest parts.
+
+    Single-pass replacement for the historical loop that moved one unit
+    per iteration from ``max(parts[j] > capacity)`` (first index on
+    ties) to each deficient part.  That loop's end state has a closed
+    form: with ``L`` the total deficit, find the smallest threshold
+    ``T >= capacity`` whose drain ``g(T) = sum(max(0, p - T))`` is at
+    most ``L``, cap every donor at ``T``, and decrement by one the
+    first ``L - g(T)`` donors (in index order) whose original part was
+    at least ``T`` -- exactly which entries the loop's first-index
+    ``max`` tie-break lands on once all remaining donors sit at ``T``.
+
+    Preserves ``sum(parts)`` (receivers gain ``L``, donors lose
+    ``g(T) + (L - g(T)) = L``) and ``min >= capacity``: ``g(capacity)
+    >= L`` whenever ``sum(parts) >= k * capacity`` (the caller's
+    precondition), so ``T == capacity`` forces ``L - g(T) == 0`` and
+    any extra decrement happens only when ``T > capacity``, landing on
+    ``T - 1 >= capacity``.
+    """
+    deficit = sum(capacity - p for p in parts if p < capacity)
+    if deficit == 0:
+        return parts
+    # Binary search the smallest T in [capacity, max(parts)] with
+    # g(T) <= deficit; g is nonincreasing in T and g(max) == 0.
+    lo, hi = capacity, max(parts)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sum(p - mid for p in parts if p > mid) <= deficit:
+            hi = mid
+        else:
+            lo = mid + 1
+    threshold = lo
+    drained = sum(p - threshold for p in parts if p > threshold)
+    extra = deficit - drained
+    repaired = [
+        capacity if p < capacity else min(p, threshold) for p in parts
+    ]
+    if extra:
+        for i, p in enumerate(parts):
+            if p >= threshold:
+                repaired[i] -= 1
+                extra -= 1
+                if extra == 0:
+                    break
+    return repaired
 
 
 class MultiHopDPS(abc.ABC):
@@ -122,7 +172,7 @@ class MultiHopSymmetric(MultiHopDPS):
     ) -> list[int]:
         del link_load
         return split_deadline(
-            spec.deadline, spec.capacity, [1.0] * len(links)
+            spec.deadline, spec.capacity, [1] * len(links)
         )
 
 
@@ -142,7 +192,7 @@ class MultiHopProportional(MultiHopDPS):
         links: Sequence[FabricLink],
         link_load: LinkLoadFn,
     ) -> list[int]:
-        weights = [float(link_load(link)) for link in links]
+        weights = [link_load(link) for link in links]
         if any(w < 0 for w in weights):
             raise PartitioningError(f"negative link load in {weights!r}")
         return split_deadline(spec.deadline, spec.capacity, weights)

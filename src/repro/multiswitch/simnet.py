@@ -37,7 +37,7 @@ from ..protocol.ethernet import EthernetFrame, FrameKind, reset_frame_ids
 from ..sim.kernel import Simulator
 from ..sim.trace import TraceRecorder
 from .admission import MultiAdmissionDecision, MultiSwitchAdmission
-from .fabric import SwitchFabric
+from .graph import FabricGraph
 from .partitioning import MultiHopDPS, MultiHopProportional
 
 __all__ = ["FabricChannel", "FabricSwitchModel", "FabricNetwork", "build_fabric_network"]
@@ -277,7 +277,7 @@ class FabricNetwork:
 
     def __init__(
         self,
-        fabric: SwitchFabric,
+        fabric: FabricGraph,
         admission: MultiSwitchAdmission,
         phy: PhyProfile,
         trace_enabled: bool = False,
@@ -455,7 +455,7 @@ class FabricNetwork:
 
 
 def build_fabric_network(
-    fabric: SwitchFabric,
+    fabric: FabricGraph,
     dps: MultiHopDPS | None = None,
     phy: PhyProfile | None = None,
     trace_enabled: bool = False,

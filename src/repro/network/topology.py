@@ -30,6 +30,7 @@ from ..core.channel_manager import NodeDirectory
 from ..core.partitioning import DeadlinePartitioningScheme, SymmetricDPS
 from ..core.rt_layer import ChannelGrant
 from ..errors import TopologyError
+from ..multiswitch.graph import address_pass, build_star_graph
 from ..protocol.ethernet import reset_frame_ids
 from ..protocol.signaling import DestinationPolicy, RetryPolicy, accept_all
 from ..sim.kernel import Simulator
@@ -43,10 +44,10 @@ from .switch import Switch
 
 __all__ = ["StarNetwork", "build_star"]
 
-#: Locally administered MAC prefix for generated node addresses.
-_MAC_BASE = 0x02_00_00_00_00_00
+#: The switch's own MAC; end-node MAC/IP assignment is the address
+#: pass of the graph builder (``MAC_BASE + i + 1`` / ``IP_BASE + i``
+#: in name order -- see :func:`repro.multiswitch.graph.address_pass`).
 _SWITCH_MAC = 0x02_FF_FF_FF_FF_FF
-_IP_BASE = 0x0A_00_00_01  # 10.0.0.1
 
 
 @dataclass
@@ -258,6 +259,11 @@ def build_star(
         raise TopologyError(
             f"{SWITCH_NAME!r} is reserved for the switch itself"
         )
+    # The star is the one-switch graph; the shared address pass assigns
+    # every end node its deterministic MAC/IP (identical numbering to
+    # what this builder has always produced).
+    graph = build_star_graph(names, switch_name=SWITCH_NAME)
+    addresses = address_pass(graph)
 
     reset_frame_ids()
     sim = Simulator(queue=queue)
@@ -292,9 +298,10 @@ def build_star(
     )
 
     nodes: dict[str, EndNode] = {}
-    for index, name in enumerate(names):
-        mac = _MAC_BASE + index + 1
-        ip = _IP_BASE + index
+    for name in graph.node_order:
+        address = addresses[name]
+        mac = address.mac
+        ip = address.ip
         directory.register(name, mac=mac, ip=ip)
         node = EndNode(
             sim=sim,

@@ -63,7 +63,7 @@ __all__ = [
 ]
 
 #: Topologies the simulation campaign cycles through.
-TOPOLOGIES: tuple[str, ...] = ("star", "fabric")
+TOPOLOGIES: tuple[str, ...] = ("star", "fabric", "fat-tree")
 
 #: Period menu for campaign workloads: small lcm keeps hyperperiods
 #: (and busy periods of the per-link replay leg) tightly bounded.
@@ -497,7 +497,72 @@ def _check_links(
     return disagreements, capped, len(links)
 
 
-_TRIALS = {"star": _star_trial, "fabric": _fabric_trial}
+def _fat_tree_trial(seed: int, trial: int) -> NetcalcTrialResult:
+    from ..multiswitch.graph import build_fat_tree
+    from ..multiswitch.partitioning import (
+        MultiHopProportional,
+        MultiHopSymmetric,
+    )
+    from ..multiswitch.simnet import build_fabric_network
+
+    rng = RngRegistry(seed).fork(trial).stream("netcalc-fat-tree")
+    # Standard-density k=4 fat-tree: 20 switches, 16 hosts, inter-pod
+    # paths cross 6 links through the seeded multipath tie-break.
+    fabric = build_fat_tree(4, routing_seed=trial % 3)
+    dps = MultiHopSymmetric() if trial % 2 == 0 else MultiHopProportional()
+    net = build_fabric_network(
+        fabric, dps=dps, trace_enabled=True, record_delays=True
+    )
+    names = sorted(fabric.nodes)
+    for _ in range(int(rng.integers(4, 13))):
+        source, destination = _draw_pair(rng, names)
+        capacity = int(rng.integers(1, 4))
+        period = int(_PERIODS[int(rng.integers(0, len(_PERIODS)))])
+        # six hops is the fat-tree's worst case; d >= 6C keeps the
+        # k-way split possible so rejections exercise load, not
+        # Eq. 18.9 (6C <= 18 < min period 20, so the range is never
+        # empty).
+        deadline = int(rng.integers(6 * capacity, period + 1))
+        net.establish(
+            source, destination, ChannelSpec(period, capacity, deadline)
+        )
+    admission = net.admission
+    bounds = admission.channel_delay_bounds()
+    channel_info = {
+        channel_id: (decision.spec.deadline, len(decision.links))
+        for channel_id, decision in admission.decisions.items()
+    }
+    net.start_all_sources(stop_after_messages=_MESSAGES_PER_TRIAL)
+    net.sim.run()
+    frames_checked, violations = _check_run(
+        "fat-tree", trial, net.phy, net.trace, net.metrics, bounds,
+        channel_info,
+    )
+    disagreements, capped, links_checked = _check_links(
+        "fat-tree",
+        trial,
+        [
+            (f"{link.tail}->{link.head}", admission.tasks_on(link))
+            for link in admission.occupied_links()
+        ],
+    )
+    return NetcalcTrialResult(
+        topology="fat-tree",
+        trial=trial,
+        channels_checked=len(bounds),
+        frames_checked=frames_checked,
+        links_checked=links_checked,
+        violations=tuple(violations),
+        disagreements=tuple(disagreements),
+        capped=capped,
+    )
+
+
+_TRIALS = {
+    "star": _star_trial,
+    "fabric": _fabric_trial,
+    "fat-tree": _fat_tree_trial,
+}
 
 
 def run_netcalc_trial(

@@ -62,6 +62,53 @@ class TestSplitDeadline:
         assert sum(a) == 10
 
 
+class TestSplitDeadlineEdges:
+    """Boundary coverage for the exact-rational split."""
+
+    def test_forced_all_floor_at_k_times_c(self):
+        # deadline == k*capacity leaves zero slack: every part must be
+        # exactly the floor no matter how skewed the weights are.
+        assert split_deadline(20, 4, [97, 1, 1, 1, 1]) == [4, 4, 4, 4, 4]
+        assert split_deadline(6, 2, [0, 0, 5]) == [2, 2, 2]
+
+    def test_all_zero_weights_fall_back_with_repair(self):
+        # fallback even split plus largest-remainder on the odd unit
+        assert split_deadline(7, 2, [0, 0, 0]) == [3, 2, 2]
+
+    def test_single_link_path(self):
+        # k == 1 is the star's degenerate case: the whole deadline.
+        assert split_deadline(40, 3, [1]) == [40]
+        assert split_deadline(40, 3, [0]) == [40]
+        assert split_deadline(3, 3, [17]) == [3]
+
+    def test_hundreds_of_links(self):
+        k = 300
+        parts = split_deadline(1000, 2, [1] * k)
+        assert sum(parts) == 1000
+        assert min(parts) == 3 and max(parts) == 4  # 100 remainder units
+        assert parts == sorted(parts, reverse=True)  # ties -> low index
+        skewed = split_deadline(5000, 3, list(range(1, 251)))
+        assert sum(skewed) == 5000
+        assert min(skewed) >= 3
+
+    def test_remainder_ties_break_toward_low_index(self):
+        # equal weights, equal remainders 0.5: the first two win
+        assert split_deadline(10, 1, [1, 1, 1, 1]) == [3, 3, 2, 2]
+        # distinct weights with pairwise-tied remainders (1.25 / 3.75):
+        # among the 0.75 ties index 1 beats index 3
+        assert split_deadline(10, 1, [1, 3, 1, 3]) == [1, 4, 1, 4]
+
+    def test_float_hazardous_weights_are_exact(self):
+        # weights whose float shares would round unpredictably; the
+        # Fraction path pins one bit-reproducible answer.
+        big = 10**15
+        parts = split_deadline(10, 1, [big, big + 1, 1])
+        assert sum(parts) == 10
+        assert parts == [4, 5, 1]
+        again = split_deadline(10, 1, [big, big + 1, 1])
+        assert parts == again
+
+
 class TestMultiHopSchemes:
     def test_symmetric_equal_parts(self, paper_spec):
         fabric = SwitchFabric.chain(2, 1)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.channel import ChannelSpec
 from repro.core.partitioning import (
@@ -131,6 +131,111 @@ def test_split_deadline_invariants(case):
     assert sum(parts) == deadline
     assert all(part >= capacity for part in parts)
     assert len(parts) == len(weights)
+
+
+def _legacy_repair_loop(parts, capacity):
+    """The historical one-unit-per-iteration repair (reference)."""
+    parts = list(parts)
+    k = len(parts)
+    for i in range(k):
+        while parts[i] < capacity:
+            donor = max(
+                (j for j in range(k) if parts[j] > capacity),
+                key=lambda j: parts[j],
+                default=None,
+            )
+            assert donor is not None
+            parts[donor] -= 1
+            parts[i] += 1
+    return parts
+
+
+def _legacy_split_deadline_float(deadline, capacity, weights):
+    """The pre-Fraction float apportionment (reference)."""
+    k = len(weights)
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        weights = [1.0] * k
+        total_weight = float(k)
+    exact = [deadline * w / total_weight for w in weights]
+    parts = [int(x) for x in exact]
+    shortfall = deadline - sum(parts)
+    remainders = sorted(
+        range(k), key=lambda i: (-(exact[i] - parts[i]), i)
+    )
+    for i in remainders[:shortfall]:
+        parts[i] += 1
+    return _legacy_repair_loop(parts, capacity)
+
+
+@st.composite
+def repairable_parts(draw):
+    k = draw(st.integers(min_value=1, max_value=10))
+    capacity = draw(st.integers(min_value=0, max_value=12))
+    parts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=60),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    # the repair precondition split_deadline guarantees
+    deficit = k * capacity - sum(parts)
+    if deficit > 0:
+        parts = [p + -(-deficit // k) for p in parts]
+    return parts, capacity
+
+
+@given(repairable_parts())
+@settings(max_examples=300, deadline=None)
+def test_single_pass_repair_matches_legacy_loop(case):
+    """The threshold-drain repair is end-state identical to the old
+    one-unit-per-iteration donor loop, including its first-index
+    tie-break."""
+    from repro.multiswitch.partitioning import _repair_floor
+
+    parts, capacity = case
+    assert _repair_floor(list(parts), capacity) == _legacy_repair_loop(
+        parts, capacity
+    )
+
+
+@st.composite
+def benign_k_way_case(draw):
+    """Small integer weights: float apportionment is still exact here,
+    so the legacy float path must agree with the Fraction path."""
+    k = draw(st.integers(min_value=1, max_value=6))
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    deadline = draw(st.integers(min_value=k * capacity, max_value=400))
+    weights = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=20),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return deadline, capacity, weights
+
+
+@given(benign_k_way_case())
+@settings(max_examples=300, deadline=None)
+def test_fraction_split_agrees_with_float_on_benign_inputs(case):
+    """Where no two *different* weights tie in exact remainder, the old
+    float path and the Fraction path agree -- the divergence (and the
+    bug the Fraction rewrite fixes) lives exactly in cross-weight
+    remainder ties, where float noise reordered the tie-break."""
+    deadline, capacity, weights = case
+    total = sum(weights)
+    rems = {}
+    for w in set(weights):
+        share = Fraction(deadline * w, total) if total else Fraction(1)
+        rem = share - int(share)
+        if rem in rems and rems[rem] != w:
+            assume(False)  # cross-weight tie: not a benign input
+        rems[rem] = w
+    assert split_deadline(
+        deadline, capacity, weights
+    ) == _legacy_split_deadline_float(deadline, capacity, weights)
 
 
 @given(
