@@ -1,0 +1,51 @@
+"""EXP-X4 benchmark: resident service + intent-lock fabric throughput."""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.experiments.service_soak import run_service_soak
+
+
+def test_exp_x4_service_soak(benchmark, bench_record, capsys):
+    """The headline soak: two-switch fabric at 20% control loss with a
+    mid-run kill-and-resume, plus the single-switch service gate."""
+    duration_ns = 80_000_000
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        run_service_soak,
+        args=(duration_ns, 7),
+        kwargs={"loss": 0.2, "kill_at_ns": 35_000_000},
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.ok, result.summary()
+    counters = result.fabric_counters
+    rows = [
+        ["arrivals", counters["arrivals"]],
+        ["commits", counters["commits"]],
+        ["aborts", counters["aborts"]],
+        ["departures", counters["departures"]],
+        ["retransmissions", counters["retransmissions"]],
+        ["reconciliations", counters["reconciliations"]],
+        ["double-bookings", result.double_bookings],
+        ["leaked reservations", result.leaked_reservations],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["metric", "count"],
+            rows,
+            title=f"EXP-X4 -- service soak: {duration_ns} ns horizon, "
+                  f"20% control loss, kill at 35 ms (extension)",
+        ))
+    # end-to-end admission attempts (fabric + the 3 service runs)
+    bench_record(
+        throughput=counters["arrivals"] / elapsed,
+        commits=counters["commits"],
+        aborts=counters["aborts"],
+        retransmissions=counters["retransmissions"],
+        ledger_identical=result.fabric_ledger_identical,
+    )

@@ -25,7 +25,12 @@ Commands
 ``bench-admission`` admission fast-path timing, cached vs from-scratch
                  (EXP-P2); ``--smoke`` for the quick CI variant
 ``admission-diff`` differential campaign: cached vs from-scratch
-                 admission decisions under interleaved releases
+                 admission decisions under interleaved releases;
+                 ``--churn`` interleaves snapshot/resume ops and
+                 byte-compares every persistence round-trip
+``service-soak`` long-lived admission service soak (EXP-X4): churn
+                 workload, kill-and-resume determinism, and the
+                 two-switch intent-lock fabric under control loss
 ``netcalc-diff`` second-oracle fuzz campaign: network-calculus bounds
                  vs paper bounds vs measured simulation delays
 ``netcalc-bounds`` per-channel netcalc bound table for the Fig. 18.5
@@ -54,7 +59,7 @@ per CPU); every output -- tables, CSV/JSON exports, telemetry bundles
 Exit status: 0 on success, 1 when a checked guarantee is violated
 (``validate``, ``coexist``, ``robustness``, ``oracle``,
 ``bench-admission`` parity, ``admission-diff``, ``netcalc-diff``,
-``fabric-sweep --cross-check``,
+``service-soak``, ``fabric-sweep --cross-check``,
 ``obs check``, the ``spans`` coverage gate, ``bench-report`` schema
 conformance), 2 on usage errors.
 """
@@ -433,8 +438,48 @@ def build_parser() -> argparse.ArgumentParser:
              "request bursts through admit_many() on a third "
              "controller and require the identical decision stream",
     )
+    adiff.add_argument(
+        "--churn", action="store_true",
+        help="churn mode: interleave snapshot/resume ops into every "
+             "trial and byte-compare each persistence round-trip "
+             "(exclusive with --batch)",
+    )
     adiff.add_argument("--json", metavar="PATH",
                        help="export the campaign report as JSON")
+
+    soak = sub.add_parser(
+        "service-soak",
+        help="long-lived admission service soak (EXP-X4): churn "
+             "workload, kill-and-resume determinism, two-switch "
+             "intent-lock fabric under control-frame loss",
+    )
+    soak.add_argument(
+        "--duration-ns", type=int, default=120_000_000,
+        help="soak horizon in simulated nanoseconds "
+             "(default 120000000 = 120 ms)",
+    )
+    soak.add_argument("--seed", type=int, default=2004)
+    soak.add_argument(
+        "--loss", type=float, default=0.2,
+        help="control-frame (intent/gossip/signalling) loss rate on the "
+             "fabric's inter-switch wire (default 0.2)",
+    )
+    soak.add_argument(
+        "--kill-at", type=int, default=None, metavar="NS",
+        help="simulated instant to kill the victim run and resume from "
+             "its latest checkpoint (default: half the horizon)",
+    )
+    soak.add_argument(
+        "--checkpoint-every-ns", type=int, default=10_000_000,
+        help="checkpoint period (default 10000000 = 10 ms)",
+    )
+    soak.add_argument("--json", metavar="PATH",
+                      help="export the soak report as JSON")
+    soak.add_argument(
+        "--telemetry-out", metavar="DIR", default=None,
+        help="write the soak report plus a schema-checked "
+             "anomalies.jsonl into DIR",
+    )
 
     return parser
 
@@ -879,6 +924,7 @@ def _cmd_admission_diff(args) -> int:
     report = run_admission_campaign(
         args.trials, args.seed, ops_per_trial=args.ops,
         batch=getattr(args, "batch", False),
+        churn=getattr(args, "churn", False),
     )
     print(report.summary())
     if args.json:
@@ -889,6 +935,48 @@ def _cmd_admission_diff(args) -> int:
         path.write_text(json.dumps(report.to_json_dict(), indent=2))
         print(f"wrote {path}")
     return 0 if report.ok else 1
+
+
+def _cmd_service_soak(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .experiments.service_soak import run_service_soak
+
+    result = run_service_soak(
+        args.duration_ns,
+        args.seed,
+        loss=args.loss,
+        kill_at_ns=args.kill_at,
+        checkpoint_every_ns=args.checkpoint_every_ns,
+    )
+    print(result.summary())
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(result.to_json_dict(), indent=2))
+        print(f"wrote {path}")
+    if args.telemetry_out:
+        from .obs.schema import ANOMALY_SCHEMA, validate
+
+        out = Path(args.telemetry_out)
+        out.mkdir(parents=True, exist_ok=True)
+        report_path = out / "service_soak.json"
+        report_path.write_text(
+            json.dumps(result.to_json_dict(), indent=2)
+        )
+        lines = []
+        for anomaly in result.anomalies:
+            errors = validate(anomaly, ANOMALY_SCHEMA)
+            if errors:
+                print(f"telemetry schema violation: {errors}")
+                return 1
+            lines.append(json.dumps(anomaly, sort_keys=True))
+        anomalies_path = out / "anomalies.jsonl"
+        anomalies_path.write_text(
+            "".join(line + "\n" for line in lines)
+        )
+        print(f"wrote {report_path} and {anomalies_path}")
+    return 0 if result.ok else 1
 
 
 def _cmd_netcalc_diff(args) -> int:
@@ -1166,6 +1254,7 @@ _COMMANDS = {
     "oracle": _cmd_oracle,
     "bench-admission": _cmd_bench_admission,
     "admission-diff": _cmd_admission_diff,
+    "service-soak": _cmd_service_soak,
     "netcalc-diff": _cmd_netcalc_diff,
     "netcalc-bounds": _cmd_netcalc_bounds,
     "obs": _cmd_obs,

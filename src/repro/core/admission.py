@@ -182,6 +182,10 @@ class SystemState:
                 f"no active RT channel with ID {channel_id}"
             ) from None
 
+    def has_channel(self, channel_id: int) -> bool:
+        """True while ``channel_id`` names a live (installed) channel."""
+        return channel_id in self._channels
+
     def install(
         self,
         channel: RTChannel,
@@ -689,15 +693,33 @@ class AdmissionController:
         return _Assessment(None, partition, up_report, down_report)
 
     def _allocate_id(self) -> int:
-        """Consume the next channel ID, enforcing the 16-bit limit."""
-        if self._next_id > self.MAX_CHANNEL_ID:
+        """Consume the next free channel ID, wrapping past the 16-bit limit.
+
+        IDs are handed out in increasing order from a moving hint, so a
+        run that never creates more than ``MAX_CHANNEL_ID`` channels
+        sees the historical monotone sequence unchanged. Under churn
+        (long-lived service, channels departing) the allocator wraps
+        around and *skips live IDs* -- reusing a live ID would alias two
+        channels in ``{N, K}`` and in every verdict/dedup cache keyed on
+        it. Only when every ID in ``1..MAX_CHANNEL_ID`` is simultaneously
+        live is the space genuinely exhausted.
+        """
+        span = self.MAX_CHANNEL_ID  # IDs 1..MAX (0 = "not set" on the wire)
+        if len(self._state) >= span:
             raise AdmissionError(
                 "exhausted the 16-bit RT channel ID space "
                 f"(> {self.MAX_CHANNEL_ID} channels created)"
             )
-        channel_id = self._next_id
-        self._next_id += 1
-        return channel_id
+        hint = self._next_id
+        for offset in range(span):
+            candidate = 1 + (hint - 1 + offset) % span
+            if not self._state.has_channel(candidate):
+                self._next_id = 1 + candidate % span
+                return candidate
+        raise AdmissionError(  # pragma: no cover - guarded by len() above
+            "exhausted the 16-bit RT channel ID space "
+            f"(> {self.MAX_CHANNEL_ID} channels created)"
+        )
 
     def _install(self, channel: RTChannel) -> None:
         """Install into the cache first, then the shared state.

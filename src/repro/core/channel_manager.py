@@ -156,6 +156,14 @@ class _CompletedVerdict:
     grant: ChannelGrant | None
     #: sim time after which a same-keyed request is treated as *new*.
     expires_at: int
+    #: (destination_mac, period, capacity, deadline) of the request that
+    #: produced this verdict. A node that reuses a connect-request ID
+    #: under churn produces the *same* cache key for a *different*
+    #: logical request; the fingerprint tells them apart so the stale
+    #: verdict is flushed instead of re-answered. ``None`` only for
+    #: verdicts imported from pre-fingerprint snapshots (treated as
+    #: matching, preserving the old behaviour for old data).
+    fingerprint: tuple[int, int, int, int] | None = None
 
 
 class SwitchChannelManager:
@@ -224,6 +232,9 @@ class SwitchChannelManager:
         self.stale_frames = 0
         self.lease_reclaims = 0
         self.duplicate_requests = 0
+        #: lease reclaims that found the capacity already released by a
+        #: racing teardown (counted, never raised; see reclaim_expired).
+        self.reclaim_races = 0
         # optional pre-bound registry counters (None = no telemetry)
         if metrics is not None:
             self._m_stale = metrics.counter(
@@ -303,8 +314,16 @@ class SwitchChannelManager:
                 self._m_duplicates.inc()
             return [SignalAction(target=destination.name, frame=offer.request)]
         # A retransmission of an already-decided request: re-answer from
-        # the cache (the first final response was evidently lost).
+        # the cache (the first final response was evidently lost). A
+        # cached verdict whose fingerprint does not match the incoming
+        # parameters is a *reused* request ID carrying a new logical
+        # request -- flush it and run fresh admission below.
         verdict = self._completed.get(key)
+        if verdict is not None and not self._fingerprint_matches(
+            verdict, request
+        ):
+            del self._completed[key]
+            verdict = None
         if verdict is not None:
             self.duplicate_requests += 1
             if self._m_duplicates is not None:
@@ -328,7 +347,14 @@ class SwitchChannelManager:
         decision = self._admission.request(source.name, destination.name, spec)
         self.decisions.append(decision)
         if not decision.accepted:
-            self._record_verdict(key, ok=False, channel_id=0, grant=None, now=now)
+            self._record_verdict(
+                key,
+                ok=False,
+                channel_id=0,
+                grant=None,
+                now=now,
+                fingerprint=self._fingerprint_of(request),
+            )
             reject = ResponseFrame(
                 connect_request_id=request.connect_request_id,
                 rt_channel_id=0,
@@ -381,7 +407,14 @@ class SwitchChannelManager:
         if not response.ok:
             self._admission.release(channel.channel_id)
             channel.state = ChannelState.REJECTED
-            self._record_verdict(key, ok=False, channel_id=0, grant=None, now=now)
+            self._record_verdict(
+                key,
+                ok=False,
+                channel_id=0,
+                grant=None,
+                now=now,
+                fingerprint=self._fingerprint_of(request),
+            )
             return [SignalAction(target=source.name, frame=forwarded)]
         channel.state = ChannelState.ACTIVE
         grant = ChannelGrant(
@@ -392,7 +425,12 @@ class SwitchChannelManager:
             uplink_deadline_slots=channel.uplink_deadline,
         )
         self._record_verdict(
-            key, ok=True, channel_id=channel.channel_id, grant=grant, now=now
+            key,
+            ok=True,
+            channel_id=channel.channel_id,
+            grant=grant,
+            now=now,
+            fingerprint=self._fingerprint_of(request),
         )
         return [SignalAction(target=source.name, frame=forwarded, grant=grant)]
 
@@ -407,7 +445,20 @@ class SwitchChannelManager:
         the paper defines no release handshake at all). Sources repeat
         TeardownFrames on lossy wires, so an unknown / already-released
         channel ID is absorbed and counted, never raised.
+
+        A teardown naming a channel that is still a *pending offer* is
+        also absorbed: a conforming source can only tear down a channel
+        it was granted, so such a frame is a stray duplicate whose ID
+        was reclaimed and reissued to a new offer. Releasing it here
+        would free capacity the offer still holds -- and a subsequent
+        :meth:`reclaim_expired` for the same offer would then release it
+        a second time (the double-release race this guard closes).
         """
+        if teardown.rt_channel_id in self._awaiting_destination:
+            self.stale_frames += 1
+            if self._m_stale is not None:
+                self._m_stale.inc()
+            return []
         try:
             self._admission.release(teardown.rt_channel_id)
         except UnknownChannelError:
@@ -440,7 +491,14 @@ class SwitchChannelManager:
             del self._offer_by_request[
                 (offer.request.source_mac, offer.request.connect_request_id)
             ]
-            self._admission.release(channel_id)
+            try:
+                self._admission.release(channel_id)
+            except UnknownChannelError:
+                # An in-flight teardown (or another release path) beat
+                # this reclaim to the capacity. Count the race; raising
+                # here would tear the whole service down over a frame
+                # ordering the protocol explicitly tolerates.
+                self.reclaim_races += 1
             offer.channel.state = ChannelState.REJECTED
             self.lease_reclaims += 1
             if self._m_reclaims is not None:
@@ -448,6 +506,24 @@ class SwitchChannelManager:
         return tuple(expired)
 
     # -- completed-verdict cache ---------------------------------------------
+
+    @staticmethod
+    def _fingerprint_of(request: RequestFrame) -> tuple[int, int, int, int]:
+        """The identity of a *logical* request behind a cache key."""
+        return (
+            request.destination_mac,
+            request.period,
+            request.capacity,
+            request.deadline,
+        )
+
+    @classmethod
+    def _fingerprint_matches(
+        cls, verdict: _CompletedVerdict, request: RequestFrame
+    ) -> bool:
+        if verdict.fingerprint is None:
+            return True  # pre-fingerprint snapshot entry
+        return verdict.fingerprint == cls._fingerprint_of(request)
 
     def _record_verdict(
         self,
@@ -457,6 +533,7 @@ class SwitchChannelManager:
         channel_id: int,
         grant: ChannelGrant | None,
         now: int,
+        fingerprint: tuple[int, int, int, int] | None = None,
     ) -> None:
         if self._response_cache_ns is None:
             return
@@ -466,6 +543,7 @@ class SwitchChannelManager:
             channel_id=channel_id,
             grant=grant,
             expires_at=now + self._response_cache_ns,
+            fingerprint=fingerprint,
         )
         while len(self._completed) > _RESPONSE_CACHE_MAX:
             self._completed.popitem(last=False)
@@ -535,6 +613,9 @@ class SwitchChannelManager:
                     "ok": verdict.ok,
                     "channel_id": verdict.channel_id,
                     "expires_at": verdict.expires_at,
+                    "fingerprint": None
+                    if verdict.fingerprint is None
+                    else list(verdict.fingerprint),
                     "grant": None
                     if grant is None
                     else {
@@ -558,6 +639,7 @@ class SwitchChannelManager:
                 "stale_frames": self.stale_frames,
                 "lease_reclaims": self.lease_reclaims,
                 "duplicate_requests": self.duplicate_requests,
+                "reclaim_races": self.reclaim_races,
             },
         }
 
@@ -620,6 +702,7 @@ class SwitchChannelManager:
                     ],
                 )
             )
+            fingerprint = record.get("fingerprint")
             self._completed[
                 (record["source_mac"], record["connect_request_id"])
             ] = _CompletedVerdict(
@@ -627,11 +710,13 @@ class SwitchChannelManager:
                 channel_id=record["channel_id"],
                 grant=grant,
                 expires_at=record["expires_at"],
+                fingerprint=None if fingerprint is None else tuple(fingerprint),
             )
         counters = data.get("counters", {})
         self.stale_frames = int(counters.get("stale_frames", 0))
         self.lease_reclaims = int(counters.get("lease_reclaims", 0))
         self.duplicate_requests = int(counters.get("duplicate_requests", 0))
+        self.reclaim_races = int(counters.get("reclaim_races", 0))
 
     # -- forwarding-plane lookups -----------------------------------------------
 

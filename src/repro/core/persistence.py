@@ -71,6 +71,18 @@ def snapshot(
     """
     state = controller.state
     channels = []
+    # ``seq`` records each channel's position in the *installation*
+    # order. The records themselves stay sorted by channel ID (stable
+    # diff-friendly layout), but restore must re-install in seq order:
+    # per-link schedules and the feasibility cache keep tasks in
+    # insertion order, and once the ID allocator wraps under churn,
+    # sorted-by-ID no longer equals installed-order -- restoring by ID
+    # would permute the per-link arrays and diverge (float fdensity
+    # folds, memo overlays) from the never-snapshotted run.
+    install_order = {
+        channel_id: seq
+        for seq, channel_id in enumerate(state.channels.keys())
+    }
     for channel in sorted(
         state.channels.values(), key=lambda c: c.channel_id
     ):
@@ -95,6 +107,7 @@ def snapshot(
                 "d_iu": channel.partition.uplink,
                 "d_id": channel.partition.downlink,
                 "state": channel.state.value,
+                "seq": install_order[channel.channel_id],
             }
         )
     return {
@@ -157,7 +170,12 @@ def restore(
         )
     state = SystemState(nodes=data["nodes"])
     controller = AdmissionController(state=state, dps=dps)
-    for record in data["channels"]:
+    records = data["channels"]
+    if all("seq" in record for record in records):
+        # Re-install in the original installation order so per-link
+        # task arrays come back byte-identical (see snapshot()).
+        records = sorted(records, key=lambda record: record["seq"])
+    for record in records:
         recorded_state = record["state"]
         if recorded_state not in _SNAPSHOT_STATES:
             raise ConfigurationError(

@@ -6,6 +6,7 @@ cleanly (EXP-R1/EXP-R2), never silently. See :mod:`repro.faults.plan`.
 """
 
 from .plan import (
+    COORDINATION_CLASSES,
     FRAME_CLASSES,
     SIGNALLING_CLASSES,
     FaultPlan,
@@ -13,6 +14,7 @@ from .plan import (
 )
 
 __all__ = [
+    "COORDINATION_CLASSES",
     "FRAME_CLASSES",
     "SIGNALLING_CLASSES",
     "FaultPlan",

@@ -31,12 +31,20 @@ from typing import Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..protocol.ethernet import EthernetFrame, FrameKind
-from ..protocol.frames import FrameType, RequestFrame, ResponseFrame, TeardownFrame
+from ..protocol.frames import (
+    FrameType,
+    GossipFrame,
+    IntentFrame,
+    RequestFrame,
+    ResponseFrame,
+    TeardownFrame,
+)
 from ..sim.rng import RngRegistry
 
 __all__ = [
     "FRAME_CLASSES",
     "SIGNALLING_CLASSES",
+    "COORDINATION_CLASSES",
     "FaultPlan",
     "LinkDownWindow",
 ]
@@ -55,23 +63,38 @@ _SWITCH_SOURCE = "switch"
 #: * ``dest-response``  -- destination -> switch ResponseFrame
 #: * ``final-response`` -- switch -> source ResponseFrame (verdict)
 #: * ``teardown``       -- source -> switch TeardownFrame
+#:
+#: The two coordination classes carry the multi-switch intent-lock and
+#: gossip extension frames (:class:`~repro.protocol.frames.IntentFrame`
+#: and :class:`~repro.protocol.frames.GossipFrame`).
 FRAME_CLASSES = (
     "request",
     "offer",
     "dest-response",
     "final-response",
     "teardown",
+    "intent",
+    "gossip",
     "rt-data",
     "best-effort",
 )
 
-#: The control-plane subset of :data:`FRAME_CLASSES`.
+#: The single-switch handshake subset of :data:`FRAME_CLASSES`. Kept to
+#: exactly the five Figure 18.3/18.4 steps (tests and the EXP-R2 matrix
+#: parametrize over it); the coordination classes live separately in
+#: :data:`COORDINATION_CLASSES`.
 SIGNALLING_CLASSES = (
     "request",
     "offer",
     "dest-response",
     "final-response",
     "teardown",
+)
+
+#: The multi-switch coordination subset of :data:`FRAME_CLASSES`.
+COORDINATION_CLASSES = (
+    "intent",
+    "gossip",
 )
 
 
@@ -171,6 +194,19 @@ class FaultPlan:
             bernoulli={name: rate for name in SIGNALLING_CLASSES},
         )
 
+    @classmethod
+    def control_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Uniform Bernoulli loss over signalling *and* coordination
+        classes -- the EXP-X4 regime where intent-lock legs are as lossy
+        as the handshake they protect."""
+        return cls(
+            seed=seed,
+            bernoulli={
+                name: rate
+                for name in SIGNALLING_CLASSES + COORDINATION_CLASSES
+            },
+        )
+
     @property
     def total_drops(self) -> int:
         return sum(self.drops_by_class.values())
@@ -206,6 +242,10 @@ class FaultPlan:
             tag = int(FrameType.RESPONSE)
         elif isinstance(payload, TeardownFrame):
             tag = int(FrameType.TEARDOWN)
+        elif isinstance(payload, IntentFrame):
+            tag = int(FrameType.INTENT)
+        elif isinstance(payload, GossipFrame):
+            tag = int(FrameType.GOSSIP)
         else:
             raise ConfigurationError(
                 f"cannot classify signalling payload "
@@ -217,9 +257,57 @@ class FaultPlan:
             return "final-response" if from_switch else "dest-response"
         if tag == FrameType.TEARDOWN:
             return "teardown"
+        if tag == FrameType.INTENT:
+            return "intent"
+        if tag == FrameType.GOSSIP:
+            return "gossip"
         raise ConfigurationError(
             f"unknown signalling type tag {tag}"
         )
+
+    def export_state(self) -> dict:
+        """Serialize the plan's mutable state for a service checkpoint.
+
+        The configuration (rates, occurrence schedules, windows, seed)
+        is code-supplied and NOT exported; only the arrival counters and
+        the per-class RNG positions travel, so a plan rebuilt with the
+        same configuration and fed :meth:`import_state` produces drop
+        draws byte-identical to the never-checkpointed plan.
+        """
+        return {
+            "seen": dict(self.seen),
+            "drops_by_class": dict(self.drops_by_class),
+            "window_drops": self.window_drops,
+            "rng_states": {
+                cls: rng.bit_generator.state
+                for cls, rng in sorted(self._rngs.items())
+            },
+        }
+
+    def import_state(self, data: dict) -> None:
+        """Adopt counters and RNG positions from :meth:`export_state`."""
+        for cls, count in data.get("seen", {}).items():
+            if cls not in self.seen:
+                raise ConfigurationError(
+                    f"snapshot names unknown frame class {cls!r}"
+                )
+            self.seen[cls] = int(count)
+        for cls, count in data.get("drops_by_class", {}).items():
+            if cls not in self.drops_by_class:
+                raise ConfigurationError(
+                    f"snapshot names unknown frame class {cls!r}"
+                )
+            self.drops_by_class[cls] = int(count)
+        self.window_drops = int(data.get("window_drops", 0))
+        for cls, state in data.get("rng_states", {}).items():
+            rng = self._rngs.get(cls)
+            if rng is None:
+                raise ConfigurationError(
+                    f"snapshot carries an RNG stream for {cls!r} but this "
+                    f"plan draws no Bernoulli losses for that class; "
+                    f"rebuild the plan with the snapshot's configuration"
+                )
+            rng.bit_generator.state = state
 
     def should_drop(self, link_name: str, frame: EthernetFrame, now: int) -> bool:
         """Decide the fate of one arrival (called by the link)."""

@@ -379,6 +379,7 @@ class EndNode:
             )
         self.rt_layer.remove_grant(channel_id)
         self._active_sources.discard(channel_id)
+        self.signaling.channel_torn_down(channel_id)
         frame = TeardownFrame(
             connect_request_id=EXPLICIT_TEARDOWN_ID, rt_channel_id=channel_id
         )

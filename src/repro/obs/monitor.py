@@ -10,12 +10,16 @@ online: every delivered RT frame is compared, at delivery time, against
   a measured delay above it is a bug in either the scheduler or the
   curve algebra),
 
-plus two structural invariants checked on demand:
+plus structural invariants checked on demand:
 
 * **link overbooking** -- no occupied link's reserved utilization may
   exceed 1 (admission must never accept past capacity);
 * **lease leaks** -- no switch-side pending offer may outlive its
-  lease (the reclaim timer must have fired).
+  lease (the reclaim timer must have fired);
+* **shared-link double booking** -- in a multi-switch fabric, the
+  union of every switch's committed trunk view must stay EDF-feasible
+  and no two switches may hold conflicting records for one channel
+  (the intent lock's core guarantee).
 
 Each violation becomes a structured anomaly record, validated against
 :data:`~repro.obs.schema.ANOMALY_SCHEMA` at emission. In fail-fast
@@ -38,6 +42,7 @@ from .schema import ANOMALY_SCHEMA, validate
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..core.admission import SystemState
     from ..core.channel_manager import SwitchChannelManager
+    from ..service.intent import SharedLinkFabric
     from .flight import FlightRecorder
 
 __all__ = ["InvariantMonitor"]
@@ -207,6 +212,84 @@ class InvariantMonitor:
                     f"pending offer lease expired at {expires_at} ns but "
                     f"was never reclaimed",
                     {"channel": channel_id, "expires_ns": expires_at},
+                )
+        return emitted
+
+    def check_shared_links(
+        self,
+        fabric: "SharedLinkFabric",
+        now_ns: int,
+        *,
+        require_converged: bool = False,
+    ) -> int:
+        """Assert the intent lock's guarantee on every shared trunk.
+
+        Critical anomalies: two switches holding *conflicting* records
+        for one channel, or the union of committed views being EDF-
+        infeasible -- either means a double booking slipped past the
+        announce/hold/commit protocol. With ``require_converged`` (end
+        of a soak, after the control plane has drained) any view
+        difference at all is reported as a warning: commits still in
+        flight are expected mid-run, never at quiescence.
+
+        Returns the number of anomalies emitted.
+        """
+        from ..core.feasibility import is_feasible
+        from ..core.task import LinkTask
+        from ..service.intent import _trunk_ref
+
+        emitted = 0
+        for link_id in range(fabric.n_switches - 1):
+            views = fabric.trunk_views(link_id)
+            union: dict[int, list[int]] = {}
+            for view in views:
+                for channel_id, entry in view.items():
+                    known = union.get(channel_id)
+                    if known is not None and known != entry:
+                        emitted += 1
+                        self._emit(
+                            max(now_ns, 0),
+                            "shared-link-double-book",
+                            f"trunk{link_id}",
+                            "critical",
+                            f"switches hold conflicting records for "
+                            f"channel {channel_id} on trunk {link_id}",
+                            {"channel": channel_id,
+                             "records": [known, entry]},
+                        )
+                    union[channel_id] = entry
+            ref = _trunk_ref(link_id)
+            tasks = [
+                LinkTask(
+                    link=ref,
+                    period=entry[1],
+                    capacity=entry[2],
+                    deadline=entry[3],
+                    channel_id=channel_id,
+                )
+                for channel_id, entry in sorted(union.items())
+            ]
+            if tasks and not is_feasible(tasks).feasible:
+                emitted += 1
+                self._emit(
+                    max(now_ns, 0),
+                    "shared-link-double-book",
+                    f"trunk{link_id}",
+                    "critical",
+                    f"union of committed views on trunk {link_id} is "
+                    f"EDF-infeasible ({len(tasks)} channels)",
+                    {"channels": sorted(union)},
+                )
+            if require_converged and any(v != views[0] for v in views[1:]):
+                emitted += 1
+                self._emit(
+                    max(now_ns, 0),
+                    "shared-link-divergence",
+                    f"trunk{link_id}",
+                    "warning",
+                    f"committed views of trunk {link_id} differ at "
+                    f"quiescence",
+                    {"loads": [len(v) for v in views]},
                 )
         return emitted
 

@@ -229,6 +229,8 @@ ANOMALY_SCHEMA = {
                 "netcalc-bound",
                 "link-overbooking",
                 "lease-leak",
+                "shared-link-double-book",
+                "shared-link-divergence",
             ]
         },
         "subject": {"type": "string"},

@@ -28,6 +28,16 @@ cache can rot (stale busy periods, un-evicted memo entries).
 Everything is a pure function of ``(seed, trial)`` via
 :class:`~repro.sim.rng.RngRegistry`, so any reported disagreement can be
 replayed in isolation with :func:`run_trial`.
+
+The ``churn`` mode (``repro admission-diff --churn``) extends the op
+alphabet with **snapshot/resume**: at random points mid-trial the cached
+controller is serialized through :mod:`repro.core.persistence`, the
+round-trip is byte-compared (``dumps(original) == dumps(restored)``),
+and the *restored* controller replaces the original for the rest of the
+trial -- so every later decision also proves the restored
+:class:`FeasibilityCache` behaves identically to one that never crossed
+a snapshot. This is the campaign shape that originally exposed the
+cache's insertion-order drift after restore.
 """
 
 from __future__ import annotations
@@ -52,6 +62,7 @@ __all__ = [
     "AdmissionDisagreement",
     "AdmissionDiffReport",
     "run_trial",
+    "run_churn_trial",
     "run_admission_campaign",
 ]
 
@@ -123,6 +134,10 @@ class AdmissionDiffReport:
     #: True when the trials additionally replayed every burst through
     #: admit_many() on a third controller (three-way mode).
     batch: bool = False
+    #: True when the trials interleaved snapshot/resume ops (churn mode);
+    #: ``snapshots`` counts the round-trips byte-compared.
+    churn: bool = False
+    snapshots: int = 0
 
     @property
     def ok(self) -> bool:
@@ -132,6 +147,10 @@ class AdmissionDiffReport:
     def summary(self) -> str:
         status = "OK" if self.ok else "DISAGREEMENTS FOUND"
         mode = " [three-way: cached vs naive vs batched]" if self.batch else ""
+        if self.churn:
+            mode += (
+                f" [churn: {self.snapshots} snapshot/resume round-trips]"
+            )
         lines = [
             f"admission diff campaign {status}: {self.trials} trials, "
             f"seed {self.seed}, {self.ops_per_trial} ops/trial{mode}",
@@ -156,6 +175,8 @@ class AdmissionDiffReport:
             "seed": self.seed,
             "ops_per_trial": self.ops_per_trial,
             "batch": self.batch,
+            "churn": self.churn,
+            "snapshots": self.snapshots,
             "decisions": self.decisions,
             "accepts": self.accepts,
             "rejects": self.rejects,
@@ -445,6 +466,145 @@ def run_trial(
     return None, counts
 
 
+def run_churn_trial(
+    seed: int, trial: int, ops: int = 60
+) -> tuple[AdmissionDisagreement | None, dict[str, int]]:
+    """One churn trial: requests, releases *and* snapshot/resume ops.
+
+    Like :func:`run_trial`, but roughly one op in twelve serializes the
+    cached controller through :mod:`repro.core.persistence`, asserts the
+    round-trip is byte-identical (``dumps`` before == after), and swaps
+    the restored controller in for the rest of the trial. Every
+    subsequent decision therefore also diffs a *restored*
+    :class:`FeasibilityCache` against the never-snapshotted naive
+    controller -- the interleaving that exposed the cache's
+    insertion-order drift across restore.
+    """
+    from ..core import persistence
+
+    rng = RngRegistry(seed).fork(trial).stream("admission-churn")
+    dps = _schemes()[trial % len(_schemes())]
+    cached = AdmissionController(
+        SystemState(nodes=_NODES), dps, use_cache=True
+    )
+    naive = AdmissionController(
+        SystemState(nodes=_NODES), dps, use_cache=False
+    )
+    counts = {
+        "decisions": 0,
+        "accepts": 0,
+        "rejects": 0,
+        "releases": 0,
+        "snapshots": 0,
+    }
+    touched: set[LinkRef] = set()
+    for op_index in range(ops):
+        roll = int(rng.integers(0, 12))
+        active = sorted(cached.state.channels)
+        if roll == 11:
+            before = persistence.dumps(cached, indent=None)
+            restored = persistence.restore(
+                persistence.snapshot(cached), dps
+            )
+            after = persistence.dumps(restored, indent=None)
+            counts["snapshots"] += 1
+            if before != after:
+                return (
+                    AdmissionDisagreement(
+                        trial=trial,
+                        op_index=op_index,
+                        dps=dps.name,
+                        detail=(
+                            "snapshot round-trip not byte-identical "
+                            f"({len(before)} vs {len(after)} bytes)"
+                        ),
+                    ),
+                    counts,
+                )
+            cached = restored
+        elif roll < 3 and active:
+            victim = int(active[int(rng.integers(0, len(active)))])
+            cached.release(victim)
+            naive.release(victim)
+            counts["releases"] += 1
+        else:
+            source = str(rng.choice(_NODES))
+            if roll == 10:
+                destination = _GHOST_NODE
+            else:
+                others = [n for n in _NODES if n != source]
+                destination = str(rng.choice(others))
+            spec = _draw_spec(rng)
+            decision_c = cached.request(source, destination, spec)
+            decision_n = naive.request(source, destination, spec)
+            counts["decisions"] += 1
+            if (
+                decision_c.accepted != decision_n.accepted
+                or decision_c.reason != decision_n.reason
+                or (
+                    decision_c.accepted
+                    and decision_c.channel.channel_id
+                    != decision_n.channel.channel_id
+                )
+            ):
+                return (
+                    AdmissionDisagreement(
+                        trial=trial,
+                        op_index=op_index,
+                        dps=dps.name,
+                        detail=(
+                            f"{source}->{destination} {spec} after "
+                            f"{counts['snapshots']} resumes: cached "
+                            f"(accepted={decision_c.accepted}, "
+                            f"reason={decision_c.reason}) naive "
+                            f"(accepted={decision_n.accepted}, "
+                            f"reason={decision_n.reason})"
+                        ),
+                    ),
+                    counts,
+                )
+            if decision_c.accepted:
+                counts["accepts"] += 1
+                touched.update(_links_of(source, destination))
+            else:
+                counts["rejects"] += 1
+        mismatch = _compare_links(cached, naive, tuple(sorted(touched)))
+        if mismatch is not None:
+            return (
+                AdmissionDisagreement(
+                    trial=trial,
+                    op_index=op_index,
+                    dps=dps.name,
+                    detail=(
+                        f"after {counts['snapshots']} resumes: {mismatch}"
+                    ),
+                ),
+                counts,
+            )
+    if (
+        cached.accept_count != naive.accept_count
+        or cached.reject_count != naive.reject_count
+        or cached.rejections_by_reason != naive.rejections_by_reason
+    ):
+        return (
+            AdmissionDisagreement(
+                trial=trial,
+                op_index=ops,
+                dps=dps.name,
+                detail=(
+                    f"counters diverged after {counts['snapshots']} "
+                    f"resumes: cached ({cached.accept_count}, "
+                    f"{cached.reject_count}, "
+                    f"{cached.rejections_by_reason}) naive "
+                    f"({naive.accept_count}, {naive.reject_count}, "
+                    f"{naive.rejections_by_reason})"
+                ),
+            ),
+            counts,
+        )
+    return None, counts
+
+
 def run_admission_campaign(
     trials: int,
     seed: int,
@@ -452,12 +612,15 @@ def run_admission_campaign(
     ops_per_trial: int = 40,
     disagreement_limit: int = 20,
     batch: bool = False,
+    churn: bool = False,
 ) -> AdmissionDiffReport:
     """Run an N-trial cached-vs-from-scratch admission campaign.
 
     ``batch=True`` turns every trial into a three-way diff: cached,
     from-scratch, and a third controller replaying the request bursts
     through :meth:`~repro.core.admission.AdmissionController.admit_many`.
+    ``churn=True`` runs :func:`run_churn_trial` instead, interleaving
+    snapshot/resume ops into every trial (exclusive with ``batch``).
     """
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
@@ -465,15 +628,30 @@ def run_admission_campaign(
         raise ConfigurationError(
             f"ops_per_trial must be positive, got {ops_per_trial}"
         )
+    if batch and churn:
+        raise ConfigurationError(
+            "batch and churn modes are mutually exclusive"
+        )
     disagreements: list[AdmissionDisagreement] = []
     disagreement_count = 0
-    totals = {"decisions": 0, "accepts": 0, "rejects": 0, "releases": 0}
+    totals = {
+        "decisions": 0,
+        "accepts": 0,
+        "rejects": 0,
+        "releases": 0,
+        "snapshots": 0,
+    }
     for trial in range(trials):
-        disagreement, counts = run_trial(
-            seed, trial, ops=ops_per_trial, batch=batch
-        )
-        for key in totals:
-            totals[key] += counts[key]
+        if churn:
+            disagreement, counts = run_churn_trial(
+                seed, trial, ops=ops_per_trial
+            )
+        else:
+            disagreement, counts = run_trial(
+                seed, trial, ops=ops_per_trial, batch=batch
+            )
+        for key, value in counts.items():
+            totals[key] += value
         if disagreement is not None:
             disagreement_count += 1
             if len(disagreements) < disagreement_limit:
@@ -489,4 +667,6 @@ def run_admission_campaign(
         disagreements=tuple(disagreements),
         disagreement_count=disagreement_count,
         batch=batch,
+        churn=churn,
+        snapshots=totals["snapshots"],
     )

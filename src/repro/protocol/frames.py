@@ -48,6 +48,20 @@ A :class:`TeardownFrame` (type 3) is added as a natural extension -- the
 paper establishes channels dynamically but does not give a release
 frame; a real deployment needs one, and the admission controller
 supports release.
+
+Two further extension frames support multi-switch coordination on
+shared links (the paper's switch is alone; a fabric is not):
+
+* :class:`IntentFrame` (type 4) implements the announce-wait-commit
+  intent lock: a switch announces its intention to reserve capacity on
+  a link it does not own, waits a hold period listening for conflicting
+  announcements, and commits (or aborts) -- ``kind`` carries the
+  :class:`IntentKind` leg, and conflicts are broken by the
+  deterministic ``(priority, switch_mac, intent_seq)`` order carried in
+  the frame.
+* :class:`GossipFrame` (type 5) carries a per-link occupancy digest
+  (load, reserved utilization as an exact fraction, view version) for
+  threshold-triggered anti-entropy between the switches' views.
 """
 
 from __future__ import annotations
@@ -60,13 +74,18 @@ from .bitfields import BitPacker, BitUnpacker
 
 __all__ = [
     "FrameType",
+    "IntentKind",
     "RequestFrame",
     "ResponseFrame",
     "TeardownFrame",
+    "IntentFrame",
+    "GossipFrame",
     "decode_signaling",
     "REQUEST_FRAME_BYTES",
     "RESPONSE_FRAME_BYTES",
     "TEARDOWN_FRAME_BYTES",
+    "INTENT_FRAME_BYTES",
+    "GOSSIP_FRAME_BYTES",
 ]
 
 #: Encoded size of a RequestFrame data field (288 bits).
@@ -75,6 +94,10 @@ REQUEST_FRAME_BYTES = 36
 RESPONSE_FRAME_BYTES = 11
 #: Encoded size of a TeardownFrame data field (32 bits).
 TEARDOWN_FRAME_BYTES = 4
+#: Encoded size of an IntentFrame data field (280 bits).
+INTENT_FRAME_BYTES = 35
+#: Encoded size of a GossipFrame data field (184 bits).
+GOSSIP_FRAME_BYTES = 23
 
 _MAC_BITS = 48
 _IP_BITS = 32
@@ -90,6 +113,18 @@ class FrameType(enum.IntEnum):
     CONNECT = 1
     RESPONSE = 2
     TEARDOWN = 3  # extension, see module docstring
+    INTENT = 4  # extension: multi-switch intent lock
+    GOSSIP = 5  # extension: multi-switch occupancy anti-entropy
+
+
+class IntentKind(enum.IntEnum):
+    """The 8-bit sub-kind field of an :class:`IntentFrame`."""
+
+    ANNOUNCE = 0
+    ACK = 1
+    COMMIT = 2
+    ABORT = 3
+    RELEASE = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -247,9 +282,153 @@ class TeardownFrame:
         return frame
 
 
+@dataclass(frozen=True, slots=True)
+class IntentFrame:
+    """One leg of the announce-wait-commit intent lock (type 4).
+
+    ``intent_seq`` is the announcing switch's per-switch monotone
+    sequence number; together with ``switch_mac`` it names the intent
+    network-uniquely. ``priority`` and the ``(priority, switch_mac,
+    intent_seq)`` triple give the deterministic conflict order (lower
+    wins). ``ack_mac`` is the acknowledging switch on ACK legs (0
+    otherwise). ``channel_id`` is the channel the intent is for -- the
+    announcing switch pre-allocates it from its stride-partitioned ID
+    space, so ANNOUNCE/COMMIT/ABORT legs of one intent all name the
+    same channel and RELEASE needs no extra lookup.
+    """
+
+    kind: IntentKind
+    intent_seq: int
+    switch_mac: int
+    ack_mac: int
+    link_id: int
+    channel_id: int
+    priority: int
+    period: int
+    capacity: int
+    deadline: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, IntentKind):
+            raise FieldRangeError(
+                f"kind must be an IntentKind, got {self.kind!r}"
+            )
+        _check_width("intent_seq", self.intent_seq, _PARAM_BITS)
+        _check_width("switch_mac", self.switch_mac, _MAC_BITS)
+        _check_width("ack_mac", self.ack_mac, _MAC_BITS)
+        _check_width("link_id", self.link_id, _CHANNEL_ID_BITS)
+        _check_width("channel_id", self.channel_id, _CHANNEL_ID_BITS)
+        _check_width("priority", self.priority, _TYPE_BITS)
+        _check_width("period", self.period, _PARAM_BITS)
+        _check_width("capacity", self.capacity, _PARAM_BITS)
+        _check_width("deadline", self.deadline, _PARAM_BITS)
+
+    @property
+    def precedence(self) -> tuple[int, int, int]:
+        """Deterministic conflict order: lowest triple wins the link."""
+        return (self.priority, self.switch_mac, self.intent_seq)
+
+    def encode(self) -> bytes:
+        packer = (
+            BitPacker()
+            .put(FrameType.INTENT, _TYPE_BITS)
+            .put(self.kind, _TYPE_BITS)
+            .put(self.intent_seq, _PARAM_BITS)
+            .put(self.switch_mac, _MAC_BITS)
+            .put(self.ack_mac, _MAC_BITS)
+            .put(self.link_id, _CHANNEL_ID_BITS)
+            .put(self.channel_id, _CHANNEL_ID_BITS)
+            .put(self.priority, _TYPE_BITS)
+            .put(self.period, _PARAM_BITS)
+            .put(self.capacity, _PARAM_BITS)
+            .put(self.deadline, _PARAM_BITS)
+        )
+        return packer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, unpacker: BitUnpacker) -> "IntentFrame":
+        kind_tag = unpacker.take(_TYPE_BITS)
+        try:
+            kind = IntentKind(kind_tag)
+        except ValueError:
+            raise CodecError(
+                f"unknown intent kind {kind_tag:#04x}"
+            ) from None
+        frame = cls(
+            kind=kind,
+            intent_seq=unpacker.take(_PARAM_BITS),
+            switch_mac=unpacker.take(_MAC_BITS),
+            ack_mac=unpacker.take(_MAC_BITS),
+            link_id=unpacker.take(_CHANNEL_ID_BITS),
+            channel_id=unpacker.take(_CHANNEL_ID_BITS),
+            priority=unpacker.take(_TYPE_BITS),
+            period=unpacker.take(_PARAM_BITS),
+            capacity=unpacker.take(_PARAM_BITS),
+            deadline=unpacker.take(_PARAM_BITS),
+        )
+        unpacker.expect_zero_padding()
+        return frame
+
+
+@dataclass(frozen=True, slots=True)
+class GossipFrame:
+    """Per-link occupancy digest for view anti-entropy (type 5).
+
+    ``version`` is the sending switch's per-link view version (bumped
+    on every local commit/release affecting the link); a receiver whose
+    recorded version for ``(switch_mac, link_id)`` is older adopts the
+    digest and, on mismatch with its own bookkeeping, triggers a
+    re-broadcast of its committed intents for the link. The reserved
+    utilization travels as an exact fraction (numerator/denominator).
+    """
+
+    switch_mac: int
+    link_id: int
+    version: int
+    load: int
+    util_num: int
+    util_den: int
+
+    def __post_init__(self) -> None:
+        _check_width("switch_mac", self.switch_mac, _MAC_BITS)
+        _check_width("link_id", self.link_id, _CHANNEL_ID_BITS)
+        _check_width("version", self.version, _PARAM_BITS)
+        _check_width("load", self.load, _CHANNEL_ID_BITS)
+        _check_width("util_num", self.util_num, _PARAM_BITS)
+        _check_width("util_den", self.util_den, _PARAM_BITS)
+        if self.util_den == 0:
+            raise FieldRangeError("util_den must be non-zero")
+
+    def encode(self) -> bytes:
+        packer = (
+            BitPacker()
+            .put(FrameType.GOSSIP, _TYPE_BITS)
+            .put(self.switch_mac, _MAC_BITS)
+            .put(self.link_id, _CHANNEL_ID_BITS)
+            .put(self.version, _PARAM_BITS)
+            .put(self.load, _CHANNEL_ID_BITS)
+            .put(self.util_num, _PARAM_BITS)
+            .put(self.util_den, _PARAM_BITS)
+        )
+        return packer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, unpacker: BitUnpacker) -> "GossipFrame":
+        frame = cls(
+            switch_mac=unpacker.take(_MAC_BITS),
+            link_id=unpacker.take(_CHANNEL_ID_BITS),
+            version=unpacker.take(_PARAM_BITS),
+            load=unpacker.take(_CHANNEL_ID_BITS),
+            util_num=unpacker.take(_PARAM_BITS),
+            util_den=unpacker.take(_PARAM_BITS),
+        )
+        unpacker.expect_zero_padding()
+        return frame
+
+
 def decode_signaling(
     data: bytes,
-) -> RequestFrame | ResponseFrame | TeardownFrame:
+) -> RequestFrame | ResponseFrame | TeardownFrame | IntentFrame | GossipFrame:
     """Decode any signalling frame, dispatching on the 8-bit type tag."""
     unpacker = BitUnpacker(data)
     tag = unpacker.take(_TYPE_BITS)
@@ -261,6 +440,10 @@ def decode_signaling(
         return RequestFrame.decode_body(unpacker)
     if frame_type is FrameType.RESPONSE:
         return ResponseFrame.decode_body(unpacker)
+    if frame_type is FrameType.INTENT:
+        return IntentFrame.decode_body(unpacker)
+    if frame_type is FrameType.GOSSIP:
+        return GossipFrame.decode_body(unpacker)
     return TeardownFrame.decode_body(unpacker)
 
 

@@ -211,6 +211,13 @@ class SourceSignaling:
         #: instead of treated as a protocol violation. Entries are
         #: dropped when their ID is reallocated to a fresh request.
         self._completed_recent: dict[int, PendingRequest] = {}
+        #: request IDs whose channel is still *established* (rid -> RT
+        #: channel ID). The switch's verdict dedup cache is keyed on
+        #: (source MAC, request ID); reusing the ID of a live channel
+        #: would let that cache re-answer the new request with the old
+        #: channel's verdict, so live IDs stay reserved until their
+        #: channel is torn down (:meth:`channel_torn_down`).
+        self._live: dict[int, int] = {}
         self._next_hint = 1
         self.completed: list[PendingRequest] = []
 
@@ -235,17 +242,25 @@ class SourceSignaling:
     def _allocate_request_id(self) -> int:
         # Timed-out IDs stay reserved until their late response arrives
         # (or forever, if it was truly lost) -- reusing one would pair a
-        # new request with a stale response. ID 0 is never allocated
-        # (EXPLICIT_TEARDOWN_ID).
-        in_use = len(self._pending) + len(self._timed_out)
+        # new request with a stale response. IDs of still-established
+        # channels stay reserved too: the switch's verdict cache keyed
+        # (source MAC, request ID) could otherwise re-answer a new
+        # request with the live channel's old verdict. ID 0 is never
+        # allocated (EXPLICIT_TEARDOWN_ID).
+        in_use = len(self._pending) + len(self._timed_out) + len(self._live)
         if in_use >= self.MAX_OUTSTANDING:
             raise ProtocolError(
-                "all 255 connection-request IDs are outstanding; wait for "
-                "responses before issuing more requests"
+                "all 255 connection-request IDs are outstanding or bound "
+                "to established channels; wait for responses or tear down "
+                "channels before issuing more requests"
             )
         for offset in range(self.MAX_OUTSTANDING):
             candidate = 1 + (self._next_hint - 1 + offset) % self.MAX_OUTSTANDING
-            if candidate not in self._pending and candidate not in self._timed_out:
+            if (
+                candidate not in self._pending
+                and candidate not in self._timed_out
+                and candidate not in self._live
+            ):
                 self._next_hint = 1 + candidate % self.MAX_OUTSTANDING
                 # the ID is being reused for a new logical request: a
                 # duplicate of the *old* verdict must no longer match.
@@ -315,6 +330,7 @@ class SourceSignaling:
         if response.ok:
             request.state = ConnectionRequestState.ACCEPTED
             request.rt_channel_id = response.rt_channel_id
+            self._live[rid] = response.rt_channel_id
         else:
             request.state = ConnectionRequestState.REJECTED
         self.completed.append(request)
@@ -330,6 +346,19 @@ class SourceSignaling:
             ConnectionRequestState.REJECTED,
             ConnectionRequestState.TIMED_OUT,
         )
+
+    def channel_torn_down(self, rt_channel_id: int) -> None:
+        """Release the request ID bound to a now-torn-down channel.
+
+        Called by the network layer when this node explicitly tears a
+        channel down (or learns it is gone). The ID becomes eligible
+        for reallocation; its cached verdict is dropped at reallocation
+        time so a straggling duplicate of the old response cannot be
+        paired with a future request.
+        """
+        for rid, channel_id in list(self._live.items()):
+            if channel_id == rt_channel_id:
+                del self._live[rid]
 
     def timeout_request(self, connect_request_id: int) -> PendingRequest:
         """Abandon a pending request that received no response in time.

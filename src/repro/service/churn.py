@@ -1,0 +1,182 @@
+"""Seeded churn: continuous arrival/departure request streams.
+
+A :class:`ChurnProcess` turns an :class:`~repro.sim.rng.RngRegistry`
+into three named streams -- arrivals, holding times, and channel specs
+-- so a long-lived service sees a Poisson-like request process whose
+every draw is a pure function of the registry seed. The streams are
+*named* (not positional) for the same reason the sweep runner's are:
+interleaving other consumers of the registry, or splitting the run
+across workers, must not reshuffle the churn.
+
+Checkpoint/resume support is first-class: :meth:`ChurnProcess.export_state`
+captures the three generators' bit positions (plain JSON-compatible
+dicts from numpy's ``bit_generator.state``), and a process rebuilt with
+the same configuration plus :meth:`ChurnProcess.import_state` continues
+the draw sequence exactly where the original left off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.channel import ChannelSpec
+from ..errors import ConfigurationError
+from ..sim.rng import RngRegistry
+
+__all__ = ["ChurnConfig", "ChurnProcess"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Shape of the churn: rates, holding bounds, and the spec menu.
+
+    ``nodes`` is the population requests are drawn over (source and
+    destination always distinct). Interarrival and holding times are
+    exponential with the given means, holding clamped to
+    ``[min_holding_ns, max_holding_ns]`` -- the paper's channels are
+    long-lived but *bounded* (an unbounded tail would let a finite soak
+    accumulate unbounded state).
+    """
+
+    nodes: tuple[str, ...]
+    mean_interarrival_ns: int = 1_000_000
+    mean_holding_ns: int = 20_000_000
+    min_holding_ns: int = 1_000_000
+    max_holding_ns: int = 200_000_000
+    #: Period menu for drawn specs (paper workload periods by default).
+    periods: tuple[int, ...] = (100, 80, 60, 40)
+    max_capacity: int = 6
+    #: Deadline range as fractions of the period.
+    deadline_lo: float = 0.2
+    deadline_hi: float = 1.5
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ConfigurationError(
+                f"churn needs at least 2 nodes, got {len(self.nodes)}"
+            )
+        if self.mean_interarrival_ns <= 0 or self.mean_holding_ns <= 0:
+            raise ConfigurationError(
+                "interarrival and holding means must be positive"
+            )
+        if not (0 < self.min_holding_ns <= self.max_holding_ns):
+            raise ConfigurationError(
+                f"need 0 < min_holding <= max_holding, got "
+                f"[{self.min_holding_ns}, {self.max_holding_ns}]"
+            )
+        if not self.periods or any(p <= 0 for p in self.periods):
+            raise ConfigurationError("periods must be positive")
+        if self.max_capacity < 1:
+            raise ConfigurationError("max_capacity must be >= 1")
+        if not (0.0 < self.deadline_lo <= self.deadline_hi):
+            raise ConfigurationError(
+                "need 0 < deadline_lo <= deadline_hi"
+            )
+
+
+@dataclass(slots=True)
+class ChurnRequest:
+    """One drawn arrival: who wants what."""
+
+    source: str
+    destination: str
+    spec: ChannelSpec
+
+
+class ChurnProcess:
+    """The three seeded draw streams behind a churn workload.
+
+    Parameters
+    ----------
+    registry:
+        Seed source; the process claims the ``churn-arrival``,
+        ``churn-holding`` and ``churn-spec`` named streams.
+    config:
+        The workload shape.
+    """
+
+    STREAMS = ("churn-arrival", "churn-holding", "churn-spec")
+
+    def __init__(self, registry: RngRegistry, config: ChurnConfig) -> None:
+        self.config = config
+        self._arrival = registry.stream("churn-arrival")
+        self._holding = registry.stream("churn-holding")
+        self._spec = registry.stream("churn-spec")
+        #: draws performed per stream (diagnostics; checkpointed).
+        self.draws = {"arrival": 0, "holding": 0, "spec": 0}
+
+    # -- draws -------------------------------------------------------------
+
+    def next_interarrival_ns(self) -> int:
+        """Exponential interarrival gap, at least 1 ns."""
+        u = float(self._arrival.random())
+        self.draws["arrival"] += 1
+        gap = -self.config.mean_interarrival_ns * math.log(1.0 - u)
+        return max(1, int(gap))
+
+    def holding_ns(self) -> int:
+        """Bounded exponential holding time for one admitted channel."""
+        u = float(self._holding.random())
+        self.draws["holding"] += 1
+        hold = -self.config.mean_holding_ns * math.log(1.0 - u)
+        return max(
+            self.config.min_holding_ns,
+            min(self.config.max_holding_ns, int(hold)),
+        )
+
+    def draw_request(self) -> ChurnRequest:
+        """One arrival: distinct source/destination plus a spec."""
+        cfg = self.config
+        rng = self._spec
+        self.draws["spec"] += 1
+        n = len(cfg.nodes)
+        src_idx = int(rng.integers(0, n))
+        dst_idx = int(rng.integers(0, n - 1))
+        if dst_idx >= src_idx:
+            dst_idx += 1
+        period = int(cfg.periods[int(rng.integers(0, len(cfg.periods)))])
+        capacity = int(rng.integers(1, cfg.max_capacity + 1))
+        lo = max(capacity, int(cfg.deadline_lo * period))
+        hi = max(lo + 1, int(cfg.deadline_hi * period))
+        deadline = int(rng.integers(lo, hi + 1))
+        return ChurnRequest(
+            source=cfg.nodes[src_idx],
+            destination=cfg.nodes[dst_idx],
+            spec=ChannelSpec(
+                period=period, capacity=capacity, deadline=deadline
+            ),
+        )
+
+    # -- checkpoint/resume -------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-compatible generator positions + draw counters."""
+        return {
+            "draws": dict(self.draws),
+            "streams": {
+                "churn-arrival": self._arrival.bit_generator.state,
+                "churn-holding": self._holding.bit_generator.state,
+                "churn-spec": self._spec.bit_generator.state,
+            },
+        }
+
+    def import_state(self, data: dict) -> None:
+        """Adopt positions exported by :meth:`export_state`.
+
+        The process must have been built from the same registry seed and
+        configuration; the state dicts carry the generator name, so a
+        mismatched bit generator is rejected by numpy itself.
+        """
+        streams = data.get("streams", {})
+        for name in self.STREAMS:
+            if name not in streams:
+                raise ConfigurationError(
+                    f"churn snapshot is missing stream {name!r}"
+                )
+        self._arrival.bit_generator.state = streams["churn-arrival"]
+        self._holding.bit_generator.state = streams["churn-holding"]
+        self._spec.bit_generator.state = streams["churn-spec"]
+        for key, count in data.get("draws", {}).items():
+            if key in self.draws:
+                self.draws[key] = int(count)

@@ -1,0 +1,1203 @@
+"""Intent-lock coordination for shared links in a multi-switch fabric.
+
+A single switch owns every link of its star, so admission is a local
+decision. The moment two switches share a trunk, each holds only a
+*view* of the trunk's reservation state, and naive concurrent admission
+can double-book it. This module adds the coordination layer:
+
+**Intent lock (announce -> hold -> commit).** A switch wanting trunk
+capacity broadcasts an :class:`~repro.protocol.frames.IntentFrame`
+``ANNOUNCE`` to every peer sharing the link and retransmits it (the
+PR 4 retry machinery) until every peer has ``ACK``-ed. Only then does a
+*hold window* open; at its expiry the switch decides:
+
+* if any other active intent on the link -- its own or a peer's --
+  precedes it under the total order ``(priority, switch MAC, seq)``,
+  it **defers** (bounded re-holds, then aborts);
+* otherwise it tests EDF feasibility of the committed union plus its
+  candidate, then reliably broadcasts ``COMMIT`` (idempotent by
+  channel) or ``ABORT``.
+
+Safety (THEORY.md section 10): a commit requires every peer's ACK
+before the hold opens, so two conflicting intents each *know* of the
+other before either can commit; the precedence order picks exactly one
+winner, hence no two commits on one link overlap a hold window.
+
+**Gossip.** Each switch periodically -- and whenever its own view moves
+by more than a utilization threshold -- broadcasts a
+:class:`~repro.protocol.frames.GossipFrame` carrying its per-link view
+version. A peer that detects it is *ahead* of the sender re-broadcasts
+its commits (and recent releases); both sides being idempotent, views
+reconverge even after retry exhaustion.
+
+:class:`SharedLinkFabric` packages the protocol with a churn-driven
+workload into one checkpointable engine, mirroring
+:class:`~repro.service.service.AdmissionService`: a single
+content-ordered agenda heap (no sequence numbers), every piece of state
+JSON-serializable, so kill-and-resume reproduces the uninterrupted
+decision stream byte for byte -- even with announce/commit legs
+in flight at the checkpoint.
+
+Scope: the coordination protocol governs the *shared* trunks. Access
+links (node uplink/downlink) are validated against the fabric's
+authoritative access view at arrival time, exactly as a single-switch
+star would; only trunk state is replicated and intent-locked.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+
+from ..core.channel import ChannelSpec
+from ..core.feasibility import is_feasible
+from ..core.task import LinkDirection, LinkRef, LinkTask
+from ..errors import ConfigurationError, PartitioningError
+from ..protocol.ethernet import EthernetFrame, FrameKind
+from ..protocol.frames import GossipFrame, IntentFrame, IntentKind, decode_signaling
+from ..protocol.signaling import RetryPolicy
+from ..faults.plan import FaultPlan
+from ..multiswitch.partitioning import split_deadline
+from ..sim.rng import RngRegistry
+from .churn import ChurnConfig, ChurnProcess
+
+__all__ = ["IntentCoordinator", "SharedLinkFabric", "FABRIC_CHECKPOINT_VERSION"]
+
+FABRIC_CHECKPOINT_VERSION = 1
+
+#: Locally administered unicast base for synthetic switch MACs.
+_SWITCH_MAC_BASE = 0x0200_0000_0000
+
+#: Releases remembered per link for gossip-triggered reconciliation.
+_RELEASE_LOG_LIMIT = 64
+
+# Agenda priorities (same content-ordered-heap discipline as the
+# service: ties break on (prio, k1, k2), never on insertion order).
+_PRIO_DELIVER = 0
+_PRIO_RETRY = 1
+_PRIO_HOLD = 2
+_PRIO_DEPART = 3
+_PRIO_ARRIVE = 4
+_PRIO_GOSSIP = 5
+_PRIO_CHECKPOINT = 6
+
+
+def _trunk_ref(link_id: int) -> LinkRef:
+    """The shared trunk modelled as one more EDF "processor"."""
+    return LinkRef(node=f"trunk{link_id}", direction=LinkDirection.UPLINK)
+
+
+class IntentCoordinator:
+    """One switch's replicated-trunk state machine.
+
+    Purely passive: methods mutate local state and *return* frames for
+    the caller (the fabric, or a future wire harness) to transmit. All
+    state is JSON-serializable via :meth:`export_state`.
+    """
+
+    def __init__(self, mac: int, link_ids: tuple[int, ...]) -> None:
+        self.mac = mac
+        self.link_ids = tuple(link_ids)
+        #: link_id -> {channel_id: [owner_mac, period, capacity, deadline]}
+        self.committed: dict[int, dict[int, list[int]]] = {
+            link_id: {} for link_id in self.link_ids
+        }
+        #: link_id -> count of commit/release ops applied (view version).
+        self.version: dict[int, int] = {link_id: 0 for link_id in self.link_ids}
+        #: own in-flight intents: seq -> record dict.
+        self.pending: dict[int, dict] = {}
+        #: peers' announced intents: (mac, seq) -> record dict.
+        self.foreign: dict[tuple[int, int], dict] = {}
+        #: (mac, seq) pairs whose COMMIT was already applied (dedup).
+        self.applied: set[tuple[int, int]] = set()
+        #: per-link recent releases [channel_id, seq] for reconciliation.
+        self.release_log: dict[int, list[list[int]]] = {
+            link_id: [] for link_id in self.link_ids
+        }
+
+    # -- intent origination ------------------------------------------------
+
+    def begin_intent(
+        self,
+        seq: int,
+        link_id: int,
+        channel_id: int,
+        priority: int,
+        spec_on_link: tuple[int, int, int],
+        peers: tuple[int, ...],
+    ) -> IntentFrame:
+        """Open a local intent record and build its ANNOUNCE frame."""
+        period, capacity, deadline = spec_on_link
+        self.pending[seq] = {
+            "link_id": link_id,
+            "channel_id": channel_id,
+            "priority": priority,
+            "period": period,
+            "capacity": capacity,
+            "deadline": deadline,
+            "peers": sorted(peers),
+            "acked": [],
+            "state": "announce",
+            "defers": 0,
+        }
+        return IntentFrame(
+            kind=IntentKind.ANNOUNCE,
+            intent_seq=seq,
+            switch_mac=self.mac,
+            ack_mac=0,
+            link_id=link_id,
+            channel_id=channel_id,
+            priority=priority,
+            period=period,
+            capacity=capacity,
+            deadline=deadline,
+        )
+
+    def precedence_of(self, seq: int) -> tuple[int, int, int]:
+        record = self.pending[seq]
+        return (record["priority"], self.mac, seq)
+
+    def blockers(self, seq: int, now_ns: int, ttl_ns: int) -> int:
+        """Count active intents on this intent's link that precede it.
+
+        Considers the switch's *other* pending intents and every live
+        foreign announce (pruning entries older than ``ttl_ns`` -- the
+        backstop against a peer that died mid-handshake).
+        """
+        mine = self.pending[seq]
+        my_key = self.precedence_of(seq)
+        count = 0
+        for other_seq, record in self.pending.items():
+            if other_seq == seq or record["link_id"] != mine["link_id"]:
+                continue
+            if record["state"] in ("committed", "aborted"):
+                continue
+            if (record["priority"], self.mac, other_seq) < my_key:
+                count += 1
+        for (mac, fseq), record in list(self.foreign.items()):
+            if now_ns - record["heard_at"] > ttl_ns:
+                del self.foreign[(mac, fseq)]
+                continue
+            if record["link_id"] != mine["link_id"]:
+                continue
+            if (record["priority"], mac, fseq) < my_key:
+                count += 1
+        return count
+
+    def trunk_feasible(self, seq: int) -> bool:
+        """EDF-test the committed union plus this intent's candidate."""
+        record = self.pending[seq]
+        link_id = record["link_id"]
+        ref = _trunk_ref(link_id)
+        tasks = [
+            LinkTask(
+                link=ref,
+                period=entry[1],
+                capacity=entry[2],
+                deadline=entry[3],
+                channel_id=channel_id,
+            )
+            for channel_id, entry in sorted(self.committed[link_id].items())
+        ]
+        tasks.append(
+            LinkTask(
+                link=ref,
+                period=record["period"],
+                capacity=record["capacity"],
+                deadline=record["deadline"],
+                channel_id=record["channel_id"],
+            )
+        )
+        return is_feasible(tasks).feasible
+
+    def resolution_frame(self, seq: int, kind: IntentKind) -> IntentFrame:
+        """Build the COMMIT/ABORT frame for an own pending intent."""
+        record = self.pending[seq]
+        record["state"] = (
+            "committed" if kind is IntentKind.COMMIT else "aborted"
+        )
+        return IntentFrame(
+            kind=kind,
+            intent_seq=seq,
+            switch_mac=self.mac,
+            ack_mac=0,
+            link_id=record["link_id"],
+            channel_id=record["channel_id"],
+            priority=record["priority"],
+            period=record["period"],
+            capacity=record["capacity"],
+            deadline=record["deadline"],
+        )
+
+    def release_frame(self, seq: int, link_id: int, channel_id: int) -> IntentFrame:
+        entry = self.committed[link_id][channel_id]
+        return IntentFrame(
+            kind=IntentKind.RELEASE,
+            intent_seq=seq,
+            switch_mac=self.mac,
+            ack_mac=0,
+            link_id=link_id,
+            channel_id=channel_id,
+            priority=0,
+            period=entry[1],
+            capacity=entry[2],
+            deadline=entry[3],
+        )
+
+    # -- frame application (local and remote, all idempotent) --------------
+
+    def record_announce(self, frame: IntentFrame, now_ns: int) -> IntentFrame:
+        """Note a peer's intent; return the ACK to send back."""
+        key = (frame.switch_mac, frame.intent_seq)
+        if key not in self.applied:
+            self.foreign[key] = {
+                "link_id": frame.link_id,
+                "channel_id": frame.channel_id,
+                "priority": frame.priority,
+                "heard_at": now_ns,
+            }
+        return IntentFrame(
+            kind=IntentKind.ACK,
+            intent_seq=frame.intent_seq,
+            switch_mac=frame.switch_mac,
+            ack_mac=self.mac,
+            link_id=frame.link_id,
+            channel_id=frame.channel_id,
+            priority=frame.priority,
+            period=frame.period,
+            capacity=frame.capacity,
+            deadline=frame.deadline,
+        )
+
+    def record_ack(self, frame: IntentFrame) -> bool:
+        """Credit a peer's ACK; True when every peer has answered."""
+        record = self.pending.get(frame.intent_seq)
+        if record is None or record["state"] != "announce":
+            return False
+        if frame.ack_mac not in record["acked"]:
+            record["acked"].append(frame.ack_mac)
+            record["acked"].sort()
+        return record["acked"] == record["peers"]
+
+    def apply_commit(self, frame: IntentFrame) -> bool:
+        """Install a commit into the replicated view (idempotent)."""
+        key = (frame.switch_mac, frame.intent_seq)
+        self.foreign.pop(key, None)
+        if key in self.applied:
+            return False
+        self.applied.add(key)
+        self.committed[frame.link_id][frame.channel_id] = [
+            frame.switch_mac,
+            frame.period,
+            frame.capacity,
+            frame.deadline,
+            frame.intent_seq,
+        ]
+        self.version[frame.link_id] += 1
+        return True
+
+    def apply_abort(self, frame: IntentFrame) -> None:
+        self.foreign.pop((frame.switch_mac, frame.intent_seq), None)
+
+    def apply_release(self, frame: IntentFrame) -> bool:
+        """Remove a released channel from the view (idempotent)."""
+        key = (frame.switch_mac, frame.intent_seq)
+        if key in self.applied:
+            return False
+        self.applied.add(key)
+        removed = self.committed[frame.link_id].pop(frame.channel_id, None)
+        if removed is None:
+            return False
+        self.version[frame.link_id] += 1
+        log = self.release_log[frame.link_id]
+        log.append([frame.channel_id, frame.intent_seq])
+        del log[:-_RELEASE_LOG_LIMIT]
+        return True
+
+    # -- gossip ------------------------------------------------------------
+
+    def utilization_of(self, link_id: int) -> tuple[int, int]:
+        """Exact committed utilization of a link as (num, den)."""
+        num, den = 0, 1
+        for entry in self.committed[link_id].values():
+            num = num * entry[1] + entry[2] * den
+            den = den * entry[1]
+        return num, den
+
+    def gossip_frame(self, link_id: int) -> GossipFrame:
+        num, den = self.utilization_of(link_id)
+        # Clamp into the frame's 32-bit fields (den grows as a product
+        # of periods; the ratio is all gossip consumers compare).
+        while num >> 32 or den >> 32:
+            num >>= 1
+            den >>= 1
+        return GossipFrame(
+            switch_mac=self.mac,
+            link_id=link_id,
+            version=self.version[link_id],
+            load=len(self.committed[link_id]),
+            util_num=num,
+            util_den=max(1, den),
+        )
+
+    def reconciliation_frames(self, link_id: int) -> list[IntentFrame]:
+        """Re-broadcast the link view for a peer that fell behind.
+
+        Commits are replayed from the live view; releases from the
+        bounded recent-release log. Every frame is idempotent at the
+        receiver, so over-sending is harmless.
+        """
+        frames = []
+        for channel_id, entry in sorted(self.committed[link_id].items()):
+            frames.append(
+                IntentFrame(
+                    kind=IntentKind.COMMIT,
+                    intent_seq=entry[4],
+                    switch_mac=entry[0],
+                    ack_mac=0,
+                    link_id=link_id,
+                    channel_id=channel_id,
+                    priority=0,
+                    period=entry[1],
+                    capacity=entry[2],
+                    deadline=entry[3],
+                )
+            )
+        for channel_id, seq in self.release_log[link_id]:
+            frames.append(
+                IntentFrame(
+                    kind=IntentKind.RELEASE,
+                    intent_seq=seq,
+                    switch_mac=self.mac,
+                    ack_mac=0,
+                    link_id=link_id,
+                    channel_id=channel_id,
+                    priority=0,
+                    period=1,
+                    capacity=1,
+                    deadline=1,
+                )
+            )
+        return frames
+
+    # -- checkpoint/resume -------------------------------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "mac": self.mac,
+            "committed": {
+                str(link_id): {
+                    str(channel_id): list(entry)
+                    for channel_id, entry in view.items()
+                }
+                for link_id, view in self.committed.items()
+            },
+            "version": {str(k): v for k, v in self.version.items()},
+            "pending": {str(seq): dict(r) for seq, r in self.pending.items()},
+            "foreign": [
+                [mac, seq, dict(record)]
+                for (mac, seq), record in sorted(self.foreign.items())
+            ],
+            "applied": sorted(list(pair) for pair in self.applied),
+            "release_log": {
+                str(k): [list(e) for e in v]
+                for k, v in self.release_log.items()
+            },
+        }
+
+    def import_state(self, data: dict) -> None:
+        if int(data["mac"]) != self.mac:
+            raise ConfigurationError(
+                f"coordinator snapshot is for MAC {data['mac']:#x}, "
+                f"this switch is {self.mac:#x}"
+            )
+        self.committed = {
+            int(link_id): {
+                int(channel_id): list(map(int, entry))
+                for channel_id, entry in view.items()
+            }
+            for link_id, view in data["committed"].items()
+        }
+        self.version = {int(k): int(v) for k, v in data["version"].items()}
+        self.pending = {int(seq): dict(r) for seq, r in data["pending"].items()}
+        self.foreign = {
+            (int(mac), int(seq)): dict(record)
+            for mac, seq, record in data["foreign"]
+        }
+        self.applied = {(int(a), int(b)) for a, b in data["applied"]}
+        self.release_log = {
+            int(k): [list(map(int, e)) for e in v]
+            for k, v in data["release_log"].items()
+        }
+
+
+class SharedLinkFabric:
+    """A churn-driven multi-switch fabric with intent-locked trunks.
+
+    ``n_switches`` switches form a chain; switch ``i`` and ``i+1``
+    share trunk ``link_id=i``. Each switch serves ``nodes_per_switch``
+    end nodes and runs its own seeded churn stream; every generated
+    channel crosses to an adjacent switch, so every admission exercises
+    the intent lock. Control frames travel over a modelled control bus
+    with fixed latency, classified loss through a
+    :class:`~repro.faults.plan.FaultPlan`, and per-leg retransmission.
+
+    The engine is a content-ordered agenda heap (the
+    :class:`~repro.service.service.AdmissionService` discipline), so
+    :meth:`take_checkpoint`/:meth:`resume` reproduce the uninterrupted
+    run byte for byte from any checkpoint -- including mid-handshake.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_switches: int = 2,
+        nodes_per_switch: int = 4,
+        seed: int = 0,
+        churn: ChurnConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        hold_ns: int = 2_000_000,
+        control_latency_ns: int = 1_000,
+        gossip_every_ns: int = 10_000_000,
+        gossip_threshold: float = 0.10,
+        checkpoint_every_ns: int | None = None,
+        max_defers: int = 4,
+        monitor=None,
+    ) -> None:
+        if n_switches < 2:
+            raise ConfigurationError(
+                f"a shared-link fabric needs >= 2 switches, got {n_switches}"
+            )
+        if nodes_per_switch < 1:
+            raise ConfigurationError("need at least one node per switch")
+        if hold_ns <= 0 or control_latency_ns <= 0:
+            raise ConfigurationError(
+                "hold_ns and control_latency_ns must be positive"
+            )
+        self.n_switches = n_switches
+        self.nodes_per_switch = nodes_per_switch
+        self.seed = seed
+        self.nodes = [
+            tuple(f"n{i}_{k}" for k in range(nodes_per_switch))
+            for i in range(n_switches)
+        ]
+        all_nodes = tuple(n for group in self.nodes for n in group)
+        self.churn_config = churn if churn is not None else ChurnConfig(
+            nodes=all_nodes
+        )
+        if len(self.churn_config.nodes) < 2:  # pragma: no cover - ChurnConfig
+            raise ConfigurationError("churn population too small")
+        registry = RngRegistry(seed)
+        self.churn = [
+            ChurnProcess(registry.fork(i + 1), self.churn_config)
+            for i in range(n_switches)
+        ]
+        self.plan = fault_plan
+        self.retry = retry if retry is not None else RetryPolicy(
+            timeout_ns=3_000_000, max_retries=12, backoff=1.5
+        )
+        self.hold_ns = hold_ns
+        self.control_latency_ns = control_latency_ns
+        self.gossip_every_ns = gossip_every_ns
+        self.gossip_threshold = gossip_threshold
+        self.checkpoint_every_ns = checkpoint_every_ns
+        self.max_defers = max_defers
+        self.monitor = monitor
+        #: foreign-intent staleness backstop: generous multiple of the
+        #: worst-case announce->resolution span under full retries.
+        self.foreign_ttl_ns = (
+            self.hold_ns * (max_defers + 2)
+            + self.retry.delay_ns(0) * (self.retry.max_retries + 1)
+        )
+        self.coordinators = [
+            IntentCoordinator(
+                _SWITCH_MAC_BASE + i, self._links_of_switch(i)
+            )
+            for i in range(n_switches)
+        ]
+        # -- mutable engine state (everything below is checkpointed) --
+        self.now = 0
+        self._agenda: list[tuple[int, int, int, int]] = []
+        #: fabric-global intent/message sequence.
+        self._next_seq = 1
+        self._next_delivery = 1
+        #: delivery_id -> [src_idx, dst_idx, hex frame bytes]
+        self._wire: dict[int, list] = {}
+        #: seq -> reliable-broadcast record.
+        self._outstanding: dict[int, dict] = {}
+        #: per-switch next channel id counter (stride-partitioned).
+        self._next_channel = [0] * n_switches
+        #: global access-link view: "node|dir" -> {cid: [P, C, d]}.
+        self._access: dict[str, dict[int, list[int]]] = {}
+        #: committed channels: cid -> [switch, link_id, src, dst, departs_at]
+        self._active: dict[int, list] = {}
+        #: cids currently bound to an unresolved intent (id reuse guard).
+        self._reserved_ids: set[int] = set()
+        self._next_arrival = [0] * n_switches
+        self._last_gossip_util: dict[str, list[int]] = {}
+        self._started = False
+        self.ledger: list[tuple] = []
+        self.counters = {
+            "arrivals": 0,
+            "local_rejects": 0,
+            "commits": 0,
+            "aborts": 0,
+            "defers": 0,
+            "departures": 0,
+            "announce_timeouts": 0,
+            "retransmissions": 0,
+            "gossip_rounds": 0,
+            "reconciliations": 0,
+            "checkpoints": 0,
+        }
+        self.checkpoints: list[dict] = []
+
+    # -- topology helpers --------------------------------------------------
+
+    def _links_of_switch(self, i: int) -> tuple[int, ...]:
+        links = []
+        if i > 0:
+            links.append(i - 1)
+        if i < self.n_switches - 1:
+            links.append(i)
+        return tuple(links)
+
+    def _peers_of_link(self, link_id: int) -> tuple[int, ...]:
+        return (link_id, link_id + 1)
+
+    def _switch_of_mac(self, mac: int) -> int:
+        return mac - _SWITCH_MAC_BASE
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, at_ns: int = 0) -> None:
+        if self._started:
+            raise ConfigurationError("fabric already started")
+        self._started = True
+        self.now = at_ns
+        for i in range(self.n_switches):
+            self._next_arrival[i] = at_ns + self.churn[i].next_interarrival_ns()
+            self._push(self._next_arrival[i], _PRIO_ARRIVE, i, 0)
+            self._push(at_ns + self.gossip_every_ns, _PRIO_GOSSIP, i, 0)
+        if self.checkpoint_every_ns is not None:
+            self._push(
+                at_ns + self.checkpoint_every_ns, _PRIO_CHECKPOINT, 0, 0
+            )
+
+    def run_until(self, until_ns: int) -> int:
+        """Pump the agenda up to and including ``until_ns``."""
+        if not self._started:
+            raise ConfigurationError("call start() (or resume()) first")
+        dispatched = 0
+        while self._agenda and self._agenda[0][0] <= until_ns:
+            at, prio, k1, k2 = heapq.heappop(self._agenda)
+            self.now = at
+            self._dispatch(prio, k1, k2)
+            dispatched += 1
+        self.now = max(self.now, until_ns)
+        return dispatched
+
+    def _push(self, at: int, prio: int, k1: int, k2: int) -> None:
+        heapq.heappush(self._agenda, (at, prio, k1, k2))
+
+    def _dispatch(self, prio: int, k1: int, k2: int) -> None:
+        if prio == _PRIO_DELIVER:
+            self._ev_deliver(k1)
+        elif prio == _PRIO_RETRY:
+            self._ev_retry(k1)
+        elif prio == _PRIO_HOLD:
+            self._ev_hold(k1)
+        elif prio == _PRIO_DEPART:
+            self._ev_depart(k1, k2)
+        elif prio == _PRIO_ARRIVE:
+            self._ev_arrive(k1)
+        elif prio == _PRIO_GOSSIP:
+            self._ev_gossip(k1)
+        else:
+            self._ev_checkpoint()
+
+    # -- the control bus ---------------------------------------------------
+
+    def _transmit(self, src: int, dst: int, payload: bytes) -> None:
+        """One attempt to move a control frame; may be dropped."""
+        if self.plan is not None:
+            eth = EthernetFrame(
+                kind=FrameKind.SIGNALING,
+                source=f"sw{src}",
+                destination=f"sw{dst}",
+                payload_bytes=len(payload),
+                payload_object=payload,
+            )
+            if self.plan.should_drop(f"sw{src}->sw{dst}", eth, self.now):
+                return
+        delivery_id = self._next_delivery
+        self._next_delivery += 1
+        self._wire[delivery_id] = [src, dst, payload.hex()]
+        self._push(
+            self.now + self.control_latency_ns, _PRIO_DELIVER, delivery_id, 0
+        )
+
+    def _send_reliable(
+        self, src: int, frame: IntentFrame, peers: tuple[int, ...]
+    ) -> None:
+        """Broadcast with per-peer retransmission until ACKed.
+
+        ANNOUNCE legs are ACKed explicitly by the protocol; COMMIT,
+        ABORT and RELEASE legs reuse the same ACK frame (the receiver
+        acks whatever reliable kind it hears, and application is
+        idempotent, so duplicated deliveries are harmless).
+        """
+        payload = frame.encode()
+        self._outstanding[frame.intent_seq] = {
+            "src": src,
+            "kind": int(frame.kind),
+            "payload": payload.hex(),
+            "pending": sorted(peers),
+            "attempt": 0,
+        }
+        for dst in peers:
+            self._transmit(src, dst, payload)
+        self._push(
+            self.now + self.retry.delay_ns(0),
+            _PRIO_RETRY,
+            frame.intent_seq,
+            0,
+        )
+
+    def _ev_retry(self, seq: int) -> None:
+        record = self._outstanding.get(seq)
+        if record is None:
+            return
+        if not record["pending"]:
+            del self._outstanding[seq]
+            return
+        if record["attempt"] >= self.retry.max_retries:
+            del self._outstanding[seq]
+            if record["kind"] == int(IntentKind.ANNOUNCE):
+                self._announce_timed_out(seq)
+            return
+        record["attempt"] += 1
+        payload = bytes.fromhex(record["payload"])
+        for dst in record["pending"]:
+            self.counters["retransmissions"] += 1
+            self._transmit(record["src"], dst, payload)
+        self._push(
+            self.now + self.retry.delay_ns(record["attempt"]),
+            _PRIO_RETRY,
+            seq,
+            0,
+        )
+
+    def _ev_deliver(self, delivery_id: int) -> None:
+        entry = self._wire.pop(delivery_id, None)
+        if entry is None:
+            return
+        src, dst, payload_hex = entry
+        frame = decode_signaling(bytes.fromhex(payload_hex))
+        if isinstance(frame, GossipFrame):
+            self._on_gossip(dst, frame)
+            return
+        assert isinstance(frame, IntentFrame)
+        handler = {
+            IntentKind.ANNOUNCE: self._on_announce,
+            IntentKind.ACK: self._on_ack,
+            IntentKind.COMMIT: self._on_commit,
+            IntentKind.ABORT: self._on_abort,
+            IntentKind.RELEASE: self._on_release,
+        }[frame.kind]
+        handler(dst, frame)
+
+    def _ack_and_mark(self, receiver: int, frame: IntentFrame) -> None:
+        """Send the generic reliable-delivery ACK back to the origin."""
+        ack = IntentFrame(
+            kind=IntentKind.ACK,
+            intent_seq=frame.intent_seq,
+            switch_mac=frame.switch_mac,
+            ack_mac=self.coordinators[receiver].mac,
+            link_id=frame.link_id,
+            channel_id=frame.channel_id,
+            priority=frame.priority,
+            period=frame.period,
+            capacity=frame.capacity,
+            deadline=frame.deadline,
+        )
+        self._transmit(
+            receiver, self._switch_of_mac(frame.switch_mac), ack.encode()
+        )
+
+    # -- protocol event handlers -------------------------------------------
+
+    def _on_announce(self, receiver: int, frame: IntentFrame) -> None:
+        ack = self.coordinators[receiver].record_announce(frame, self.now)
+        self._transmit(
+            receiver, self._switch_of_mac(frame.switch_mac), ack.encode()
+        )
+
+    def _on_ack(self, receiver: int, frame: IntentFrame) -> None:
+        outstanding = self._outstanding.get(frame.intent_seq)
+        if outstanding is not None:
+            peer = self._switch_of_mac(frame.ack_mac)
+            if peer in outstanding["pending"]:
+                outstanding["pending"].remove(peer)
+            if not outstanding["pending"]:
+                del self._outstanding[frame.intent_seq]
+        coordinator = self.coordinators[receiver]
+        if coordinator.record_ack(frame):
+            record = coordinator.pending[frame.intent_seq]
+            record["state"] = "hold"
+            self._push(
+                self.now + self.hold_ns, _PRIO_HOLD, frame.intent_seq, 0
+            )
+
+    def _on_commit(self, receiver: int, frame: IntentFrame) -> None:
+        self.coordinators[receiver].apply_commit(frame)
+        self._ack_and_mark(receiver, frame)
+        self._maybe_threshold_gossip(receiver, frame.link_id)
+
+    def _on_abort(self, receiver: int, frame: IntentFrame) -> None:
+        self.coordinators[receiver].apply_abort(frame)
+        self._ack_and_mark(receiver, frame)
+
+    def _on_release(self, receiver: int, frame: IntentFrame) -> None:
+        self.coordinators[receiver].apply_release(frame)
+        self._ack_and_mark(receiver, frame)
+        self._maybe_threshold_gossip(receiver, frame.link_id)
+
+    def _on_gossip(self, receiver: int, frame: GossipFrame) -> None:
+        coordinator = self.coordinators[receiver]
+        if frame.link_id not in coordinator.version:
+            return
+        if coordinator.version[frame.link_id] > frame.version:
+            # The sender is behind: replay our view (idempotent).
+            self.counters["reconciliations"] += 1
+            sender = self._switch_of_mac(frame.switch_mac)
+            for reply in coordinator.reconciliation_frames(frame.link_id):
+                self._transmit(receiver, sender, reply.encode())
+
+    # -- workload events ---------------------------------------------------
+
+    def _ev_arrive(self, i: int) -> None:
+        churn = self.churn[i]
+        request = churn.draw_request()
+        holding = churn.holding_ns()
+        self.counters["arrivals"] += 1
+        all_nodes = self.churn_config.nodes
+        src_slot = all_nodes.index(request.source) % self.nodes_per_switch
+        src = self.nodes[i][src_slot]
+        neighbours = [j for j in (i - 1, i + 1) if 0 <= j < self.n_switches]
+        dst_pick = all_nodes.index(request.destination)
+        j = neighbours[dst_pick % len(neighbours)]
+        dst = self.nodes[j][dst_pick % self.nodes_per_switch]
+        link_id = min(i, j)
+        self._admit(i, j, link_id, src, dst, request.spec, holding)
+        self._next_arrival[i] = self.now + churn.next_interarrival_ns()
+        self._push(self._next_arrival[i], _PRIO_ARRIVE, i, 0)
+
+    def _allocate_channel_id(self, i: int) -> int:
+        """Stride-partitioned 16-bit IDs: switch ``i`` owns ``i mod n``."""
+        span = 0xFFFF // self.n_switches
+        for _ in range(span):
+            slot = self._next_channel[i] % span
+            self._next_channel[i] += 1
+            candidate = 1 + slot * self.n_switches + i
+            if (
+                candidate not in self._active
+                and candidate not in self._reserved_ids
+            ):
+                return candidate
+        raise ConfigurationError(
+            f"switch {i} exhausted its channel-ID partition"
+        )
+
+    def _admit(
+        self,
+        i: int,
+        j: int,
+        link_id: int,
+        src: str,
+        dst: str,
+        spec: ChannelSpec,
+        holding: int,
+    ) -> None:
+        try:
+            parts = split_deadline(spec.deadline, spec.capacity, (1, 1, 1))
+        except PartitioningError:
+            self.counters["local_rejects"] += 1
+            self.ledger.append(
+                ("reject", self.now, i, src, dst, spec.period,
+                 spec.capacity, spec.deadline, "partition")
+            )
+            return
+        channel_id = self._allocate_channel_id(i)
+        up_key = f"{src}|up"
+        down_key = f"{dst}|down"
+        for key, node, direction, deadline in (
+            (up_key, src, LinkDirection.UPLINK, parts[0]),
+            (down_key, dst, LinkDirection.DOWNLINK, parts[2]),
+        ):
+            view = self._access.get(key, {})
+            tasks = [
+                LinkTask(
+                    link=LinkRef(node=node, direction=direction),
+                    period=entry[0],
+                    capacity=entry[1],
+                    deadline=entry[2],
+                    channel_id=cid,
+                )
+                for cid, entry in sorted(view.items())
+            ]
+            tasks.append(
+                LinkTask(
+                    link=LinkRef(node=node, direction=direction),
+                    period=spec.period,
+                    capacity=spec.capacity,
+                    deadline=deadline,
+                    channel_id=channel_id,
+                )
+            )
+            if not is_feasible(tasks).feasible:
+                self.counters["local_rejects"] += 1
+                self.ledger.append(
+                    ("reject", self.now, i, src, dst, spec.period,
+                     spec.capacity, spec.deadline, "access-link")
+                )
+                return
+        # Reserve access capacity now; released on abort or departure.
+        self._access.setdefault(up_key, {})[channel_id] = [
+            spec.period, spec.capacity, parts[0]
+        ]
+        self._access.setdefault(down_key, {})[channel_id] = [
+            spec.period, spec.capacity, parts[2]
+        ]
+        self._reserved_ids.add(channel_id)
+        seq = self._next_seq
+        self._next_seq += 1
+        # Rate-monotonic-flavoured precedence: shorter period wins the
+        # trunk; (priority, MAC, seq) breaks the rest deterministically.
+        priority = min(255, spec.period // 16)
+        coordinator = self.coordinators[i]
+        announce = coordinator.begin_intent(
+            seq,
+            link_id,
+            channel_id,
+            priority,
+            (spec.period, spec.capacity, parts[1]),
+            peers=tuple(
+                self.coordinators[p].mac
+                for p in self._peers_of_link(link_id)
+                if p != i
+            ),
+        )
+        record = coordinator.pending[seq]
+        record["holding"] = holding
+        record["src"] = src
+        record["dst"] = dst
+        record["owner"] = i
+        peers = tuple(
+            p for p in self._peers_of_link(link_id) if p != i
+        )
+        self.ledger.append(
+            ("announce", self.now, i, channel_id, link_id, spec.period,
+             spec.capacity, spec.deadline)
+        )
+        self._send_reliable(i, announce, peers)
+
+    def _ev_hold(self, seq: int) -> None:
+        owner = self._owner_of_seq(seq)
+        if owner is None:
+            return
+        coordinator = self.coordinators[owner]
+        record = coordinator.pending.get(seq)
+        if record is None or record["state"] != "hold":
+            return
+        if coordinator.blockers(seq, self.now, self.foreign_ttl_ns):
+            if record["defers"] < self.max_defers:
+                record["defers"] += 1
+                self.counters["defers"] += 1
+                self._push(self.now + self.hold_ns, _PRIO_HOLD, seq, 0)
+                return
+            self._resolve_abort(owner, seq, "conflict")
+            return
+        if not coordinator.trunk_feasible(seq):
+            self._resolve_abort(owner, seq, "trunk-infeasible")
+            return
+        self._resolve_commit(owner, seq)
+
+    def _owner_of_seq(self, seq: int) -> int | None:
+        for i, coordinator in enumerate(self.coordinators):
+            if seq in coordinator.pending:
+                return i
+        return None
+
+    def _resolve_commit(self, owner: int, seq: int) -> None:
+        coordinator = self.coordinators[owner]
+        record = coordinator.pending[seq]
+        frame = coordinator.resolution_frame(seq, IntentKind.COMMIT)
+        coordinator.apply_commit(frame)
+        channel_id = record["channel_id"]
+        self._reserved_ids.discard(channel_id)
+        departs_at = self.now + record["holding"]
+        self._active[channel_id] = [
+            owner, record["link_id"], record["src"], record["dst"], departs_at
+        ]
+        self.counters["commits"] += 1
+        self.ledger.append(
+            ("commit", self.now, owner, channel_id, record["link_id"])
+        )
+        peers = tuple(
+            p
+            for p in self._peers_of_link(record["link_id"])
+            if p != owner
+        )
+        self._send_reliable(owner, frame, peers)
+        self._push(departs_at, _PRIO_DEPART, owner, channel_id)
+        self._maybe_threshold_gossip(owner, record["link_id"])
+        del coordinator.pending[seq]
+
+    def _resolve_abort(self, owner: int, seq: int, reason: str) -> None:
+        coordinator = self.coordinators[owner]
+        record = coordinator.pending[seq]
+        frame = coordinator.resolution_frame(seq, IntentKind.ABORT)
+        self._drop_access(record["src"], record["dst"], record["channel_id"])
+        self._reserved_ids.discard(record["channel_id"])
+        self.counters["aborts"] += 1
+        self.ledger.append(
+            ("abort", self.now, owner, record["channel_id"], reason)
+        )
+        peers = tuple(
+            p
+            for p in self._peers_of_link(record["link_id"])
+            if p != owner
+        )
+        self._send_reliable(owner, frame, peers)
+        del coordinator.pending[seq]
+
+    def _announce_timed_out(self, seq: int) -> None:
+        owner = self._owner_of_seq(seq)
+        if owner is None:
+            return
+        record = self.coordinators[owner].pending.get(seq)
+        if record is None or record["state"] != "announce":
+            return
+        self.counters["announce_timeouts"] += 1
+        self._drop_access(record["src"], record["dst"], record["channel_id"])
+        self._reserved_ids.discard(record["channel_id"])
+        self.counters["aborts"] += 1
+        self.ledger.append(
+            ("abort", self.now, owner, record["channel_id"],
+             "announce-timeout")
+        )
+        del self.coordinators[owner].pending[seq]
+
+    def _drop_access(self, src: str, dst: str, channel_id: int) -> None:
+        for key in (f"{src}|up", f"{dst}|down"):
+            view = self._access.get(key)
+            if view is not None:
+                view.pop(channel_id, None)
+                if not view:
+                    del self._access[key]
+
+    def _ev_depart(self, owner: int, channel_id: int) -> None:
+        entry = self._active.pop(channel_id, None)
+        if entry is None:
+            return
+        _, link_id, src, dst, _ = entry
+        self._drop_access(src, dst, channel_id)
+        coordinator = self.coordinators[owner]
+        seq = self._next_seq
+        self._next_seq += 1
+        frame = coordinator.release_frame(seq, link_id, channel_id)
+        coordinator.apply_release(frame)
+        self.counters["departures"] += 1
+        self.ledger.append(("depart", self.now, owner, channel_id))
+        peers = tuple(
+            p for p in self._peers_of_link(link_id) if p != owner
+        )
+        self._send_reliable(owner, frame, peers)
+        self._maybe_threshold_gossip(owner, link_id)
+
+    # -- gossip scheduling -------------------------------------------------
+
+    def _ev_gossip(self, i: int) -> None:
+        self.counters["gossip_rounds"] += 1
+        self._broadcast_gossip(i)
+        self._push(self.now + self.gossip_every_ns, _PRIO_GOSSIP, i, 0)
+
+    def _broadcast_gossip(self, i: int) -> None:
+        coordinator = self.coordinators[i]
+        for link_id in coordinator.link_ids:
+            frame = coordinator.gossip_frame(link_id)
+            key = f"{i}:{link_id}"
+            self._last_gossip_util[key] = [frame.util_num, frame.util_den]
+            for p in self._peers_of_link(link_id):
+                if p != i:
+                    self._transmit(i, p, frame.encode())
+
+    def _maybe_threshold_gossip(self, i: int, link_id: int) -> None:
+        coordinator = self.coordinators[i]
+        num, den = coordinator.utilization_of(link_id)
+        key = f"{i}:{link_id}"
+        last = self._last_gossip_util.get(key, [0, 1])
+        # |num/den - last| > threshold, in integers.
+        delta = abs(num * last[1] - last[0] * den)
+        if delta * 100 > int(self.gossip_threshold * 100) * den * last[1]:
+            frame = coordinator.gossip_frame(link_id)
+            self._last_gossip_util[key] = [frame.util_num, frame.util_den]
+            for p in self._peers_of_link(link_id):
+                if p != i:
+                    self._transmit(i, p, frame.encode())
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _ev_checkpoint(self) -> None:
+        # Bump and reschedule *before* capturing: the snapshot's agenda
+        # must already contain the next checkpoint entry, or a resumed
+        # fabric never checkpoints again.
+        self.counters["checkpoints"] += 1
+        assert self.checkpoint_every_ns is not None
+        self._push(
+            self.now + self.checkpoint_every_ns, _PRIO_CHECKPOINT, 0, 0
+        )
+        self.take_checkpoint()
+
+    def take_checkpoint(self) -> dict:
+        """Everything a resumed fabric needs, as one JSON-able dict."""
+        data = {
+            "version": FABRIC_CHECKPOINT_VERSION,
+            "now_ns": self.now,
+            "seed": self.seed,
+            "n_switches": self.n_switches,
+            "nodes_per_switch": self.nodes_per_switch,
+            "agenda": sorted(list(e) for e in self._agenda),
+            "next_seq": self._next_seq,
+            "next_delivery": self._next_delivery,
+            "wire": {
+                str(k): list(v) for k, v in sorted(self._wire.items())
+            },
+            "outstanding": {
+                str(k): dict(v) for k, v in sorted(self._outstanding.items())
+            },
+            "next_channel": list(self._next_channel),
+            "access": {
+                key: {str(cid): list(entry) for cid, entry in view.items()}
+                for key, view in sorted(self._access.items())
+            },
+            "active": {
+                str(cid): list(entry)
+                for cid, entry in sorted(self._active.items())
+            },
+            "reserved_ids": sorted(self._reserved_ids),
+            "next_arrival": list(self._next_arrival),
+            "last_gossip_util": {
+                k: list(v) for k, v in sorted(self._last_gossip_util.items())
+            },
+            "coordinators": [c.export_state() for c in self.coordinators],
+            "churn": [c.export_state() for c in self.churn],
+            "fault_plan": (
+                None if self.plan is None else self.plan.export_state()
+            ),
+            "counters": dict(self.counters),
+            "ledger_len": len(self.ledger),
+        }
+        # Deep-freeze through JSON: the dicts above hold references to
+        # live nested lists (ack lists, outstanding peer sets) that the
+        # engine keeps mutating -- a shallow checkpoint would rot as the
+        # run continues past it.
+        data = json.loads(json.dumps(data, sort_keys=True))
+        self.checkpoints.append(data)
+        return data
+
+    @classmethod
+    def resume(cls, data: dict, **kwargs) -> "SharedLinkFabric":
+        """Rebuild a fabric from :meth:`take_checkpoint` output.
+
+        ``kwargs`` must supply the same code-level configuration
+        (fault_plan, retry, hold_ns, ...) as the original; the
+        checkpoint carries only positions and views, not policy.
+        """
+        if data.get("version") != FABRIC_CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"fabric checkpoint version {data.get('version')!r} is not "
+                f"supported (this build reads {FABRIC_CHECKPOINT_VERSION})"
+            )
+        fabric = cls(
+            n_switches=int(data["n_switches"]),
+            nodes_per_switch=int(data["nodes_per_switch"]),
+            seed=int(data["seed"]),
+            **kwargs,
+        )
+        fabric._started = True
+        fabric.now = int(data["now_ns"])
+        fabric._agenda = [tuple(e) for e in data["agenda"]]
+        heapq.heapify(fabric._agenda)
+        fabric._next_seq = int(data["next_seq"])
+        fabric._next_delivery = int(data["next_delivery"])
+        fabric._wire = {int(k): list(v) for k, v in data["wire"].items()}
+        fabric._outstanding = {
+            int(k): dict(v) for k, v in data["outstanding"].items()
+        }
+        fabric._next_channel = [int(v) for v in data["next_channel"]]
+        fabric._access = {
+            key: {int(cid): list(map(int, e)) for cid, e in view.items()}
+            for key, view in data["access"].items()
+        }
+        fabric._active = {
+            int(cid): list(entry) for cid, entry in data["active"].items()
+        }
+        fabric._reserved_ids = {int(v) for v in data["reserved_ids"]}
+        fabric._next_arrival = [int(v) for v in data["next_arrival"]]
+        fabric._last_gossip_util = {
+            k: list(v) for k, v in data["last_gossip_util"].items()
+        }
+        for coordinator, state in zip(
+            fabric.coordinators, data["coordinators"]
+        ):
+            coordinator.import_state(state)
+        for churn, state in zip(fabric.churn, data["churn"]):
+            churn.import_state(state)
+        if data.get("fault_plan") is not None:
+            if fabric.plan is None:
+                raise ConfigurationError(
+                    "checkpoint carries fault-plan state but resume() was "
+                    "given no fault_plan; pass the original plan config"
+                )
+            fabric.plan.import_state(data["fault_plan"])
+        for key, count in data.get("counters", {}).items():
+            if key in fabric.counters:
+                fabric.counters[key] = int(count)
+        return fabric
+
+    # -- introspection for tests and invariants ----------------------------
+
+    def trunk_views(self, link_id: int) -> list[dict[int, list[int]]]:
+        """Each sharing switch's committed view of one trunk."""
+        return [
+            dict(self.coordinators[p].committed[link_id])
+            for p in self._peers_of_link(link_id)
+        ]
+
+    def quiesce(self, settle_ns: int | None = None) -> None:
+        """Stop new arrivals and drain in-flight work (end of a soak)."""
+        self._agenda = [
+            entry
+            for entry in self._agenda
+            if entry[1] not in (_PRIO_ARRIVE, _PRIO_CHECKPOINT)
+        ]
+        heapq.heapify(self._agenda)
+        horizon = self.now + (
+            settle_ns
+            if settle_ns is not None
+            else self.foreign_ttl_ns + self.gossip_every_ns * 2
+        )
+        self.run_until(horizon)
+
+    def leaked_reservations(self) -> list[int]:
+        """Access-view channel IDs with neither a live channel nor an
+        unresolved intent behind them (must be empty after quiesce)."""
+        leaked = set()
+        for view in self._access.values():
+            for cid in view:
+                if cid not in self._active and cid not in self._reserved_ids:
+                    leaked.add(cid)
+        return sorted(leaked)

@@ -1,0 +1,49 @@
+"""Campaign-level tests for the churn-mode admission differential."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oracle.admission_diff import (
+    run_admission_campaign,
+    run_churn_trial,
+)
+
+
+class TestChurnTrial:
+    def test_trial_is_reproducible(self):
+        first = run_churn_trial(11, 3, ops=50)
+        second = run_churn_trial(11, 3, ops=50)
+        assert first == second
+
+    def test_trial_actually_snapshots(self):
+        # over a handful of seeds the 1-in-12 snapshot op must fire
+        total = 0
+        for trial in range(6):
+            disagreement, counts = run_churn_trial(0, trial, ops=60)
+            assert disagreement is None
+            total += counts["snapshots"]
+        assert total > 0
+
+
+class TestChurnCampaign:
+    def test_small_campaign_is_clean(self):
+        report = run_admission_campaign(
+            10, 0, ops_per_trial=50, churn=True
+        )
+        assert report.ok
+        assert report.churn
+        assert report.snapshots > 0
+        assert report.decisions > 0
+        assert "churn" in report.summary()
+        assert report.to_json_dict()["snapshots"] == report.snapshots
+
+    def test_batch_and_churn_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            run_admission_campaign(1, 0, batch=True, churn=True)
+
+    def test_plain_campaign_reports_no_churn(self):
+        report = run_admission_campaign(2, 0, ops_per_trial=20)
+        assert not report.churn
+        assert report.snapshots == 0

@@ -1,0 +1,87 @@
+"""Property tests: churn + snapshot/resume never change a decision.
+
+Two generators attack the long-lived service from different angles:
+
+* random kill points against :class:`~repro.service.AdmissionService`
+  -- resuming from the latest checkpoint must reproduce the
+  uninterrupted run's ledger and final admission state byte for byte,
+  whatever the (seed, kill instant, checkpoint period) triple;
+* the churn-mode oracle trial
+  (:func:`~repro.oracle.admission_diff.run_churn_trial`) -- random
+  interleavings of admit/depart/snapshot/resume diffed against a
+  never-snapshotted from-scratch controller must never disagree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.admission import AdmissionController, SystemState
+from repro.core.partitioning import SymmetricDPS
+from repro.oracle.admission_diff import run_churn_trial
+from repro.service import (
+    AdmissionService,
+    ChurnConfig,
+    ChurnProcess,
+    resume,
+)
+from repro.sim.rng import RngRegistry
+
+NODES = tuple(f"m{i}" for i in range(5))
+HORIZON = 20_000_000
+
+
+def build_service(seed: int, checkpoint_every_ns: int) -> AdmissionService:
+    controller = AdmissionController(SystemState(NODES), SymmetricDPS())
+    churn = ChurnProcess(RngRegistry(seed), ChurnConfig(nodes=NODES))
+    return AdmissionService(
+        controller, churn, checkpoint_every_ns=checkpoint_every_ns
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    kill_fraction=st.floats(min_value=0.15, max_value=0.9),
+    checkpoint_every_ms=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_kill_and_resume_reproduces_the_run(
+    seed, kill_fraction, checkpoint_every_ms
+):
+    checkpoint_every_ns = checkpoint_every_ms * 1_000_000
+    kill_at = max(checkpoint_every_ns, int(HORIZON * kill_fraction))
+
+    reference = build_service(seed, checkpoint_every_ns)
+    reference.start()
+    reference.run_until(HORIZON)
+
+    victim = build_service(seed, checkpoint_every_ns)
+    victim.start()
+    victim.run_until(kill_at)
+    checkpoint = victim.last_checkpoint
+    assert checkpoint is not None
+    resumed = resume(
+        json.loads(json.dumps(checkpoint.data)),
+        SymmetricDPS(),
+        RngRegistry(seed),
+        ChurnConfig(nodes=NODES),
+    )
+    resumed.run_until(HORIZON)
+
+    prefix = victim.ledger[: checkpoint.data["ledger_len"] + 1]
+    assert list(reference.ledger) == list(prefix) + list(resumed.ledger)
+    assert reference.final_state_json() == resumed.final_state_json()
+    assert reference.counters == resumed.counters
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    trial=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=30, deadline=None)
+def test_churn_trial_never_disagrees(seed, trial):
+    disagreement, counts = run_churn_trial(seed, trial, ops=40)
+    assert disagreement is None, disagreement
+    assert counts["decisions"] > 0

@@ -116,6 +116,9 @@ class TestSourceSignaling:
         first = source.build_request("b", 2, 2, 100, 3, 40)
         source.handle_response(respond(first, ok=True, channel_id=9))
         assert first.connect_request_id in source._completed_recent
+        # the channel must be torn down before its ID can come around
+        # again (live channels pin their request ID)
+        source.channel_torn_down(9)
         # cycle through the whole space so the ID is reallocated
         for _ in range(SourceSignaling.MAX_OUTSTANDING):
             request = source.build_request("b", 2, 2, 100, 3, 40)
@@ -159,13 +162,35 @@ class TestSourceSignaling:
         source = make_source()
         first = source.build_request("b", 2, 2, 100, 3, 40)
         source.handle_response(respond(first, ok=True))
+        source.channel_torn_down(5)
         # the freed ID eventually comes around again
         seen = set()
         for _ in range(255):
             request = source.build_request("b", 2, 2, 100, 3, 40)
             seen.add(request.connect_request_id)
             source.handle_response(respond(request, ok=True))
+            source.channel_torn_down(5)
         assert first.connect_request_id in seen
+
+    def test_live_channel_pins_request_id(self):
+        # An established channel's request ID must NOT be reallocated:
+        # the switch's verdict cache is keyed (source MAC, request ID)
+        # and could re-answer a new request with the old verdict.
+        source = make_source()
+        first = source.build_request("b", 2, 2, 100, 3, 40)
+        source.handle_response(respond(first, ok=True, channel_id=9))
+        ids = {
+            source.build_request("b", 2, 2, 100, 3, 40).connect_request_id
+            for _ in range(SourceSignaling.MAX_OUTSTANDING - 1)
+        }
+        assert first.connect_request_id not in ids
+        # with 1 live + 254 pending, the space is exhausted
+        with pytest.raises(ProtocolError, match="established"):
+            source.build_request("b", 2, 2, 100, 3, 40)
+        # teardown frees the pinned ID again
+        source.channel_torn_down(9)
+        request = source.build_request("b", 2, 2, 100, 3, 40)
+        assert request.connect_request_id == first.connect_request_id
 
     def test_is_pending(self):
         source = make_source()
